@@ -1,0 +1,34 @@
+//! # attacks
+//!
+//! The attacker toolkit for the reproduction's security evaluation
+//! (R-T2, R-F5). The abstract's attack — "attackers can retrieve data by
+//! CPU and memory dump software" — becomes [`dump::MemoryDump`]; the
+//! surrounding scenarios cover the rest of the 2010 Xen vTPM attack
+//! surface:
+//!
+//! | scenario | weakness exercised |
+//! |---|---|
+//! | [`scenarios::dump_instance_state`] | W3: cleartext resident state |
+//! | [`scenarios::ring_sniffing`] | W3: unscrubbed transport pages |
+//! | [`scenarios::replay`] | W1: unauthenticated, repeatable envelopes |
+//! | [`scenarios::envelope_forgery`] | W1: manager trusts envelope identity |
+//! | [`scenarios::xenstore_rebinding`] | W1: mutable XenStore binding |
+//! | [`scenarios::privileged_ordinal`] | W2: no command filtering |
+//!
+//! Every scenario runs unchanged against `vtpm::Platform::baseline()`
+//! (all succeed) and `vtpm_ac::SecurePlatform` (all are blocked) — the
+//! paper's security claim, reproduced as tests and as the `repro t2`
+//! table.
+
+pub mod dump;
+pub mod report;
+pub mod scenarios;
+pub mod sniff;
+
+pub use dump::{high_entropy_fragments, Hit, MemoryDump, ScanStats};
+pub use report::AttackMatrix;
+pub use scenarios::{
+    bare_command, dump_instance_state, envelope_forgery, extend_command, privileged_ordinal,
+    replay, ring_sniffing, xenstore_rebinding, AttackOutcome,
+};
+pub use sniff::sniff_envelopes;

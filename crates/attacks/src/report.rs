@@ -1,0 +1,97 @@
+//! The full attack matrix (reproduces Table 2 / R-T2).
+
+use vtpm::{Guest, Platform};
+
+use crate::scenarios::{
+    dump_instance_state, envelope_forgery, privileged_ordinal, replay, ring_sniffing,
+    xenstore_rebinding, AttackOutcome,
+};
+
+/// Outcomes of the whole suite against one platform.
+#[derive(Debug, Clone)]
+pub struct AttackMatrix {
+    /// Label of the configuration attacked ("baseline" / "improved").
+    pub configuration: String,
+    /// One outcome per attack, in suite order.
+    pub outcomes: Vec<AttackOutcome>,
+}
+
+impl AttackMatrix {
+    /// Run every attack. `victim` must have exchanged some traffic
+    /// already (warm rings/mirror); `attacker` is a co-resident guest.
+    pub fn run(
+        configuration: &str,
+        platform: &Platform,
+        victim: &Guest,
+        attacker: &mut Guest,
+    ) -> Self {
+        let original_instance = attacker.front.instance;
+        let rebinding = xenstore_rebinding(platform, attacker, victim.instance);
+        // Undo the rebinding so later attacks run from a clean attacker.
+        attacker.front.instance = original_instance;
+        let outcomes = vec![
+            dump_instance_state(platform, victim),
+            ring_sniffing(platform, victim),
+            replay(platform, victim),
+            envelope_forgery(platform, victim),
+            rebinding,
+            privileged_ordinal(platform, attacker),
+        ];
+        AttackMatrix { configuration: configuration.to_string(), outcomes }
+    }
+
+    /// Number of successful attacks.
+    pub fn successes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.succeeded).count()
+    }
+
+    /// Render as fixed-width table rows (the `repro t2` output).
+    pub fn rows(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{:<22} {:<10} {}",
+                    o.name,
+                    if o.succeeded { "SUCCESS" } else { "blocked" },
+                    o.detail
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtpm_ac::SecurePlatform;
+
+    fn warm(guest: &mut Guest) {
+        let mut c = guest.client(b"w");
+        c.startup_clear().unwrap();
+        c.extend(0, &[1; 20]).unwrap();
+    }
+
+    #[test]
+    fn matrix_baseline_all_succeed() {
+        let p = Platform::baseline(b"matrix-base").unwrap();
+        let mut victim = p.launch_guest("victim").unwrap();
+        let mut attacker = p.launch_guest("attacker").unwrap();
+        warm(&mut victim);
+        warm(&mut attacker);
+        let m = AttackMatrix::run("baseline", &p, &victim, &mut attacker);
+        assert_eq!(m.successes(), 6, "{:#?}", m.outcomes);
+        assert_eq!(m.rows().len(), 6);
+    }
+
+    #[test]
+    fn matrix_improved_all_blocked() {
+        let sp = SecurePlatform::full(b"matrix-improved").unwrap();
+        let mut victim = sp.launch_guest("victim").unwrap();
+        let mut attacker = sp.launch_guest("attacker").unwrap();
+        warm(&mut victim);
+        warm(&mut attacker);
+        let m = AttackMatrix::run("improved", &sp.platform, &victim, &mut attacker);
+        assert_eq!(m.successes(), 0, "{:#?}", m.outcomes);
+    }
+}

@@ -1,0 +1,260 @@
+//! The attack scenarios of the evaluation (R-T2), each runnable against
+//! the baseline and the improved platform.
+//!
+//! Attacker model (matching the abstract and the 2010 Xen vTPM threat
+//! analyses): the hypervisor, the vTPM manager process, and the domain
+//! builder are the TCB; the attacker controls (a) co-resident guest
+//! domains and (b) Dom0 *userspace tooling* — memory-dump software,
+//! XenStore clients, and injection into the manager's request queue (a
+//! compromised tpmback). The attacker does not patch the manager itself.
+
+use tpm::buffer::Writer;
+use tpm::{ordinal, parse_response, rc, tag};
+use xen_sim::{DomainId, Hypervisor};
+
+use vtpm::{Envelope, Guest, Platform, ResponseEnvelope, ResponseStatus};
+
+use crate::dump::{high_entropy_fragments, MemoryDump};
+use crate::sniff::sniff_envelopes;
+
+/// Result of one attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Attack name (stable identifier for the report tables).
+    pub name: &'static str,
+    /// Whether the attacker achieved the goal.
+    pub succeeded: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl AttackOutcome {
+    fn new(name: &'static str, succeeded: bool, detail: impl Into<String>) -> Self {
+        AttackOutcome { name, succeeded, detail: detail.into() }
+    }
+}
+
+/// Build a bare TPM command with just a header (enough for routing and
+/// the ordinal-policy check; the vTPM will reject the body, but the
+/// attack is judged on whether the *access path* let it through).
+pub fn bare_command(ord: u32) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(tag::RQU_COMMAND).u32(10).u32(ord);
+    w.into_vec()
+}
+
+/// A TPM_Extend command (fully valid; useful when the attack needs a
+/// state-changing success signal).
+pub fn extend_command(pcr: u32, value: [u8; 20]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(tag::RQU_COMMAND).u32(0).u32(ordinal::EXTEND).u32(pcr).bytes(&value);
+    let total = w.len() as u32;
+    w.patch_u32(2, total);
+    w.into_vec()
+}
+
+fn injected_ok(platform: &Platform, source: DomainId, envelope: &Envelope) -> (bool, ResponseStatus) {
+    let resp = platform.manager.handle(source, &envelope.encode());
+    let renv = ResponseEnvelope::decode(&resp).expect("manager responds");
+    (renv.status == ResponseStatus::Ok, renv.status)
+}
+
+/// **A1 — memory-dump state theft.** Dump Dom0-visible RAM and look for
+/// the victim instance's state bytes (ground truth fetched from the
+/// manager). Success = any fragment of the resident image found.
+pub fn dump_instance_state(platform: &Platform, victim: &Guest) -> AttackOutcome {
+    let state = platform
+        .manager
+        .export_instance_state(victim.instance)
+        .expect("victim instance exists");
+    // Probe with high-entropy fragments of the state — key material, not
+    // zero-filled PCR banks. (A low-entropy probe would "match" zero
+    // pages everywhere and prove nothing.)
+    let probes = high_entropy_fragments(&state, 2);
+    let needles: Vec<&[u8]> = probes.iter().map(|p| &state[p.0..p.1]).collect();
+    assert!(!needles.is_empty(), "instance state has key material");
+    let dump = MemoryDump::capture(platform.manager.hypervisor(), DomainId::DOM0)
+        .expect("dom0 can dump");
+    let hits = dump.scan(&needles);
+    AttackOutcome::new(
+        "dump-state",
+        !hits.is_empty(),
+        format!("{} hits over {} pages", hits.len(), dump.pages.len()),
+    )
+}
+
+/// **A2 — XenStore rebinding.** The attacker rewrites the *victim's*
+/// backend binding so the victim's frontend, on (re)connect, attaches to
+/// an attacker-chosen instance — and symmetrically points its own
+/// frontend at the victim's instance. We model the post-rebinding state
+/// directly: the attacker's frontend now targets the victim's instance.
+/// Success = a command executes on the victim's instance.
+pub fn xenstore_rebinding(
+    platform: &Platform,
+    attacker: &mut Guest,
+    victim_instance: u32,
+) -> AttackOutcome {
+    let hv: &Hypervisor = platform.manager.hypervisor();
+    // The Dom0-level attacker rewrites the store (permitted: Dom0
+    // overrides node permissions — see xen-sim::xenstore).
+    let path = format!("/local/domain/0/backend/vtpm/{}/0/instance", attacker.domain.0);
+    hv.xs_write(DomainId::DOM0, &path, victim_instance.to_string().as_bytes())
+        .expect("dom0 writes xenstore");
+    // The attacker's frontend re-reads its binding (reconnect).
+    attacker.front.instance = victim_instance;
+    let env = attacker.front.build_envelope(&extend_command(10, [0xEE; 20]));
+    let ok = match attacker.front.transact_envelope(&env) {
+        Ok(resp) if resp.status == ResponseStatus::Ok => {
+            parse_response(&resp.body).map(|(_, code, _)| code == rc::SUCCESS).unwrap_or(false)
+        }
+        _ => false,
+    };
+    AttackOutcome::new(
+        "xenstore-rebinding",
+        ok,
+        if ok { "attacker command executed on victim instance" } else { "denied" },
+    )
+}
+
+/// **A3 — envelope forgery.** A compromised Dom0 component injects an
+/// envelope claiming the victim's (domain, instance) into the manager.
+/// Success = it executes.
+pub fn envelope_forgery(platform: &Platform, victim: &Guest) -> AttackOutcome {
+    let forged = Envelope {
+        domain: victim.domain.0,
+        instance: victim.instance,
+        // A high sequence number so replay protection isn't what stops it.
+        seq: victim.front.seq() + 1_000,
+        locality: 0,
+        tag: None, // the attacker has no credential to tag with
+        command: extend_command(11, [0xAA; 20]),
+    };
+    let (ok, status) = injected_ok(platform, victim.domain, &forged);
+    AttackOutcome::new("envelope-forgery", ok, format!("manager said {status:?}"))
+}
+
+/// **A4 — replay.** The attacker sniffs a legitimate (possibly tagged)
+/// envelope out of ring memory via the dump, then injects it verbatim.
+/// Success = the duplicate executes. If no envelope can be sniffed
+/// (scrubbed rings), the attack fails at the capture stage.
+pub fn replay(platform: &Platform, victim: &Guest) -> AttackOutcome {
+    let dump = MemoryDump::capture(platform.manager.hypervisor(), DomainId::DOM0)
+        .expect("dom0 can dump");
+    let captured = sniff_envelopes(&dump);
+    let candidate = captured
+        .into_iter()
+        .filter(|e| e.domain == victim.domain.0 && e.instance == victim.instance)
+        .max_by_key(|e| e.seq);
+    match candidate {
+        Some(env) => {
+            let (ok, status) = injected_ok(platform, victim.domain, &env);
+            AttackOutcome::new(
+                "replay",
+                ok,
+                format!("replayed seq {} -> {status:?}", env.seq),
+            )
+        }
+        None => AttackOutcome::new("replay", false, "no envelope could be sniffed (rings scrubbed)"),
+    }
+}
+
+/// **A5 — privileged-ordinal escalation.** A guest issues an
+/// administratively denied ordinal (NV_DefineSpace) to its *own* vTPM.
+/// Success = the command reaches the TPM (i.e. the response is a TPM
+/// response rather than an access-control denial).
+pub fn privileged_ordinal(_platform: &Platform, guest: &mut Guest) -> AttackOutcome {
+    let env = guest.front.build_envelope(&bare_command(ordinal::NV_DEFINE_SPACE));
+    let reached_tpm = match guest.front.transact_envelope(&env) {
+        Ok(resp) => resp.status == ResponseStatus::Ok,
+        Err(_) => false,
+    };
+    AttackOutcome::new(
+        "privileged-ordinal",
+        reached_tpm,
+        if reached_tpm { "denied ordinal reached the vTPM" } else { "filtered" },
+    )
+}
+
+/// **A6 — ring sniffing.** After the victim has exchanged traffic, dump
+/// memory and look for any parseable vTPM envelope of the victim's.
+/// Success = at least one captured.
+pub fn ring_sniffing(platform: &Platform, victim: &Guest) -> AttackOutcome {
+    let dump = MemoryDump::capture(platform.manager.hypervisor(), DomainId::DOM0)
+        .expect("dom0 can dump");
+    let captured: Vec<Envelope> = sniff_envelopes(&dump)
+        .into_iter()
+        .filter(|e| e.domain == victim.domain.0)
+        .collect();
+    AttackOutcome::new(
+        "ring-sniffing",
+        !captured.is_empty(),
+        format!("captured {} envelopes", captured.len()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtpm_ac::SecurePlatform;
+
+    /// Drive some victim traffic so rings and mirrors are warm.
+    fn warm_up(guest: &mut Guest) {
+        let mut c = guest.client(b"victim");
+        c.startup_clear().unwrap();
+        c.extend(0, &[1; 20]).unwrap();
+        c.get_random(16).unwrap();
+    }
+
+    #[test]
+    fn all_attacks_succeed_against_baseline() {
+        let p = Platform::baseline(b"attack-base").unwrap();
+        let mut victim = p.launch_guest("victim").unwrap();
+        let mut attacker = p.launch_guest("attacker").unwrap();
+        warm_up(&mut victim);
+        {
+            let mut c = attacker.client(b"attacker");
+            c.startup_clear().unwrap();
+        }
+
+        assert!(dump_instance_state(&p, &victim).succeeded, "A1 baseline");
+        assert!(ring_sniffing(&p, &victim).succeeded, "A6 baseline");
+        assert!(replay(&p, &victim).succeeded, "A4 baseline");
+        assert!(envelope_forgery(&p, &victim).succeeded, "A3 baseline");
+        assert!(
+            xenstore_rebinding(&p, &mut attacker, victim.instance).succeeded,
+            "A2 baseline"
+        );
+        assert!(privileged_ordinal(&p, &mut attacker).succeeded, "A5 baseline");
+    }
+
+    #[test]
+    fn all_attacks_blocked_by_improved() {
+        let sp = SecurePlatform::full(b"attack-improved").unwrap();
+        let mut victim = sp.launch_guest("victim").unwrap();
+        let mut attacker = sp.launch_guest("attacker").unwrap();
+        warm_up(&mut victim);
+        {
+            let mut c = attacker.client(b"attacker");
+            c.startup_clear().unwrap();
+        }
+
+        let p = &sp.platform;
+        assert!(!dump_instance_state(p, &victim).succeeded, "A1 improved");
+        assert!(!ring_sniffing(p, &victim).succeeded, "A6 improved");
+        assert!(!replay(p, &victim).succeeded, "A4 improved");
+        assert!(!envelope_forgery(p, &victim).succeeded, "A3 improved");
+        assert!(
+            !xenstore_rebinding(p, &mut attacker, victim.instance).succeeded,
+            "A2 improved"
+        );
+        assert!(!privileged_ordinal(p, &mut attacker).succeeded, "A5 improved");
+        // Each denial is in the audit log.
+        assert!(sp.hook.audit.denials() >= 3);
+    }
+
+    #[test]
+    fn bare_command_carries_ordinal() {
+        let cmd = bare_command(ordinal::NV_DEFINE_SPACE);
+        assert_eq!(tpm::ordinal_of(&cmd), Some(ordinal::NV_DEFINE_SPACE));
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion bench for R-T4: a Seal operation end-to-end under each AC
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtpm_ac::SecurePlatform;
+use vtpm_bench::exp::t4::configurations;
+use workload::{GuestSession, Op};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (label, cfg) in configurations() {
+        let sp = SecurePlatform::new(format!("bench-t4-{label}").as_bytes(), cfg).unwrap();
+        let guest = sp.launch_guest("bench").unwrap();
+        let mut session = GuestSession::prepare(guest.front, b"bench").unwrap();
+        group.bench_with_input(BenchmarkId::new("seal", label), &(), |b, _| {
+            b.iter(|| session.run(Op::Seal).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

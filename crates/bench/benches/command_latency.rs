@@ -1,0 +1,33 @@
+//! Criterion bench for R-T1: wall-clock latency of each TPM operation on
+//! the baseline and improved platforms (one guest, closed loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtpm::Platform;
+use vtpm_ac::SecurePlatform;
+use workload::{GuestSession, Op};
+
+fn bench_command_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("command_latency");
+    group.sample_size(10);
+
+    let base = Platform::baseline(b"bench-t1-base").unwrap();
+    let guest = base.launch_guest("bench").unwrap();
+    let mut base_session = GuestSession::prepare(guest.front, b"bench").unwrap();
+
+    let sp = SecurePlatform::full(b"bench-t1-imp").unwrap();
+    let guest = sp.launch_guest("bench").unwrap();
+    let mut imp_session = GuestSession::prepare(guest.front, b"bench").unwrap();
+
+    for op in [Op::GetRandom, Op::Extend, Op::Seal, Op::Unseal, Op::Quote] {
+        group.bench_with_input(BenchmarkId::new("baseline", op.name()), &op, |b, &op| {
+            b.iter(|| base_session.run(op).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("improved", op.name()), &op, |b, &op| {
+            b.iter(|| imp_session.run(op).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_command_latency);
+criterion_main!(benches);

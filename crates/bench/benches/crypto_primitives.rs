@@ -1,0 +1,55 @@
+//! Criterion bench of the from-scratch crypto substrate — the cost floor
+//! under every TPM command and every AC1 tag verification.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tpm_crypto::{hmac_sha256, sha1, sha256, AesCtr, BigUint, Drbg, RsaPrivateKey};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = Drbg::new(b"bench-crypto");
+    let data_4k = rng.bytes(4096);
+
+    let mut group = c.benchmark_group("hashes");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha1_4k", |b| b.iter(|| sha1(std::hint::black_box(&data_4k))));
+    group.bench_function("sha256_4k", |b| b.iter(|| sha256(std::hint::black_box(&data_4k))));
+    group.bench_function("hmac_sha256_4k", |b| {
+        b.iter(|| hmac_sha256(b"key", std::hint::black_box(&data_4k)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("aes");
+    group.throughput(Throughput::Bytes(4096));
+    let ctr = AesCtr::new(&[7; 16], [1; 8]);
+    group.bench_function("aes128_ctr_4k", |b| {
+        b.iter(|| {
+            let mut buf = data_4k.clone();
+            ctr.apply_keystream(&mut buf);
+            buf
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rsa");
+    group.sample_size(10);
+    let key = RsaPrivateKey::generate(1024, &mut rng);
+    let m = BigUint::from_bytes_be(&rng.bytes(64));
+    group.bench_function("rsa1024_public", |b| {
+        b.iter(|| key.public.raw(std::hint::black_box(&m)))
+    });
+    let ct = key.public.raw(&m);
+    group.bench_function("rsa1024_private_crt", |b| {
+        b.iter(|| key.raw(std::hint::black_box(&ct)))
+    });
+    group.bench_function("rsa512_keygen", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut r = Drbg::new(&seed.to_be_bytes());
+            RsaPrivateKey::generate(512, &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

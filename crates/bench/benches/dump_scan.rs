@@ -1,0 +1,29 @@
+//! Criterion bench for R-F5: parallel memory-dump scanning throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use attacks::MemoryDump;
+use vtpm::Platform;
+use xen_sim::DomainId;
+
+fn bench_dump_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dump_scan");
+    group.sample_size(10);
+    for vms in [1usize, 4, 8] {
+        let p = Platform::baseline(format!("bench-f5-{vms}").as_bytes()).unwrap();
+        for i in 0..vms {
+            let mut g = p.launch_guest(&format!("g{i}")).unwrap();
+            let mut c = g.client(b"w");
+            c.startup_clear().unwrap();
+        }
+        let dump = MemoryDump::capture(p.manager.hypervisor(), DomainId::DOM0).unwrap();
+        group.throughput(Throughput::Bytes(dump.len() as u64));
+        let needles: Vec<&[u8]> = vec![b"no-such-needle-a", b"no-such-needle-b"];
+        group.bench_with_input(BenchmarkId::new("scan", vms), &vms, |b, _| {
+            b.iter(|| std::hint::black_box(dump.scan(&needles)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dump_scan);
+criterion_main!(benches);

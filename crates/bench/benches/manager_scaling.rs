@@ -1,0 +1,68 @@
+//! Criterion bench for R-F4: worker-pool request handling throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vtpm::{Envelope, ManagerConfig, ManagerServer, VtpmManager};
+use xen_sim::{DomainId, Hypervisor};
+
+fn bench_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_scaling");
+    group.sample_size(10);
+    let n_requests = 200usize;
+    group.throughput(Throughput::Elements(n_requests as u64));
+
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            let hv = Arc::new(Hypervisor::boot(4096, 16).unwrap());
+            let mgr = Arc::new(
+                VtpmManager::new(
+                    Arc::clone(&hv),
+                    b"bench-f4",
+                    ManagerConfig { charge_virtual_time: false, ..Default::default() },
+                )
+                .unwrap(),
+            );
+            let inst = mgr.create_instance().unwrap();
+            let startup = Envelope {
+                domain: 1,
+                instance: inst,
+                seq: 1,
+                locality: 0,
+                tag: None,
+                command: vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1],
+            };
+            mgr.handle(DomainId(1), &startup.encode());
+            let mut cmd = Vec::new();
+            cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+            cmd.extend_from_slice(&14u32.to_be_bytes());
+            cmd.extend_from_slice(&tpm::ordinal::PCR_READ.to_be_bytes());
+            cmd.extend_from_slice(&0u32.to_be_bytes());
+            let server = ManagerServer::new(Arc::clone(&mgr), workers);
+            let mut seq = 2u64;
+            b.iter(|| {
+                let receivers: Vec<_> = (0..n_requests)
+                    .map(|_| {
+                        seq += 1;
+                        let env = Envelope {
+                            domain: 1,
+                            instance: inst,
+                            seq,
+                            locality: 0,
+                            tag: None,
+                            command: cmd.clone(),
+                        };
+                        server.submit(DomainId(1), env.encode())
+                    })
+                    .collect();
+                for rx in receivers {
+                    rx.recv().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_manager);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for R-F3: clear vs sealed migration package
+//! construction + opening at a fixed state size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpm_crypto::{Drbg, RsaPrivateKey};
+use vtpm::migration::{open_package, package_clear, package_sealed};
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    let mut rng = Drbg::new(b"bench-f3");
+    let dst_ek = RsaPrivateKey::generate(1024, &mut rng);
+    let state = rng.bytes(16 * 1024);
+
+    group.bench_function("package_clear", |b| {
+        b.iter(|| std::hint::black_box(package_clear(&state)))
+    });
+    group.bench_function("package_sealed", |b| {
+        b.iter(|| std::hint::black_box(package_sealed(&state, &dst_ek.public, &mut rng)))
+    });
+    let sealed = package_sealed(&state, &dst_ek.public, &mut rng);
+    group.bench_function("open_sealed", |b| {
+        b.iter(|| std::hint::black_box(open_package(&sealed, &dst_ek).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

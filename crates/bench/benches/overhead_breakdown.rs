@@ -1,0 +1,49 @@
+//! Criterion bench for R-F2: the hook's authorize() call alone, per AC
+//! configuration — the measured microcost behind the breakdown.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtpm::{AccessHook, Envelope, RequestContext};
+use vtpm_ac::{AcConfig, ImprovedHook};
+use xen_sim::{DomainId, Hypervisor};
+
+fn bench_hook(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_breakdown");
+    let hv = Arc::new(Hypervisor::boot(64, 4).unwrap());
+    let configs: Vec<(&str, AcConfig)> = vec![
+        ("none", AcConfig::none()),
+        ("auth", AcConfig { auth: true, replay: false, policy: false, audit: false, max_guest_locality: 4 }),
+        ("policy", AcConfig { auth: false, replay: false, policy: true, audit: false, max_guest_locality: 4 }),
+        ("full", AcConfig { replay: false, ..AcConfig::default() }),
+    ];
+    for (name, cfg) in configs {
+        let hook = ImprovedHook::new(Arc::clone(&hv), b"bench-f2", cfg);
+        let key = hook.credentials.provision(1, 1);
+        let mut cmd = vec![0u8; 64];
+        cmd[..2].copy_from_slice(&0x00C1u16.to_be_bytes());
+        cmd[2..6].copy_from_slice(&64u32.to_be_bytes());
+        cmd[6..10].copy_from_slice(&tpm::ordinal::SEAL.to_be_bytes());
+        let env = Envelope { domain: 1, instance: 1, seq: 1, locality: 0, tag: None, command: cmd }
+            .sign(&key);
+        group.bench_with_input(BenchmarkId::new("authorize", name), &env, |b, env| {
+            b.iter(|| {
+                let ctx = RequestContext {
+                    source_domain: DomainId(1),
+                    claimed_domain: env.domain,
+                    instance: env.instance,
+                    seq: env.seq,
+                    locality: env.locality,
+                    ordinal: tpm::ordinal_of(&env.command),
+                    tag: env.tag.as_ref(),
+                    command: &env.command,
+                };
+                std::hint::black_box(hook.authorize(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hook);
+criterion_main!(benches);

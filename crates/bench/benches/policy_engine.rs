@@ -1,0 +1,23 @@
+//! Criterion bench for R-T3: policy decisions, cached vs uncached, as the
+//! rule list grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtpm_bench::exp::t3::synthetic_engine;
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine");
+    for rules in [10usize, 100, 1000] {
+        let engine = synthetic_engine(rules);
+        engine.check(1, tpm::ordinal::SEAL); // prime the cache
+        group.bench_with_input(BenchmarkId::new("cached", rules), &rules, |b, _| {
+            b.iter(|| std::hint::black_box(engine.check(1, tpm::ordinal::SEAL)))
+        });
+        group.bench_with_input(BenchmarkId::new("uncached", rules), &rules, |b, _| {
+            b.iter(|| std::hint::black_box(engine.check_uncached(1, tpm::ordinal::SEAL)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

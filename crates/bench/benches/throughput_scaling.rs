@@ -1,0 +1,33 @@
+//! Criterion bench for R-F1: a fixed light workload across N concurrent
+//! guests; throughput = ops / measured time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vtpm::{Guest, Platform};
+use workload::{run_concurrent, CommandMix};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_scaling");
+    group.sample_size(10);
+    for vms in [1usize, 2, 4] {
+        let ops = 10usize;
+        group.throughput(Throughput::Elements((vms * ops) as u64));
+        group.bench_with_input(BenchmarkId::new("baseline", vms), &vms, |b, &vms| {
+            b.iter_with_setup(
+                || {
+                    let p = Platform::baseline(format!("bench-f1-{vms}").as_bytes()).unwrap();
+                    let guests: Vec<Guest> =
+                        (0..vms).map(|i| p.launch_guest(&format!("g{i}")).unwrap()).collect();
+                    (p, guests)
+                },
+                |(p, guests)| {
+                    let r = run_concurrent(&p.hv, guests, &CommandMix::light(), ops, b"bench");
+                    assert_eq!(r.errors, 0);
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

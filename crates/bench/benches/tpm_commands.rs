@@ -1,0 +1,39 @@
+//! Criterion bench of raw TPM 1.2 command execution (no transport, no
+//! manager): the emulator's own cost per command class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpm::{handle, DirectTransport, KeyUsage, Tpm, TpmClient};
+
+fn bench_tpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpm_commands");
+    group.sample_size(20);
+
+    let mut tpm = Tpm::new(b"bench-tpm");
+    let owner = [1u8; 20];
+    let srk = [2u8; 20];
+    let key_auth = [3u8; 20];
+    let mut client = TpmClient::new(DirectTransport { tpm: &mut tpm, locality: 0 }, b"b");
+    client.startup_clear().unwrap();
+    client.take_ownership(&owner, &srk).unwrap();
+    let blob = client
+        .create_wrap_key(handle::SRK, &srk, KeyUsage::Signing, 512, &key_auth, None)
+        .unwrap();
+    let sign_key = client.load_key2(handle::SRK, &srk, &blob).unwrap();
+    let sealed = client.seal(handle::SRK, &srk, &[4; 20], None, b"secret").unwrap();
+
+    group.bench_function("extend", |b| b.iter(|| client.extend(0, &[9; 20]).unwrap()));
+    group.bench_function("get_random_16", |b| b.iter(|| client.get_random(16).unwrap()));
+    group.bench_function("seal", |b| {
+        b.iter(|| client.seal(handle::SRK, &srk, &[4; 20], None, b"secret").unwrap())
+    });
+    group.bench_function("unseal", |b| {
+        b.iter(|| client.unseal(handle::SRK, &srk, &[4; 20], &sealed).unwrap())
+    });
+    group.bench_function("sign", |b| {
+        b.iter(|| client.sign(sign_key, &key_auth, b"message").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpm);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! `repro` — regenerate every table and figure of the evaluation.
+//!
+//! ```text
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5   # one experiment
+//! repro all                          # everything
+//! repro all --quick                  # reduced repetitions (CI-sized)
+//! ```
+
+use vtpm_bench::exp;
+
+struct Sizes {
+    t1_reps: usize,
+    f1_vms: Vec<usize>,
+    f1_ops: usize,
+    f2_reps: usize,
+    t3_rules: Vec<usize>,
+    t3_iters: usize,
+    f3_kib: Vec<usize>,
+    f3_reps: usize,
+    f4_workers: Vec<usize>,
+    f4_instances: usize,
+    f4_per_instance: usize,
+    t4_reps: usize,
+    f5_vms: Vec<usize>,
+    f6_utils: Vec<f64>,
+    f6_arrivals: usize,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Sizes {
+            t1_reps: 200,
+            f1_vms: vec![1, 2, 4, 8, 16, 32],
+            f1_ops: 60,
+            f2_reps: 200,
+            t3_rules: vec![10, 100, 1_000, 10_000],
+            t3_iters: 200_000,
+            f3_kib: vec![0, 4, 16, 64, 256],
+            f3_reps: 5,
+            f4_workers: (0..).map(|i| 1usize << i).take_while(|&w| w <= cores.max(2)).collect(),
+            f4_instances: 16,
+            f4_per_instance: 2_000,
+            t4_reps: 100,
+            f5_vms: vec![1, 2, 4, 8, 16, 32],
+            f6_utils: vec![0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99],
+            f6_arrivals: 200_000,
+        }
+    }
+
+    fn quick() -> Self {
+        Sizes {
+            t1_reps: 10,
+            f1_vms: vec![1, 2, 4],
+            f1_ops: 10,
+            f2_reps: 10,
+            t3_rules: vec![10, 100, 1_000],
+            t3_iters: 20_000,
+            f3_kib: vec![0, 8, 32],
+            f3_reps: 2,
+            f4_workers: vec![1, 2, 4],
+            f4_instances: 8,
+            f4_per_instance: 300,
+            t4_reps: 10,
+            f5_vms: vec![1, 4, 8],
+            f6_utils: vec![0.2, 0.8],
+            f6_arrivals: 10_000,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes = if quick { Sizes::quick() } else { Sizes::full() };
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
+        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6"]
+    } else {
+        which
+    };
+
+    for exp_name in which {
+        let t0 = std::time::Instant::now();
+        let output = match exp_name {
+            "t1" => exp::t1::render(&exp::t1::run(sizes.t1_reps)),
+            "f1" => exp::f1::render(&exp::f1::run(&sizes.f1_vms, sizes.f1_ops)),
+            "t2" => exp::t2::render(&exp::t2::run()),
+            "f2" => exp::f2::render(&exp::f2::run(sizes.f2_reps)),
+            "t3" => exp::t3::render(&exp::t3::run(&sizes.t3_rules, sizes.t3_iters)),
+            "f3" => exp::f3::render(&exp::f3::run(&sizes.f3_kib, sizes.f3_reps)),
+            "f4" => exp::f4::render(&exp::f4::run(
+                &sizes.f4_workers,
+                sizes.f4_instances,
+                sizes.f4_per_instance,
+            )),
+            "t4" => exp::t4::render(&exp::t4::run(sizes.t4_reps)),
+            "f5" => exp::f5::render(&exp::f5::run(&sizes.f5_vms)),
+            "f6" => exp::f6::render(&exp::f6::run(&sizes.f6_utils, sizes.f6_arrivals)),
+            other => {
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|all)");
+                std::process::exit(2);
+            }
+        };
+        println!("{output}");
+        println!("[{} completed in {:.1}s]\n", exp_name, t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,33 @@
+//! # vtpm-bench
+//!
+//! The experiment harness: one module per table/figure of the
+//! reconstructed evaluation (see DESIGN.md for the index and EXPERIMENTS.md
+//! for recorded results). Each module exposes `run(...)` returning typed
+//! rows and `render(...)` producing the text table the `repro` binary
+//! prints; the Criterion benches in `benches/` time the same code paths.
+//!
+//! | module | experiment |
+//! |---|---|
+//! | [`exp::t1`] | R-T1: per-command latency, baseline vs improved |
+//! | [`exp::f1`] | R-F1: throughput vs concurrent VMs |
+//! | [`exp::t2`] | R-T2: attack matrix |
+//! | [`exp::f2`] | R-F2: overhead breakdown of the improved path |
+//! | [`exp::t3`] | R-T3: policy-engine latency vs rule count |
+//! | [`exp::f3`] | R-F3: migration time vs state size |
+//! | [`exp::f4`] | R-F4: manager throughput vs worker threads |
+//! | [`exp::t4`] | R-T4: per-mechanism ablation |
+//! | [`exp::f5`] | R-F5: dump-scan at scale |
+
+/// Experiment modules, one per table/figure.
+pub mod exp {
+    pub mod f1;
+    pub mod f2;
+    pub mod f3;
+    pub mod f4;
+    pub mod f5;
+    pub mod f6;
+    pub mod t1;
+    pub mod t2;
+    pub mod t3;
+    pub mod t4;
+}

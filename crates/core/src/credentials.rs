@@ -1,0 +1,143 @@
+//! AC1: per-domain credentials binding a domain to its vTPM instance.
+//!
+//! The baseline system's only domain↔instance binding is XenStore data —
+//! rewritable by anything with Dom0 privileges and absent from any
+//! cryptographic check. The improvement provisions a secret credential
+//! per (domain, instance) pair at domain-build time, held (a) in the
+//! guest's frontend and (b) in this table inside the manager. Every
+//! request must carry an HMAC under the credential; the binding is
+//! therefore enforced by key possession, not by mutable configuration.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use tpm_crypto::drbg::Drbg;
+
+/// Credential length in bytes (HMAC-SHA256 key).
+pub const CREDENTIAL_LEN: usize = 32;
+
+/// The manager-side credential table.
+pub struct CredentialTable {
+    inner: RwLock<Inner>,
+}
+
+struct Inner {
+    /// (domain, instance) -> key.
+    keys: HashMap<(u32, u32), [u8; CREDENTIAL_LEN]>,
+    /// domain -> bound instance (for precise BindingMismatch reporting).
+    bindings: HashMap<u32, u32>,
+    rng: Drbg,
+}
+
+impl CredentialTable {
+    /// Empty table; `seed` drives credential generation.
+    pub fn new(seed: &[u8]) -> Self {
+        CredentialTable {
+            inner: RwLock::new(Inner {
+                keys: HashMap::new(),
+                bindings: HashMap::new(),
+                rng: Drbg::new(&[seed, b"/credentials"].concat()),
+            }),
+        }
+    }
+
+    /// Provision a fresh credential binding `domain` to `instance`,
+    /// replacing any previous binding for the domain. Returns the key to
+    /// hand to the guest's frontend (over the domain-builder channel,
+    /// never XenStore).
+    pub fn provision(&self, domain: u32, instance: u32) -> [u8; CREDENTIAL_LEN] {
+        let mut inner = self.inner.write();
+        if let Some(old) = inner.bindings.insert(domain, instance) {
+            inner.keys.remove(&(domain, old));
+        }
+        let mut key = [0u8; CREDENTIAL_LEN];
+        inner.rng.fill_bytes(&mut key);
+        inner.keys.insert((domain, instance), key);
+        key
+    }
+
+    /// Revoke a domain's credential (domain destruction).
+    pub fn revoke(&self, domain: u32) {
+        let mut inner = self.inner.write();
+        if let Some(instance) = inner.bindings.remove(&domain) {
+            inner.keys.remove(&(domain, instance));
+        }
+    }
+
+    /// Key for (domain, instance), if that exact binding is provisioned.
+    pub fn key_for(&self, domain: u32, instance: u32) -> Option<[u8; CREDENTIAL_LEN]> {
+        self.inner.read().keys.get(&(domain, instance)).copied()
+    }
+
+    /// The instance `domain` is bound to, if any.
+    pub fn binding_of(&self, domain: u32) -> Option<u32> {
+        self.inner.read().bindings.get(&domain).copied()
+    }
+
+    /// Number of provisioned bindings.
+    pub fn len(&self) -> usize {
+        self.inner.read().bindings.len()
+    }
+
+    /// Whether no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_and_lookup() {
+        let t = CredentialTable::new(b"cred");
+        let k = t.provision(3, 7);
+        assert_eq!(t.key_for(3, 7), Some(k));
+        assert_eq!(t.binding_of(3), Some(7));
+        // The wrong instance yields nothing.
+        assert_eq!(t.key_for(3, 8), None);
+        // Another domain can't look up this binding.
+        assert_eq!(t.key_for(4, 7), None);
+    }
+
+    #[test]
+    fn credentials_unique_per_provision() {
+        let t = CredentialTable::new(b"cred");
+        let k1 = t.provision(1, 1);
+        let k2 = t.provision(2, 2);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn reprovision_replaces_binding() {
+        let t = CredentialTable::new(b"cred");
+        let k1 = t.provision(3, 7);
+        let k2 = t.provision(3, 9);
+        assert_ne!(k1, k2);
+        assert_eq!(t.binding_of(3), Some(9));
+        assert_eq!(t.key_for(3, 7), None, "old binding revoked");
+        assert_eq!(t.key_for(3, 9), Some(k2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn revoke_removes_everything() {
+        let t = CredentialTable::new(b"cred");
+        t.provision(3, 7);
+        t.revoke(3);
+        assert!(t.is_empty());
+        assert_eq!(t.key_for(3, 7), None);
+        // Revoking twice is harmless.
+        t.revoke(3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = CredentialTable::new(b"same");
+        let b = CredentialTable::new(b"same");
+        assert_eq!(a.provision(1, 1), b.provision(1, 1));
+        let c = CredentialTable::new(b"different");
+        assert_ne!(a.provision(2, 2), c.provision(2, 2));
+    }
+}

@@ -1,0 +1,429 @@
+//! AC2: per-domain TPM command filtering.
+//!
+//! The baseline manager executes any ordinal that reaches it. The policy
+//! engine maps (domain, ordinal) to allow/deny through an ordered rule
+//! list over *ordinal groups* (owner commands, key management, sealing,
+//! …), with a default action. Rules come from a small text language the
+//! administrator writes:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! deny  group owner            # nobody clears ownership remotely
+//! deny  dom 5 group attestation
+//! allow dom 5 ordinal TPM_Quote
+//! default allow
+//! ```
+//!
+//! First matching rule wins; `default` is the fallthrough. Decisions are
+//! cached per (domain, ordinal) and the cache is invalidated atomically
+//! when rules change.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use tpm::ordinal;
+
+/// Coarse command classes the policy language can address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrdinalGroup {
+    /// Ownership management: TakeOwnership, OwnerClear.
+    Owner,
+    /// NV space administration: NV_DefineSpace.
+    NvAdmin,
+    /// NV data access: NV_Read/WriteValue.
+    Nv,
+    /// PCR operations: Extend, PcrRead, PCR_Reset.
+    Pcr,
+    /// Seal/Unseal.
+    Sealing,
+    /// Quote/Sign.
+    Attestation,
+    /// Key lifecycle: CreateWrapKey, LoadKey2, FlushSpecific.
+    Keys,
+    /// Auth sessions: OIAP, OSAP.
+    Session,
+    /// GetRandom.
+    Random,
+    /// Startup, capabilities, pubek reads, everything else.
+    Other,
+}
+
+impl OrdinalGroup {
+    /// Classify a TPM ordinal.
+    pub fn of(ord: u32) -> OrdinalGroup {
+        match ord {
+            ordinal::TAKE_OWNERSHIP | ordinal::OWNER_CLEAR => OrdinalGroup::Owner,
+            ordinal::NV_DEFINE_SPACE => OrdinalGroup::NvAdmin,
+            ordinal::NV_READ_VALUE | ordinal::NV_WRITE_VALUE => OrdinalGroup::Nv,
+            ordinal::EXTEND | ordinal::PCR_READ | ordinal::PCR_RESET => OrdinalGroup::Pcr,
+            ordinal::SEAL | ordinal::UNSEAL => OrdinalGroup::Sealing,
+            ordinal::QUOTE | ordinal::SIGN => OrdinalGroup::Attestation,
+            ordinal::CREATE_WRAP_KEY | ordinal::LOAD_KEY2 | ordinal::FLUSH_SPECIFIC => {
+                OrdinalGroup::Keys
+            }
+            ordinal::OIAP | ordinal::OSAP => OrdinalGroup::Session,
+            ordinal::GET_RANDOM => OrdinalGroup::Random,
+            _ => OrdinalGroup::Other,
+        }
+    }
+
+    /// Parse a group name from the policy language.
+    pub fn parse(name: &str) -> Option<OrdinalGroup> {
+        Some(match name {
+            "owner" => OrdinalGroup::Owner,
+            "nv-admin" => OrdinalGroup::NvAdmin,
+            "nv" => OrdinalGroup::Nv,
+            "pcr" => OrdinalGroup::Pcr,
+            "sealing" => OrdinalGroup::Sealing,
+            "attestation" => OrdinalGroup::Attestation,
+            "keys" => OrdinalGroup::Keys,
+            "session" => OrdinalGroup::Session,
+            "random" => OrdinalGroup::Random,
+            "other" => OrdinalGroup::Other,
+            _ => return None,
+        })
+    }
+}
+
+/// What a rule matches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// Any command.
+    Any,
+    /// A whole group.
+    Group(OrdinalGroup),
+    /// One specific ordinal.
+    Ordinal(u32),
+}
+
+/// One rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rule {
+    /// `None` = any domain.
+    domain: Option<u32>,
+    target: Target,
+    allow: bool,
+}
+
+impl Rule {
+    fn matches(&self, domain: u32, ord: u32) -> bool {
+        if let Some(d) = self.domain {
+            if d != domain {
+                return false;
+            }
+        }
+        match self.target {
+            Target::Any => true,
+            Target::Group(g) => OrdinalGroup::of(ord) == g,
+            Target::Ordinal(o) => o == ord,
+        }
+    }
+}
+
+/// Errors from policy parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// Parse an ordinal name (`TPM_Seal`) or hex literal (`0x17`).
+fn parse_ordinal(token: &str) -> Option<u32> {
+    if let Some(hex) = token.strip_prefix("0x") {
+        return u32::from_str_radix(hex, 16).ok();
+    }
+    // Reverse lookup through the name table.
+    const KNOWN: &[u32] = &[
+        ordinal::OIAP,
+        ordinal::OSAP,
+        ordinal::TAKE_OWNERSHIP,
+        ordinal::EXTEND,
+        ordinal::PCR_READ,
+        ordinal::QUOTE,
+        ordinal::SEAL,
+        ordinal::UNSEAL,
+        ordinal::CREATE_WRAP_KEY,
+        ordinal::GET_CAPABILITY,
+        ordinal::LOAD_KEY2,
+        ordinal::GET_RANDOM,
+        ordinal::SIGN,
+        ordinal::STARTUP,
+        ordinal::FLUSH_SPECIFIC,
+        ordinal::READ_PUBEK,
+        ordinal::OWNER_CLEAR,
+        ordinal::NV_DEFINE_SPACE,
+        ordinal::NV_WRITE_VALUE,
+        ordinal::NV_READ_VALUE,
+        ordinal::PCR_RESET,
+        ordinal::SAVE_STATE,
+    ];
+    KNOWN.iter().copied().find(|&o| ordinal::name(o) == token)
+}
+
+struct Compiled {
+    rules: Vec<Rule>,
+    default_allow: bool,
+    /// Bumped on every rule change; cache entries carry the epoch they
+    /// were computed under.
+    epoch: u64,
+}
+
+/// The policy engine.
+pub struct PolicyEngine {
+    compiled: RwLock<Compiled>,
+    cache: RwLock<HashMap<(u32, u32), (u64, bool)>>,
+}
+
+impl Default for PolicyEngine {
+    fn default() -> Self {
+        Self::allow_all()
+    }
+}
+
+impl PolicyEngine {
+    /// An engine with no rules and default allow.
+    pub fn allow_all() -> Self {
+        PolicyEngine {
+            compiled: RwLock::new(Compiled { rules: Vec::new(), default_allow: true, epoch: 0 }),
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The recommended guest policy from the paper's setting: guests may
+    /// use their vTPM fully except for NV administration and remote
+    /// ownership clearing.
+    pub fn recommended() -> Self {
+        Self::parse(
+            "deny group nv-admin\n\
+             deny ordinal TPM_OwnerClear\n\
+             default allow\n",
+        )
+        .expect("recommended policy parses")
+    }
+
+    /// Parse policy text into an engine.
+    pub fn parse(text: &str) -> Result<Self, PolicyParseError> {
+        let engine = Self::allow_all();
+        engine.replace(text)?;
+        Ok(engine)
+    }
+
+    /// Replace the rule set atomically from policy text.
+    pub fn replace(&self, text: &str) -> Result<(), PolicyParseError> {
+        let mut rules = Vec::new();
+        let mut default_allow = true;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: &str| PolicyParseError { line: i + 1, message: message.into() };
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens[0] {
+                "default" => {
+                    default_allow = match tokens.get(1) {
+                        Some(&"allow") => true,
+                        Some(&"deny") => false,
+                        _ => return Err(err("expected `default allow|deny`")),
+                    };
+                }
+                verb @ ("allow" | "deny") => {
+                    let allow = verb == "allow";
+                    let mut domain = None;
+                    let mut target = Target::Any;
+                    let mut rest = &tokens[1..];
+                    while !rest.is_empty() {
+                        match rest[0] {
+                            "dom" => {
+                                let v = rest.get(1).ok_or_else(|| err("dom needs a value"))?;
+                                if *v != "*" {
+                                    domain = Some(
+                                        v.parse().map_err(|_| err("bad domain id"))?,
+                                    );
+                                }
+                                rest = &rest[2..];
+                            }
+                            "group" => {
+                                let v = rest.get(1).ok_or_else(|| err("group needs a name"))?;
+                                target = Target::Group(
+                                    OrdinalGroup::parse(v).ok_or_else(|| err("unknown group"))?,
+                                );
+                                rest = &rest[2..];
+                            }
+                            "ordinal" => {
+                                let v =
+                                    rest.get(1).ok_or_else(|| err("ordinal needs a value"))?;
+                                target = Target::Ordinal(
+                                    parse_ordinal(v).ok_or_else(|| err("unknown ordinal"))?,
+                                );
+                                rest = &rest[2..];
+                            }
+                            "*" => {
+                                target = Target::Any;
+                                rest = &rest[1..];
+                            }
+                            other => {
+                                return Err(err(&format!("unexpected token `{other}`")));
+                            }
+                        }
+                    }
+                    rules.push(Rule { domain, target, allow });
+                }
+                other => return Err(err(&format!("unknown verb `{other}`"))),
+            }
+        }
+        let mut compiled = self.compiled.write();
+        compiled.rules = rules;
+        compiled.default_allow = default_allow;
+        compiled.epoch += 1;
+        Ok(())
+    }
+
+    /// Decide (domain, ordinal), consulting the cache first.
+    pub fn check(&self, domain: u32, ord: u32) -> bool {
+        let epoch = self.compiled.read().epoch;
+        if let Some(&(e, verdict)) = self.cache.read().get(&(domain, ord)) {
+            if e == epoch {
+                return verdict;
+            }
+        }
+        let verdict = self.check_uncached(domain, ord);
+        self.cache.write().insert((domain, ord), (epoch, verdict));
+        verdict
+    }
+
+    /// Decide without the cache (benchmark comparator for R-T3).
+    pub fn check_uncached(&self, domain: u32, ord: u32) -> bool {
+        let compiled = self.compiled.read();
+        for rule in &compiled.rules {
+            if rule.matches(domain, ord) {
+                return rule.allow;
+            }
+        }
+        compiled.default_allow
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.compiled.read().rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_classification() {
+        assert_eq!(OrdinalGroup::of(ordinal::SEAL), OrdinalGroup::Sealing);
+        assert_eq!(OrdinalGroup::of(ordinal::TAKE_OWNERSHIP), OrdinalGroup::Owner);
+        assert_eq!(OrdinalGroup::of(ordinal::QUOTE), OrdinalGroup::Attestation);
+        assert_eq!(OrdinalGroup::of(0xdeadbeef), OrdinalGroup::Other);
+    }
+
+    #[test]
+    fn allow_all_default() {
+        let e = PolicyEngine::allow_all();
+        assert!(e.check(1, ordinal::SEAL));
+        assert!(e.check(99, ordinal::OWNER_CLEAR));
+    }
+
+    #[test]
+    fn recommended_policy_blocks_admin() {
+        let e = PolicyEngine::recommended();
+        assert!(!e.check(1, ordinal::NV_DEFINE_SPACE));
+        assert!(!e.check(1, ordinal::OWNER_CLEAR));
+        // TakeOwnership of one's own vTPM stays legitimate.
+        assert!(e.check(1, ordinal::TAKE_OWNERSHIP));
+        assert!(e.check(1, ordinal::SEAL));
+        assert!(e.check(1, ordinal::QUOTE));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let e = PolicyEngine::parse(
+            "allow dom 5 ordinal TPM_Quote\n\
+             deny dom 5 group attestation\n\
+             default allow\n",
+        )
+        .unwrap();
+        assert!(e.check(5, ordinal::QUOTE), "specific allow precedes group deny");
+        assert!(!e.check(5, ordinal::SIGN));
+        assert!(e.check(6, ordinal::SIGN), "other domains unaffected");
+    }
+
+    #[test]
+    fn default_deny_posture() {
+        let e = PolicyEngine::parse(
+            "allow group pcr\nallow group session\ndefault deny\n",
+        )
+        .unwrap();
+        assert!(e.check(1, ordinal::EXTEND));
+        assert!(e.check(1, ordinal::OIAP));
+        assert!(!e.check(1, ordinal::SEAL));
+    }
+
+    #[test]
+    fn hex_ordinals_and_comments() {
+        let e = PolicyEngine::parse(
+            "# lock down sealing by raw ordinal\n\
+             deny ordinal 0x17\n\
+             \n\
+             default allow # trailing comment\n",
+        )
+        .unwrap();
+        assert!(!e.check(1, ordinal::SEAL));
+        assert!(e.check(1, ordinal::UNSEAL));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = PolicyEngine::parse("default allow\nfrobnicate everything\n")
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(PolicyEngine::parse("deny group nonsense\n").is_err());
+        assert!(PolicyEngine::parse("deny ordinal TPM_DoesNotExist\n").is_err());
+        assert!(PolicyEngine::parse("deny dom abc\n").is_err());
+    }
+
+    #[test]
+    fn cache_matches_uncached() {
+        let e = PolicyEngine::recommended();
+        for dom in [1u32, 2, 3] {
+            for ord in [ordinal::SEAL, ordinal::NV_DEFINE_SPACE, ordinal::GET_RANDOM] {
+                assert_eq!(e.check(dom, ord), e.check_uncached(dom, ord));
+                // Second (cached) call agrees.
+                assert_eq!(e.check(dom, ord), e.check_uncached(dom, ord));
+            }
+        }
+    }
+
+    #[test]
+    fn replace_invalidates_cache() {
+        let e = PolicyEngine::allow_all();
+        assert!(e.check(1, ordinal::SEAL)); // cached as allow
+        e.replace("deny group sealing\ndefault allow\n").unwrap();
+        assert!(!e.check(1, ordinal::SEAL), "stale cache entry must not survive");
+        assert_eq!(e.rule_count(), 1);
+    }
+
+    #[test]
+    fn wildcard_domain_and_any_target() {
+        let e = PolicyEngine::parse("deny dom * group owner\ndefault allow\n").unwrap();
+        assert!(!e.check(7, ordinal::OWNER_CLEAR));
+        let e2 = PolicyEngine::parse("deny dom 3 *\ndefault allow\n").unwrap();
+        assert!(!e2.check(3, ordinal::GET_RANDOM));
+        assert!(e2.check(4, ordinal::GET_RANDOM));
+    }
+}

@@ -1,0 +1,247 @@
+//! AES-128 block cipher (FIPS 197) and CTR-mode keystream.
+//!
+//! Used by the paper's AC3 mechanism to keep vTPM instance state encrypted
+//! in memory, and by the vTPM manager to persist instance state. Only the
+//! forward (encrypt) direction is needed because CTR decryption is
+//! encryption of the counter stream.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by x in GF(2^8) modulo the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// AES-128 with a precomputed key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    /// 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expand a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State layout is column-major: byte (row r, col c) is `state[c*4 + r]`.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[c * 4..c * 4 + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ all ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ all ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ all ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ all ^ xtime(a3 ^ a0);
+    }
+}
+
+/// CTR mode over AES-128. Encryption and decryption are the same operation.
+pub struct AesCtr {
+    cipher: Aes128,
+    nonce: [u8; 8],
+}
+
+impl AesCtr {
+    /// Create a CTR context with an 8-byte nonce; the remaining 8 bytes of
+    /// the counter block hold the big-endian block index.
+    pub fn new(key: &[u8; 16], nonce: [u8; 8]) -> Self {
+        AesCtr { cipher: Aes128::new(key), nonce }
+    }
+
+    /// XOR the keystream (starting at block `start_block`) into `data`.
+    pub fn apply_keystream_at(&self, data: &mut [u8], start_block: u64) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..8].copy_from_slice(&self.nonce);
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let ctr = start_block.wrapping_add(i as u64);
+            counter_block[8..].copy_from_slice(&ctr.to_be_bytes());
+            let mut ks = counter_block;
+            self.cipher.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    /// XOR the keystream into `data` starting at block 0.
+    pub fn apply_keystream(&self, data: &mut [u8]) {
+        self.apply_keystream_at(data, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let mut block: [u8; 16] =
+            unhex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] =
+            unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn ctr_roundtrip() {
+        let key = [7u8; 16];
+        let ctr = AesCtr::new(&key, *b"noncenon");
+        let plain: Vec<u8> = (0..100u8).collect();
+        let mut data = plain.clone();
+        ctr.apply_keystream(&mut data);
+        assert_ne!(data, plain);
+        ctr.apply_keystream(&mut data);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn ctr_seek_matches_stream() {
+        // Applying the keystream from block 2 must equal the tail of a
+        // from-zero application.
+        let key = [9u8; 16];
+        let ctr = AesCtr::new(&key, [1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut full = vec![0u8; 64];
+        ctr.apply_keystream(&mut full);
+        let mut tail = vec![0u8; 32];
+        ctr.apply_keystream_at(&mut tail, 2);
+        assert_eq!(&full[32..], &tail[..]);
+    }
+
+    #[test]
+    fn ctr_distinct_nonces_distinct_streams() {
+        let key = [3u8; 16];
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        AesCtr::new(&key, [0; 8]).apply_keystream(&mut a);
+        AesCtr::new(&key, [1, 0, 0, 0, 0, 0, 0, 0]).apply_keystream(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ctr_partial_block() {
+        let key = [5u8; 16];
+        let ctr = AesCtr::new(&key, [0; 8]);
+        let mut data = vec![0xAAu8; 7];
+        ctr.apply_keystream(&mut data);
+        ctr.apply_keystream(&mut data);
+        assert_eq!(data, vec![0xAAu8; 7]);
+    }
+}

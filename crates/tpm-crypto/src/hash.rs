@@ -1,0 +1,42 @@
+//! Digest trait shared by SHA-1 and SHA-256, plus convenience one-shots.
+
+/// A streaming cryptographic hash.
+///
+/// Implementations are allocation-free per block; `finalize` consumes the
+/// state so a digest cannot be reused accidentally.
+pub trait Digest: Clone {
+    /// Output size in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block size in bytes (used by HMAC).
+    const BLOCK_LEN: usize;
+
+    /// Fresh initial state.
+    fn new() -> Self;
+    /// Absorb `data`.
+    fn update(&mut self, data: &[u8]);
+    /// Produce the digest, consuming the state.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// One-shot SHA-1 (the TPM 1.2 hash).
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let v = crate::sha1::Sha1::digest(data);
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&v);
+    out
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let v = crate::sha256::Sha256::digest(data);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&v);
+    out
+}

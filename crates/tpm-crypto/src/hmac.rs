@@ -1,0 +1,176 @@
+//! HMAC (RFC 2104) generic over the [`Digest`] trait.
+//!
+//! TPM 1.2 authorization sessions (OIAP/OSAP) use HMAC-SHA1; the paper's
+//! AC1 request authentication uses HMAC-SHA256.
+
+use crate::hash::Digest;
+
+/// Streaming HMAC state.
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    /// Key XOR opad, retained for the outer pass.
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Initialize with `key` (any length; hashed down if longer than a block).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let hashed = D::digest(key);
+            block_key[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = block_key.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = block_key.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::new();
+        inner.update(&ipad);
+        Hmac { inner, opad_key: opad }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the MAC, consuming the state.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_hash = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_hash);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Constant-time byte-slice equality: the comparison time depends only on
+/// the lengths, never on where the first mismatch occurs. MAC verification
+/// must use this rather than `==` to avoid a timing oracle.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// HMAC-SHA1 one-shot (TPM 1.2 auth sessions).
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> [u8; 20] {
+    let v = Hmac::<crate::sha1::Sha1>::mac(key, data);
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&v);
+    out
+}
+
+/// HMAC-SHA256 one-shot (AC1 request authentication).
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let v = Hmac::<crate::sha256::Sha256>::mac(key, data);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 test vectors for HMAC-SHA1.
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&Hmac::<Sha1>::mac(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        assert_eq!(
+            hex(&Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex(&Hmac::<Sha1>::mac(&key, &data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_long_key() {
+        // Case 6: 80-byte key forces the hash-the-key path.
+        let key = [0xaa; 80];
+        assert_eq!(
+            hex(&Hmac::<Sha1>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = b"secret key";
+        let data: Vec<u8> = (0..150u8).collect();
+        let oneshot = Hmac::<Sha256>::mac(key, &data);
+        let mut h = Hmac::<Sha256>::new(key);
+        h.update(&data[..77]);
+        h.update(&data[77..]);
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn ct_eq_semantics() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        let m1 = hmac_sha256(b"key1", b"msg");
+        let m2 = hmac_sha256(b"key2", b"msg");
+        assert_ne!(m1, m2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # tpm-crypto
+//!
+//! From-scratch cryptographic substrate for the vtpm-xen reproduction of
+//! *Improvement for vTPM Access Control on Xen* (ICPPW 2010).
+//!
+//! The offline dependency set contains no cryptography, and the paper's
+//! system sits on a TPM 1.2 — so this crate implements exactly what that
+//! stack needs, validated against published test vectors:
+//!
+//! * [`sha1`]/[`sha256`] — FIPS 180-4 digests behind the [`hash::Digest`] trait.
+//! * [`hmac`] — RFC 2104 HMAC, generic over the digest, plus constant-time
+//!   comparison ([`hmac::ct_eq`]).
+//! * [`bignum`] — u64-limb big integers with Knuth division and Montgomery
+//!   modular exponentiation.
+//! * [`rsa`] — key generation (Miller–Rabin), CRT private ops, OAEP-SHA1
+//!   and PKCS#1 v1.5-SHA1 padding (the TPM 1.2 schemes).
+//! * [`aes`] — AES-128 + CTR keystream for vTPM state protection (AC3).
+//! * [`drbg`] — a deterministic hash DRBG so a seeded TPM replays
+//!   identically across runs.
+//!
+//! Everything here is deterministic given a seed; nothing reads OS entropy
+//! directly, which keeps simulation runs reproducible.
+
+pub mod aes;
+pub mod bignum;
+pub mod drbg;
+pub mod hash;
+pub mod hmac;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+
+pub use aes::{Aes128, AesCtr};
+pub use bignum::BigUint;
+pub use drbg::Drbg;
+pub use hash::{sha1, sha256, Digest};
+pub use hmac::{ct_eq, hmac_sha1, hmac_sha256, Hmac};
+pub use rsa::{RsaError, RsaPrivateKey, RsaPublicKey};

@@ -1,0 +1,507 @@
+//! RSA for the TPM 1.2 emulator: key generation (Miller–Rabin), CRT
+//! private operations, OAEP encryption padding (the TPM_ES_RSAESOAEP_SHA1_MGF1
+//! scheme) and PKCS#1 v1.5 signature padding (TPM_SS_RSASSAPKCS1v15_SHA1).
+//!
+//! This is a reproduction-grade implementation: correct and test-vectored,
+//! but not hardened against local side channels beyond constant-time MAC
+//! comparison (the simulated attacker model here is memory disclosure, not
+//! power analysis).
+
+use crate::bignum::BigUint;
+use crate::drbg::Drbg;
+use crate::hash::sha1;
+
+/// Public exponent used throughout (F4).
+pub const E: u64 = 65537;
+
+/// An RSA public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus n = p*q.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+}
+
+/// An RSA private key with CRT components.
+#[derive(Clone, Debug)]
+pub struct RsaPrivateKey {
+    /// The matching public key.
+    pub public: RsaPublicKey,
+    /// Private exponent d = e^{-1} mod lcm(p-1, q-1).
+    pub d: BigUint,
+    /// First prime.
+    pub p: BigUint,
+    /// Second prime.
+    pub q: BigUint,
+    /// d mod (p-1).
+    pub dp: BigUint,
+    /// d mod (q-1).
+    pub dq: BigUint,
+    /// q^{-1} mod p.
+    pub qinv: BigUint,
+}
+
+/// Errors from RSA padding/size validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Message too long for the key/padding combination.
+    MessageTooLong,
+    /// Ciphertext or signature length does not match the modulus.
+    BadLength,
+    /// Padding check failed on decryption or verification.
+    BadPadding,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::MessageTooLong => write!(f, "message too long for RSA key"),
+            RsaError::BadLength => write!(f, "input length does not match modulus"),
+            RsaError::BadPadding => write!(f, "RSA padding check failed"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+impl RsaPublicKey {
+    /// Modulus size in bytes.
+    pub fn size(&self) -> usize {
+        self.n.to_bytes_be().len()
+    }
+
+    /// Raw public operation m^e mod n.
+    pub fn raw(&self, m: &BigUint) -> BigUint {
+        m.mod_pow(&self.e, &self.n)
+    }
+
+    /// OAEP-SHA1 encrypt (TPM_ES_RSAESOAEP_SHA1_MGF1). `label` is the OAEP
+    /// encoding parameter — the TPM uses the ASCII bytes "TCPA".
+    pub fn encrypt_oaep(
+        &self,
+        msg: &[u8],
+        label: &[u8],
+        rng: &mut Drbg,
+    ) -> Result<Vec<u8>, RsaError> {
+        let k = self.size();
+        let h_len = 20;
+        if msg.len() + 2 * h_len + 2 > k {
+            return Err(RsaError::MessageTooLong);
+        }
+        // EM = 0x00 || maskedSeed || maskedDB
+        let l_hash = sha1(label);
+        let mut db = vec![0u8; k - h_len - 1];
+        db[..h_len].copy_from_slice(&l_hash);
+        let msg_start = db.len() - msg.len();
+        db[msg_start - 1] = 0x01;
+        db[msg_start..].copy_from_slice(msg);
+
+        let seed = rng.bytes(h_len);
+        let db_mask = mgf1(&seed, db.len());
+        for (b, m) in db.iter_mut().zip(&db_mask) {
+            *b ^= m;
+        }
+        let seed_mask = mgf1(&db, h_len);
+        let masked_seed: Vec<u8> = seed.iter().zip(&seed_mask).map(|(s, m)| s ^ m).collect();
+
+        let mut em = Vec::with_capacity(k);
+        em.push(0);
+        em.extend_from_slice(&masked_seed);
+        em.extend_from_slice(&db);
+        let c = self.raw(&BigUint::from_bytes_be(&em));
+        Ok(c.to_bytes_be_padded(k).expect("ciphertext fits modulus"))
+    }
+
+    /// Verify a PKCS#1 v1.5 SHA-1 signature over `msg`.
+    pub fn verify_pkcs1_sha1(&self, msg: &[u8], sig: &[u8]) -> Result<(), RsaError> {
+        let k = self.size();
+        if sig.len() != k {
+            return Err(RsaError::BadLength);
+        }
+        let em = self
+            .raw(&BigUint::from_bytes_be(sig))
+            .to_bytes_be_padded(k)
+            .ok_or(RsaError::BadPadding)?;
+        let expected = pkcs1_sha1_encode(msg, k)?;
+        if crate::hmac::ct_eq(&em, &expected) {
+            Ok(())
+        } else {
+            Err(RsaError::BadPadding)
+        }
+    }
+}
+
+impl RsaPrivateKey {
+    /// Generate a key with a modulus of `bits` bits (must be even, >= 512).
+    pub fn generate(bits: usize, rng: &mut Drbg) -> Self {
+        assert!(bits >= 512 && bits.is_multiple_of(2), "unsupported RSA size {bits}");
+        let e = BigUint::from_u64(E);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = p.sub(&one);
+            let q1 = q.sub(&one);
+            let phi = p1.mul(&q1);
+            if !phi.gcd(&e).is_one() {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bits() != bits {
+                continue;
+            }
+            let d = e.mod_inverse(&phi).expect("e invertible mod phi");
+            let dp = d.rem(&p1);
+            let dq = d.rem(&q1);
+            let qinv = q.mod_inverse(&p).expect("q invertible mod p");
+            return RsaPrivateKey {
+                public: RsaPublicKey { n, e },
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            };
+        }
+    }
+
+    /// Raw private operation c^d mod n via CRT.
+    pub fn raw(&self, c: &BigUint) -> BigUint {
+        let m1 = c.rem(&self.p).mod_pow(&self.dp, &self.p);
+        let m2 = c.rem(&self.q).mod_pow(&self.dq, &self.q);
+        // h = qinv * (m1 - m2) mod p
+        let h = self.qinv.mul_mod(&m1.sub_mod(&m2.rem(&self.p), &self.p), &self.p);
+        m2.add(&self.q.mul(&h))
+    }
+
+    /// OAEP-SHA1 decrypt.
+    pub fn decrypt_oaep(&self, cipher: &[u8], label: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.public.size();
+        if cipher.len() != k {
+            return Err(RsaError::BadLength);
+        }
+        let h_len = 20;
+        if k < 2 * h_len + 2 {
+            return Err(RsaError::BadLength);
+        }
+        let em = self
+            .raw(&BigUint::from_bytes_be(cipher))
+            .to_bytes_be_padded(k)
+            .ok_or(RsaError::BadPadding)?;
+        if em[0] != 0 {
+            return Err(RsaError::BadPadding);
+        }
+        let masked_seed = &em[1..1 + h_len];
+        let masked_db = &em[1 + h_len..];
+        let seed_mask = mgf1(masked_db, h_len);
+        let seed: Vec<u8> = masked_seed.iter().zip(&seed_mask).map(|(s, m)| s ^ m).collect();
+        let db_mask = mgf1(&seed, masked_db.len());
+        let db: Vec<u8> = masked_db.iter().zip(&db_mask).map(|(b, m)| b ^ m).collect();
+
+        let l_hash = sha1(label);
+        if !crate::hmac::ct_eq(&db[..h_len], &l_hash) {
+            return Err(RsaError::BadPadding);
+        }
+        // Find the 0x01 separator after the zero run.
+        let mut idx = h_len;
+        while idx < db.len() && db[idx] == 0 {
+            idx += 1;
+        }
+        if idx >= db.len() || db[idx] != 0x01 {
+            return Err(RsaError::BadPadding);
+        }
+        Ok(db[idx + 1..].to_vec())
+    }
+
+    /// PKCS#1 v1.5 SHA-1 signature over `msg`.
+    pub fn sign_pkcs1_sha1(&self, msg: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.public.size();
+        let em = pkcs1_sha1_encode(msg, k)?;
+        let s = self.raw(&BigUint::from_bytes_be(&em));
+        Ok(s.to_bytes_be_padded(k).expect("signature fits modulus"))
+    }
+}
+
+/// PKCS#1 v1.5 EMSA encoding with the SHA-1 DigestInfo prefix.
+fn pkcs1_sha1_encode(msg: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
+    // DigestInfo ::= SEQUENCE { AlgorithmIdentifier sha1, OCTET STRING hash }
+    const PREFIX: [u8; 15] = [
+        0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04,
+        0x14,
+    ];
+    let t_len = PREFIX.len() + 20;
+    if k < t_len + 11 {
+        return Err(RsaError::MessageTooLong);
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&PREFIX);
+    em.extend_from_slice(&sha1(msg));
+    Ok(em)
+}
+
+/// MGF1 with SHA-1 (PKCS#1 §B.2.1).
+fn mgf1(seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 20);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let mut input = Vec::with_capacity(seed.len() + 4);
+        input.extend_from_slice(seed);
+        input.extend_from_slice(&counter.to_be_bytes());
+        out.extend_from_slice(&sha1(&input));
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Generate a probable prime of exactly `bits` bits.
+fn gen_prime(bits: usize, rng: &mut Drbg) -> BigUint {
+    loop {
+        let mut candidate = random_bits(bits, rng);
+        // Force top bit (exact size) and low bit (odd).
+        candidate.set_bit(bits - 1);
+        candidate.set_bit(0);
+        // Quick trial division before Miller–Rabin.
+        if SMALL_PRIMES.iter().any(|&sp| {
+            candidate.rem(&BigUint::from_u64(sp)).is_zero()
+                && candidate != BigUint::from_u64(sp)
+        }) {
+            continue;
+        }
+        if miller_rabin(&candidate, 20, rng) {
+            return candidate;
+        }
+    }
+}
+
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+    89, 97, 101, 103, 107, 109, 113,
+];
+
+/// Uniform value with at most `bits` bits.
+fn random_bits(bits: usize, rng: &mut Drbg) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let nbytes = bits.div_ceil(8);
+    let mut bytes = rng.bytes(nbytes);
+    let excess = nbytes * 8 - bits;
+    bytes[0] &= 0xffu8 >> excess;
+    BigUint::from_bytes_be(&bytes)
+}
+
+/// Uniform value in `[low, high)` (both > 0, low < high).
+fn random_range(low: &BigUint, high: &BigUint, rng: &mut Drbg) -> BigUint {
+    let span = high.sub(low);
+    let bits = span.bits();
+    loop {
+        let r = random_bits(bits, rng);
+        if r < span {
+            return low.add(&r);
+        }
+    }
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut Drbg) -> bool {
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    if n < &two {
+        return false;
+    }
+    if n == &two || n == &BigUint::from_u64(3) {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    // n - 1 = d * 2^s with d odd.
+    let n1 = n.sub(&one);
+    let mut d = n1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = random_range(&two, &n1, rng);
+        let mut x = a.mod_pow(&d, n);
+        if x == one || x == n1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key() -> RsaPrivateKey {
+        // 512-bit keys keep the test suite fast; correctness is size-independent.
+        let mut rng = Drbg::new(b"rsa-test-key");
+        RsaPrivateKey::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn miller_rabin_knowns() {
+        let mut rng = Drbg::new(b"mr");
+        for p in [2u64, 3, 5, 7, 97, 65537, 2147483647] {
+            assert!(miller_rabin(&BigUint::from_u64(p), 16, &mut rng), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 15, 561, 41041, 65536, 2147483649] {
+            assert!(!miller_rabin(&BigUint::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn miller_rabin_large_prime() {
+        let mut rng = Drbg::new(b"mr2");
+        // 2^127 - 1 (Mersenne prime)
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(miller_rabin(&p, 16, &mut rng));
+        // 2^128 - 1 is composite.
+        let c = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!miller_rabin(&c, 16, &mut rng));
+    }
+
+    #[test]
+    fn keygen_produces_consistent_crt() {
+        let key = test_key();
+        assert_eq!(key.p.mul(&key.q), key.public.n);
+        assert_eq!(key.public.n.bits(), 512);
+        // d*e = 1 mod (p-1)(q-1)
+        let phi = key.p.sub(&BigUint::one()).mul(&key.q.sub(&BigUint::one()));
+        assert!(key.d.mul_mod(&key.public.e, &phi).is_one());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let key = test_key();
+        let m = BigUint::from_u64(0x1234_5678_9abc_def0);
+        let c = key.public.raw(&m);
+        assert_eq!(key.raw(&c), m);
+    }
+
+    #[test]
+    fn oaep_roundtrip() {
+        let key = test_key();
+        let mut rng = Drbg::new(b"oaep");
+        // 512-bit OAEP fits at most k - 2*20 - 2 = 22 bytes; an AES key fits.
+        let msg = b"vtpm-master-key!";
+        let c = key.public.encrypt_oaep(msg, b"TCPA", &mut rng).unwrap();
+        assert_eq!(c.len(), key.public.size());
+        let p = key.decrypt_oaep(&c, b"TCPA").unwrap();
+        assert_eq!(p, msg);
+    }
+
+    #[test]
+    fn oaep_randomized() {
+        let key = test_key();
+        let mut rng = Drbg::new(b"oaep-rand");
+        let c1 = key.public.encrypt_oaep(b"m", b"TCPA", &mut rng).unwrap();
+        let c2 = key.public.encrypt_oaep(b"m", b"TCPA", &mut rng).unwrap();
+        assert_ne!(c1, c2, "OAEP must be randomized");
+    }
+
+    #[test]
+    fn oaep_wrong_label_rejected() {
+        let key = test_key();
+        let mut rng = Drbg::new(b"oaep-label");
+        let c = key.public.encrypt_oaep(b"secret", b"TCPA", &mut rng).unwrap();
+        assert_eq!(key.decrypt_oaep(&c, b"WRONG"), Err(RsaError::BadPadding));
+    }
+
+    #[test]
+    fn oaep_tampered_ciphertext_rejected() {
+        let key = test_key();
+        let mut rng = Drbg::new(b"oaep-tamper");
+        let mut c = key.public.encrypt_oaep(b"secret", b"TCPA", &mut rng).unwrap();
+        c[10] ^= 0xff;
+        assert!(key.decrypt_oaep(&c, b"TCPA").is_err());
+    }
+
+    #[test]
+    fn oaep_message_too_long() {
+        let key = test_key();
+        let mut rng = Drbg::new(b"oaep-long");
+        let too_long = vec![0u8; key.public.size() - 2 * 20 - 1];
+        assert_eq!(
+            key.public.encrypt_oaep(&too_long, b"TCPA", &mut rng),
+            Err(RsaError::MessageTooLong)
+        );
+        // Exactly the limit works.
+        let max = vec![7u8; key.public.size() - 2 * 20 - 2];
+        let c = key.public.encrypt_oaep(&max, b"TCPA", &mut rng).unwrap();
+        assert_eq!(key.decrypt_oaep(&c, b"TCPA").unwrap(), max);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = test_key();
+        let sig = key.sign_pkcs1_sha1(b"quote data").unwrap();
+        assert!(key.public.verify_pkcs1_sha1(b"quote data", &sig).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let key = test_key();
+        let sig = key.sign_pkcs1_sha1(b"quote data").unwrap();
+        assert_eq!(
+            key.public.verify_pkcs1_sha1(b"other data", &sig),
+            Err(RsaError::BadPadding)
+        );
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let key = test_key();
+        let mut sig = key.sign_pkcs1_sha1(b"quote data").unwrap();
+        sig[0] ^= 1;
+        assert!(key.public.verify_pkcs1_sha1(b"quote data", &sig).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let key = test_key();
+        let mut rng = Drbg::new(b"other-key");
+        let other = RsaPrivateKey::generate(512, &mut rng);
+        let sig = key.sign_pkcs1_sha1(b"msg").unwrap();
+        assert!(other.public.verify_pkcs1_sha1(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn keygen_deterministic_from_seed() {
+        let mut r1 = Drbg::new(b"det");
+        let mut r2 = Drbg::new(b"det");
+        let k1 = RsaPrivateKey::generate(512, &mut r1);
+        let k2 = RsaPrivateKey::generate(512, &mut r2);
+        assert_eq!(k1.public, k2.public);
+    }
+
+    #[test]
+    fn mgf1_known_properties() {
+        let m = mgf1(b"seed", 45);
+        assert_eq!(m.len(), 45);
+        // Prefix property: longer output extends shorter output.
+        let m2 = mgf1(b"seed", 20);
+        assert_eq!(&m[..20], &m2[..]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Big-endian marshalling for TPM 1.2 structures.
+//!
+//! The TPM wire format is strictly big-endian with length-prefixed
+//! variable fields. [`Reader`] is a non-allocating cursor over the request
+//! bytes; [`Writer`] appends to a reusable `Vec` so hot paths can recycle
+//! buffers.
+
+/// Marshalling errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufError {
+    /// The reader ran past the end of the buffer.
+    Underflow,
+    /// A declared length exceeds sane bounds.
+    BadLength,
+}
+
+impl std::fmt::Display for BufError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufError::Underflow => write!(f, "buffer underflow"),
+            BufError::BadLength => write!(f, "bad length field"),
+        }
+    }
+}
+
+impl std::error::Error for BufError {}
+
+/// Cursor over received bytes.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], BufError> {
+        if self.remaining() < n {
+            return Err(BufError::Underflow);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8, BufError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, BufError> {
+        Ok(u16::from_be_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, BufError> {
+        Ok(u32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Read a fixed 20-byte digest/nonce.
+    pub fn digest(&mut self) -> Result<[u8; 20], BufError> {
+        Ok(self.bytes(20)?.try_into().unwrap())
+    }
+
+    /// Read a u32 length followed by that many bytes.
+    pub fn sized_u32(&mut self) -> Result<&'a [u8], BufError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(BufError::BadLength);
+        }
+        self.bytes(n)
+    }
+
+    /// Read a u16 length followed by that many bytes.
+    pub fn sized_u16(&mut self) -> Result<&'a [u8], BufError> {
+        let n = self.u16()? as usize;
+        if n > self.remaining() {
+            return Err(BufError::BadLength);
+        }
+        self.bytes(n)
+    }
+}
+
+/// Append-only big-endian writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Writer { buf: Vec::with_capacity(n) }
+    }
+
+    /// Append a u8.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a u32 length prefix followed by the bytes.
+    pub fn sized_u32(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.bytes(v)
+    }
+
+    /// Append a u16 length prefix followed by the bytes.
+    pub fn sized_u16(&mut self, v: &[u8]) -> &mut Self {
+        self.u16(v.len() as u16);
+        self.bytes(v)
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Overwrite 4 bytes at `pos` with a big-endian u32 (header size
+    /// back-patching).
+    pub fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// View the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Take the finished buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Clear for reuse, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(0xAB).u16(0x1234).u32(0xDEADBEEF);
+        let bytes = w.into_vec();
+        assert_eq!(bytes, vec![0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF]);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(BufError::Underflow));
+        // Position unchanged after a failed read of multi-byte scalar?
+        // (bytes() checks before consuming)
+        assert_eq!(r.u16().unwrap(), 0x0102);
+    }
+
+    #[test]
+    fn sized_fields() {
+        let mut w = Writer::new();
+        w.sized_u32(b"hello").sized_u16(b"xy");
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.sized_u32().unwrap(), b"hello");
+        assert_eq!(r.sized_u16().unwrap(), b"xy");
+    }
+
+    #[test]
+    fn bogus_length_rejected() {
+        // Declared length 1000 but only 2 bytes follow.
+        let mut w = Writer::new();
+        w.u32(1000).bytes(b"ab");
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.sized_u32(), Err(BufError::BadLength));
+    }
+
+    #[test]
+    fn digest_read() {
+        let d = [7u8; 20];
+        let mut r = Reader::new(&d);
+        assert_eq!(r.digest().unwrap(), d);
+        let mut r2 = Reader::new(&d[..19]);
+        assert_eq!(r2.digest(), Err(BufError::Underflow));
+    }
+
+    #[test]
+    fn patch_u32_backfills_header() {
+        let mut w = Writer::new();
+        w.u16(0x00C4).u32(0) /* size placeholder */ .u32(0);
+        w.bytes(b"payload");
+        let total = w.len() as u32;
+        w.patch_u32(2, total);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        r.u16().unwrap();
+        assert_eq!(r.u32().unwrap(), total);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut w = Writer::with_capacity(64);
+        w.bytes(&[0u8; 50]);
+        let cap = w.buf.capacity();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.buf.capacity(), cap);
+    }
+}

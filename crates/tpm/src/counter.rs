@@ -1,0 +1,185 @@
+//! Monotonic counters (TPM_CreateCounter family).
+//!
+//! TPM 1.2 provides owner-created monotonic counters whose values can
+//! only increase — the primitive behind rollback protection for sealed
+//! databases and audit logs. The 1.2 PC-client profile allows only one
+//! counter to be *active* (incrementable) per boot; we model that rule
+//! because the vTPM migration path must preserve it.
+
+use std::collections::BTreeMap;
+
+use crate::types::DIGEST_LEN;
+
+/// One counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Current value.
+    pub value: u32,
+    /// Authorization secret for increment/release.
+    pub auth: [u8; DIGEST_LEN],
+    /// 4-byte label supplied at creation.
+    pub label: [u8; 4],
+}
+
+/// Errors from counter operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterError {
+    /// The handle names no counter.
+    BadHandle,
+    /// All counter slots are in use.
+    NoSpace,
+    /// A different counter is already active this boot.
+    NotActive,
+}
+
+/// The counter table.
+pub struct CounterStore {
+    counters: BTreeMap<u32, Counter>,
+    next_handle: u32,
+    capacity: usize,
+    /// The counter incremented first this boot; only it may increment
+    /// again until the next startup.
+    active: Option<u32>,
+}
+
+impl CounterStore {
+    /// A store with `capacity` counters (1.2 chips: at least 4).
+    pub fn new(capacity: usize) -> Self {
+        CounterStore { counters: BTreeMap::new(), next_handle: 1, capacity, active: None }
+    }
+
+    /// Create a counter; returns its handle. Starts at 1 (per spec, the
+    /// first increment of a new counter family starts above zero).
+    pub fn create(&mut self, auth: [u8; DIGEST_LEN], label: [u8; 4]) -> Result<u32, CounterError> {
+        if self.counters.len() >= self.capacity {
+            return Err(CounterError::NoSpace);
+        }
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.counters.insert(handle, Counter { value: 1, auth, label });
+        Ok(handle)
+    }
+
+    /// Increment; only one counter may be active per boot.
+    pub fn increment(&mut self, handle: u32) -> Result<u32, CounterError> {
+        if !self.counters.contains_key(&handle) {
+            return Err(CounterError::BadHandle);
+        }
+        match self.active {
+            Some(active) if active != handle => return Err(CounterError::NotActive),
+            _ => self.active = Some(handle),
+        }
+        let c = self.counters.get_mut(&handle).expect("checked");
+        c.value += 1;
+        Ok(c.value)
+    }
+
+    /// Read the value (no authorization per spec).
+    pub fn read(&self, handle: u32) -> Result<&Counter, CounterError> {
+        self.counters.get(&handle).ok_or(CounterError::BadHandle)
+    }
+
+    /// Release (delete) a counter.
+    pub fn release(&mut self, handle: u32) -> Result<(), CounterError> {
+        self.counters.remove(&handle).map(|_| ()).ok_or(CounterError::BadHandle)?;
+        if self.active == Some(handle) {
+            self.active = None;
+        }
+        Ok(())
+    }
+
+    /// New boot: any counter may become the active one again. Values are
+    /// retained (they are non-volatile).
+    pub fn startup(&mut self) {
+        self.active = None;
+    }
+
+    /// Handles currently defined.
+    pub fn handles(&self) -> Vec<u32> {
+        self.counters.keys().copied().collect()
+    }
+
+    /// Restore a counter verbatim (state deserialization).
+    pub fn restore(&mut self, handle: u32, counter: Counter) {
+        self.next_handle = self.next_handle.max(handle + 1);
+        self.counters.insert(handle, counter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> CounterStore {
+        CounterStore::new(4)
+    }
+
+    #[test]
+    fn create_read_increment() {
+        let mut s = store();
+        let h = s.create([1; 20], *b"log1").unwrap();
+        assert_eq!(s.read(h).unwrap().value, 1);
+        assert_eq!(s.increment(h).unwrap(), 2);
+        assert_eq!(s.increment(h).unwrap(), 3);
+        assert_eq!(s.read(h).unwrap().label, *b"log1");
+    }
+
+    #[test]
+    fn one_active_counter_per_boot() {
+        let mut s = store();
+        let a = s.create([1; 20], *b"aaaa").unwrap();
+        let b = s.create([2; 20], *b"bbbb").unwrap();
+        s.increment(a).unwrap();
+        assert_eq!(s.increment(b), Err(CounterError::NotActive));
+        // After "reboot" the other counter can be chosen.
+        s.startup();
+        s.increment(b).unwrap();
+        assert_eq!(s.increment(a), Err(CounterError::NotActive));
+    }
+
+    #[test]
+    fn values_survive_startup() {
+        let mut s = store();
+        let h = s.create([1; 20], *b"keep").unwrap();
+        s.increment(h).unwrap();
+        s.startup();
+        assert_eq!(s.read(h).unwrap().value, 2);
+    }
+
+    #[test]
+    fn capacity_and_release() {
+        let mut s = CounterStore::new(2);
+        let a = s.create([0; 20], *b"aaaa").unwrap();
+        let _b = s.create([0; 20], *b"bbbb").unwrap();
+        assert_eq!(s.create([0; 20], *b"cccc"), Err(CounterError::NoSpace));
+        s.release(a).unwrap();
+        assert_eq!(s.release(a), Err(CounterError::BadHandle));
+        s.create([0; 20], *b"cccc").unwrap();
+        assert_eq!(s.handles().len(), 2);
+    }
+
+    #[test]
+    fn releasing_active_counter_frees_the_boot_slot() {
+        let mut s = store();
+        let a = s.create([0; 20], *b"aaaa").unwrap();
+        let b = s.create([0; 20], *b"bbbb").unwrap();
+        s.increment(a).unwrap();
+        s.release(a).unwrap();
+        // b may now become active without a reboot.
+        s.increment(b).unwrap();
+    }
+
+    #[test]
+    fn restore_preserves_handles() {
+        let mut s = store();
+        let h = s.create([3; 20], *b"orig").unwrap();
+        s.increment(h).unwrap();
+        let c = s.read(h).unwrap().clone();
+        let mut s2 = store();
+        s2.restore(h, c);
+        assert_eq!(s2.read(h).unwrap().value, 2);
+        // New handles don't collide.
+        let h2 = s2.create([0; 20], *b"next").unwrap();
+        assert_ne!(h, h2);
+    }
+}

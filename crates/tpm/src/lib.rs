@@ -1,0 +1,48 @@
+//! # tpm
+//!
+//! A from-scratch software TPM 1.2 emulator for the vtpm-xen reproduction.
+//!
+//! The Xen vTPM architecture needs two TPMs: the *hardware* TPM rooted in
+//! the platform (which the vTPM manager seals its state to) and one
+//! *virtual* TPM instance per guest. Both are instances of [`Tpm`] here.
+//!
+//! What's implemented (all on the real TPM 1.2 wire format, big-endian,
+//! with genuine tags/ordinals/return codes):
+//!
+//! * command dispatch with strict size/tag validation ([`tpm`]);
+//! * PCRs, extend semantics, locality-gated reset, composite hashes
+//!   ([`pcr`]);
+//! * OIAP/OSAP authorization sessions with rolling nonces and
+//!   constant-time HMAC checks ([`session`]);
+//! * the EK/SRK key hierarchy with OAEP-wrapped child keys ([`keys`]);
+//! * Seal/Unseal with tpmProof and PCR bindings, Quote, Sign;
+//! * NV storage with owner/PCR protections ([`nv`]);
+//! * permanent-state snapshots for vTPM persistence and migration
+//!   ([`state`]);
+//! * a client-side driver that builds byte-exact commands and verifies
+//!   response MACs ([`client`]);
+//! * a hardware-latency cost model for virtual-time accounting
+//!   ([`timing`]).
+
+pub mod buffer;
+pub mod client;
+pub mod counter;
+pub mod keys;
+pub mod nv;
+pub mod pcr;
+pub mod session;
+pub mod state;
+pub mod timing;
+#[allow(clippy::module_inception)]
+pub mod tpm;
+pub mod types;
+
+pub use client::{ClientError, DirectTransport, TpmClient, Transport};
+pub use counter::{Counter, CounterError, CounterStore};
+pub use keys::{KeyBlob, KeyError, LoadedKey};
+pub use nv::{NvAttributes, NvError};
+pub use pcr::{PcrBank, PcrSelection};
+pub use state::StateError;
+pub use timing::{command_cost_ns, ordinal_of};
+pub use tpm::{parse_response, quote_info_digest, SealedBlob, Tpm, TpmConfig};
+pub use types::{handle, ordinal, rc, tag, KeyUsage, DIGEST_LEN, NUM_PCRS};

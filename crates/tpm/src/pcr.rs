@@ -1,0 +1,253 @@
+//! Platform Configuration Registers.
+//!
+//! 24 SHA-1-sized registers. `extend` is the only way to change most of
+//! them (`new = SHA1(old || input)`), which is what makes them useful as a
+//! tamper-evident measurement log. PCRs 16–23 are resettable from
+//! sufficient localities, as in the 1.2 PC-client profile.
+
+use tpm_crypto::sha1;
+
+use crate::types::{DIGEST_LEN, NUM_PCRS};
+
+/// A PCR selection bitmap (TPM_PCR_SELECTION): 3 bytes covering 24 PCRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcrSelection {
+    bits: [u8; 3],
+}
+
+impl PcrSelection {
+    /// Empty selection.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Selection containing exactly the listed indices.
+    pub fn of(indices: &[usize]) -> Self {
+        let mut s = Self::default();
+        for &i in indices {
+            s.select(i);
+        }
+        s
+    }
+
+    /// Add PCR `i` to the selection.
+    pub fn select(&mut self, i: usize) {
+        assert!(i < NUM_PCRS, "pcr index {i} out of range");
+        self.bits[i / 8] |= 1 << (i % 8);
+    }
+
+    /// Whether PCR `i` is selected.
+    pub fn contains(&self, i: usize) -> bool {
+        i < NUM_PCRS && self.bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Selected indices in ascending order.
+    pub fn indices(&self) -> Vec<usize> {
+        (0..NUM_PCRS).filter(|&i| self.contains(i)).collect()
+    }
+
+    /// Number of selected PCRs.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Wire encoding: u16 size (always 3 here) + bitmap.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(5);
+        v.extend_from_slice(&3u16.to_be_bytes());
+        v.extend_from_slice(&self.bits);
+        v
+    }
+
+    /// Parse the wire encoding.
+    pub fn decode(data: &[u8]) -> Option<(Self, usize)> {
+        if data.len() < 2 {
+            return None;
+        }
+        let size = u16::from_be_bytes([data[0], data[1]]) as usize;
+        if size > 3 || data.len() < 2 + size {
+            return None;
+        }
+        let mut bits = [0u8; 3];
+        bits[..size].copy_from_slice(&data[2..2 + size]);
+        Some((PcrSelection { bits }, 2 + size))
+    }
+}
+
+/// The PCR bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrBank {
+    values: [[u8; DIGEST_LEN]; NUM_PCRS],
+}
+
+/// First resettable PCR (PC-client: 16..23 are resettable).
+pub const FIRST_RESETTABLE: usize = 16;
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// All-zero bank (post-TPM_Startup(CLEAR) state).
+    pub fn new() -> Self {
+        PcrBank { values: [[0; DIGEST_LEN]; NUM_PCRS] }
+    }
+
+    /// Read PCR `i`.
+    pub fn read(&self, i: usize) -> Option<[u8; DIGEST_LEN]> {
+        self.values.get(i).copied()
+    }
+
+    /// Extend PCR `i` with `input`, returning the new value.
+    pub fn extend(&mut self, i: usize, input: &[u8; DIGEST_LEN]) -> Option<[u8; DIGEST_LEN]> {
+        let cur = self.values.get_mut(i)?;
+        let mut buf = [0u8; 2 * DIGEST_LEN];
+        buf[..DIGEST_LEN].copy_from_slice(cur);
+        buf[DIGEST_LEN..].copy_from_slice(input);
+        *cur = sha1(&buf);
+        Some(*cur)
+    }
+
+    /// Reset PCR `i` to zero; only resettable PCRs, and only from locality
+    /// >= 2 (simplified PC-client rule). Returns false when refused.
+    pub fn reset(&mut self, i: usize, locality: u8) -> bool {
+        if !(FIRST_RESETTABLE..NUM_PCRS).contains(&i) || locality < 2 {
+            return false;
+        }
+        self.values[i] = [0; DIGEST_LEN];
+        true
+    }
+
+    /// TPM_COMPOSITE_HASH over the selected PCRs:
+    /// `SHA1(selection || u32 valueSize || value_0 .. value_k)`.
+    pub fn composite_hash(&self, selection: &PcrSelection) -> [u8; DIGEST_LEN] {
+        let indices = selection.indices();
+        let mut buf = Vec::with_capacity(5 + 4 + indices.len() * DIGEST_LEN);
+        buf.extend_from_slice(&selection.encode());
+        buf.extend_from_slice(&((indices.len() * DIGEST_LEN) as u32).to_be_bytes());
+        for i in indices {
+            buf.extend_from_slice(&self.values[i]);
+        }
+        sha1(&buf)
+    }
+
+    /// Raw snapshot for state serialization.
+    pub fn snapshot(&self) -> &[[u8; DIGEST_LEN]; NUM_PCRS] {
+        &self.values
+    }
+
+    /// Restore from a snapshot.
+    pub fn restore(values: [[u8; DIGEST_LEN]; NUM_PCRS]) -> Self {
+        PcrBank { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_zero() {
+        let b = PcrBank::new();
+        assert_eq!(b.read(0).unwrap(), [0; 20]);
+        assert_eq!(b.read(23).unwrap(), [0; 20]);
+        assert!(b.read(24).is_none());
+    }
+
+    #[test]
+    fn extend_known_value() {
+        let mut b = PcrBank::new();
+        let input = [0xAAu8; 20];
+        let v1 = b.extend(5, &input).unwrap();
+        // extend = SHA1(zeros || input)
+        let mut expect_in = [0u8; 40];
+        expect_in[20..].copy_from_slice(&input);
+        assert_eq!(v1, sha1(&expect_in));
+        // Extending again changes it (not idempotent).
+        let v2 = b.extend(5, &input).unwrap();
+        assert_ne!(v1, v2);
+        // Other PCRs untouched.
+        assert_eq!(b.read(4).unwrap(), [0; 20]);
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let mut b1 = PcrBank::new();
+        let mut b2 = PcrBank::new();
+        let a = [1u8; 20];
+        let c = [2u8; 20];
+        b1.extend(0, &a);
+        b1.extend(0, &c);
+        b2.extend(0, &c);
+        b2.extend(0, &a);
+        assert_ne!(b1.read(0), b2.read(0), "PCR chains are order-sensitive");
+    }
+
+    #[test]
+    fn reset_rules() {
+        let mut b = PcrBank::new();
+        b.extend(16, &[1; 20]).unwrap();
+        b.extend(3, &[1; 20]).unwrap();
+        // Low PCRs never reset.
+        assert!(!b.reset(3, 4));
+        // Resettable PCR needs locality >= 2.
+        assert!(!b.reset(16, 1));
+        assert!(b.reset(16, 2));
+        assert_eq!(b.read(16).unwrap(), [0; 20]);
+        // Out of range.
+        assert!(!b.reset(24, 4));
+    }
+
+    #[test]
+    fn selection_bitmap() {
+        let s = PcrSelection::of(&[0, 7, 8, 23]);
+        assert!(s.contains(0) && s.contains(7) && s.contains(8) && s.contains(23));
+        assert!(!s.contains(1) && !s.contains(22));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.indices(), vec![0, 7, 8, 23]);
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn selection_wire_roundtrip() {
+        let s = PcrSelection::of(&[3, 17]);
+        let enc = s.encode();
+        assert_eq!(enc.len(), 5);
+        let (s2, used) = PcrSelection::decode(&enc).unwrap();
+        assert_eq!(used, 5);
+        assert_eq!(s, s2);
+        assert!(PcrSelection::decode(&[0x00]).is_none());
+        assert!(PcrSelection::decode(&[0x00, 0x09]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn selecting_out_of_range_panics() {
+        PcrSelection::of(&[24]);
+    }
+
+    #[test]
+    fn composite_hash_tracks_values_and_selection() {
+        let mut b = PcrBank::new();
+        let sel = PcrSelection::of(&[1, 2]);
+        let h0 = b.composite_hash(&sel);
+        b.extend(1, &[9; 20]).unwrap();
+        let h1 = b.composite_hash(&sel);
+        assert_ne!(h0, h1, "composite must change when a selected PCR changes");
+        b.extend(5, &[9; 20]).unwrap();
+        assert_eq!(h1, b.composite_hash(&sel), "unselected PCRs don't affect it");
+        // Different selections over the same bank differ.
+        assert_ne!(b.composite_hash(&sel), b.composite_hash(&PcrSelection::of(&[1])));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut b = PcrBank::new();
+        b.extend(2, &[3; 20]).unwrap();
+        let snap = *b.snapshot();
+        let b2 = PcrBank::restore(snap);
+        assert_eq!(b, b2);
+    }
+}

@@ -1,0 +1,440 @@
+//! Authorization sessions (OIAP / OSAP).
+//!
+//! TPM 1.2 authorizes commands with a rolling-nonce HMAC protocol:
+//!
+//! * the caller opens a session, receiving a session handle and the TPM's
+//!   `nonceEven`;
+//! * each authorized command carries `nonceOdd` (caller-fresh) and an
+//!   HMAC over `SHA1(ordinal || params) || nonceEven || nonceOdd ||
+//!   continueAuthSession`, keyed by the entity's auth secret (OIAP) or the
+//!   OSAP shared secret `HMAC(entityAuth, nonceEvenOSAP || nonceOddOSAP)`;
+//! * the response carries a fresh `nonceEven` and a response HMAC the
+//!   caller should verify.
+//!
+//! The session table lives inside the TPM; handles are transient.
+
+use std::collections::HashMap;
+
+use tpm_crypto::drbg::Drbg;
+use tpm_crypto::hmac::{ct_eq, hmac_sha1};
+use tpm_crypto::sha1;
+
+use crate::types::{AUTH_LEN, DIGEST_LEN, NONCE_LEN};
+
+/// Session kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Object-independent: HMAC keyed by the target entity's auth secret.
+    Oiap,
+    /// Object-specific: HMAC keyed by a shared secret derived at open time
+    /// for one specific entity.
+    Osap,
+}
+
+/// One live session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// OIAP or OSAP.
+    pub kind: SessionKind,
+    /// The TPM-side rolling nonce.
+    pub nonce_even: [u8; NONCE_LEN],
+    /// OSAP only: the derived shared secret used as HMAC key.
+    pub shared_secret: Option<[u8; DIGEST_LEN]>,
+    /// OSAP only: the entity (type, value) the session is bound to.
+    pub bound_entity: Option<(u16, u32)>,
+}
+
+/// The session table.
+pub struct SessionTable {
+    sessions: HashMap<u32, Session>,
+    next_handle: u32,
+    capacity: usize,
+}
+
+/// Outcome of verifying a command's auth block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthCheck {
+    /// HMAC verified.
+    Ok,
+    /// HMAC mismatch.
+    Failed,
+    /// Unknown session handle.
+    BadHandle,
+}
+
+impl SessionTable {
+    /// A table with `capacity` concurrent sessions.
+    pub fn new(capacity: usize) -> Self {
+        SessionTable { sessions: HashMap::new(), next_handle: 0x0200_0000, capacity }
+    }
+
+    /// Open an OIAP session; returns (handle, nonceEven).
+    pub fn open_oiap(&mut self, rng: &mut Drbg) -> Option<(u32, [u8; NONCE_LEN])> {
+        if self.sessions.len() >= self.capacity {
+            return None;
+        }
+        let mut nonce_even = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce_even);
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.sessions.insert(
+            handle,
+            Session { kind: SessionKind::Oiap, nonce_even, shared_secret: None, bound_entity: None },
+        );
+        Some((handle, nonce_even))
+    }
+
+    /// Open an OSAP session against `(entity_type, entity_value)` whose
+    /// auth secret is `entity_auth`. The caller supplied `nonce_odd_osap`;
+    /// returns (handle, nonceEven, nonceEvenOSAP).
+    pub fn open_osap(
+        &mut self,
+        entity_type: u16,
+        entity_value: u32,
+        entity_auth: &[u8; DIGEST_LEN],
+        nonce_odd_osap: &[u8; NONCE_LEN],
+        rng: &mut Drbg,
+    ) -> Option<(u32, [u8; NONCE_LEN], [u8; NONCE_LEN])> {
+        if self.sessions.len() >= self.capacity {
+            return None;
+        }
+        let mut nonce_even = [0u8; NONCE_LEN];
+        let mut nonce_even_osap = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce_even);
+        rng.fill_bytes(&mut nonce_even_osap);
+        // sharedSecret = HMAC(entityAuth, nonceEvenOSAP || nonceOddOSAP)
+        let mut msg = [0u8; 2 * NONCE_LEN];
+        msg[..NONCE_LEN].copy_from_slice(&nonce_even_osap);
+        msg[NONCE_LEN..].copy_from_slice(nonce_odd_osap);
+        let shared = hmac_sha1(entity_auth, &msg);
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.sessions.insert(
+            handle,
+            Session {
+                kind: SessionKind::Osap,
+                nonce_even,
+                shared_secret: Some(shared),
+                bound_entity: Some((entity_type, entity_value)),
+            },
+        );
+        Some((handle, nonce_even, nonce_even_osap))
+    }
+
+    /// Access a session.
+    pub fn get(&self, handle: u32) -> Option<&Session> {
+        self.sessions.get(&handle)
+    }
+
+    /// Resolve the HMAC key a session uses against `entity`: the entity's
+    /// own auth secret for OIAP, the stored shared secret for OSAP (or
+    /// `None` when the OSAP session is bound to a different entity).
+    /// Handlers need this before [`SessionTable::verify`] to decrypt ADIP
+    /// fields and to MAC the response.
+    pub fn resolve_key(
+        &self,
+        handle: u32,
+        entity: (u16, u32),
+        entity_auth: &[u8; DIGEST_LEN],
+    ) -> Option<[u8; DIGEST_LEN]> {
+        let session = self.sessions.get(&handle)?;
+        match session.kind {
+            SessionKind::Oiap => Some(*entity_auth),
+            SessionKind::Osap => {
+                if session.bound_entity != Some(entity) {
+                    return None;
+                }
+                session.shared_secret
+            }
+        }
+    }
+
+    /// Verify a command auth block for session `handle`.
+    ///
+    /// `in_param_digest` is `SHA1(ordinal || inParams)`; `entity_auth` is
+    /// the auth secret of the entity the command targets (used for OIAP;
+    /// OSAP uses the stored shared secret — and rejects a mismatched
+    /// entity). On success the session's nonceEven rolls to a fresh value,
+    /// which is also returned for the response block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify(
+        &mut self,
+        handle: u32,
+        entity: (u16, u32),
+        entity_auth: &[u8; DIGEST_LEN],
+        in_param_digest: &[u8; DIGEST_LEN],
+        nonce_odd: &[u8; NONCE_LEN],
+        continue_session: bool,
+        auth: &[u8; AUTH_LEN],
+        rng: &mut Drbg,
+    ) -> (AuthCheck, Option<[u8; NONCE_LEN]>) {
+        let session = match self.sessions.get(&handle) {
+            Some(s) => s.clone(),
+            None => return (AuthCheck::BadHandle, None),
+        };
+        let key: [u8; DIGEST_LEN] = match session.kind {
+            SessionKind::Oiap => *entity_auth,
+            SessionKind::Osap => {
+                if session.bound_entity != Some(entity) {
+                    self.sessions.remove(&handle);
+                    return (AuthCheck::Failed, None);
+                }
+                session.shared_secret.expect("OSAP has shared secret")
+            }
+        };
+        let expected = auth_mac(&key, in_param_digest, &session.nonce_even, nonce_odd, continue_session);
+        if !ct_eq(&expected, auth) {
+            // Spec: auth failure terminates the session.
+            self.sessions.remove(&handle);
+            return (AuthCheck::Failed, None);
+        }
+        // Roll nonceEven.
+        let mut fresh = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut fresh);
+        if continue_session {
+            self.sessions.get_mut(&handle).expect("present").nonce_even = fresh;
+        } else {
+            self.sessions.remove(&handle);
+        }
+        (AuthCheck::Ok, Some(fresh))
+    }
+
+    /// Compute the response auth block:
+    /// `HMAC(key, SHA1(rc || ordinal || outParams) || newNonceEven || nonceOdd || continue)`.
+    pub fn response_auth(
+        key: &[u8; DIGEST_LEN],
+        out_param_digest: &[u8; DIGEST_LEN],
+        new_nonce_even: &[u8; NONCE_LEN],
+        nonce_odd: &[u8; NONCE_LEN],
+        continue_session: bool,
+    ) -> [u8; AUTH_LEN] {
+        auth_mac(key, out_param_digest, new_nonce_even, nonce_odd, continue_session)
+    }
+
+    /// Close a session explicitly (TPM_FlushSpecific).
+    pub fn flush(&mut self, handle: u32) -> bool {
+        self.sessions.remove(&handle).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Drop all sessions (startup).
+    pub fn clear(&mut self) {
+        self.sessions.clear();
+    }
+}
+
+/// The shared MAC shape for command and response auth.
+fn auth_mac(
+    key: &[u8; DIGEST_LEN],
+    param_digest: &[u8; DIGEST_LEN],
+    nonce_even: &[u8; NONCE_LEN],
+    nonce_odd: &[u8; NONCE_LEN],
+    continue_session: bool,
+) -> [u8; AUTH_LEN] {
+    let mut msg = [0u8; DIGEST_LEN + 2 * NONCE_LEN + 1];
+    msg[..DIGEST_LEN].copy_from_slice(param_digest);
+    msg[DIGEST_LEN..DIGEST_LEN + NONCE_LEN].copy_from_slice(nonce_even);
+    msg[DIGEST_LEN + NONCE_LEN..DIGEST_LEN + 2 * NONCE_LEN].copy_from_slice(nonce_odd);
+    msg[DIGEST_LEN + 2 * NONCE_LEN] = continue_session as u8;
+    hmac_sha1(key, &msg)
+}
+
+/// Caller-side helper: compute the command auth block. Used by the vTPM
+/// front-end library and tests; mirrors the TPM-side MAC computation.
+pub fn command_auth(
+    key: &[u8; DIGEST_LEN],
+    ordinal: u32,
+    in_params: &[u8],
+    nonce_even: &[u8; NONCE_LEN],
+    nonce_odd: &[u8; NONCE_LEN],
+    continue_session: bool,
+) -> [u8; AUTH_LEN] {
+    let digest = param_digest(ordinal, in_params);
+    auth_mac(key, &digest, nonce_even, nonce_odd, continue_session)
+}
+
+/// `SHA1(ordinal || params)` — the inParamDigest / outParamDigest shape.
+pub fn param_digest(ordinal_or_rc_ordinal: u32, params: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut buf = Vec::with_capacity(4 + params.len());
+    buf.extend_from_slice(&ordinal_or_rc_ordinal.to_be_bytes());
+    buf.extend_from_slice(params);
+    sha1(&buf)
+}
+
+/// `SHA1(rc || ordinal || outParams)` for responses.
+pub fn out_param_digest(rc: u32, ordinal: u32, out_params: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut buf = Vec::with_capacity(8 + out_params.len());
+    buf.extend_from_slice(&rc.to_be_bytes());
+    buf.extend_from_slice(&ordinal.to_be_bytes());
+    buf.extend_from_slice(out_params);
+    sha1(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Drbg {
+        Drbg::new(b"session-tests")
+    }
+
+    const ENTITY: (u16, u32) = (0x0001, 42);
+
+    #[test]
+    fn oiap_verify_roundtrip() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let auth_secret = [9u8; 20];
+        let (h, nonce_even) = table.open_oiap(&mut rng).unwrap();
+
+        let digest = param_digest(0x14, b"params");
+        let nonce_odd = [1u8; 20];
+        let mac = auth_mac(&auth_secret, &digest, &nonce_even, &nonce_odd, true);
+        let (check, fresh) =
+            table.verify(h, ENTITY, &auth_secret, &digest, &nonce_odd, true, &mac, &mut rng);
+        assert_eq!(check, AuthCheck::Ok);
+        let fresh = fresh.unwrap();
+        assert_ne!(fresh, nonce_even, "nonceEven must roll");
+        // Session still live (continue = true) with the rolled nonce.
+        assert_eq!(table.get(h).unwrap().nonce_even, fresh);
+    }
+
+    #[test]
+    fn wrong_secret_fails_and_kills_session() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let (h, nonce_even) = table.open_oiap(&mut rng).unwrap();
+        let digest = param_digest(0x14, b"params");
+        let nonce_odd = [1u8; 20];
+        let mac = auth_mac(&[8u8; 20], &digest, &nonce_even, &nonce_odd, true);
+        let (check, _) =
+            table.verify(h, ENTITY, &[9u8; 20], &digest, &nonce_odd, true, &mac, &mut rng);
+        assert_eq!(check, AuthCheck::Failed);
+        assert!(table.get(h).is_none(), "failed auth terminates the session");
+    }
+
+    #[test]
+    fn replay_rejected_by_rolling_nonce() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let secret = [9u8; 20];
+        let (h, nonce_even) = table.open_oiap(&mut rng).unwrap();
+        let digest = param_digest(0x14, b"params");
+        let nonce_odd = [1u8; 20];
+        let mac = auth_mac(&secret, &digest, &nonce_even, &nonce_odd, true);
+        let (c1, _) = table.verify(h, ENTITY, &secret, &digest, &nonce_odd, true, &mac, &mut rng);
+        assert_eq!(c1, AuthCheck::Ok);
+        // Same bytes again: nonceEven rolled, so the MAC no longer matches.
+        let (c2, _) = table.verify(h, ENTITY, &secret, &digest, &nonce_odd, true, &mac, &mut rng);
+        assert_eq!(c2, AuthCheck::Failed);
+    }
+
+    #[test]
+    fn continue_false_closes_session() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let secret = [9u8; 20];
+        let (h, nonce_even) = table.open_oiap(&mut rng).unwrap();
+        let digest = param_digest(0x15, b"");
+        let nonce_odd = [2u8; 20];
+        let mac = auth_mac(&secret, &digest, &nonce_even, &nonce_odd, false);
+        let (c, _) = table.verify(h, ENTITY, &secret, &digest, &nonce_odd, false, &mac, &mut rng);
+        assert_eq!(c, AuthCheck::Ok);
+        assert!(table.get(h).is_none());
+    }
+
+    #[test]
+    fn osap_uses_shared_secret_and_binds_entity() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let entity_auth = [5u8; 20];
+        let nonce_odd_osap = [6u8; 20];
+        let (h, nonce_even, nonce_even_osap) =
+            table.open_osap(ENTITY.0, ENTITY.1, &entity_auth, &nonce_odd_osap, &mut rng).unwrap();
+
+        // Client derives the same shared secret.
+        let mut msg = [0u8; 40];
+        msg[..20].copy_from_slice(&nonce_even_osap);
+        msg[20..].copy_from_slice(&nonce_odd_osap);
+        let shared = hmac_sha1(&entity_auth, &msg);
+
+        let digest = param_digest(0x17, b"seal-params");
+        let nonce_odd = [7u8; 20];
+        let mac = auth_mac(&shared, &digest, &nonce_even, &nonce_odd, true);
+        // NOTE: entity_auth argument is ignored for OSAP; pass zeros.
+        let (c, _) =
+            table.verify(h, ENTITY, &[0; 20], &digest, &nonce_odd, true, &mac, &mut rng);
+        assert_eq!(c, AuthCheck::Ok);
+    }
+
+    #[test]
+    fn osap_wrong_entity_rejected() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let entity_auth = [5u8; 20];
+        let nonce_odd_osap = [6u8; 20];
+        let (h, nonce_even, nonce_even_osap) =
+            table.open_osap(ENTITY.0, ENTITY.1, &entity_auth, &nonce_odd_osap, &mut rng).unwrap();
+        let mut msg = [0u8; 40];
+        msg[..20].copy_from_slice(&nonce_even_osap);
+        msg[20..].copy_from_slice(&nonce_odd_osap);
+        let shared = hmac_sha1(&entity_auth, &msg);
+        let digest = param_digest(0x17, b"x");
+        let nonce_odd = [7u8; 20];
+        let mac = auth_mac(&shared, &digest, &nonce_even, &nonce_odd, true);
+        // Different entity than the session was opened for.
+        let (c, _) =
+            table.verify(h, (0x0001, 43), &[0; 20], &digest, &nonce_odd, true, &mac, &mut rng);
+        assert_eq!(c, AuthCheck::Failed);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(2);
+        table.open_oiap(&mut rng).unwrap();
+        table.open_oiap(&mut rng).unwrap();
+        assert!(table.open_oiap(&mut rng).is_none());
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn flush_and_clear() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let (h, _) = table.open_oiap(&mut rng).unwrap();
+        assert!(table.flush(h));
+        assert!(!table.flush(h));
+        table.open_oiap(&mut rng).unwrap();
+        table.clear();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn bad_handle_reported() {
+        let mut rng = rng();
+        let mut table = SessionTable::new(4);
+        let digest = [0u8; 20];
+        let (c, _) =
+            table.verify(0xdead, ENTITY, &[0; 20], &digest, &[0; 20], true, &[0; 20], &mut rng);
+        assert_eq!(c, AuthCheck::BadHandle);
+    }
+
+    #[test]
+    fn response_auth_shape() {
+        let key = [1u8; 20];
+        let od = out_param_digest(0, 0x14, b"out");
+        let r1 = SessionTable::response_auth(&key, &od, &[2; 20], &[3; 20], true);
+        let r2 = SessionTable::response_auth(&key, &od, &[2; 20], &[3; 20], false);
+        assert_ne!(r1, r2, "continue flag is MAC'd");
+    }
+}

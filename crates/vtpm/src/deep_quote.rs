@@ -1,0 +1,190 @@
+//! Deep attestation: binding vTPM quotes to the physical platform.
+//!
+//! A vTPM quote alone proves nothing about *where* the vTPM runs — a
+//! verifier must also learn that the instance is hosted by a trustworthy
+//! physical platform (the open problem Berger et al. flag for the Xen
+//! vTPM, and a natural extension of this paper's hardened manager). The
+//! protocol here:
+//!
+//! 1. At registration the manager extends `SHA1("VTPM-EK" || instance EK
+//!    modulus)` into a hardware-TPM PCR (the *binding PCR*), appending
+//!    the digest to a registration log.
+//! 2. A deep quote takes the guest's ordinary vTPM quote, then has the
+//!    **hardware** TPM quote the binding PCR with external data
+//!    `SHA1(nonce || vTPM quote signature)` — chaining freshness, the
+//!    guest quote, and the platform into one signature.
+//! 3. The verifier checks the vTPM quote, replays the registration log
+//!    to reconstruct the binding PCR, confirms the guest's vTPM EK is in
+//!    the log, and checks the hardware quote over it all.
+//!
+//! A vTPM spoofed by an attacker (not registered with the manager) fails
+//! step 3: its EK digest is not in the log that the hardware PCR attests.
+
+use tpm_crypto::rsa::RsaPublicKey;
+use tpm_crypto::{sha1, BigUint};
+
+use tpm::{quote_info_digest, PcrSelection, DIGEST_LEN};
+
+/// The hardware PCR dedicated to vTPM registrations.
+pub const BINDING_PCR: usize = 14;
+
+/// A deep-attestation evidence bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeepQuote {
+    /// The guest's vTPM quote: selected PCR values.
+    pub vtpm_pcr_values: Vec<[u8; DIGEST_LEN]>,
+    /// PCR selection the vTPM quote covers.
+    pub vtpm_selection: Vec<usize>,
+    /// The vTPM quote signature.
+    pub vtpm_signature: Vec<u8>,
+    /// The vTPM attestation key's public modulus.
+    pub vtpm_aik_modulus: Vec<u8>,
+    /// The registered vTPM EK modulus (identity of the instance).
+    pub vtpm_ek_modulus: Vec<u8>,
+    /// The hardware TPM's binding-PCR value at quote time.
+    pub hw_binding_pcr: [u8; DIGEST_LEN],
+    /// The hardware quote signature.
+    pub hw_signature: Vec<u8>,
+    /// The hardware attestation key's public modulus.
+    pub hw_aik_modulus: Vec<u8>,
+    /// Registration log: EK digests in extension order.
+    pub registration_log: Vec<[u8; DIGEST_LEN]>,
+}
+
+/// Why verification failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeepQuoteError {
+    /// vTPM quote signature invalid.
+    BadVtpmSignature,
+    /// Hardware quote signature invalid.
+    BadHwSignature,
+    /// Replaying the registration log does not reproduce the attested
+    /// binding PCR (log tampered or truncated).
+    LogMismatch,
+    /// The claimed vTPM EK is not in the registration log (unregistered
+    /// or spoofed instance).
+    UnregisteredInstance,
+}
+
+impl std::fmt::Display for DeepQuoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeepQuoteError::BadVtpmSignature => "vTPM quote signature invalid",
+            DeepQuoteError::BadHwSignature => "hardware quote signature invalid",
+            DeepQuoteError::LogMismatch => "registration log does not match binding PCR",
+            DeepQuoteError::UnregisteredInstance => "vTPM EK not in registration log",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DeepQuoteError {}
+
+/// Digest extended into the binding PCR for one instance EK.
+pub fn registration_digest(ek_modulus: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut buf = Vec::with_capacity(8 + ek_modulus.len());
+    buf.extend_from_slice(b"VTPM-EK");
+    buf.extend_from_slice(ek_modulus);
+    sha1(&buf)
+}
+
+/// The external data the hardware quote signs: chains the verifier nonce
+/// and the vTPM quote signature.
+pub fn chain_digest(nonce: &[u8; DIGEST_LEN], vtpm_signature: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut buf = Vec::with_capacity(DIGEST_LEN + vtpm_signature.len());
+    buf.extend_from_slice(nonce);
+    buf.extend_from_slice(vtpm_signature);
+    sha1(&buf)
+}
+
+/// Replay a registration log into a PCR value (starting from zero).
+pub fn replay_log(log: &[[u8; DIGEST_LEN]]) -> [u8; DIGEST_LEN] {
+    let mut pcr = [0u8; DIGEST_LEN];
+    for entry in log {
+        let mut buf = [0u8; 2 * DIGEST_LEN];
+        buf[..DIGEST_LEN].copy_from_slice(&pcr);
+        buf[DIGEST_LEN..].copy_from_slice(entry);
+        pcr = sha1(&buf);
+    }
+    pcr
+}
+
+/// Verifier-side check of a complete bundle against a fresh `nonce`.
+pub fn verify(bundle: &DeepQuote, nonce: &[u8; DIGEST_LEN]) -> Result<(), DeepQuoteError> {
+    // 1. The vTPM quote.
+    let sel = PcrSelection::of(&bundle.vtpm_selection);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&sel.encode());
+    buf.extend_from_slice(&((bundle.vtpm_pcr_values.len() * DIGEST_LEN) as u32).to_be_bytes());
+    for v in &bundle.vtpm_pcr_values {
+        buf.extend_from_slice(v);
+    }
+    let vtpm_composite = sha1(&buf);
+    let vtpm_digest = quote_info_digest(&vtpm_composite, nonce);
+    let vtpm_aik = RsaPublicKey {
+        n: BigUint::from_bytes_be(&bundle.vtpm_aik_modulus),
+        e: BigUint::from_u64(tpm_crypto::rsa::E),
+    };
+    vtpm_aik
+        .verify_pkcs1_sha1(&vtpm_digest, &bundle.vtpm_signature)
+        .map_err(|_| DeepQuoteError::BadVtpmSignature)?;
+
+    // 2. The registration log reproduces the attested binding PCR, and
+    //    contains this instance's EK.
+    if replay_log(&bundle.registration_log) != bundle.hw_binding_pcr {
+        return Err(DeepQuoteError::LogMismatch);
+    }
+    let expected_entry = registration_digest(&bundle.vtpm_ek_modulus);
+    if !bundle.registration_log.contains(&expected_entry) {
+        return Err(DeepQuoteError::UnregisteredInstance);
+    }
+
+    // 3. The hardware quote over the binding PCR, chained to the vTPM
+    //    quote via its external data.
+    let hw_sel = PcrSelection::of(&[BINDING_PCR]);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&hw_sel.encode());
+    buf.extend_from_slice(&(DIGEST_LEN as u32).to_be_bytes());
+    buf.extend_from_slice(&bundle.hw_binding_pcr);
+    let hw_composite = sha1(&buf);
+    let hw_external = chain_digest(nonce, &bundle.vtpm_signature);
+    let hw_digest = quote_info_digest(&hw_composite, &hw_external);
+    let hw_aik = RsaPublicKey {
+        n: BigUint::from_bytes_be(&bundle.hw_aik_modulus),
+        e: BigUint::from_u64(tpm_crypto::rsa::E),
+    };
+    hw_aik
+        .verify_pkcs1_sha1(&hw_digest, &bundle.hw_signature)
+        .map_err(|_| DeepQuoteError::BadHwSignature)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_digest_depends_on_modulus() {
+        assert_ne!(registration_digest(b"modulus-a"), registration_digest(b"modulus-b"));
+    }
+
+    #[test]
+    fn replay_log_matches_pcr_semantics() {
+        // Against a real PCR bank.
+        let mut bank = tpm::PcrBank::new();
+        let entries = [[1u8; 20], [2u8; 20], [3u8; 20]];
+        for e in &entries {
+            bank.extend(BINDING_PCR, e);
+        }
+        assert_eq!(replay_log(&entries), bank.read(BINDING_PCR).unwrap());
+        assert_eq!(replay_log(&[]), [0u8; 20]);
+    }
+
+    #[test]
+    fn chain_digest_binds_both_inputs() {
+        let n1 = [1u8; 20];
+        let n2 = [2u8; 20];
+        assert_ne!(chain_digest(&n1, b"sig"), chain_digest(&n2, b"sig"));
+        assert_ne!(chain_digest(&n1, b"sig"), chain_digest(&n1, b"gis"));
+    }
+}

@@ -1,0 +1,92 @@
+//! A vTPM instance: one virtual TPM bound to one guest.
+
+use tpm::{Tpm, TpmConfig};
+
+/// Instance identifier within one manager.
+pub type InstanceId = u32;
+
+/// Per-instance statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Commands dispatched to the TPM.
+    pub commands: u64,
+    /// Highest sequence number seen (improved mode bookkeeping).
+    pub last_seq: u64,
+}
+
+/// One virtual TPM plus its bookkeeping.
+pub struct VtpmInstance {
+    /// The instance id.
+    pub id: InstanceId,
+    /// The virtual TPM itself.
+    pub tpm: Tpm,
+    /// Statistics.
+    pub stats: InstanceStats,
+}
+
+impl VtpmInstance {
+    /// Create a fresh instance; its TPM is manufactured from a seed mixed
+    /// with the id so two instances never share key material.
+    pub fn new(id: InstanceId, manager_seed: &[u8], cfg: TpmConfig) -> Self {
+        let mut seed = manager_seed.to_vec();
+        seed.extend_from_slice(b"/instance/");
+        seed.extend_from_slice(&id.to_be_bytes());
+        VtpmInstance { id, tpm: Tpm::manufacture(&seed, cfg), stats: InstanceStats::default() }
+    }
+
+    /// Rebuild an instance from a TPM state snapshot (restore/migration).
+    pub fn from_state(
+        id: InstanceId,
+        state: &[u8],
+        reseed: &[u8],
+        cfg: TpmConfig,
+    ) -> Result<Self, tpm::StateError> {
+        let tpm = Tpm::restore_state(state, reseed, cfg)?;
+        Ok(VtpmInstance { id, tpm, stats: InstanceStats::default() })
+    }
+
+    /// Execute a command and update counters.
+    pub fn execute(&mut self, locality: u8, command: &[u8]) -> Vec<u8> {
+        self.stats.commands += 1;
+        self.tpm.execute(locality, command)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_have_distinct_tpms() {
+        let a = VtpmInstance::new(1, b"mgr", TpmConfig::default());
+        let b = VtpmInstance::new(2, b"mgr", TpmConfig::default());
+        assert_ne!(a.tpm.serialize_state(), b.tpm.serialize_state());
+        // Same id + seed => identical TPM (determinism).
+        let a2 = VtpmInstance::new(1, b"mgr", TpmConfig::default());
+        assert_eq!(a.tpm.serialize_state(), a2.tpm.serialize_state());
+    }
+
+    #[test]
+    fn execute_counts_commands() {
+        let mut i = VtpmInstance::new(1, b"mgr", TpmConfig::default());
+        // Startup via raw bytes.
+        let mut cmd = vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1];
+        let resp = i.execute(0, &cmd);
+        assert_eq!(tpm::parse_response(&resp).unwrap().1, 0);
+        cmd[11] = 1;
+        assert_eq!(i.stats.commands, 1);
+    }
+
+    #[test]
+    fn from_state_roundtrip() {
+        let mut orig = VtpmInstance::new(9, b"mgr", TpmConfig::default());
+        // Start it and extend a PCR so the state is distinctive.
+        let startup = vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1];
+        orig.execute(0, &startup);
+        orig.tpm.pcrs_mut().extend(5, &[7; 20]);
+        let snap = orig.tpm.serialize_state();
+        let restored = VtpmInstance::from_state(9, &snap, b"reseed", TpmConfig::default()).unwrap();
+        assert_eq!(restored.tpm.pcrs().read(5), orig.tpm.pcrs().read(5));
+        assert_eq!(restored.id, 9);
+    }
+}

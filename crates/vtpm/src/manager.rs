@@ -1,0 +1,463 @@
+//! The vTPM manager: the Dom0 service that owns every vTPM instance,
+//! routes guest commands to them, and holds their state.
+//!
+//! The manager is deliberately concurrency-first: instances live behind
+//! individual `parking_lot::Mutex`es inside a read-mostly table, so
+//! requests for *different* instances execute on different cores with no
+//! shared lock on the hot path (per the session's concurrency guides —
+//! one lock per resource, never a global lock around work).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use tpm::{command_cost_ns, ordinal_of, TpmConfig};
+use xen_sim::{DomainId, Hypervisor, Result as XenResult};
+
+use crate::hook::{AccessDecision, AccessHook, RequestContext, StockHook};
+use crate::instance::{InstanceId, VtpmInstance};
+use crate::mirror::{MirrorMode, StateMirror};
+use crate::transport::{Envelope, ResponseEnvelope, ResponseStatus};
+
+/// Manager configuration.
+#[derive(Clone)]
+pub struct ManagerConfig {
+    /// How instance state is held resident (AC3 switch).
+    pub mirror_mode: MirrorMode,
+    /// Config for the virtual TPMs this manager manufactures.
+    pub vtpm_config: TpmConfig,
+    /// Virtual nanoseconds charged per request for the transport hop
+    /// (ring copy + event channel + context switch), per direction.
+    pub transport_cost_ns: u64,
+    /// Whether to charge the modelled hardware-TPM command cost to the
+    /// virtual clock (true for experiments reporting virtual time).
+    pub charge_virtual_time: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            mirror_mode: MirrorMode::Cleartext,
+            vtpm_config: TpmConfig::default(),
+            transport_cost_ns: 15_000, // ~15µs per hop, typical split-driver cost
+            charge_virtual_time: true,
+        }
+    }
+}
+
+/// Aggregate manager statistics (all atomics: updated lock-free from any
+/// worker).
+#[derive(Default)]
+pub struct ManagerStats {
+    /// Requests that reached an instance and executed.
+    pub handled: AtomicU64,
+    /// Requests denied by the access hook.
+    pub denied: AtomicU64,
+    /// Requests that failed before dispatch (bad envelope / no instance).
+    pub errors: AtomicU64,
+}
+
+impl ManagerStats {
+    /// Snapshot (handled, denied, errors).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.handled.load(Ordering::Relaxed),
+            self.denied.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The manager.
+pub struct VtpmManager {
+    hv: Arc<Hypervisor>,
+    seed: Vec<u8>,
+    cfg: ManagerConfig,
+    hook: RwLock<Arc<dyn AccessHook>>,
+    instances: RwLock<HashMap<InstanceId, Arc<Mutex<VtpmInstance>>>>,
+    mirror: StateMirror,
+    next_instance: AtomicU32,
+    /// Aggregate statistics.
+    pub stats: ManagerStats,
+}
+
+impl VtpmManager {
+    /// Stand up a manager on `hv`. The mirror master key is derived from
+    /// the seed (in the full platform it is unsealed from the hardware
+    /// TPM at boot — see `persist`).
+    pub fn new(hv: Arc<Hypervisor>, seed: &[u8], cfg: ManagerConfig) -> XenResult<Self> {
+        let key_material = tpm_crypto::sha256(&[seed, b"/mirror-master-key"].concat());
+        let mut master_key = [0u8; 16];
+        master_key.copy_from_slice(&key_material[..16]);
+        Self::with_master_key(hv, seed, cfg, master_key)
+    }
+
+    /// Stand up a manager with an explicit master key (the restore path,
+    /// where the key was just unsealed from the hardware TPM).
+    pub fn with_master_key(
+        hv: Arc<Hypervisor>,
+        seed: &[u8],
+        cfg: ManagerConfig,
+        master_key: [u8; 16],
+    ) -> XenResult<Self> {
+        let mirror = StateMirror::new(Arc::clone(&hv), cfg.mirror_mode, master_key)?;
+        Ok(VtpmManager {
+            hv,
+            seed: seed.to_vec(),
+            cfg,
+            hook: RwLock::new(Arc::new(StockHook)),
+            instances: RwLock::new(HashMap::new()),
+            mirror,
+            next_instance: AtomicU32::new(1),
+            stats: ManagerStats::default(),
+        })
+    }
+
+    /// Install an access hook (the improved layer); replaces the current
+    /// one atomically.
+    pub fn set_hook(&self, hook: Arc<dyn AccessHook>) {
+        *self.hook.write() = hook;
+    }
+
+    /// Name of the active hook.
+    pub fn hook_name(&self) -> String {
+        self.hook.read().name().to_string()
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.cfg
+    }
+
+    /// The hypervisor this manager runs on.
+    pub fn hypervisor(&self) -> &Arc<Hypervisor> {
+        &self.hv
+    }
+
+    /// Create a fresh vTPM instance; returns its id.
+    pub fn create_instance(&self) -> XenResult<InstanceId> {
+        let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
+        let instance = VtpmInstance::new(id, &self.seed, self.cfg.vtpm_config.clone());
+        let state = instance.tpm.serialize_state();
+        self.mirror.update(id, &state)?;
+        self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+        Ok(id)
+    }
+
+    /// Register an instance built elsewhere (migration arrival).
+    pub fn adopt_instance(&self, instance: VtpmInstance) -> XenResult<InstanceId> {
+        let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
+        let mut instance = instance;
+        instance.id = id;
+        let state = instance.tpm.serialize_state();
+        self.mirror.update(id, &state)?;
+        self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+        Ok(id)
+    }
+
+    /// Re-insert an instance under its original id (restore path). The id
+    /// counter is advanced past it so future ids never collide.
+    pub fn restore_instance(&self, id: InstanceId, mut instance: VtpmInstance) -> XenResult<()> {
+        instance.id = id;
+        let state = instance.tpm.serialize_state();
+        self.mirror.update(id, &state)?;
+        self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+        self.next_instance.fetch_max(id + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Remove an instance, scrubbing its resident image.
+    pub fn destroy_instance(&self, id: InstanceId) -> XenResult<bool> {
+        let existed = self.instances.write().remove(&id).is_some();
+        if existed {
+            self.mirror.remove(id)?;
+        }
+        Ok(existed)
+    }
+
+    /// Instance ids currently live.
+    pub fn instance_ids(&self) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self.instances.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Run `f` with exclusive access to instance `id` (toolstack paths:
+    /// migration, diagnostics).
+    pub fn with_instance<R>(
+        &self,
+        id: InstanceId,
+        f: impl FnOnce(&mut VtpmInstance) -> R,
+    ) -> Option<R> {
+        let handle = self.instances.read().get(&id).cloned()?;
+        let mut guard = handle.lock();
+        Some(f(&mut guard))
+    }
+
+    /// Serialize an instance's TPM state (migration source side).
+    pub fn export_instance_state(&self, id: InstanceId) -> Option<Vec<u8>> {
+        self.with_instance(id, |i| i.tpm.serialize_state())
+    }
+
+    /// Handle one enveloped request arriving from `source_domain`.
+    /// Returns the encoded response envelope. This is the manager's hot
+    /// path; it takes no global lock while the TPM executes.
+    pub fn handle(&self, source_domain: DomainId, envelope_bytes: &[u8]) -> Vec<u8> {
+        let envelope = match Envelope::decode(envelope_bytes) {
+            Ok(e) => e,
+            Err(_) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return ResponseEnvelope {
+                    seq: 0,
+                    status: ResponseStatus::Malformed,
+                    body: Vec::new(),
+                }
+                .encode();
+            }
+        };
+
+        let ctx = RequestContext {
+            source_domain,
+            claimed_domain: envelope.domain,
+            instance: envelope.instance,
+            seq: envelope.seq,
+            locality: envelope.locality,
+            ordinal: ordinal_of(&envelope.command),
+            tag: envelope.tag.as_ref(),
+            command: &envelope.command,
+        };
+
+        // Access control: the paper's contribution hangs entirely on this
+        // call. StockHook makes it a no-op (baseline).
+        let hook = self.hook.read().clone();
+        if self.cfg.charge_virtual_time {
+            let ac_cost = hook.overhead_ns(&ctx);
+            if ac_cost > 0 {
+                self.hv.clock.advance_ns(ac_cost);
+            }
+        }
+        if let AccessDecision::Deny(_reason) = hook.authorize(&ctx) {
+            self.stats.denied.fetch_add(1, Ordering::Relaxed);
+            return ResponseEnvelope {
+                seq: envelope.seq,
+                status: ResponseStatus::Denied,
+                body: Vec::new(),
+            }
+            .encode();
+        }
+
+        let handle = self.instances.read().get(&envelope.instance).cloned();
+        let handle = match handle {
+            Some(h) => h,
+            None => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return ResponseEnvelope {
+                    seq: envelope.seq,
+                    status: ResponseStatus::NoInstance,
+                    body: Vec::new(),
+                }
+                .encode();
+            }
+        };
+
+        // Virtual-time accounting: transport (in + out) + command cost.
+        if self.cfg.charge_virtual_time {
+            let cmd_cost = ctx.ordinal.map(command_cost_ns).unwrap_or(1_000_000);
+            self.hv.clock.advance_ns(2 * self.cfg.transport_cost_ns + cmd_cost);
+        }
+
+        let (body, state) = {
+            let mut instance = handle.lock();
+            let body = instance.execute(envelope.locality, &envelope.command);
+            instance.stats.last_seq = instance.stats.last_seq.max(envelope.seq);
+            (body, instance.tpm.serialize_state())
+        };
+        // Refresh the resident image (cleartext or encrypted per mode).
+        if let Err(e) = self.mirror.update(envelope.instance, &state) {
+            // Mirror exhaustion is a host-memory problem, not the guest's;
+            // the command already executed, so still return its response.
+            debug_assert!(false, "mirror update failed: {e}");
+        }
+
+        self.stats.handled.fetch_add(1, Ordering::Relaxed);
+        ResponseEnvelope { seq: envelope.seq, status: ResponseStatus::Ok, body }.encode()
+    }
+
+    /// The mirror master key (crate-internal; see `persist`).
+    pub(crate) fn mirror_master_key(&self) -> Option<[u8; 16]> {
+        self.mirror.master_key()
+    }
+
+    /// Ground truth for the dump experiments: the frames holding instance
+    /// `id`'s resident image.
+    pub fn mirror_frames(&self, id: InstanceId) -> Option<Vec<usize>> {
+        self.mirror.region_frames(id)
+    }
+
+    /// The mirror mode in force.
+    pub fn mirror_mode(&self) -> MirrorMode {
+        self.mirror.mode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpm::{parse_response, rc};
+
+    fn setup(mode: MirrorMode) -> (Arc<Hypervisor>, VtpmManager) {
+        let hv = Arc::new(Hypervisor::boot(2048, 8).unwrap());
+        let mgr = VtpmManager::new(
+            Arc::clone(&hv),
+            b"mgr-test",
+            ManagerConfig { mirror_mode: mode, ..Default::default() },
+        )
+        .unwrap();
+        (hv, mgr)
+    }
+
+    fn startup_cmd() -> Vec<u8> {
+        vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1]
+    }
+
+    fn envelope(domain: u32, instance: u32, seq: u64, cmd: Vec<u8>) -> Vec<u8> {
+        Envelope { domain, instance, seq, locality: 0, tag: None, command: cmd }.encode()
+    }
+
+    #[test]
+    fn create_and_route_commands() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        let renv = ResponseEnvelope::decode(&resp).unwrap();
+        assert_eq!(renv.status, ResponseStatus::Ok);
+        assert_eq!(renv.seq, 1);
+        assert_eq!(parse_response(&renv.body).unwrap().1, rc::SUCCESS);
+        assert_eq!(mgr.stats.snapshot(), (1, 0, 0));
+    }
+
+    #[test]
+    fn unknown_instance_reported() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let resp = mgr.handle(DomainId(1), &envelope(1, 999, 1, startup_cmd()));
+        let renv = ResponseEnvelope::decode(&resp).unwrap();
+        assert_eq!(renv.status, ResponseStatus::NoInstance);
+        assert_eq!(mgr.stats.snapshot(), (0, 0, 1));
+    }
+
+    #[test]
+    fn malformed_envelope_reported() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let resp = mgr.handle(DomainId(1), b"garbage");
+        let renv = ResponseEnvelope::decode(&resp).unwrap();
+        assert_eq!(renv.status, ResponseStatus::Malformed);
+    }
+
+    #[test]
+    fn stock_hook_allows_cross_instance_access() {
+        // The W1/W2 baseline weakness, demonstrated at the manager level:
+        // domain 2 can talk to domain 1's instance unimpeded.
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let victim = mgr.create_instance().unwrap();
+        let resp = mgr.handle(DomainId(2), &envelope(1 /* spoofed */, victim, 1, startup_cmd()));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+    }
+
+    #[test]
+    fn destroy_instance_stops_routing() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        assert!(mgr.destroy_instance(id).unwrap());
+        assert!(!mgr.destroy_instance(id).unwrap());
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        assert_eq!(
+            ResponseEnvelope::decode(&resp).unwrap().status,
+            ResponseStatus::NoInstance
+        );
+    }
+
+    #[test]
+    fn virtual_time_charged_per_command() {
+        let (hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        let t0 = hv.clock.now_ns();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        let t1 = hv.clock.now_ns();
+        // startup cost (1ms) + 2 * transport (15µs each).
+        assert_eq!(t1 - t0, 1_000_000 + 30_000);
+    }
+
+    #[test]
+    fn mirror_tracks_instance_state() {
+        let (hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        // The resident image must contain the instance's EK prime — fetch
+        // ground truth and scan the Dom0 dump.
+        let state = mgr.export_instance_state(id).unwrap();
+        let mut dump = Vec::new();
+        for (_, _, page) in hv.dump_memory(DomainId::DOM0).unwrap() {
+            dump.extend_from_slice(&page[..]);
+        }
+        assert!(
+            dump.windows(state.len().min(64)).any(|w| w == &state[..state.len().min(64)]),
+            "baseline resident image must appear in the dump"
+        );
+    }
+
+    #[test]
+    fn encrypted_mirror_hides_state() {
+        let (hv, mgr) = setup(MirrorMode::Encrypted);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        let state = mgr.export_instance_state(id).unwrap();
+        let mut dump = Vec::new();
+        for (_, _, page) in hv.dump_memory(DomainId::DOM0).unwrap() {
+            dump.extend_from_slice(&page[..]);
+        }
+        let probe = &state[..64.min(state.len())];
+        assert!(
+            !dump.windows(probe.len()).any(|w| w == probe),
+            "encrypted resident image must not leak cleartext state"
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_to_distinct_instances() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let mgr = Arc::new(mgr);
+        let ids: Vec<u32> = (0..4).map(|_| mgr.create_instance().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (t, id) in ids.into_iter().enumerate() {
+            let mgr = Arc::clone(&mgr);
+            handles.push(std::thread::spawn(move || {
+                for s in 0..10u64 {
+                    let resp = mgr.handle(
+                        DomainId(t as u32 + 1),
+                        &envelope(t as u32 + 1, id, s, startup_cmd()),
+                    );
+                    assert_eq!(
+                        ResponseEnvelope::decode(&resp).unwrap().status,
+                        ResponseStatus::Ok
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mgr.stats.snapshot().0, 40);
+    }
+
+    #[test]
+    fn adopt_instance_assigns_new_id() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let inst = VtpmInstance::new(99, b"elsewhere", TpmConfig::default());
+        let id = mgr.adopt_instance(inst).unwrap();
+        assert!(mgr.instance_ids().contains(&id));
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+    }
+}

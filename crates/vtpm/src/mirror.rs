@@ -1,0 +1,294 @@
+//! The manager's resident state image — the memory-dump target.
+//!
+//! A real vTPM manager keeps every instance's working state in its own
+//! address space, which on the baseline system is ordinary Dom0 memory:
+//! anything with Dom0 privileges (or a Dom0 memory-dump tool, per the
+//! paper's abstract) reads the instances' EKs, SRKs, owner secrets in the
+//! clear. This module makes that explicit: each instance's serialized
+//! state is *mirrored* into simulated Dom0 frames after every mutation.
+//!
+//! * [`MirrorMode::Cleartext`] — baseline: the snapshot bytes go into the
+//!   frames as-is.
+//! * [`MirrorMode::Encrypted`] — the paper's AC3: the snapshot is
+//!   AES-128-CTR-encrypted with a per-manager master key that lives only
+//!   in a hypervisor-protected frame, so a dump yields ciphertext and no
+//!   key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use tpm_crypto::aes::AesCtr;
+use xen_sim::{DomainId, Hypervisor, Result as XenResult, XenError, PAGE_SIZE};
+
+/// How instance state is held in Dom0 memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorMode {
+    /// Baseline: cleartext resident image.
+    Cleartext,
+    /// Improved (AC3): encrypted resident image, key in protected memory.
+    Encrypted,
+}
+
+struct Region {
+    mfns: Vec<usize>,
+    len: usize,
+}
+
+/// The mirror. One per manager.
+///
+/// Concurrency shape: the region table is read-mostly (`RwLock`); each
+/// instance's region sits behind its own `Mutex`, so concurrent requests
+/// to *different* instances mirror their state in parallel — the manager
+/// hot path never funnels through a global lock.
+pub struct StateMirror {
+    hv: Arc<Hypervisor>,
+    mode: MirrorMode,
+    regions: RwLock<HashMap<u32, Arc<Mutex<Region>>>>,
+    /// AES key (Encrypted mode). Also written to `key_frame` so the
+    /// "protected memory" story is literal: the only in-simulation copy
+    /// of the key sits in a frame the dump facility refuses to read.
+    master_key: Option<[u8; 16]>,
+    key_frame: Option<usize>,
+}
+
+impl StateMirror {
+    /// Create a mirror; in `Encrypted` mode, `master_key` is stored in a
+    /// freshly allocated hypervisor-protected Dom0 frame.
+    pub fn new(hv: Arc<Hypervisor>, mode: MirrorMode, master_key: [u8; 16]) -> XenResult<Self> {
+        let (key, key_frame) = match mode {
+            MirrorMode::Cleartext => (None, None),
+            MirrorMode::Encrypted => {
+                let mfn = hv.alloc_pages(DomainId::DOM0, 1)?[0];
+                hv.page_write(DomainId::DOM0, mfn, 0, &master_key)?;
+                hv.protect_frame(DomainId::DOM0, mfn)?;
+                (Some(master_key), Some(mfn))
+            }
+        };
+        Ok(StateMirror {
+            hv,
+            mode,
+            regions: RwLock::new(HashMap::new()),
+            master_key: key,
+            key_frame,
+        })
+    }
+
+    /// The mode this mirror runs in.
+    pub fn mode(&self) -> MirrorMode {
+        self.mode
+    }
+
+    /// The protected key frame, if any (diagnostics/tests).
+    pub fn key_frame(&self) -> Option<usize> {
+        self.key_frame
+    }
+
+    /// The master key (crate-internal: the persistence layer seals it to
+    /// the hardware TPM; it must never cross the crate boundary).
+    pub(crate) fn master_key(&self) -> Option<[u8; 16]> {
+        self.master_key
+    }
+
+    /// Fetch or create the per-instance region handle.
+    fn region_handle(&self, id: u32) -> Arc<Mutex<Region>> {
+        if let Some(r) = self.regions.read().get(&id) {
+            return Arc::clone(r);
+        }
+        let mut table = self.regions.write();
+        Arc::clone(
+            table
+                .entry(id)
+                .or_insert_with(|| Arc::new(Mutex::new(Region { mfns: Vec::new(), len: 0 }))),
+        )
+    }
+
+    /// Write `state` as instance `id`'s resident image, growing the
+    /// backing region as needed. Takes only the instance's own lock.
+    pub fn update(&self, id: u32, state: &[u8]) -> XenResult<()> {
+        let image = match self.mode {
+            MirrorMode::Cleartext => state.to_vec(),
+            MirrorMode::Encrypted => {
+                let key = self.master_key.as_ref().expect("encrypted mode has key");
+                let mut buf = state.to_vec();
+                // Per-instance nonce; CTR reuse across updates of the same
+                // instance is acceptable for the *dump* threat model (the
+                // attacker sees one resident image, not a ciphertext
+                // history), and keeps the mirror allocation-stable.
+                let mut nonce = [0u8; 8];
+                nonce[..4].copy_from_slice(&id.to_be_bytes());
+                AesCtr::new(key, nonce).apply_keystream(&mut buf);
+                buf
+            }
+        };
+        let handle = self.region_handle(id);
+        let mut region = handle.lock();
+        let needed_pages = (image.len() + 8).div_ceil(PAGE_SIZE);
+        if region.mfns.len() < needed_pages {
+            let extra = self.hv.alloc_pages(DomainId::DOM0, needed_pages - region.mfns.len())?;
+            region.mfns.extend(extra);
+        }
+        region.len = image.len();
+        // Length header then payload, page by page.
+        let mut header = Vec::with_capacity(8 + image.len());
+        header.extend_from_slice(&(image.len() as u64).to_be_bytes());
+        header.extend_from_slice(&image);
+        for (i, chunk) in header.chunks(PAGE_SIZE).enumerate() {
+            self.hv.page_write(DomainId::DOM0, region.mfns[i], 0, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Read back instance `id`'s resident image (decrypting in Encrypted
+    /// mode). This is the manager's own access path; the attacker reads
+    /// the frames through the dump facility instead.
+    pub fn read(&self, id: u32) -> XenResult<Vec<u8>> {
+        let handle = self.regions.read().get(&id).cloned().ok_or(XenError::BadFrame)?;
+        let region = handle.lock();
+        if region.mfns.is_empty() {
+            return Err(XenError::BadFrame);
+        }
+        let mut header = [0u8; 8];
+        self.hv.page_read(DomainId::DOM0, region.mfns[0], 0, &mut header)?;
+        let len = u64::from_be_bytes(header) as usize;
+        if len != region.len {
+            return Err(XenError::BadFrame);
+        }
+        let mut image = vec![0u8; len];
+        let mut done = 0;
+        for (i, mfn) in region.mfns.iter().enumerate() {
+            if done >= len {
+                break;
+            }
+            let offset = if i == 0 { 8 } else { 0 };
+            let take = (PAGE_SIZE - offset).min(len - done);
+            self.hv.page_read(DomainId::DOM0, *mfn, offset, &mut image[done..done + take])?;
+            done += take;
+        }
+        if let MirrorMode::Encrypted = self.mode {
+            let key = self.master_key.as_ref().expect("encrypted mode has key");
+            let mut nonce = [0u8; 8];
+            nonce[..4].copy_from_slice(&id.to_be_bytes());
+            AesCtr::new(key, nonce).apply_keystream(&mut image);
+        }
+        Ok(image)
+    }
+
+    /// Drop instance `id`'s region, scrubbing its frames.
+    pub fn remove(&self, id: u32) -> XenResult<()> {
+        let handle = self.regions.write().remove(&id);
+        if let Some(handle) = handle {
+            let region = handle.lock();
+            let zeros = [0u8; PAGE_SIZE];
+            for &mfn in &region.mfns {
+                self.hv.page_write(DomainId::DOM0, mfn, 0, &zeros)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Frames backing instance `id` (tests/attack ground truth).
+    pub fn region_frames(&self, id: u32) -> Option<Vec<usize>> {
+        self.regions.read().get(&id).map(|r| r.lock().mfns.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv() -> Arc<Hypervisor> {
+        Arc::new(Hypervisor::boot(512, 8).unwrap())
+    }
+
+    fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+        !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    fn dump_all(hv: &Hypervisor) -> Vec<u8> {
+        let mut blob = Vec::new();
+        for (_, _, page) in hv.dump_memory(DomainId::DOM0).unwrap() {
+            blob.extend_from_slice(&page[..]);
+        }
+        blob
+    }
+
+    #[test]
+    fn cleartext_mirror_roundtrip_and_dumpable() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        let state = b"SRK-PRIME-MATERIAL-0123456789";
+        m.update(7, state).unwrap();
+        assert_eq!(m.read(7).unwrap(), state);
+        // The baseline resident image leaks into the Dom0 dump.
+        assert!(contains(&dump_all(&hv), state));
+    }
+
+    #[test]
+    fn encrypted_mirror_roundtrip_and_not_dumpable() {
+        let hv = hv();
+        let key = [0xA5; 16];
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        let state = b"SRK-PRIME-MATERIAL-0123456789";
+        m.update(7, state).unwrap();
+        // Manager path still reads cleartext.
+        assert_eq!(m.read(7).unwrap(), state);
+        let dump = dump_all(&hv);
+        assert!(!contains(&dump, state), "ciphertext only in the dump");
+        assert!(!contains(&dump, &key), "master key must not appear in the dump");
+    }
+
+    #[test]
+    fn key_frame_is_protected() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [1; 16]).unwrap();
+        let kf = m.key_frame().unwrap();
+        // The dump refuses the protected frame.
+        let dump = hv.dump_memory(DomainId::DOM0).unwrap();
+        assert!(dump.iter().all(|(mfn, _, _)| *mfn != kf));
+    }
+
+    #[test]
+    fn multi_page_state() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        let state: Vec<u8> = (0..3u32 * PAGE_SIZE as u32).map(|i| i as u8).collect();
+        m.update(1, &state).unwrap();
+        assert_eq!(m.read(1).unwrap(), state);
+        // Shrink back down.
+        m.update(1, b"tiny").unwrap();
+        assert_eq!(m.read(1).unwrap(), b"tiny");
+    }
+
+    #[test]
+    fn growth_after_initial_allocation() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        m.update(1, b"small").unwrap();
+        let before = m.region_frames(1).unwrap().len();
+        let big = vec![7u8; 2 * PAGE_SIZE];
+        m.update(1, &big).unwrap();
+        assert!(m.region_frames(1).unwrap().len() > before);
+        assert_eq!(m.read(1).unwrap(), big);
+    }
+
+    #[test]
+    fn remove_scrubs_frames() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        m.update(3, b"WIPE-ME-PLEASE").unwrap();
+        m.remove(3).unwrap();
+        assert!(!contains(&dump_all(&hv), b"WIPE-ME-PLEASE"));
+        assert!(m.read(3).is_err());
+    }
+
+    #[test]
+    fn distinct_instances_isolated() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [9; 16]).unwrap();
+        m.update(1, b"instance-one").unwrap();
+        m.update(2, b"instance-two").unwrap();
+        assert_eq!(m.read(1).unwrap(), b"instance-one");
+        assert_eq!(m.read(2).unwrap(), b"instance-two");
+    }
+}

@@ -1,0 +1,303 @@
+//! Persistence of the instance database, rooted in the hardware TPM.
+//!
+//! The manager must survive host reboots: every instance's state is
+//! written to a database blob ("disk"). In the improved configuration the
+//! entries are encrypted under the mirror master key, and that key is
+//! **sealed to the hardware TPM's SRK** — the database is useless without
+//! this physical platform (and, when PCR-bound, without this software
+//! stack). The baseline writes cleartext entries, which is one more place
+//! instance secrets leak.
+
+use std::sync::Arc;
+
+use tpm_crypto::aes::AesCtr;
+
+use tpm::buffer::{Reader, Writer};
+use tpm::{handle, DirectTransport, SealedBlob, Tpm, TpmClient};
+use xen_sim::Hypervisor;
+
+use crate::instance::VtpmInstance;
+use crate::manager::{ManagerConfig, VtpmManager};
+use crate::mirror::MirrorMode;
+
+const MAGIC: &[u8; 4] = b"VDB1";
+
+/// The fixed data-auth secret protecting the sealed master key. In a
+/// production deployment this would be operator-supplied; a well-known
+/// constant is fine here because the sealing TPM's SRK is what actually
+/// gates access.
+pub const DB_KEY_AUTH: [u8; 20] = [0x5A; 20];
+
+/// Errors from persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Database bytes malformed.
+    Malformed,
+    /// The hardware TPM refused to unseal the master key (wrong platform
+    /// or changed PCRs).
+    Unseal,
+    /// An instance snapshot inside the database failed to restore.
+    BadInstance(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Malformed => write!(f, "malformed vTPM database"),
+            PersistError::Unseal => write!(f, "hardware TPM refused to release the master key"),
+            PersistError::BadInstance(id) => write!(f, "instance {id} failed to restore"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn entry_cipher(master_key: &[u8; 16], id: u32) -> AesCtr {
+    let mut nonce = [0u8; 8];
+    nonce[..4].copy_from_slice(&id.to_be_bytes());
+    nonce[4..].copy_from_slice(b"PERS");
+    AesCtr::new(master_key, nonce)
+}
+
+/// Serialize the manager's instance database.
+///
+/// `hw_tpm` + `srk_auth` are used (encrypted mode only) to seal the
+/// master key; the returned blob is self-contained.
+pub fn persist(
+    manager: &VtpmManager,
+    hw_tpm: &mut Tpm,
+    srk_auth: &[u8; 20],
+) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::with_capacity(4096);
+    w.bytes(MAGIC);
+    let mode = manager.mirror_mode();
+    w.u8(matches!(mode, MirrorMode::Encrypted) as u8);
+
+    let master_key = manager.mirror_master_key();
+    if let MirrorMode::Encrypted = mode {
+        let key = master_key.expect("encrypted mode has key");
+        let mut client = TpmClient::new(DirectTransport { tpm: hw_tpm, locality: 0 }, b"persist");
+        let sealed = client
+            .seal(handle::SRK, srk_auth, &DB_KEY_AUTH, None, &key)
+            .map_err(|_| PersistError::Unseal)?;
+        w.sized_u32(&sealed.encode());
+    }
+
+    let ids = manager.instance_ids();
+    w.u32(ids.len() as u32);
+    for id in ids {
+        let state = manager.export_instance_state(id).ok_or(PersistError::BadInstance(id))?;
+        let payload = match mode {
+            MirrorMode::Cleartext => state,
+            MirrorMode::Encrypted => {
+                let key = master_key.expect("encrypted mode has key");
+                let mut buf = state;
+                entry_cipher(&key, id).apply_keystream(&mut buf);
+                buf
+            }
+        };
+        w.u32(id);
+        w.sized_u32(&payload);
+    }
+    Ok(w.into_vec())
+}
+
+/// Rebuild a manager from a database blob on (possibly another boot of)
+/// the same platform. The hardware TPM must be the one the key was sealed
+/// to.
+pub fn restore(
+    hv: Arc<Hypervisor>,
+    seed: &[u8],
+    cfg: ManagerConfig,
+    db: &[u8],
+    hw_tpm: &mut Tpm,
+    srk_auth: &[u8; 20],
+) -> Result<VtpmManager, PersistError> {
+    let mut r = Reader::new(db);
+    if r.bytes(4).map_err(|_| PersistError::Malformed)? != MAGIC {
+        return Err(PersistError::Malformed);
+    }
+    let encrypted = r.u8().map_err(|_| PersistError::Malformed)? != 0;
+
+    let master_key: Option<[u8; 16]> = if encrypted {
+        let blob_bytes = r.sized_u32().map_err(|_| PersistError::Malformed)?;
+        let (sealed, _) = SealedBlob::decode(blob_bytes).map_err(|_| PersistError::Malformed)?;
+        let mut client = TpmClient::new(DirectTransport { tpm: hw_tpm, locality: 0 }, b"restore");
+        let key_bytes = client
+            .unseal(handle::SRK, srk_auth, &DB_KEY_AUTH, &sealed)
+            .map_err(|_| PersistError::Unseal)?;
+        Some(key_bytes.try_into().map_err(|_| PersistError::Unseal)?)
+    } else {
+        None
+    };
+
+    let mode = if encrypted { MirrorMode::Encrypted } else { MirrorMode::Cleartext };
+    let cfg = ManagerConfig { mirror_mode: mode, ..cfg };
+    let manager = match master_key {
+        Some(key) => VtpmManager::with_master_key(hv, seed, cfg, key)
+            .map_err(|_| PersistError::Malformed)?,
+        None => VtpmManager::new(hv, seed, cfg).map_err(|_| PersistError::Malformed)?,
+    };
+
+    let n = r.u32().map_err(|_| PersistError::Malformed)?;
+    for _ in 0..n {
+        let id = r.u32().map_err(|_| PersistError::Malformed)?;
+        let payload = r.sized_u32().map_err(|_| PersistError::Malformed)?;
+        let state = match master_key {
+            Some(key) => {
+                let mut buf = payload.to_vec();
+                entry_cipher(&key, id).apply_keystream(&mut buf);
+                buf
+            }
+            None => payload.to_vec(),
+        };
+        let instance =
+            VtpmInstance::from_state(id, &state, seed, manager.config().vtpm_config.clone())
+                .map_err(|_| PersistError::BadInstance(id))?;
+        manager.restore_instance(id, instance).map_err(|_| PersistError::BadInstance(id))?;
+    }
+    Ok(manager)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Envelope, ResponseEnvelope, ResponseStatus};
+    use xen_sim::DomainId;
+
+    const OWNER: [u8; 20] = [1; 20];
+    const SRK_AUTH: [u8; 20] = [2; 20];
+
+    fn hw_tpm() -> Tpm {
+        let mut t = Tpm::new(b"hw-tpm");
+        let mut c = TpmClient::new(DirectTransport { tpm: &mut t, locality: 0 }, b"boot");
+        c.startup_clear().unwrap();
+        c.take_ownership(&OWNER, &SRK_AUTH).unwrap();
+        t
+    }
+
+    fn manager(mode: MirrorMode) -> (Arc<Hypervisor>, VtpmManager) {
+        let hv = Arc::new(Hypervisor::boot(4096, 8).unwrap());
+        let mgr = VtpmManager::new(
+            Arc::clone(&hv),
+            b"persist-test",
+            ManagerConfig { mirror_mode: mode, ..Default::default() },
+        )
+        .unwrap();
+        (hv, mgr)
+    }
+
+    fn startup_env(instance: u32) -> Vec<u8> {
+        Envelope {
+            domain: 1,
+            instance,
+            seq: 1,
+            locality: 0,
+            tag: None,
+            command: vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1],
+        }
+        .encode()
+    }
+
+    #[test]
+    fn encrypted_db_roundtrip() {
+        let (_hv, mgr) = manager(MirrorMode::Encrypted);
+        let id1 = mgr.create_instance().unwrap();
+        let id2 = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &startup_env(id1));
+        mgr.with_instance(id1, |i| i.tpm.pcrs_mut().extend(3, &[7; 20]).unwrap()).unwrap();
+        let pcr3 = mgr.with_instance(id1, |i| i.tpm.pcrs().read(3).unwrap()).unwrap();
+        let state_probe = mgr.export_instance_state(id1).unwrap();
+
+        let mut hw = hw_tpm();
+        let db = persist(&mgr, &mut hw, &SRK_AUTH).unwrap();
+        // Encrypted DB must not contain raw instance state.
+        assert!(
+            !db.windows(64).any(|w| w == &state_probe[..64]),
+            "encrypted database must not expose instance state"
+        );
+
+        // Restore onto a fresh host.
+        let hv2 = Arc::new(Hypervisor::boot(4096, 8).unwrap());
+        let mgr2 = restore(
+            hv2,
+            b"persist-test",
+            ManagerConfig::default(),
+            &db,
+            &mut hw,
+            &SRK_AUTH,
+        )
+        .unwrap();
+        assert_eq!(mgr2.instance_ids(), vec![id1, id2]);
+        assert_eq!(mgr2.with_instance(id1, |i| i.tpm.pcrs().read(3).unwrap()).unwrap(), pcr3);
+        // New instances don't collide with restored ids.
+        let id3 = mgr2.create_instance().unwrap();
+        assert!(id3 > id2);
+    }
+
+    #[test]
+    fn cleartext_db_exposes_state() {
+        let (_hv, mgr) = manager(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        let state = mgr.export_instance_state(id).unwrap();
+        let mut hw = hw_tpm();
+        let db = persist(&mgr, &mut hw, &SRK_AUTH).unwrap();
+        assert!(db.windows(64).any(|w| w == &state[..64]), "baseline DB is cleartext");
+    }
+
+    #[test]
+    fn restore_requires_the_sealing_tpm() {
+        let (_hv, mgr) = manager(MirrorMode::Encrypted);
+        mgr.create_instance().unwrap();
+        let mut hw = hw_tpm();
+        let db = persist(&mgr, &mut hw, &SRK_AUTH).unwrap();
+
+        // A different hardware TPM cannot release the key.
+        let mut other = Tpm::new(b"other-hw");
+        let mut c = TpmClient::new(DirectTransport { tpm: &mut other, locality: 0 }, b"b");
+        c.startup_clear().unwrap();
+        c.take_ownership(&OWNER, &SRK_AUTH).unwrap();
+        let hv2 = Arc::new(Hypervisor::boot(1024, 8).unwrap());
+        assert_eq!(
+            restore(hv2, b"persist-test", ManagerConfig::default(), &db, &mut other, &SRK_AUTH)
+                .err(),
+            Some(PersistError::Unseal)
+        );
+    }
+
+    #[test]
+    fn restored_instances_serve_requests() {
+        let (_hv, mgr) = manager(MirrorMode::Encrypted);
+        let id = mgr.create_instance().unwrap();
+        let mut hw = hw_tpm();
+        let db = persist(&mgr, &mut hw, &SRK_AUTH).unwrap();
+        let hv2 = Arc::new(Hypervisor::boot(1024, 8).unwrap());
+        let mgr2 =
+            restore(hv2, b"persist-test", ManagerConfig::default(), &db, &mut hw, &SRK_AUTH)
+                .unwrap();
+        let resp = mgr2.handle(DomainId(1), &startup_env(id));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+    }
+
+    #[test]
+    fn garbage_db_rejected() {
+        let hv = Arc::new(Hypervisor::boot(256, 8).unwrap());
+        let mut hw = hw_tpm();
+        assert_eq!(
+            restore(hv, b"s", ManagerConfig::default(), b"junk", &mut hw, &SRK_AUTH).err(),
+            Some(PersistError::Malformed)
+        );
+    }
+
+    #[test]
+    fn empty_manager_roundtrip() {
+        let (_hv, mgr) = manager(MirrorMode::Encrypted);
+        let mut hw = hw_tpm();
+        let db = persist(&mgr, &mut hw, &SRK_AUTH).unwrap();
+        let hv2 = Arc::new(Hypervisor::boot(256, 8).unwrap());
+        let mgr2 =
+            restore(hv2, b"persist-test", ManagerConfig::default(), &db, &mut hw, &SRK_AUTH)
+                .unwrap();
+        assert!(mgr2.instance_ids().is_empty());
+    }
+}

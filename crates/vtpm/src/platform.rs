@@ -1,0 +1,621 @@
+//! The assembled platform: hypervisor + hardware TPM + vTPM manager +
+//! per-guest devices, with backend threads running.
+//!
+//! This is the top-level object examples, experiments, and attacks work
+//! against. [`Platform::baseline`] is the stock Xen vTPM system;
+//! [`Platform::improved`] flips on the paper's mechanisms that live at
+//! the mechanism layer (encrypted mirror, ring scrubbing) and is where
+//! the `vtpm-ac` crate installs its hook and credentials.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use tpm::{DirectTransport, Tpm, TpmClient};
+use tpm_crypto::drbg::Drbg;
+use tpm_crypto::rsa::RsaPublicKey;
+use xen_sim::{DomainConfig, DomainId, Hypervisor, Result as XenResult, XenError};
+
+use crate::device::{provision_device, TpmBack, TpmFront};
+use crate::instance::{InstanceId, VtpmInstance};
+use crate::manager::{ManagerConfig, VtpmManager};
+use crate::migration::{self, MigrationPackage};
+use crate::mirror::MirrorMode;
+
+/// Well-known hardware-TPM owner auth for simulated platforms.
+pub const HW_OWNER_AUTH: [u8; 20] = [0x11; 20];
+/// Well-known hardware-TPM SRK auth for simulated platforms.
+pub const HW_SRK_AUTH: [u8; 20] = [0x22; 20];
+
+struct BackendThread {
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The hardware attestation identity key, created lazily.
+struct HwAik {
+    handle: u32,
+    auth: [u8; 20],
+    modulus: Vec<u8>,
+}
+
+/// A guest with a connected vTPM device.
+pub struct Guest {
+    /// The guest's domain.
+    pub domain: DomainId,
+    /// Its vTPM instance.
+    pub instance: InstanceId,
+    /// The frontend driver (implements [`tpm::Transport`]).
+    pub front: TpmFront,
+}
+
+impl Guest {
+    /// A session-managing TPM client over this guest's frontend.
+    pub fn client(&mut self, seed: &[u8]) -> TpmClient<&mut TpmFront> {
+        TpmClient::new(&mut self.front, seed)
+    }
+}
+
+/// One simulated physical host.
+pub struct Platform {
+    /// The hypervisor.
+    pub hv: Arc<Hypervisor>,
+    /// The physical TPM soldered to this host.
+    pub hw_tpm: Arc<Mutex<Tpm>>,
+    /// The vTPM manager in Dom0.
+    pub manager: Arc<VtpmManager>,
+    /// Whether devices are provisioned with ring scrubbing.
+    pub scrub_rings: bool,
+    backends: Mutex<Vec<BackendThread>>,
+    seed: Vec<u8>,
+    hw_aik: Mutex<Option<HwAik>>,
+    registration_log: Mutex<Vec<[u8; 20]>>,
+}
+
+impl Platform {
+    /// Build a platform with an explicit manager configuration.
+    pub fn with_config(
+        seed: &[u8],
+        total_frames: usize,
+        cfg: ManagerConfig,
+        scrub_rings: bool,
+    ) -> XenResult<Self> {
+        let hv = Arc::new(Hypervisor::boot(total_frames, 32)?);
+        // Manufacture and initialize the hardware TPM.
+        let mut hw = Tpm::manufacture(&[seed, b"/hw-tpm"].concat(), cfg.vtpm_config.clone());
+        {
+            let mut client =
+                TpmClient::new(DirectTransport { tpm: &mut hw, locality: 0 }, b"platform-boot");
+            client.startup_clear().map_err(|_| XenError::BadImage("hw tpm startup"))?;
+            client
+                .take_ownership(&HW_OWNER_AUTH, &HW_SRK_AUTH)
+                .map_err(|_| XenError::BadImage("hw tpm ownership"))?;
+        }
+        let manager = Arc::new(VtpmManager::new(Arc::clone(&hv), seed, cfg)?);
+        Ok(Platform {
+            hv,
+            hw_tpm: Arc::new(Mutex::new(hw)),
+            manager,
+            scrub_rings,
+            backends: Mutex::new(Vec::new()),
+            seed: seed.to_vec(),
+            hw_aik: Mutex::new(None),
+            registration_log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The stock Xen vTPM system: cleartext resident state, no scrubbing,
+    /// no access control (StockHook).
+    pub fn baseline(seed: &[u8]) -> XenResult<Self> {
+        Self::with_config(
+            seed,
+            8192,
+            ManagerConfig { mirror_mode: MirrorMode::Cleartext, ..Default::default() },
+            false,
+        )
+    }
+
+    /// The improved mechanism layer: encrypted resident state + ring
+    /// scrubbing. The `vtpm-ac` crate completes it by installing its hook
+    /// and provisioning credentials.
+    pub fn improved(seed: &[u8]) -> XenResult<Self> {
+        Self::with_config(
+            seed,
+            8192,
+            ManagerConfig { mirror_mode: MirrorMode::Encrypted, ..Default::default() },
+            true,
+        )
+    }
+
+    /// Launch a guest VM with a provisioned, connected vTPM device and a
+    /// serving backend thread.
+    pub fn launch_guest(&self, name: &str) -> XenResult<Guest> {
+        let domain = self.hv.create_domain(
+            DomainId::DOM0,
+            DomainConfig { memory_pages: 32, ..DomainConfig::small(name) },
+        )?;
+        let instance = self.manager.create_instance()?;
+        provision_device(&self.hv, domain, instance)?;
+        let mut front = TpmFront::connect(Arc::clone(&self.hv), domain)?;
+        front.scrub = self.scrub_rings;
+        let mut back = TpmBack::connect(Arc::clone(&self.hv), Arc::clone(&self.manager), domain)?;
+        back.scrub = self.scrub_rings;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || back.run(&sd));
+        self.backends.lock().push(BackendThread { shutdown, handle: Some(handle) });
+
+        // Register the instance's identity with the hardware TPM for deep
+        // attestation: extend its EK digest into the binding PCR and log it.
+        self.register_attestation_identity(instance)?;
+
+        Ok(Guest { domain, instance, front })
+    }
+
+    // ---- deep attestation ---------------------------------------------------
+
+    /// EK modulus of a live instance (its attestation identity).
+    pub fn instance_ek_modulus(&self, instance: InstanceId) -> Option<Vec<u8>> {
+        self.manager
+            .with_instance(instance, |i| i.tpm.ek_public().n.to_bytes_be())
+    }
+
+    /// Extend the instance's EK digest into the hardware binding PCR and
+    /// append it to the registration log.
+    pub fn register_attestation_identity(&self, instance: InstanceId) -> XenResult<()> {
+        let ek = self
+            .instance_ek_modulus(instance)
+            .ok_or(XenError::BadImage("no such instance"))?;
+        let digest = crate::deep_quote::registration_digest(&ek);
+        let mut hw = self.hw_tpm.lock();
+        let mut client =
+            TpmClient::new(DirectTransport { tpm: &mut hw, locality: 0 }, b"register-aik");
+        client
+            .extend(crate::deep_quote::BINDING_PCR as u32, &digest)
+            .map_err(|_| XenError::BadImage("binding pcr extend"))?;
+        self.registration_log.lock().push(digest);
+        Ok(())
+    }
+
+    /// Snapshot of the registration log (ships with deep quotes).
+    pub fn registration_log(&self) -> Vec<[u8; 20]> {
+        self.registration_log.lock().clone()
+    }
+
+    /// Hardware-TPM countersignature for a deep quote: quotes the binding
+    /// PCR with external data chaining `nonce` and the guest's vTPM quote
+    /// signature. Returns (binding PCR value, hw signature, hw AIK
+    /// modulus). The hardware AIK is created lazily on first use.
+    pub fn hw_countersign(
+        &self,
+        nonce: &[u8; 20],
+        vtpm_signature: &[u8],
+    ) -> XenResult<([u8; 20], Vec<u8>, Vec<u8>)> {
+        let mut hw = self.hw_tpm.lock();
+        // Lazily create the hardware AIK.
+        let mut aik_slot = self.hw_aik.lock();
+        if aik_slot.is_none() {
+            let auth = {
+                let digest = tpm_crypto::sha256(&[self.seed.as_slice(), b"/hw-aik"].concat());
+                let mut a = [0u8; 20];
+                a.copy_from_slice(&digest[..20]);
+                a
+            };
+            let mut client =
+                TpmClient::new(DirectTransport { tpm: &mut hw, locality: 0 }, b"hw-aik");
+            let blob = client
+                .create_wrap_key(
+                    tpm::handle::SRK,
+                    &HW_SRK_AUTH,
+                    tpm::KeyUsage::Signing,
+                    512,
+                    &auth,
+                    None,
+                )
+                .map_err(|_| XenError::BadImage("hw aik create"))?;
+            let handle = client
+                .load_key2(tpm::handle::SRK, &HW_SRK_AUTH, &blob)
+                .map_err(|_| XenError::BadImage("hw aik load"))?;
+            *aik_slot = Some(HwAik { handle, auth, modulus: blob.n });
+        }
+        let aik = aik_slot.as_ref().expect("just created");
+
+        let external = crate::deep_quote::chain_digest(nonce, vtpm_signature);
+        let sel = tpm::PcrSelection::of(&[crate::deep_quote::BINDING_PCR]);
+        let mut client =
+            TpmClient::new(DirectTransport { tpm: &mut hw, locality: 0 }, b"hw-quote");
+        let (values, sig) = client
+            .quote(aik.handle, &aik.auth, &external, &sel)
+            .map_err(|_| XenError::BadImage("hw quote"))?;
+        Ok((values[0], sig, aik.modulus.clone()))
+    }
+
+    /// This platform's hardware EK public key (what a migration source
+    /// binds packages to).
+    pub fn hw_ek_public(&self) -> RsaPublicKey {
+        self.hw_tpm.lock().ek_public()
+    }
+
+    /// Export instance `id` for migration. `secure` selects the sealed
+    /// protocol; `dst_ek` must be the destination's [`Platform::hw_ek_public`].
+    pub fn export_instance(
+        &self,
+        id: InstanceId,
+        secure: bool,
+        dst_ek: Option<&RsaPublicKey>,
+    ) -> Option<MigrationPackage> {
+        let state = self.manager.export_instance_state(id)?;
+        let package = if secure {
+            let mut rng = Drbg::new(&[self.seed.as_slice(), b"/migration", &id.to_be_bytes()].concat());
+            migration::package_sealed(&state, dst_ek?, &mut rng)
+        } else {
+            migration::package_clear(&state)
+        };
+        self.manager.destroy_instance(id).ok()?;
+        Some(package)
+    }
+
+    /// Import a migrated instance; returns its new local id.
+    pub fn import_instance(
+        &self,
+        package: &MigrationPackage,
+    ) -> Result<InstanceId, migration::MigrationError> {
+        let state = match package {
+            MigrationPackage::Clear(s) => s.clone(),
+            MigrationPackage::Sealed { .. } => {
+                // EK decryption happens inside the hardware TPM.
+                let hw = self.hw_tpm.lock();
+                open_with_tpm(package, &hw)?
+            }
+        };
+        let instance =
+            VtpmInstance::from_state(0, &state, &self.seed, self.manager.config().vtpm_config.clone())
+                .map_err(|_| migration::MigrationError::Malformed)?;
+        self.manager
+            .adopt_instance(instance)
+            .map_err(|_| migration::MigrationError::Malformed)
+    }
+
+    /// Migrate a whole VM — domain memory image *and* its vTPM — to
+    /// `destination`, using the sealed vTPM protocol. Returns the new
+    /// (domain, instance) pair; the destination must still provision and
+    /// connect a device for the restored domain (as real toolstacks do on
+    /// the resume path) — [`Platform::attach_migrated_guest`] does both.
+    pub fn migrate_vm(
+        &self,
+        guest: Guest,
+        destination: &Platform,
+    ) -> XenResult<(DomainId, InstanceId)> {
+        let Guest { domain, instance, front } = guest;
+        // Quiesce the device before harvesting memory.
+        front.disconnect();
+        // Ship the domain image.
+        let image = self.hv.save_domain(DomainId::DOM0, domain)?;
+        self.hv.complete_save(DomainId::DOM0, domain)?;
+        let new_domain = destination.hv.restore_domain(DomainId::DOM0, &image)?;
+        // Ship the vTPM, destination-bound.
+        let package = self
+            .export_instance(instance, true, Some(&destination.hw_ek_public()))
+            .ok_or(XenError::BadImage("instance export"))?;
+        let new_instance = destination
+            .import_instance(&package)
+            .map_err(|_| XenError::BadImage("instance import"))?;
+        destination.register_attestation_identity(new_instance)?;
+        Ok((new_domain, new_instance))
+    }
+
+    /// Resume path after [`Platform::migrate_vm`]: provision and connect
+    /// the vTPM device for a restored domain, with a serving backend.
+    pub fn attach_migrated_guest(
+        &self,
+        domain: DomainId,
+        instance: InstanceId,
+    ) -> XenResult<Guest> {
+        provision_device(&self.hv, domain, instance)?;
+        let mut front = TpmFront::connect(Arc::clone(&self.hv), domain)?;
+        front.scrub = self.scrub_rings;
+        let mut back = TpmBack::connect(Arc::clone(&self.hv), Arc::clone(&self.manager), domain)?;
+        back.scrub = self.scrub_rings;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || back.run(&sd));
+        self.backends.lock().push(BackendThread { shutdown, handle: Some(handle) });
+        Ok(Guest { domain, instance, front })
+    }
+
+    /// Stop every backend thread (also done on drop).
+    pub fn shutdown(&self) {
+        let mut backends = self.backends.lock();
+        for b in backends.iter() {
+            b.shutdown.store(true, Ordering::Relaxed);
+        }
+        for b in backends.iter_mut() {
+            if let Some(h) = b.handle.take() {
+                let _ = h.join();
+            }
+        }
+        backends.clear();
+    }
+}
+
+/// Open a sealed package with the platform TPM's EK (internal decrypt).
+fn open_with_tpm(
+    package: &MigrationPackage,
+    hw: &Tpm,
+) -> Result<Vec<u8>, migration::MigrationError> {
+    match package {
+        MigrationPackage::Clear(s) => Ok(s.clone()),
+        MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest } => {
+            let key_bytes = hw
+                .ek_decrypt_oaep(enc_session_key)
+                .map_err(|_| migration::MigrationError::WrongDestination)?;
+            let key: [u8; 16] = key_bytes
+                .try_into()
+                .map_err(|_| migration::MigrationError::WrongDestination)?;
+            let mut state = ciphertext.clone();
+            tpm_crypto::aes::AesCtr::new(&key, *nonce).apply_keystream(&mut state);
+            if &tpm_crypto::sha256(&state) != digest {
+                return Err(migration::MigrationError::Corrupted);
+            }
+            Ok(state)
+        }
+    }
+}
+
+impl Drop for Platform {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpm::PcrSelection;
+
+    #[test]
+    fn baseline_platform_boots_and_serves() {
+        let p = Platform::baseline(b"plat-1").unwrap();
+        let mut g = p.launch_guest("web1").unwrap();
+        let mut c = g.client(b"c");
+        c.startup_clear().unwrap();
+        assert_eq!(c.get_random(8).unwrap().len(), 8);
+        assert!(p.hw_tpm.lock().is_owned());
+    }
+
+    #[test]
+    fn improved_platform_scrubs_and_encrypts() {
+        let p = Platform::improved(b"plat-2").unwrap();
+        assert!(p.scrub_rings);
+        assert_eq!(p.manager.mirror_mode(), MirrorMode::Encrypted);
+        let mut g = p.launch_guest("web1").unwrap();
+        assert!(g.front.scrub);
+        let mut c = g.client(b"c");
+        c.startup_clear().unwrap();
+    }
+
+    #[test]
+    fn guests_get_distinct_instances_and_domains() {
+        let p = Platform::baseline(b"plat-3").unwrap();
+        let g1 = p.launch_guest("a").unwrap();
+        let g2 = p.launch_guest("b").unwrap();
+        assert_ne!(g1.domain, g2.domain);
+        assert_ne!(g1.instance, g2.instance);
+    }
+
+    #[test]
+    fn full_guest_workflow_seal_quote() {
+        let p = Platform::baseline(b"plat-4").unwrap();
+        let mut g = p.launch_guest("app").unwrap();
+        let mut c = g.client(b"c");
+        c.startup_clear().unwrap();
+        let owner = [7u8; 20];
+        let srk = [8u8; 20];
+        c.take_ownership(&owner, &srk).unwrap();
+        // Seal under the vTPM's SRK, bound to PCR 12.
+        c.extend(12, &[1; 20]).unwrap();
+        let blob = c
+            .seal(tpm::handle::SRK, &srk, &[9; 20], Some(&PcrSelection::of(&[12])), b"db-key")
+            .unwrap();
+        assert_eq!(c.unseal(tpm::handle::SRK, &srk, &[9; 20], &blob).unwrap(), b"db-key");
+        // Change the measurement -> unseal refused.
+        c.extend(12, &[2; 20]).unwrap();
+        assert!(c.unseal(tpm::handle::SRK, &srk, &[9; 20], &blob).is_err());
+    }
+
+    #[test]
+    fn secure_migration_between_platforms() {
+        let src = Platform::improved(b"src-host").unwrap();
+        let dst = Platform::improved(b"dst-host").unwrap();
+
+        // Give the source instance recognizable state.
+        let mut g = src.launch_guest("mig").unwrap();
+        let instance = g.instance;
+        {
+            let mut c = g.client(b"c");
+            c.startup_clear().unwrap();
+            c.extend(9, &[3; 20]).unwrap();
+        }
+        let pcr9 = src
+            .manager
+            .with_instance(instance, |i| i.tpm.pcrs().read(9).unwrap())
+            .unwrap();
+        let state_probe = src.manager.export_instance_state(instance).unwrap();
+
+        let dst_ek = dst.hw_ek_public();
+        let package = src.export_instance(instance, true, Some(&dst_ek)).unwrap();
+        // Sealed package hides the state...
+        assert!(!package.exposes(&state_probe[..64]));
+        // ...and the source no longer has the instance.
+        assert!(!src.manager.instance_ids().contains(&instance));
+
+        let new_id = dst.import_instance(&package).unwrap();
+        let pcr9_dst = dst
+            .manager
+            .with_instance(new_id, |i| i.tpm.pcrs().read(9).unwrap())
+            .unwrap();
+        assert_eq!(pcr9, pcr9_dst);
+    }
+
+    #[test]
+    fn clear_migration_exposes_state() {
+        let src = Platform::baseline(b"src-clear").unwrap();
+        let g = src.launch_guest("mig").unwrap();
+        let state = src.manager.export_instance_state(g.instance).unwrap();
+        let package = src.export_instance(g.instance, false, None).unwrap();
+        assert!(package.exposes(&state[..64]), "baseline migration ships cleartext");
+    }
+
+    #[test]
+    fn sealed_package_rejected_by_wrong_platform() {
+        let src = Platform::improved(b"src-x").unwrap();
+        let dst = Platform::improved(b"dst-x").unwrap();
+        let mallory = Platform::improved(b"mallory").unwrap();
+        let g = src.launch_guest("mig").unwrap();
+        let package = src.export_instance(g.instance, true, Some(&dst.hw_ek_public())).unwrap();
+        assert_eq!(
+            mallory.import_instance(&package).err(),
+            Some(migration::MigrationError::WrongDestination)
+        );
+        // The rightful destination still succeeds.
+        assert!(dst.import_instance(&package).is_ok());
+    }
+
+    #[test]
+    fn whole_vm_migration_with_vtpm() {
+        let src = Platform::improved(b"plat-vm-src").unwrap();
+        let dst = Platform::improved(b"plat-vm-dst").unwrap();
+
+        let mut g = src.launch_guest("moving").unwrap();
+        // Give both the domain memory and the vTPM distinguishable state.
+        let gf = src.hv.domain_info(g.domain).unwrap().frames[0];
+        src.hv.page_write(g.domain, gf, 0, b"APP-MEMORY-STATE").unwrap();
+        {
+            let mut c = g.client(b"c");
+            c.startup_clear().unwrap();
+            c.extend(6, &[0x66; 20]).unwrap();
+        }
+        let pcr6 = src
+            .manager
+            .with_instance(g.instance, |i| i.tpm.pcrs().read(6).unwrap())
+            .unwrap();
+        let old_domain = g.domain;
+
+        let (new_domain, new_instance) = src.migrate_vm(g, &dst).unwrap();
+        // Source no longer has the domain.
+        assert!(src.hv.domain_info(old_domain).is_err());
+
+        // Destination: domain memory arrived...
+        let df = dst.hv.domain_info(new_domain).unwrap().frames[0];
+        let mut buf = [0u8; 16];
+        dst.hv.page_read(new_domain, df, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"APP-MEMORY-STATE");
+        // ...and the vTPM resumed with its PCRs intact, usable over a
+        // freshly attached device.
+        let mut g2 = dst.attach_migrated_guest(new_domain, new_instance).unwrap();
+        let mut c2 = g2.client(b"c2");
+        c2.startup_state().unwrap();
+        assert_eq!(c2.pcr_read(6).unwrap(), pcr6);
+        // The migrated instance is registered for deep attestation at the
+        // destination.
+        let ek = dst.instance_ek_modulus(new_instance).unwrap();
+        assert!(dst
+            .registration_log()
+            .contains(&crate::deep_quote::registration_digest(&ek)));
+    }
+
+    #[test]
+    fn deep_attestation_end_to_end() {
+        use crate::deep_quote::{self, DeepQuote, DeepQuoteError};
+
+        let p = Platform::improved(b"plat-deep").unwrap();
+        let mut g = p.launch_guest("attested").unwrap();
+        let ek_modulus = p.instance_ek_modulus(g.instance).unwrap();
+
+        // The guest: boot, measure, make an AIK, quote with the nonce.
+        let mut c = g.client(b"c");
+        c.startup_clear().unwrap();
+        let owner = [1u8; 20];
+        let srk = [2u8; 20];
+        let key_auth = [3u8; 20];
+        c.take_ownership(&owner, &srk).unwrap();
+        c.extend(0, &[0x42; 20]).unwrap();
+        let blob = c
+            .create_wrap_key(tpm::handle::SRK, &srk, tpm::KeyUsage::Signing, 512, &key_auth, None)
+            .unwrap();
+        let aik = c.load_key2(tpm::handle::SRK, &srk, &blob).unwrap();
+        let nonce = [0x77u8; 20];
+        let sel = tpm::PcrSelection::of(&[0]);
+        let (values, vtpm_sig) = c.quote(aik, &key_auth, &nonce, &sel).unwrap();
+
+        // The platform countersigns.
+        let (hw_pcr, hw_sig, hw_aik_modulus) = p.hw_countersign(&nonce, &vtpm_sig).unwrap();
+
+        let bundle = DeepQuote {
+            vtpm_pcr_values: values,
+            vtpm_selection: vec![0],
+            vtpm_signature: vtpm_sig,
+            vtpm_aik_modulus: blob.n.clone(),
+            vtpm_ek_modulus: ek_modulus,
+            hw_binding_pcr: hw_pcr,
+            hw_signature: hw_sig,
+            hw_aik_modulus,
+            registration_log: p.registration_log(),
+        };
+        deep_quote::verify(&bundle, &nonce).unwrap();
+
+        // Negatives.
+        // Wrong nonce: the vTPM signature check fails first.
+        assert_eq!(
+            deep_quote::verify(&bundle, &[0x78; 20]),
+            Err(DeepQuoteError::BadVtpmSignature)
+        );
+        // Unregistered instance: claim a different EK.
+        let mut spoofed = bundle.clone();
+        spoofed.vtpm_ek_modulus = vec![0xFF; 128];
+        assert_eq!(
+            deep_quote::verify(&spoofed, &nonce),
+            Err(DeepQuoteError::UnregisteredInstance)
+        );
+        // Tampered log: replay no longer matches the attested PCR.
+        let mut cut = bundle.clone();
+        cut.registration_log.push([9; 20]);
+        assert_eq!(deep_quote::verify(&cut, &nonce), Err(DeepQuoteError::LogMismatch));
+        // Tampered hardware signature.
+        let mut badhw = bundle.clone();
+        badhw.hw_signature[0] ^= 1;
+        assert_eq!(
+            deep_quote::verify(&badhw, &nonce),
+            Err(DeepQuoteError::BadHwSignature)
+        );
+    }
+
+    #[test]
+    fn deep_attestation_covers_multiple_guests() {
+        use crate::deep_quote;
+
+        let p = Platform::improved(b"plat-deep-multi").unwrap();
+        let g1 = p.launch_guest("a").unwrap();
+        let g2 = p.launch_guest("b").unwrap();
+        let log = p.registration_log();
+        assert_eq!(log.len(), 2);
+        // Both instances' EK digests are present and ordered.
+        let d1 = deep_quote::registration_digest(&p.instance_ek_modulus(g1.instance).unwrap());
+        let d2 = deep_quote::registration_digest(&p.instance_ek_modulus(g2.instance).unwrap());
+        assert_eq!(log, vec![d1, d2]);
+        // The hardware PCR matches the replayed log.
+        let hw_pcr = p.hw_tpm.lock().pcrs().read(deep_quote::BINDING_PCR).unwrap();
+        assert_eq!(deep_quote::replay_log(&log), hw_pcr);
+    }
+
+    #[test]
+    fn shutdown_idempotent() {
+        let p = Platform::baseline(b"plat-sd").unwrap();
+        let _g = p.launch_guest("a").unwrap();
+        p.shutdown();
+        p.shutdown();
+    }
+}

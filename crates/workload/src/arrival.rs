@@ -1,0 +1,135 @@
+//! Open-loop arrival processes.
+//!
+//! Closed-loop drivers (`runner`) measure capacity; open-loop arrivals
+//! measure *latency under offered load*, which is what a consolidation
+//! host actually experiences — guests issue TPM requests when their
+//! applications need them, not back-to-back. Interarrival times are
+//! exponential (Poisson process), the standard model for independent
+//! request sources.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Poisson arrival process with a fixed rate.
+pub struct PoissonArrivals {
+    rng: StdRng,
+    /// Mean interarrival gap in nanoseconds.
+    mean_gap_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// `rate_per_sec` arrivals per second on average.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(rate_per_sec > 0.0);
+        PoissonArrivals { rng: StdRng::seed_from_u64(seed), mean_gap_ns: 1e9 / rate_per_sec }
+    }
+
+    /// Next interarrival gap in nanoseconds (exponentially distributed).
+    pub fn next_gap_ns(&mut self) -> u64 {
+        // Inverse-CDF sampling; clamp u away from 0 to avoid inf.
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        (-u.ln() * self.mean_gap_ns) as u64
+    }
+
+    /// Generate `n` absolute arrival timestamps starting at 0.
+    pub fn schedule(&mut self, n: usize) -> Vec<u64> {
+        let mut t = 0u64;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap_ns();
+                t
+            })
+            .collect()
+    }
+}
+
+/// Offered-load run summary.
+#[derive(Debug, Clone, Copy)]
+pub struct OfferedLoadResult {
+    /// Arrivals issued.
+    pub issued: usize,
+    /// Mean response time (service + queueing) in ns.
+    pub mean_response_ns: f64,
+    /// Fraction of requests that waited behind an earlier one.
+    pub queued_fraction: f64,
+}
+
+/// Simulate an M/D/1-style queue: Poisson arrivals, deterministic
+/// service time (the per-op virtual cost). This predicts the latency a
+/// hardware-TPM-backed vTPM sees at a given offered load — the analytical
+/// companion to the measured closed-loop runs.
+pub fn offered_load_model(
+    rate_per_sec: f64,
+    service_ns: u64,
+    n: usize,
+    seed: u64,
+) -> OfferedLoadResult {
+    let mut arrivals = PoissonArrivals::new(rate_per_sec, seed);
+    let schedule = arrivals.schedule(n);
+    let mut server_free_at = 0u64;
+    let mut total_response = 0u128;
+    let mut queued = 0usize;
+    for &arrive in &schedule {
+        let start = arrive.max(server_free_at);
+        if start > arrive {
+            queued += 1;
+        }
+        let done = start + service_ns;
+        server_free_at = done;
+        total_response += (done - arrive) as u128;
+    }
+    OfferedLoadResult {
+        issued: n,
+        mean_response_ns: total_response as f64 / n as f64,
+        queued_fraction: queued as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_average_to_rate() {
+        let mut a = PoissonArrivals::new(1000.0, 42); // 1k/s => 1ms mean
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| a.next_gap_ns()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1e6).abs() < 5e4, "mean gap {mean} ns");
+    }
+
+    #[test]
+    fn schedule_is_monotonic() {
+        let mut a = PoissonArrivals::new(500.0, 7);
+        let s = a.schedule(100);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s1 = PoissonArrivals::new(100.0, 9).schedule(50);
+        let s2 = PoissonArrivals::new(100.0, 9).schedule(50);
+        assert_eq!(s1, s2);
+        let s3 = PoissonArrivals::new(100.0, 10).schedule(50);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn queueing_grows_with_utilization() {
+        // Service = 1ms. At 10% utilization queueing is rare; at 90% it
+        // dominates — textbook M/D/1 behaviour.
+        let low = offered_load_model(100.0, 1_000_000, 5_000, 1);
+        let high = offered_load_model(900.0, 1_000_000, 5_000, 1);
+        assert!(low.queued_fraction < 0.3, "low {:?}", low);
+        assert!(high.queued_fraction > 0.6, "high {:?}", high);
+        assert!(high.mean_response_ns > 2.0 * low.mean_response_ns);
+    }
+
+    #[test]
+    fn response_never_below_service_time() {
+        let r = offered_load_model(500.0, 2_000_000, 1_000, 3);
+        assert!(r.mean_response_ns >= 2_000_000.0);
+        assert_eq!(r.issued, 1_000);
+    }
+}

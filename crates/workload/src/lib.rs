@@ -1,0 +1,24 @@
+//! # workload
+//!
+//! Workload generation for the reproduction's performance experiments:
+//!
+//! * [`mix`] — weighted TPM command mixes modelling 2010-era vTPM guest
+//!   behaviour (attestation services, sealed storage, integrity
+//!   measurement);
+//! * [`driver`] — a per-guest closed-loop driver that performs the full
+//!   multi-command exchanges (auth sessions included) for each operation;
+//! * [`runner`] — a multi-VM concurrent runner collecting per-operation
+//!   wall-clock samples and virtual-time totals;
+//! * [`stats`] — latency sample sets with mean/percentile summaries.
+
+pub mod arrival;
+pub mod driver;
+pub mod mix;
+pub mod runner;
+pub mod stats;
+
+pub use arrival::{offered_load_model, OfferedLoadResult, PoissonArrivals};
+pub use driver::GuestSession;
+pub use mix::{CommandMix, Op};
+pub use runner::{run_concurrent, RunResult};
+pub use stats::{Samples, Summary};

@@ -1,0 +1,176 @@
+//! TPM command mixes.
+//!
+//! The paper's evaluation needs realistic guest behaviour; absent its
+//! exact workload description, the mixes model the three ways guests
+//! used vTPMs in the 2010 literature: remote attestation services
+//! (quote-heavy), sealed-storage services (seal/unseal-heavy), and
+//! general integrity measurement (extend/read with occasional seals).
+
+use tpm_crypto::drbg::Drbg;
+
+/// One operation a guest can issue against its vTPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// TPM_GetRandom (16 bytes).
+    GetRandom,
+    /// TPM_PcrRead of a rotating index.
+    PcrRead,
+    /// TPM_Extend of a rotating index.
+    Extend,
+    /// TPM_Seal of a small secret under the SRK.
+    Seal,
+    /// TPM_Unseal of the prepared blob.
+    Unseal,
+    /// TPM_Quote over PCRs 0–3 with a fresh nonce.
+    Quote,
+    /// TPM_Sign of a small message.
+    Sign,
+}
+
+impl Op {
+    /// All operations, in declaration order.
+    pub const ALL: [Op; 7] =
+        [Op::GetRandom, Op::PcrRead, Op::Extend, Op::Seal, Op::Unseal, Op::Quote, Op::Sign];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::GetRandom => "GetRandom",
+            Op::PcrRead => "PcrRead",
+            Op::Extend => "Extend",
+            Op::Seal => "Seal",
+            Op::Unseal => "Unseal",
+            Op::Quote => "Quote",
+            Op::Sign => "Sign",
+        }
+    }
+}
+
+/// A weighted command mix.
+#[derive(Debug, Clone)]
+pub struct CommandMix {
+    /// Mix label for reports.
+    pub name: &'static str,
+    weights: Vec<(Op, u32)>,
+    total: u32,
+}
+
+impl CommandMix {
+    /// Build from (op, weight) pairs; weights need not sum to anything.
+    pub fn new(name: &'static str, weights: &[(Op, u32)]) -> Self {
+        let total = weights.iter().map(|(_, w)| w).sum();
+        assert!(total > 0, "mix must have positive total weight");
+        CommandMix { name, weights: weights.to_vec(), total }
+    }
+
+    /// Attestation service: mostly quotes and PCR reads.
+    pub fn attestation_heavy() -> Self {
+        Self::new(
+            "attestation",
+            &[(Op::Quote, 50), (Op::PcrRead, 30), (Op::Extend, 10), (Op::GetRandom, 10)],
+        )
+    }
+
+    /// Sealed-storage service: seal/unseal dominates.
+    pub fn sealing_heavy() -> Self {
+        Self::new(
+            "sealing",
+            &[(Op::Seal, 35), (Op::Unseal, 35), (Op::GetRandom, 15), (Op::PcrRead, 15)],
+        )
+    }
+
+    /// Integrity measurement: extends and reads, occasional seal.
+    pub fn measurement() -> Self {
+        Self::new(
+            "measurement",
+            &[(Op::Extend, 45), (Op::PcrRead, 35), (Op::Seal, 10), (Op::GetRandom, 10)],
+        )
+    }
+
+    /// Uniform mix over everything (stress).
+    pub fn uniform() -> Self {
+        Self::new("uniform", &Op::ALL.map(|o| (o, 1)))
+    }
+
+    /// Cheap-commands-only mix (used where RSA cost would drown the
+    /// quantity being measured, e.g. the manager-scaling experiment).
+    pub fn light() -> Self {
+        Self::new("light", &[(Op::GetRandom, 40), (Op::PcrRead, 40), (Op::Extend, 20)])
+    }
+
+    /// Draw the next operation.
+    pub fn sample(&self, rng: &mut Drbg) -> Op {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (op, w) in &self.weights {
+            if pick < *w {
+                return *op;
+            }
+            pick -= w;
+        }
+        unreachable!("weights cover the range")
+    }
+
+    /// Generate a fixed-length operation sequence.
+    pub fn sequence(&self, n: usize, rng: &mut Drbg) -> Vec<Op> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The weight assigned to `op` (0 when absent).
+    pub fn weight(&self, op: Op) -> u32 {
+        self.weights.iter().find(|(o, _)| *o == op).map(|(_, w)| *w).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_respects_weights_roughly() {
+        let mix = CommandMix::new("t", &[(Op::Extend, 90), (Op::Seal, 10)]);
+        let mut rng = Drbg::new(b"mix");
+        let seq = mix.sequence(2000, &mut rng);
+        let extends = seq.iter().filter(|&&o| o == Op::Extend).count();
+        let seals = seq.len() - extends;
+        assert!(extends > 1600 && extends < 1990, "extends {extends}");
+        assert!(seals > 10, "seals {seals}");
+    }
+
+    #[test]
+    fn single_op_mix_is_constant() {
+        let mix = CommandMix::new("only", &[(Op::Quote, 5)]);
+        let mut rng = Drbg::new(b"mix2");
+        assert!(mix.sequence(50, &mut rng).iter().all(|&o| o == Op::Quote));
+    }
+
+    #[test]
+    fn presets_are_well_formed() {
+        for mix in [
+            CommandMix::attestation_heavy(),
+            CommandMix::sealing_heavy(),
+            CommandMix::measurement(),
+            CommandMix::uniform(),
+            CommandMix::light(),
+        ] {
+            let mut rng = Drbg::new(b"preset");
+            let seq = mix.sequence(100, &mut rng);
+            assert_eq!(seq.len(), 100);
+            // Every sampled op has positive weight in the mix.
+            assert!(seq.iter().all(|&o| mix.weight(o) > 0), "{}", mix.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mix = CommandMix::uniform();
+        let mut a = Drbg::new(b"same");
+        let mut b = Drbg::new(b"same");
+        assert_eq!(mix.sequence(100, &mut a), mix.sequence(100, &mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        CommandMix::new("empty", &[]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Latency sample collection and summary statistics.
+
+/// A set of latency samples in nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values_ns: Vec<u64>,
+}
+
+/// Summary statistics over a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (ns).
+    pub mean_ns: f64,
+    /// Minimum (ns).
+    pub min_ns: u64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl Samples {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, ns: u64) {
+        self.values_ns.push(ns);
+    }
+
+    /// Merge another set into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values_ns.extend_from_slice(&other.values_ns);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values_ns.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values_ns.is_empty()
+    }
+
+    /// Raw values (for export).
+    pub fn values(&self) -> &[u64] {
+        &self.values_ns
+    }
+
+    /// Compute the summary; `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.values_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values_ns.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            // Nearest-rank percentile.
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        Some(Summary {
+            count: sorted.len(),
+            mean_ns: sum as f64 / sorted.len() as f64,
+            min_ns: sorted[0],
+            p50_ns: pct(50.0),
+            p95_ns: pct(95.0),
+            p99_ns: pct(99.0),
+            max_ns: *sorted.last().unwrap(),
+        })
+    }
+}
+
+impl Summary {
+    /// Mean in milliseconds (convenience for report tables).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+
+    /// Relative overhead of `self` versus a `base` summary, in percent.
+    pub fn overhead_pct(&self, base: &Summary) -> f64 {
+        (self.mean_ns - base.mean_ns) / base.mean_ns * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_summary() {
+        assert!(Samples::new().summary().is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Samples::new();
+        s.push(100);
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.count, 1);
+        assert_eq!(sum.mean_ns, 100.0);
+        assert_eq!(sum.min_ns, 100);
+        assert_eq!(sum.p50_ns, 100);
+        assert_eq!(sum.p99_ns, 100);
+        assert_eq!(sum.max_ns, 100);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut s = Samples::new();
+        for v in 1..=100u64 {
+            s.push(v * 10);
+        }
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.min_ns, 10);
+        assert_eq!(sum.max_ns, 1000);
+        assert_eq!(sum.p50_ns, 500);
+        assert_eq!(sum.p95_ns, 950);
+        assert_eq!(sum.p99_ns, 990);
+        assert!((sum.mean_ns - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_independent() {
+        let mut a = Samples::new();
+        let mut b = Samples::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            a.push(v);
+        }
+        for v in [9u64, 7, 5, 3, 1] {
+            b.push(v);
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Samples::new();
+        a.push(1);
+        let mut b = Samples::new();
+        b.push(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.summary().unwrap().mean_ns, 2.0);
+    }
+
+    #[test]
+    fn overhead_pct() {
+        let base = Summary {
+            count: 1,
+            mean_ns: 100.0,
+            min_ns: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            max_ns: 0,
+        };
+        let other = Summary { mean_ns: 112.0, ..base };
+        assert!((other.overhead_pct(&base) - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Virtual time.
+//!
+//! The simulator separates *virtual* time (what the modelled hardware
+//! would take — e.g. a hardware TPM spending milliseconds on an RSA
+//! signature) from wall-clock time (what our Rust code actually costs,
+//! measured by Criterion). Components charge virtual time onto this clock;
+//! experiment harnesses read both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic virtual clock in nanoseconds. Thread-safe and lock-free:
+/// concurrent workers charge time with relaxed atomics (the total is what
+/// experiments consume, not the interleaving).
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+
+    /// Advance the clock by `ns`, returning the new time.
+    pub fn advance_ns(&self, ns: u64) -> u64 {
+        self.now_ns.fetch_add(ns, Ordering::Relaxed) + ns
+    }
+
+    /// Advance by microseconds.
+    pub fn advance_us(&self, us: u64) -> u64 {
+        self.advance_ns(us * 1_000)
+    }
+
+    /// Advance by milliseconds.
+    pub fn advance_ms(&self, ms: u64) -> u64 {
+        self.advance_ns(ms * 1_000_000)
+    }
+
+    /// Reset to zero (between experiment repetitions).
+    pub fn reset(&self) {
+        self.now_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A span of virtual time with start/end stamps, for latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualSpan {
+    /// Start stamp (ns).
+    pub start_ns: u64,
+    /// End stamp (ns).
+    pub end_ns: u64,
+}
+
+impl VirtualSpan {
+    /// Duration of the span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now_ns(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VirtualClock::new();
+        assert_eq!(c.advance_ns(10), 10);
+        assert_eq!(c.advance_us(2), 10 + 2_000);
+        assert_eq!(c.advance_ms(1), 10 + 2_000 + 1_000_000);
+        assert_eq!(c.now_ns(), 1_002_010);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = VirtualClock::new();
+        c.advance_ns(500);
+        c.reset();
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn concurrent_advances_sum() {
+        use std::sync::Arc;
+        let c = Arc::new(VirtualClock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance_ns(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now_ns(), 8 * 1000 * 3);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = VirtualSpan { start_ns: 100, end_ns: 350 };
+        assert_eq!(s.duration_ns(), 250);
+        let backwards = VirtualSpan { start_ns: 350, end_ns: 100 };
+        assert_eq!(backwards.duration_ns(), 0);
+    }
+}

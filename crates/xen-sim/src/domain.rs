@@ -1,0 +1,131 @@
+//! Domain identity, lifecycle state, and configuration.
+
+use std::fmt;
+
+/// Identifier of a domain. Dom0 is always id 0; guests get ids >= 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The privileged control domain.
+    pub const DOM0: DomainId = DomainId(0);
+
+    /// Whether this is the privileged control domain.
+    pub fn is_dom0(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// Lifecycle state of a domain, mirroring Xen's coarse states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainState {
+    /// Being constructed by the domain builder; not yet schedulable.
+    Building,
+    /// Runnable.
+    Running,
+    /// Paused by the toolstack; memory retained.
+    Paused,
+    /// Suspended for save/migration; memory about to be harvested.
+    Suspended,
+    /// Destroyed; resources released.
+    Dead,
+}
+
+/// Static configuration supplied at domain creation.
+#[derive(Debug, Clone)]
+pub struct DomainConfig {
+    /// Human-readable name (unique per host in real Xen; we enforce it).
+    pub name: String,
+    /// Number of memory pages to allocate at build time.
+    pub memory_pages: usize,
+    /// Number of virtual CPUs (informs the scheduler's weighting only).
+    pub vcpus: u32,
+    /// Credit-scheduler weight (Xen default 256).
+    pub weight: u32,
+}
+
+impl DomainConfig {
+    /// A small default guest: 16 pages, 1 vcpu, default weight.
+    pub fn small(name: &str) -> Self {
+        DomainConfig { name: name.to_string(), memory_pages: 16, vcpus: 1, weight: 256 }
+    }
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig::small("guest")
+    }
+}
+
+/// A domain record held by the hypervisor.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Identity.
+    pub id: DomainId,
+    /// Name from the config.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: DomainState,
+    /// Machine frame numbers owned by this domain, in pseudo-physical order:
+    /// `frames[pfn]` is the machine frame backing guest page `pfn`.
+    pub frames: Vec<usize>,
+    /// vcpus configured.
+    pub vcpus: u32,
+    /// Scheduler weight.
+    pub weight: u32,
+    /// Cumulative CPU time charged by the scheduler (virtual ns).
+    pub cpu_time_ns: u64,
+}
+
+impl Domain {
+    /// Whether the domain can currently execute hypercalls.
+    pub fn is_alive(&self) -> bool {
+        matches!(self.state, DomainState::Running | DomainState::Paused | DomainState::Building)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dom0_identity() {
+        assert!(DomainId::DOM0.is_dom0());
+        assert!(!DomainId(3).is_dom0());
+        assert_eq!(format!("{}", DomainId(5)), "dom5");
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = DomainConfig::small("web1");
+        assert_eq!(c.name, "web1");
+        assert_eq!(c.memory_pages, 16);
+        assert_eq!(c.weight, 256);
+    }
+
+    #[test]
+    fn alive_states() {
+        let mut d = Domain {
+            id: DomainId(1),
+            name: "t".into(),
+            state: DomainState::Running,
+            frames: vec![],
+            vcpus: 1,
+            weight: 256,
+            cpu_time_ns: 0,
+        };
+        assert!(d.is_alive());
+        d.state = DomainState::Paused;
+        assert!(d.is_alive());
+        d.state = DomainState::Dead;
+        assert!(!d.is_alive());
+        d.state = DomainState::Suspended;
+        assert!(!d.is_alive());
+    }
+}

@@ -1,0 +1,219 @@
+//! Grant tables: the Xen mechanism by which one domain authorizes another
+//! to access specific frames of its memory. The vTPM split driver passes
+//! command/response buffers through granted pages, so forging or replaying
+//! grants is part of the attack surface the access-control layer considers.
+
+use std::collections::HashMap;
+
+use crate::domain::DomainId;
+use crate::error::{Result, XenError};
+
+/// A grant reference: (granting domain, slot index), unique per host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GrantRef {
+    /// Domain that issued the grant.
+    pub granter: DomainId,
+    /// Slot in the granter's grant table.
+    pub slot: u32,
+}
+
+/// Access allowed through a grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantAccess {
+    /// Grantee may read the frame.
+    ReadOnly,
+    /// Grantee may read and write the frame.
+    ReadWrite,
+}
+
+/// One grant-table entry.
+#[derive(Debug, Clone)]
+struct GrantEntry {
+    grantee: DomainId,
+    mfn: usize,
+    access: GrantAccess,
+    /// Number of active mappings held by the grantee.
+    map_count: u32,
+}
+
+/// All grant tables on the host, keyed by granting domain.
+#[derive(Default)]
+pub struct GrantTables {
+    tables: HashMap<DomainId, HashMap<u32, GrantEntry>>,
+    next_slot: HashMap<DomainId, u32>,
+}
+
+impl GrantTables {
+    /// Empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `granter` authorizes `grantee` to access frame `mfn`.
+    pub fn grant(
+        &mut self,
+        granter: DomainId,
+        grantee: DomainId,
+        mfn: usize,
+        access: GrantAccess,
+    ) -> GrantRef {
+        let slot_counter = self.next_slot.entry(granter).or_insert(0);
+        let slot = *slot_counter;
+        *slot_counter += 1;
+        self.tables.entry(granter).or_default().insert(
+            slot,
+            GrantEntry { grantee, mfn, access, map_count: 0 },
+        );
+        GrantRef { granter, slot }
+    }
+
+    /// `mapper` maps the granted frame; returns (mfn, access) on success.
+    ///
+    /// Fails unless the grant exists and names `mapper` as the grantee —
+    /// this is the check a malicious domain probes when it tries to map a
+    /// foreign grant ref it observed elsewhere.
+    pub fn map(&mut self, gref: GrantRef, mapper: DomainId) -> Result<(usize, GrantAccess)> {
+        let entry = self
+            .tables
+            .get_mut(&gref.granter)
+            .and_then(|t| t.get_mut(&gref.slot))
+            .ok_or(XenError::BadGrant)?;
+        if entry.grantee != mapper {
+            return Err(XenError::BadGrant);
+        }
+        entry.map_count += 1;
+        Ok((entry.mfn, entry.access))
+    }
+
+    /// `mapper` releases one mapping of the grant.
+    pub fn unmap(&mut self, gref: GrantRef, mapper: DomainId) -> Result<()> {
+        let entry = self
+            .tables
+            .get_mut(&gref.granter)
+            .and_then(|t| t.get_mut(&gref.slot))
+            .ok_or(XenError::BadGrant)?;
+        if entry.grantee != mapper || entry.map_count == 0 {
+            return Err(XenError::BadGrant);
+        }
+        entry.map_count -= 1;
+        Ok(())
+    }
+
+    /// The granter revokes the grant. Fails with [`XenError::GrantInUse`]
+    /// while mappings remain, as in real Xen.
+    pub fn revoke(&mut self, gref: GrantRef, caller: DomainId) -> Result<()> {
+        if caller != gref.granter {
+            return Err(XenError::BadGrant);
+        }
+        let table = self.tables.get_mut(&gref.granter).ok_or(XenError::BadGrant)?;
+        let entry = table.get(&gref.slot).ok_or(XenError::BadGrant)?;
+        if entry.map_count > 0 {
+            return Err(XenError::GrantInUse);
+        }
+        table.remove(&gref.slot);
+        Ok(())
+    }
+
+    /// Look up a grant without mapping it (diagnostics).
+    pub fn inspect(&self, gref: GrantRef) -> Option<(DomainId, usize, GrantAccess, u32)> {
+        self.tables
+            .get(&gref.granter)
+            .and_then(|t| t.get(&gref.slot))
+            .map(|e| (e.grantee, e.mfn, e.access, e.map_count))
+    }
+
+    /// Drop every grant issued by `domain` (domain destruction). Active
+    /// mappings are forcibly severed, as Xen does when a domain dies.
+    pub fn purge_domain(&mut self, domain: DomainId) {
+        self.tables.remove(&domain);
+        self.next_slot.remove(&domain);
+    }
+
+    /// Count of live grants issued by `domain`.
+    pub fn grants_of(&self, domain: DomainId) -> usize {
+        self.tables.get(&domain).map_or(0, |t| t.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D1: DomainId = DomainId(1);
+    const D2: DomainId = DomainId(2);
+    const D3: DomainId = DomainId(3);
+
+    #[test]
+    fn grant_map_unmap_revoke() {
+        let mut g = GrantTables::new();
+        let gref = g.grant(D1, D2, 42, GrantAccess::ReadWrite);
+        let (mfn, access) = g.map(gref, D2).unwrap();
+        assert_eq!(mfn, 42);
+        assert_eq!(access, GrantAccess::ReadWrite);
+        // Revoke while mapped fails.
+        assert_eq!(g.revoke(gref, D1), Err(XenError::GrantInUse));
+        g.unmap(gref, D2).unwrap();
+        g.revoke(gref, D1).unwrap();
+        // Gone now.
+        assert_eq!(g.map(gref, D2), Err(XenError::BadGrant));
+    }
+
+    #[test]
+    fn foreign_domain_cannot_map() {
+        let mut g = GrantTables::new();
+        let gref = g.grant(D1, D2, 7, GrantAccess::ReadOnly);
+        assert_eq!(g.map(gref, D3), Err(XenError::BadGrant));
+        // The granter itself is not the grantee either.
+        assert_eq!(g.map(gref, D1), Err(XenError::BadGrant));
+    }
+
+    #[test]
+    fn only_granter_can_revoke() {
+        let mut g = GrantTables::new();
+        let gref = g.grant(D1, D2, 7, GrantAccess::ReadOnly);
+        assert_eq!(g.revoke(gref, D2), Err(XenError::BadGrant));
+        assert!(g.revoke(gref, D1).is_ok());
+    }
+
+    #[test]
+    fn map_counts_nest() {
+        let mut g = GrantTables::new();
+        let gref = g.grant(D1, D2, 7, GrantAccess::ReadOnly);
+        g.map(gref, D2).unwrap();
+        g.map(gref, D2).unwrap();
+        g.unmap(gref, D2).unwrap();
+        assert_eq!(g.revoke(gref, D1), Err(XenError::GrantInUse));
+        g.unmap(gref, D2).unwrap();
+        assert!(g.revoke(gref, D1).is_ok());
+    }
+
+    #[test]
+    fn unmap_without_map_rejected() {
+        let mut g = GrantTables::new();
+        let gref = g.grant(D1, D2, 7, GrantAccess::ReadOnly);
+        assert_eq!(g.unmap(gref, D2), Err(XenError::BadGrant));
+    }
+
+    #[test]
+    fn slots_unique_per_granter() {
+        let mut g = GrantTables::new();
+        let a = g.grant(D1, D2, 1, GrantAccess::ReadOnly);
+        let b = g.grant(D1, D2, 2, GrantAccess::ReadOnly);
+        let c = g.grant(D2, D1, 3, GrantAccess::ReadOnly);
+        assert_ne!(a.slot, b.slot);
+        // Different granters may reuse slot numbers.
+        assert_eq!(c.slot, 0);
+        assert_eq!(g.grants_of(D1), 2);
+        assert_eq!(g.grants_of(D2), 1);
+    }
+
+    #[test]
+    fn purge_severs_everything() {
+        let mut g = GrantTables::new();
+        let gref = g.grant(D1, D2, 1, GrantAccess::ReadWrite);
+        g.map(gref, D2).unwrap();
+        g.purge_domain(D1);
+        assert_eq!(g.map(gref, D2), Err(XenError::BadGrant));
+        assert_eq!(g.grants_of(D1), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # xen-sim
+//!
+//! A discrete simulator of the Xen interfaces that the vTPM subsystem of
+//! *Improvement for vTPM Access Control on Xen* (ICPPW 2010) touches.
+//!
+//! The reproduction cannot run a real hypervisor, so this crate rebuilds
+//! the relevant substrate with the same actors, interfaces, and — most
+//! importantly — the same *trust boundaries*:
+//!
+//! * [`memory`] — machine frames with ownership and a protection tag; the
+//!   [`Hypervisor::dump_memory`] facility reproduces Dom0 memory-dump
+//!   tooling (the paper's stated attack vector).
+//! * [`domain`] + [`hypervisor`] — domain lifecycle with Dom0 privilege
+//!   checks, save/restore images for migration.
+//! * [`grant`] — grant tables, the authorization mechanism for shared
+//!   pages.
+//! * [`event`] — event channels with blocking waits for driver threads.
+//! * [`ring`] — byte-stream shared rings (the split-driver transport),
+//!   stored *inside* simulated memory so ring traffic is dumpable.
+//! * [`xenstore`] — the hierarchical store with real xenstored permission
+//!   semantics, including the Dom0 override that enables the rebinding
+//!   attack the paper's AC1 defends against.
+//! * [`sched`] — a simplified credit scheduler for CPU-time accounting.
+//! * [`clock`] — virtual time, kept separate from wall-clock benchmarks.
+
+pub mod clock;
+pub mod domain;
+pub mod error;
+pub mod event;
+pub mod grant;
+pub mod hypervisor;
+pub mod memory;
+pub mod ring;
+pub mod sched;
+pub mod xenstore;
+
+pub use clock::VirtualClock;
+pub use domain::{Domain, DomainConfig, DomainId, DomainState};
+pub use error::{Result, XenError};
+pub use event::{Endpoint, EventChannels, Port};
+pub use grant::{GrantAccess, GrantRef, GrantTables};
+pub use hypervisor::{DomainImage, Hypervisor};
+pub use memory::{MachineMemory, PageProtection, PAGE_SIZE};
+pub use ring::{ByteRing, PageRegion, RingDir};
+pub use sched::{CreditScheduler, Priority};
+pub use xenstore::{Perms, WatchEvent, XenStore};

@@ -1,0 +1,419 @@
+//! Shared-memory rings: the split-driver transport.
+//!
+//! Modelled on Xen's byte-stream rings (the `xencons`/xenstore style used
+//! by tpmif): a region of granted pages holds a header with four
+//! free-running counters and two circular byte streams, one per direction.
+//! Messages are `(id, payload)` with a fixed 8-byte header.
+//!
+//! Crucially, the ring lives *inside simulated machine memory*, so its
+//! contents — TPM commands in flight — are visible to the memory-dump
+//! attacker exactly as they are on real hardware. The access-control
+//! layer's HMAC covers these bytes; nothing hides them.
+
+use crate::error::{Result, XenError};
+use crate::memory::{MachineMemory, PAGE_SIZE};
+
+/// A contiguous-looking region backed by (possibly scattered) frames.
+#[derive(Debug, Clone)]
+pub struct PageRegion {
+    mfns: Vec<usize>,
+}
+
+impl PageRegion {
+    /// Wrap an ordered list of frames.
+    pub fn new(mfns: Vec<usize>) -> Self {
+        PageRegion { mfns }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.mfns.len() * PAGE_SIZE
+    }
+
+    /// True if the region has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.mfns.is_empty()
+    }
+
+    /// The backing frames.
+    pub fn mfns(&self) -> &[usize] {
+        &self.mfns
+    }
+
+    /// Read bytes starting at `offset`, crossing page boundaries.
+    pub fn read(&self, mem: &MachineMemory, mut offset: usize, buf: &mut [u8]) -> Result<()> {
+        if offset + buf.len() > self.len() {
+            return Err(XenError::BadFrame);
+        }
+        let mut done = 0;
+        while done < buf.len() {
+            let page = offset / PAGE_SIZE;
+            let in_page = offset % PAGE_SIZE;
+            let take = (PAGE_SIZE - in_page).min(buf.len() - done);
+            mem.read(self.mfns[page], in_page, &mut buf[done..done + take])?;
+            done += take;
+            offset += take;
+        }
+        Ok(())
+    }
+
+    /// Write bytes starting at `offset`, crossing page boundaries.
+    pub fn write(&self, mem: &mut MachineMemory, mut offset: usize, data: &[u8]) -> Result<()> {
+        if offset + data.len() > self.len() {
+            return Err(XenError::BadFrame);
+        }
+        let mut done = 0;
+        while done < data.len() {
+            let page = offset / PAGE_SIZE;
+            let in_page = offset % PAGE_SIZE;
+            let take = (PAGE_SIZE - in_page).min(data.len() - done);
+            mem.write(self.mfns[page], in_page, &data[done..done + take])?;
+            done += take;
+            offset += take;
+        }
+        Ok(())
+    }
+}
+
+/// Direction of a stream within the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingDir {
+    /// Frontend → backend (requests).
+    FrontToBack,
+    /// Backend → frontend (responses).
+    BackToFront,
+}
+
+/// Byte offsets of the four counters in the header.
+const TX_PROD: usize = 0;
+const TX_CONS: usize = 4;
+const RX_PROD: usize = 8;
+const RX_CONS: usize = 12;
+const HEADER_LEN: usize = 16;
+
+/// Per-message header: u32 id, u32 payload length.
+const MSG_HEADER: usize = 8;
+
+/// A two-direction byte ring laid out in a [`PageRegion`].
+///
+/// The struct itself holds no state beyond the region geometry — all
+/// counters live in shared memory, so frontend and backend can each hold
+/// their own `ByteRing` value over the same frames, exactly like two ends
+/// mapping the same grant.
+#[derive(Debug, Clone)]
+pub struct ByteRing {
+    region: PageRegion,
+    /// Capacity of each direction's circular buffer.
+    half: usize,
+}
+
+impl ByteRing {
+    /// Lay a ring over `region`. Each direction gets half the space after
+    /// the header.
+    pub fn new(region: PageRegion) -> Result<Self> {
+        if region.len() < HEADER_LEN + 2 * 64 {
+            return Err(XenError::BadFrame);
+        }
+        let half = (region.len() - HEADER_LEN) / 2;
+        Ok(ByteRing { region, half })
+    }
+
+    /// Zero the counters (done once by the frontend at setup).
+    pub fn init(&self, mem: &mut MachineMemory) -> Result<()> {
+        self.region.write(mem, TX_PROD, &[0; HEADER_LEN])
+    }
+
+    /// Capacity of one direction in bytes.
+    pub fn capacity(&self) -> usize {
+        self.half
+    }
+
+    fn counters(&self, dir: RingDir) -> (usize, usize, usize) {
+        // (prod offset, cons offset, data base)
+        match dir {
+            RingDir::FrontToBack => (TX_PROD, TX_CONS, HEADER_LEN),
+            RingDir::BackToFront => (RX_PROD, RX_CONS, HEADER_LEN + self.half),
+        }
+    }
+
+    fn load_u32(&self, mem: &MachineMemory, off: usize) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.region.read(mem, off, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn store_u32(&self, mem: &mut MachineMemory, off: usize, v: u32) -> Result<()> {
+        self.region.write(mem, off, &v.to_le_bytes())
+    }
+
+    /// Copy `data` into the circular buffer at free-running index `idx`.
+    fn copy_in(
+        &self,
+        mem: &mut MachineMemory,
+        base: usize,
+        idx: u32,
+        data: &[u8],
+    ) -> Result<()> {
+        let start = idx as usize % self.half;
+        let first = (self.half - start).min(data.len());
+        self.region.write(mem, base + start, &data[..first])?;
+        if first < data.len() {
+            self.region.write(mem, base, &data[first..])?;
+        }
+        Ok(())
+    }
+
+    /// Copy out of the circular buffer at free-running index `idx`.
+    fn copy_out(
+        &self,
+        mem: &MachineMemory,
+        base: usize,
+        idx: u32,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let start = idx as usize % self.half;
+        let first = (self.half - start).min(buf.len());
+        self.region.read(mem, base + start, &mut buf[..first])?;
+        if first < buf.len() {
+            self.region.read(mem, base, &mut buf[first..])?;
+        }
+        Ok(())
+    }
+
+    /// Produce a message; fails with [`XenError::RingFull`] when the free
+    /// space cannot hold it and [`XenError::MessageTooLarge`] when it never
+    /// could.
+    pub fn write_msg(
+        &self,
+        mem: &mut MachineMemory,
+        dir: RingDir,
+        id: u32,
+        payload: &[u8],
+    ) -> Result<()> {
+        let need = MSG_HEADER + payload.len();
+        if need > self.half {
+            return Err(XenError::MessageTooLarge);
+        }
+        let (prod_off, cons_off, base) = self.counters(dir);
+        let prod = self.load_u32(mem, prod_off)?;
+        let cons = self.load_u32(mem, cons_off)?;
+        let used = prod.wrapping_sub(cons) as usize;
+        if used + need > self.half {
+            return Err(XenError::RingFull);
+        }
+        let mut header = [0u8; MSG_HEADER];
+        header[..4].copy_from_slice(&id.to_le_bytes());
+        header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.copy_in(mem, base, prod, &header)?;
+        self.copy_in(mem, base, prod.wrapping_add(MSG_HEADER as u32), payload)?;
+        self.store_u32(mem, prod_off, prod.wrapping_add(need as u32))
+    }
+
+    /// Consume the next message if one is complete; `Ok(None)` when empty.
+    pub fn read_msg(
+        &self,
+        mem: &mut MachineMemory,
+        dir: RingDir,
+    ) -> Result<Option<(u32, Vec<u8>)>> {
+        let (prod_off, cons_off, base) = self.counters(dir);
+        let prod = self.load_u32(mem, prod_off)?;
+        let cons = self.load_u32(mem, cons_off)?;
+        let avail = prod.wrapping_sub(cons) as usize;
+        if avail == 0 {
+            return Ok(None);
+        }
+        if avail < MSG_HEADER {
+            // A producer would never leave a partial header; treat as empty
+            // (it is mid-write on another thread).
+            return Ok(None);
+        }
+        let mut header = [0u8; MSG_HEADER];
+        self.copy_out(mem, base, cons, &mut header)?;
+        let id = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+        if len > self.half - MSG_HEADER {
+            return Err(XenError::BadFrame); // corrupted ring
+        }
+        if avail < MSG_HEADER + len {
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len];
+        self.copy_out(mem, base, cons.wrapping_add(MSG_HEADER as u32), &mut payload)?;
+        self.store_u32(mem, cons_off, cons.wrapping_add((MSG_HEADER + len) as u32))?;
+        Ok(Some((id, payload)))
+    }
+
+    /// Like [`ByteRing::read_msg`], but zeroes the consumed bytes in the
+    /// shared buffer afterwards, so a later memory dump cannot recover
+    /// stale message contents. The baseline driver does not do this; the
+    /// improved one does (part of the AC3 hygiene).
+    pub fn read_msg_scrub(
+        &self,
+        mem: &mut MachineMemory,
+        dir: RingDir,
+    ) -> Result<Option<(u32, Vec<u8>)>> {
+        let (_, cons_off, base) = self.counters(dir);
+        let cons_before = self.load_u32(mem, cons_off)?;
+        let result = self.read_msg(mem, dir)?;
+        if let Some((_, ref payload)) = result {
+            let consumed = MSG_HEADER + payload.len();
+            let zeros = vec![0u8; consumed];
+            self.copy_in(mem, base, cons_before, &zeros)?;
+        }
+        Ok(result)
+    }
+
+    /// Bytes currently queued in `dir`.
+    pub fn used(&self, mem: &MachineMemory, dir: RingDir) -> Result<usize> {
+        let (prod_off, cons_off, _) = self.counters(dir);
+        let prod = self.load_u32(mem, prod_off)?;
+        let cons = self.load_u32(mem, cons_off)?;
+        Ok(prod.wrapping_sub(cons) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainId;
+
+    fn setup(pages: usize) -> (MachineMemory, ByteRing) {
+        let mut mem = MachineMemory::new(pages + 1);
+        let mfns = mem.alloc_frames(DomainId(1), pages).unwrap();
+        let ring = ByteRing::new(PageRegion::new(mfns)).unwrap();
+        ring.init(&mut mem).unwrap();
+        (mem, ring)
+    }
+
+    #[test]
+    fn region_rw_crosses_pages() {
+        let mut mem = MachineMemory::new(2);
+        let mfns = mem.alloc_frames(DomainId(1), 2).unwrap();
+        let region = PageRegion::new(mfns);
+        let data: Vec<u8> = (0..200u8).collect();
+        region.write(&mut mem, PAGE_SIZE - 100, &data).unwrap();
+        let mut buf = vec![0u8; 200];
+        region.read(&mem, PAGE_SIZE - 100, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Out of bounds rejected.
+        assert!(region.write(&mut mem, 2 * PAGE_SIZE - 10, &data).is_err());
+    }
+
+    #[test]
+    fn message_roundtrip_both_directions() {
+        let (mut mem, ring) = setup(1);
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 7, b"request").unwrap();
+        ring.write_msg(&mut mem, RingDir::BackToFront, 7, b"response").unwrap();
+        let (id, p) = ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+        assert_eq!((id, p.as_slice()), (7, b"request".as_slice()));
+        let (id, p) = ring.read_msg(&mut mem, RingDir::BackToFront).unwrap().unwrap();
+        assert_eq!((id, p.as_slice()), (7, b"response".as_slice()));
+        assert!(ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().is_none());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (mut mem, ring) = setup(1);
+        for i in 0..10u32 {
+            ring.write_msg(&mut mem, RingDir::FrontToBack, i, &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..10u32 {
+            let (id, p) = ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+            assert_eq!(id, i);
+            assert_eq!(p, i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn ring_full_and_drain() {
+        let (mut mem, ring) = setup(1);
+        let payload = vec![0xAB; 500];
+        let mut written = 0;
+        loop {
+            match ring.write_msg(&mut mem, RingDir::FrontToBack, written, &payload) {
+                Ok(()) => written += 1,
+                Err(XenError::RingFull) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(written >= 3, "capacity {} should fit several", ring.capacity());
+        // Drain one, then one more write fits.
+        ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 99, &payload).unwrap();
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let (mut mem, ring) = setup(1);
+        let huge = vec![0u8; ring.capacity()];
+        assert_eq!(
+            ring.write_msg(&mut mem, RingDir::FrontToBack, 0, &huge),
+            Err(XenError::MessageTooLarge)
+        );
+    }
+
+    #[test]
+    fn wraparound_preserves_payloads() {
+        let (mut mem, ring) = setup(1);
+        // Force many cycles through the circular buffer.
+        for round in 0..100u32 {
+            let payload: Vec<u8> = (0..137).map(|i| (round as u8).wrapping_add(i)).collect();
+            ring.write_msg(&mut mem, RingDir::FrontToBack, round, &payload).unwrap();
+            let (id, got) = ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+            assert_eq!(id, round);
+            assert_eq!(got, payload, "round {round}");
+        }
+    }
+
+    #[test]
+    fn multi_page_ring() {
+        let (mut mem, ring) = setup(4);
+        assert!(ring.capacity() > PAGE_SIZE);
+        let big = vec![0x5A; PAGE_SIZE + 123];
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 1, &big).unwrap();
+        let (_, got) = ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+        assert_eq!(got, big);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (mut mem, ring) = setup(1);
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 1, b"req").unwrap();
+        assert!(ring.read_msg(&mut mem, RingDir::BackToFront).unwrap().is_none());
+        assert_eq!(ring.used(&mem, RingDir::FrontToBack).unwrap(), 8 + 3);
+        assert_eq!(ring.used(&mem, RingDir::BackToFront).unwrap(), 0);
+    }
+
+    #[test]
+    fn ring_contents_visible_in_memory_dump() {
+        // The attack surface: command bytes sit in dumpable frames.
+        let (mut mem, ring) = setup(1);
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 1, b"TPM_SECRET_COMMAND").unwrap();
+        let mfn = ring.region.mfns()[0];
+        let page = mem.dump_frame(mfn).unwrap();
+        let found = page.windows(18).any(|w| w == b"TPM_SECRET_COMMAND");
+        assert!(found, "plaintext command must be visible to the dump");
+    }
+
+    #[test]
+    fn too_small_region_rejected() {
+        assert!(ByteRing::new(PageRegion::new(vec![])).is_err());
+    }
+
+    #[test]
+    fn scrubbing_read_erases_stale_bytes() {
+        let (mut mem, ring) = setup(1);
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 1, b"EPHEMERAL-SECRET").unwrap();
+        let (_, got) = ring.read_msg_scrub(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+        assert_eq!(got, b"EPHEMERAL-SECRET");
+        let mfn = ring.region.mfns()[0];
+        let page = mem.dump_frame(mfn).unwrap();
+        let found = page.windows(16).any(|w| w == b"EPHEMERAL-SECRET");
+        assert!(!found, "scrubbed ring must not retain the message");
+        // And the plain read_msg variant *does* retain it (baseline).
+        ring.write_msg(&mut mem, RingDir::FrontToBack, 2, b"EPHEMERAL-SECRET").unwrap();
+        ring.read_msg(&mut mem, RingDir::FrontToBack).unwrap().unwrap();
+        let page = mem.dump_frame(mfn).unwrap();
+        assert!(page.windows(16).any(|w| w == b"EPHEMERAL-SECRET"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Deep attestation: prove to a remote verifier that (a) a guest's
+//! software stack measures correctly in its vTPM, AND (b) that vTPM is a
+//! registered instance running on this physical platform — by chaining
+//! the guest's vTPM quote into a hardware-TPM quote over the binding PCR.
+//!
+//! A spoofed vTPM (same software, same measurements, but never registered
+//! with the platform's manager) is rejected even though its own quote
+//! signature verifies.
+//!
+//! ```text
+//! cargo run --release --example deep_attestation
+//! ```
+
+use vtpm_xen::prelude::*;
+use vtpm_xen::tpm12::KeyUsage;
+use vtpm_xen::vtpm_stack::deep_quote::{self, DeepQuote};
+
+struct GuestQuote {
+    pcr_values: Vec<[u8; 20]>,
+    signature: Vec<u8>,
+    aik_modulus: Vec<u8>,
+}
+
+fn guest_quote(guest: &mut Guest, nonce: &[u8; 20]) -> GuestQuote {
+    let mut tpm = guest.client(b"app");
+    tpm.startup_clear().expect("startup");
+    let owner = [1u8; 20];
+    let srk = [2u8; 20];
+    let key_auth = [3u8; 20];
+    tpm.take_ownership(&owner, &srk).expect("ownership");
+    tpm.extend(0, &vtpm_xen::crypto::sha1(b"trusted-stack-v1")).expect("measure");
+    let blob = tpm
+        .create_wrap_key(handle::SRK, &srk, KeyUsage::Signing, 512, &key_auth, None)
+        .expect("aik");
+    let aik = tpm.load_key2(handle::SRK, &srk, &blob).expect("load");
+    let (pcr_values, signature) = tpm
+        .quote(aik, &key_auth, nonce, &PcrSelection::of(&[0]))
+        .expect("quote");
+    GuestQuote { pcr_values, signature, aik_modulus: blob.n }
+}
+
+fn main() {
+    let platform = SecurePlatform::full(b"deep-attest-host").expect("platform");
+    let mut guest = platform.launch_guest("prod-db").expect("guest");
+    println!(
+        "guest {} launched; registration log now has {} entries",
+        guest.domain,
+        platform.platform.registration_log().len()
+    );
+
+    // The verifier issues a fresh nonce.
+    let nonce = [0x5Au8; 20];
+
+    // The guest quotes; the platform countersigns with the hardware TPM.
+    let gq = guest_quote(&mut guest, &nonce);
+    let (hw_pcr, hw_sig, hw_aik) =
+        platform.platform.hw_countersign(&nonce, &gq.signature).expect("countersign");
+
+    let bundle = DeepQuote {
+        vtpm_pcr_values: gq.pcr_values.clone(),
+        vtpm_selection: vec![0],
+        vtpm_signature: gq.signature.clone(),
+        vtpm_aik_modulus: gq.aik_modulus.clone(),
+        vtpm_ek_modulus: platform.platform.instance_ek_modulus(guest.instance).expect("ek"),
+        hw_binding_pcr: hw_pcr,
+        hw_signature: hw_sig.clone(),
+        hw_aik_modulus: hw_aik.clone(),
+        registration_log: platform.platform.registration_log(),
+    };
+    match deep_quote::verify(&bundle, &nonce) {
+        Ok(()) => println!("verifier: registered guest ACCEPTED (vTPM quote + platform binding)"),
+        Err(e) => unreachable!("must verify: {e}"),
+    }
+
+    // --- the spoof -----------------------------------------------------------
+    // An attacker stands up their own software TPM (identical code!) with
+    // identical measurements and a valid self-quote, claiming it runs on
+    // this platform. Its EK was never registered with the manager, so the
+    // hardware-attested log refuses it.
+    let mut rogue_tpm = vtpm_xen::tpm12::Tpm::new(b"rogue-vtpm");
+    let rogue = {
+        let mut c = vtpm_xen::tpm12::TpmClient::new(
+            vtpm_xen::tpm12::DirectTransport { tpm: &mut rogue_tpm, locality: 0 },
+            b"rogue",
+        );
+        c.startup_clear().expect("startup");
+        c.take_ownership(&[1; 20], &[2; 20]).expect("own");
+        c.extend(0, &vtpm_xen::crypto::sha1(b"trusted-stack-v1")).expect("measure");
+        let blob = c
+            .create_wrap_key(handle::SRK, &[2; 20], KeyUsage::Signing, 512, &[3; 20], None)
+            .expect("aik");
+        let aik = c.load_key2(handle::SRK, &[2; 20], &blob).expect("load");
+        let (values, sig) = c.quote(aik, &[3; 20], &nonce, &PcrSelection::of(&[0])).expect("quote");
+        (values, sig, blob.n)
+    };
+    let (hw_pcr2, hw_sig2, hw_aik2) =
+        platform.platform.hw_countersign(&nonce, &rogue.1).expect("countersign");
+    let spoofed = DeepQuote {
+        vtpm_pcr_values: rogue.0,
+        vtpm_selection: vec![0],
+        vtpm_signature: rogue.1,
+        vtpm_aik_modulus: rogue.2,
+        vtpm_ek_modulus: rogue_tpm.ek_public().n.to_bytes_be(),
+        hw_binding_pcr: hw_pcr2,
+        hw_signature: hw_sig2,
+        hw_aik_modulus: hw_aik2,
+        registration_log: platform.platform.registration_log(),
+    };
+    match deep_quote::verify(&spoofed, &nonce) {
+        Err(e) => println!("verifier: rogue vTPM REJECTED ({e})"),
+        Ok(()) => unreachable!("spoof must fail"),
+    }
+}

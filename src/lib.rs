@@ -1,0 +1,52 @@
+//! # vtpm-xen
+//!
+//! Umbrella crate for the reproduction of *Improvement for vTPM Access
+//! Control on Xen* (Morikawa, Ebara, Onishi, Nakano — ICPPW 2010).
+//!
+//! Re-exports the whole stack so examples and integration tests can work
+//! against one crate:
+//!
+//! * [`crypto`] — from-scratch SHA-1/SHA-256, HMAC, bignum/RSA, AES-CTR,
+//!   DRBG ([`tpm_crypto`]);
+//! * [`xen`] — the Xen simulator: domains, memory + dump facility, grant
+//!   tables, event channels, rings, XenStore, scheduler ([`xen_sim`]);
+//! * [`tpm12`] — the software TPM 1.2 emulator and client ([`tpm`]);
+//! * [`vtpm_stack`] — the stock vTPM subsystem: manager, split driver,
+//!   persistence, migration, platform assembly ([`vtpm`]);
+//! * [`access_control`] — **the paper's contribution**: AC1–AC4 and
+//!   [`vtpm_ac::SecurePlatform`] ([`vtpm_ac`]);
+//! * [`attack`] — the evaluation's attacker toolkit ([`attacks`]);
+//! * [`bench_workload`] — command mixes, drivers, runners ([`workload`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vtpm_xen::access_control::SecurePlatform;
+//!
+//! // The paper's improved system: encrypted state, scrubbed rings,
+//! // credentialed guests, command policy, audit log.
+//! let platform = SecurePlatform::full(b"my-host").unwrap();
+//! let mut guest = platform.launch_guest("web1").unwrap();
+//! let mut tpm = guest.client(b"app");
+//! tpm.startup_clear().unwrap();
+//! let nonce = tpm.get_random(16).unwrap();
+//! assert_eq!(nonce.len(), 16);
+//! ```
+
+pub use attacks as attack;
+pub use tpm as tpm12;
+pub use tpm_crypto as crypto;
+pub use vtpm as vtpm_stack;
+pub use vtpm_ac as access_control;
+pub use workload as bench_workload;
+pub use xen_sim as xen;
+
+/// The commonly used types, one import away.
+pub mod prelude {
+    pub use attacks::{AttackMatrix, MemoryDump};
+    pub use tpm::{handle, ordinal, rc, PcrSelection, Tpm, TpmClient, TpmConfig};
+    pub use vtpm::{Guest, ManagerConfig, MirrorMode, Platform, VtpmManager};
+    pub use vtpm_ac::{AcConfig, PolicyEngine, SecurePlatform};
+    pub use workload::{run_concurrent, CommandMix, GuestSession, Op};
+    pub use xen_sim::{DomainConfig, DomainId, Hypervisor};
+}

@@ -1,0 +1,137 @@
+//! Concurrency stress: the platform under simultaneous legitimate load,
+//! attack traffic, and toolstack activity — the actual operating
+//! conditions of a consolidation host.
+
+use std::sync::Arc;
+
+use vtpm_xen::prelude::*;
+use vtpm_xen::vtpm_stack::{Envelope, ResponseEnvelope, ResponseStatus};
+
+#[test]
+fn workload_and_attacks_interleaved() {
+    let sp = SecurePlatform::full(b"conc-mixed").unwrap();
+    let guests: Vec<Guest> = (0..4).map(|i| sp.launch_guest(&format!("g{i}")).unwrap()).collect();
+    let victim_instance = guests[0].instance;
+    let victim_domain = guests[0].domain;
+
+    // Legit guests hammer their vTPMs...
+    let worker_handles: Vec<_> = guests
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut g)| {
+            std::thread::spawn(move || {
+                let mut tpm = g.client(format!("w{i}").as_bytes());
+                tpm.startup_clear().unwrap();
+                for r in 0..20u8 {
+                    tpm.extend(0, &[r; 20]).unwrap();
+                    tpm.get_random(8).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // ...while an attacker floods forged envelopes at the victim.
+    let manager = Arc::clone(&sp.platform.manager);
+    let attacker = std::thread::spawn(move || {
+        let mut denied = 0;
+        for seq in 0..200u64 {
+            let forged = Envelope {
+                domain: victim_domain.0,
+                instance: victim_instance,
+                seq: 10_000 + seq,
+                locality: 0,
+                tag: None,
+                command: vec![0x00, 0xC1, 0, 0, 0, 14, 0, 0, 0, 0x14, 0, 0, 0, 0],
+            };
+            let resp = manager.handle(victim_domain, &forged.encode());
+            if ResponseEnvelope::decode(&resp).unwrap().status == ResponseStatus::Denied {
+                denied += 1;
+            }
+        }
+        denied
+    });
+
+    for h in worker_handles {
+        h.join().unwrap();
+    }
+    let denied = attacker.join().unwrap();
+    assert_eq!(denied, 200, "every forged envelope denied under load");
+    // The legit traffic all succeeded: 4 guests * (1 + 40) commands.
+    let (handled, denied_stat, _) = sp.platform.manager.stats.snapshot();
+    assert_eq!(handled, 4 * 41);
+    assert_eq!(denied_stat, 200);
+    // Audit chain intact after the concurrent barrage.
+    assert!(vtpm_xen::access_control::AuditLog::verify(&sp.hook.audit.entries()));
+}
+
+#[test]
+fn xenstore_transactions_race_correctly() {
+    let hv = Arc::new(Hypervisor::boot(256, 8).unwrap());
+    hv.xs_write(DomainId::DOM0, "/shared/counter", b"0").unwrap();
+
+    // N threads each perform M read-modify-write transactions with the
+    // EAGAIN retry loop; the final counter must equal N*M exactly.
+    const THREADS: usize = 4;
+    const INCREMENTS: usize = 25;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let hv = Arc::clone(&hv);
+            std::thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    loop {
+                        let txn = hv.xs_txn_begin(DomainId::DOM0).unwrap();
+                        let cur: u64 = String::from_utf8(
+                            hv.xs_txn_read(txn, "/shared/counter").unwrap(),
+                        )
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                        hv.xs_txn_write(txn, "/shared/counter", (cur + 1).to_string().as_bytes())
+                            .unwrap();
+                        if hv.xs_txn_commit(txn).unwrap() {
+                            break; // committed
+                        }
+                        // EAGAIN: retry
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let final_value: u64 = hv
+        .xs_read_string(DomainId::DOM0, "/shared/counter")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(final_value, (THREADS * INCREMENTS) as u64);
+}
+
+#[test]
+fn launches_and_destroys_race_with_traffic() {
+    let p = Platform::baseline(b"conc-churn").unwrap();
+    // A stable guest runs traffic while other guests churn.
+    let mut stable = p.launch_guest("stable").unwrap();
+    let p = Arc::new(p);
+    let churn = {
+        let p = Arc::clone(&p);
+        std::thread::spawn(move || {
+            for round in 0..5 {
+                let g = p.launch_guest(&format!("churn{round}")).unwrap();
+                let mut tpm_client = vtpm_xen::tpm12::TpmClient::new(g.front, b"churn");
+                tpm_client.startup_clear().unwrap();
+                // Destroy the instance out from under future traffic.
+                p.manager.destroy_instance(g.instance).unwrap();
+            }
+        })
+    };
+    let mut tpm = stable.client(b"stable");
+    tpm.startup_clear().unwrap();
+    for r in 0..30u8 {
+        tpm.extend(1, &[r; 20]).unwrap();
+    }
+    churn.join().unwrap();
+    // The stable guest never saw interference.
+    assert_ne!(tpm.pcr_read(1).unwrap(), [0; 20]);
+}

@@ -1,0 +1,195 @@
+//! Fault injection: the stack must degrade cleanly, never panic, when
+//! components misbehave — garbage on the wire, dead backends, exhausted
+//! resources.
+
+use std::time::Duration;
+
+use vtpm_xen::prelude::*;
+use vtpm_xen::vtpm_stack::{Envelope, ResponseEnvelope, ResponseStatus};
+
+#[test]
+fn garbage_envelopes_get_malformed_responses() {
+    let p = Platform::baseline(b"fault-garbage").unwrap();
+    let _g = p.launch_guest("g").unwrap();
+    // A compromised component floods the manager with junk.
+    for len in [0usize, 1, 7, 50, 300] {
+        let junk = vec![0xA5u8; len];
+        let resp = p.manager.handle(DomainId(1), &junk);
+        let renv = ResponseEnvelope::decode(&resp).unwrap();
+        assert_eq!(renv.status, ResponseStatus::Malformed, "len {len}");
+    }
+    // Legitimate traffic still flows afterwards.
+    let mut g2 = p.launch_guest("g2").unwrap();
+    let mut tpm = g2.client(b"c");
+    tpm.startup_clear().unwrap();
+}
+
+#[test]
+fn garbage_tpm_commands_get_tpm_errors_not_panics() {
+    // Valid envelope, garbage command bytes: the TPM must answer with an
+    // error response for every mutation.
+    let p = Platform::baseline(b"fault-cmd").unwrap();
+    let g = p.launch_guest("g").unwrap();
+    let mut rng = vtpm_xen::crypto::Drbg::new(b"fuzz");
+    for i in 0..200u64 {
+        let len = (rng.next_u32() % 64) as usize;
+        let cmd = rng.bytes(len);
+        let env = Envelope {
+            domain: g.domain.0,
+            instance: g.instance,
+            seq: i + 1,
+            locality: 0,
+            tag: None,
+            command: cmd,
+        };
+        let resp = p.manager.handle(g.domain, &env.encode());
+        let renv = ResponseEnvelope::decode(&resp).unwrap();
+        assert_eq!(renv.status, ResponseStatus::Ok, "manager dispatched");
+        let (_, code, _) = vtpm_xen::tpm12::parse_response(&renv.body).unwrap();
+        assert_ne!(code, 0, "garbage must not succeed");
+    }
+}
+
+#[test]
+fn dead_backend_times_out_cleanly() {
+    let p = Platform::baseline(b"fault-dead").unwrap();
+    let mut g = p.launch_guest("g").unwrap();
+    {
+        let mut tpm = g.client(b"c");
+        tpm.startup_clear().unwrap();
+    }
+    // Kill every backend thread, then call again with a short timeout.
+    p.shutdown();
+    g.front.timeout = Duration::from_millis(100);
+    let mut tpm = g.client(b"c2");
+    let t0 = std::time::Instant::now();
+    let result = tpm.get_random(8);
+    assert!(matches!(result, Err(vtpm_xen::tpm12::ClientError::Tpm(_))));
+    assert!(t0.elapsed() < Duration::from_secs(5), "bounded timeout");
+}
+
+#[test]
+fn frame_exhaustion_fails_gracefully() {
+    use vtpm_xen::vtpm_stack::ManagerConfig;
+    // A host too small for many guests: launches fail with OutOfMemory,
+    // nothing panics, earlier guests keep working.
+    let p = vtpm_xen::vtpm_stack::Platform::with_config(
+        b"fault-oom",
+        128, // tiny machine
+        ManagerConfig::default(),
+        false,
+    )
+    .unwrap();
+    let mut launched = Vec::new();
+    let mut failures = 0;
+    for i in 0..8 {
+        match p.launch_guest(&format!("g{i}")) {
+            Ok(g) => launched.push(g),
+            Err(e) => {
+                failures += 1;
+                assert!(matches!(e, vtpm_xen::xen::XenError::OutOfMemory), "{e}");
+            }
+        }
+    }
+    assert!(failures > 0, "the tiny machine must run out");
+    assert!(!launched.is_empty(), "at least one guest fits");
+    let mut tpm = launched[0].client(b"c");
+    tpm.startup_clear().unwrap();
+}
+
+#[test]
+fn session_exhaustion_and_recovery_through_full_stack() {
+    let p = Platform::baseline(b"fault-sessions").unwrap();
+    let g = p.launch_guest("g").unwrap();
+    let session_slots = p.manager.config().vtpm_config.session_slots;
+    // Drive raw OIAP commands until the vTPM runs out of session slots.
+    let mut handles = Vec::new();
+    let mut seq = 0u64;
+    let send = |seq: &mut u64, cmd: Vec<u8>| {
+        *seq += 1;
+        let env = Envelope {
+            domain: g.domain.0,
+            instance: g.instance,
+            seq: *seq,
+            locality: 0,
+            tag: None,
+            command: cmd,
+        };
+        let resp = p.manager.handle(g.domain, &env.encode());
+        ResponseEnvelope::decode(&resp).unwrap().body
+    };
+    // Startup first.
+    send(&mut seq, vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1]);
+    let oiap = |_: usize| {
+        let mut c = vec![0x00, 0xC1, 0, 0, 0, 10];
+        c.extend_from_slice(&vtpm_xen::tpm12::ordinal::OIAP.to_be_bytes());
+        c
+    };
+    for i in 0..session_slots {
+        let body = send(&mut seq, oiap(i));
+        let (_, code, out) = vtpm_xen::tpm12::parse_response(&body).unwrap();
+        assert_eq!(code, 0);
+        handles.push(u32::from_be_bytes(out[..4].try_into().unwrap()));
+    }
+    // One more is refused with RESOURCES.
+    let body = send(&mut seq, oiap(99));
+    let (_, code, _) = vtpm_xen::tpm12::parse_response(&body).unwrap();
+    assert_eq!(code, vtpm_xen::tpm12::rc::RESOURCES);
+    // Flush one session; capacity returns.
+    let mut flush = vec![0x00, 0xC1, 0, 0, 0, 18];
+    flush.extend_from_slice(&vtpm_xen::tpm12::ordinal::FLUSH_SPECIFIC.to_be_bytes());
+    flush.extend_from_slice(&handles[0].to_be_bytes());
+    flush.extend_from_slice(&2u32.to_be_bytes());
+    let body = send(&mut seq, flush);
+    assert_eq!(vtpm_xen::tpm12::parse_response(&body).unwrap().1, 0);
+    let body = send(&mut seq, oiap(100));
+    assert_eq!(vtpm_xen::tpm12::parse_response(&body).unwrap().1, 0);
+}
+
+#[test]
+fn destroyed_instance_leaves_no_residue() {
+    let p = Platform::baseline(b"fault-residue").unwrap();
+    let mut g = p.launch_guest("g").unwrap();
+    {
+        let mut tpm = g.client(b"c");
+        tpm.startup_clear().unwrap();
+    }
+    let state = p.manager.export_instance_state(g.instance).unwrap();
+    let probe = &state[50..114]; // EK prime region: high-entropy
+    // Present in the dump while alive (baseline).
+    let dump = vtpm_xen::attack::MemoryDump::capture(p.manager.hypervisor(), DomainId::DOM0)
+        .unwrap();
+    assert!(dump.contains_any(&[probe]));
+    // Destroy: the mirror is scrubbed, nothing remains.
+    assert!(p.manager.destroy_instance(g.instance).unwrap());
+    let dump = vtpm_xen::attack::MemoryDump::capture(p.manager.hypervisor(), DomainId::DOM0)
+        .unwrap();
+    assert!(!dump.contains_any(&[probe]), "destroyed instance must be scrubbed");
+    // Requests to the dead instance answer NoInstance.
+    let env = Envelope {
+        domain: g.domain.0,
+        instance: g.instance,
+        seq: 999,
+        locality: 0,
+        tag: None,
+        command: vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1],
+    };
+    let resp = p.manager.handle(g.domain, &env.encode());
+    assert_eq!(
+        ResponseEnvelope::decode(&resp).unwrap().status,
+        ResponseStatus::NoInstance
+    );
+}
+
+#[test]
+fn oversized_command_rejected_at_the_ring() {
+    let p = Platform::baseline(b"fault-oversize").unwrap();
+    let mut g = p.launch_guest("g").unwrap();
+    // Larger than the ring's capacity: write_msg refuses, transact errors.
+    let huge = vec![0u8; 16 * 1024];
+    let env = g.front.build_envelope(&huge);
+    assert!(g.front.transact_envelope(&env).is_err());
+    // The frontend remains usable for sane commands.
+    let mut tpm = g.client(b"c");
+    tpm.startup_clear().unwrap();
+}
