@@ -1,10 +1,31 @@
-//! Criterion bench for R-F4: worker-pool request handling throughput.
+//! Criterion bench for R-F4: worker-pool request handling throughput,
+//! plus a mirror-I/O report: bytes pushed into the Dom0 resident-image
+//! mirror per command, split by command class and mirror mode.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use vtpm::{Envelope, ManagerConfig, ManagerServer, VtpmManager};
+use vtpm::{Envelope, ManagerConfig, ManagerServer, MirrorMode, VtpmManager};
 use xen_sim::{DomainId, Hypervisor};
+
+fn pcr_read_cmd() -> Vec<u8> {
+    let mut cmd = Vec::new();
+    cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+    cmd.extend_from_slice(&14u32.to_be_bytes());
+    cmd.extend_from_slice(&tpm::ordinal::PCR_READ.to_be_bytes());
+    cmd.extend_from_slice(&0u32.to_be_bytes());
+    cmd
+}
+
+fn extend_cmd() -> Vec<u8> {
+    let mut cmd = Vec::new();
+    cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+    cmd.extend_from_slice(&34u32.to_be_bytes());
+    cmd.extend_from_slice(&tpm::ordinal::EXTEND.to_be_bytes());
+    cmd.extend_from_slice(&3u32.to_be_bytes());
+    cmd.extend_from_slice(&[0xA5u8; 20]);
+    cmd
+}
 
 fn bench_manager(c: &mut Criterion) {
     let mut group = c.benchmark_group("manager_scaling");
@@ -33,11 +54,7 @@ fn bench_manager(c: &mut Criterion) {
                 command: vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1],
             };
             mgr.handle(DomainId(1), &startup.encode());
-            let mut cmd = Vec::new();
-            cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
-            cmd.extend_from_slice(&14u32.to_be_bytes());
-            cmd.extend_from_slice(&tpm::ordinal::PCR_READ.to_be_bytes());
-            cmd.extend_from_slice(&0u32.to_be_bytes());
+            let cmd = pcr_read_cmd();
             let server = ManagerServer::new(Arc::clone(&mgr), workers);
             let mut seq = 2u64;
             b.iter(|| {
@@ -64,5 +81,64 @@ fn bench_manager(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_manager);
+/// Not a timing bench: drives the manager with read-only and mutating
+/// workloads and reports mirror traffic per command, so the throughput
+/// numbers above can be read against the I/O they imply. Read-only
+/// commands must show 0 B/cmd (generation-skip), mutating commands only
+/// the dirty pages plus the metadata page.
+fn report_mirror_io(_c: &mut Criterion) {
+    let n = 200u64;
+    for (mode_name, mode) in
+        [("cleartext", MirrorMode::Cleartext), ("encrypted", MirrorMode::Encrypted)]
+    {
+        let hv = Arc::new(Hypervisor::boot(4096, 16).unwrap());
+        let mgr = VtpmManager::new(
+            Arc::clone(&hv),
+            b"bench-mirror-io",
+            ManagerConfig { mirror_mode: mode, charge_virtual_time: false, ..Default::default() },
+        )
+        .unwrap();
+        let inst = mgr.create_instance().unwrap();
+        let mut seq = 0u64;
+        let mut send = |cmd: &[u8]| {
+            seq += 1;
+            let env = Envelope {
+                domain: 1,
+                instance: inst,
+                seq,
+                locality: 0,
+                tag: None,
+                command: cmd.to_vec(),
+            };
+            mgr.handle(DomainId(1), &env.encode());
+        };
+        send(&[0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1]);
+
+        let read_cmd = pcr_read_cmd();
+        let before_reads = mgr.mirror_io_stats();
+        for _ in 0..n {
+            send(&read_cmd);
+        }
+        let before_writes = mgr.mirror_io_stats();
+        let ext_cmd = extend_cmd();
+        for _ in 0..n {
+            send(&ext_cmd);
+        }
+        let after = mgr.mirror_io_stats();
+
+        let read_bytes = before_writes.bytes_written - before_reads.bytes_written;
+        let write_bytes = after.bytes_written - before_writes.bytes_written;
+        let write_pages = after.data_pages_written - before_writes.data_pages_written;
+        eprintln!(
+            "manager_scaling/mirror_io/{mode_name}: read-only {:.1} B/cmd, \
+             mutating {:.1} B/cmd ({:.2} data pages/cmd) over {n} cmds each",
+            read_bytes as f64 / n as f64,
+            write_bytes as f64 / n as f64,
+            write_pages as f64 / n as f64,
+        );
+    }
+    eprintln!();
+}
+
+criterion_group!(benches, bench_manager, report_mirror_io);
 criterion_main!(benches);

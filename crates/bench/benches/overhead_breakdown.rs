@@ -1,10 +1,12 @@
 //! Criterion bench for R-F2: the hook's authorize() call alone, per AC
-//! configuration — the measured microcost behind the breakdown.
+//! configuration — the measured microcost behind the breakdown — plus
+//! the full `handle()` path per command class, with mirror bytes written
+//! per command reported alongside the wall time.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vtpm::{AccessHook, Envelope, RequestContext};
+use vtpm::{AccessHook, Envelope, ManagerConfig, MirrorMode, RequestContext, VtpmManager};
 use vtpm_ac::{AcConfig, ImprovedHook};
 use xen_sim::{DomainId, Hypervisor};
 
@@ -45,5 +47,93 @@ fn bench_hook(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hook);
+/// The end-to-end `handle()` path per command class and mirror mode.
+/// Each benchmark also reports the mirror bytes written per command over
+/// its timed run: read-only commands skip serialization and mirroring
+/// entirely (0 B/cmd), mutating ones pay only for dirty pages.
+fn bench_handle_with_mirror(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_breakdown");
+    group.sample_size(10);
+
+    let pcr_read: Vec<u8> = {
+        let mut cmd = Vec::new();
+        cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+        cmd.extend_from_slice(&14u32.to_be_bytes());
+        cmd.extend_from_slice(&tpm::ordinal::PCR_READ.to_be_bytes());
+        cmd.extend_from_slice(&0u32.to_be_bytes());
+        cmd
+    };
+    let extend: Vec<u8> = {
+        let mut cmd = Vec::new();
+        cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+        cmd.extend_from_slice(&34u32.to_be_bytes());
+        cmd.extend_from_slice(&tpm::ordinal::EXTEND.to_be_bytes());
+        cmd.extend_from_slice(&3u32.to_be_bytes());
+        cmd.extend_from_slice(&[0xA5u8; 20]);
+        cmd
+    };
+
+    for (cmd_name, cmd) in [("pcr_read", &pcr_read), ("extend", &extend)] {
+        for (mode_name, mode) in
+            [("cleartext", MirrorMode::Cleartext), ("encrypted", MirrorMode::Encrypted)]
+        {
+            let hv = Arc::new(Hypervisor::boot(4096, 16).unwrap());
+            let mgr = VtpmManager::new(
+                Arc::clone(&hv),
+                b"bench-handle",
+                ManagerConfig {
+                    mirror_mode: mode,
+                    charge_virtual_time: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let inst = mgr.create_instance().unwrap();
+            let startup = Envelope {
+                domain: 1,
+                instance: inst,
+                seq: 1,
+                locality: 0,
+                tag: None,
+                command: vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1],
+            };
+            mgr.handle(DomainId(1), &startup.encode());
+
+            let mut seq = 1u64;
+            let mut count = 0u64;
+            let before = mgr.mirror_io_stats();
+            group.bench_with_input(
+                BenchmarkId::new(format!("handle_{mode_name}"), cmd_name),
+                cmd,
+                |b, cmd| {
+                    b.iter(|| {
+                        seq += 1;
+                        count += 1;
+                        let env = Envelope {
+                            domain: 1,
+                            instance: inst,
+                            seq,
+                            locality: 0,
+                            tag: None,
+                            command: cmd.clone(),
+                        };
+                        mgr.handle(DomainId(1), &env.encode())
+                    })
+                },
+            );
+            let after = mgr.mirror_io_stats();
+            let bytes = after.bytes_written - before.bytes_written;
+            let pages = after.data_pages_written - before.data_pages_written;
+            eprintln!(
+                "overhead_breakdown/mirror_bytes/{mode_name}/{cmd_name}: \
+                 {:.1} B/cmd ({:.2} data pages/cmd) over {count} cmds",
+                bytes as f64 / count.max(1) as f64,
+                pages as f64 / count.max(1) as f64,
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hook, bench_handle_with_mirror);
 criterion_main!(benches);

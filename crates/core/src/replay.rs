@@ -5,15 +5,31 @@
 //! (domain, instance) pair therefore carries a strictly increasing
 //! sequence number; the guard accepts an envelope only if its sequence
 //! exceeds the highest accepted so far.
+//!
+//! The table is lock-striped: a single mutex over the whole map would
+//! serialize every guest's fast path through one lock even though
+//! distinct (domain, instance) bindings never interact. Bindings hash to
+//! one of [`SHARDS`] independently locked sub-maps, so contention only
+//! arises between requests for bindings that land on the same shard.
 
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
+/// Number of lock stripes. Power of two so shard selection is a mask.
+const SHARDS: usize = 16;
+
 /// The per-binding sequence tracker.
-#[derive(Default)]
 pub struct ReplayGuard {
-    last: Mutex<HashMap<(u32, u32), u64>>,
+    shards: [Mutex<HashMap<(u32, u32), u64>>; SHARDS],
+}
+
+impl Default for ReplayGuard {
+    fn default() -> Self {
+        ReplayGuard {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
 }
 
 impl ReplayGuard {
@@ -22,10 +38,19 @@ impl ReplayGuard {
         Self::default()
     }
 
+    /// Map a binding to its stripe. Fibonacci-style multiplicative
+    /// hashing keeps sequentially allocated domain/instance ids from
+    /// clustering on a few shards.
+    fn shard(&self, domain: u32, instance: u32) -> &Mutex<HashMap<(u32, u32), u64>> {
+        let h = (domain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (instance as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        &self.shards[(h >> 32) as usize & (SHARDS - 1)]
+    }
+
     /// Accept `seq` for (domain, instance) iff it advances; updates the
     /// watermark on acceptance.
     pub fn check_and_advance(&self, domain: u32, instance: u32, seq: u64) -> bool {
-        let mut last = self.last.lock();
+        let mut last = self.shard(domain, instance).lock();
         let entry = last.entry((domain, instance)).or_insert(0);
         if seq > *entry {
             *entry = seq;
@@ -37,12 +62,26 @@ impl ReplayGuard {
 
     /// Current watermark for a binding.
     pub fn watermark(&self, domain: u32, instance: u32) -> u64 {
-        self.last.lock().get(&(domain, instance)).copied().unwrap_or(0)
+        self.shard(domain, instance)
+            .lock()
+            .get(&(domain, instance))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Forget a binding (domain destruction / re-provision).
     pub fn reset(&self, domain: u32, instance: u32) {
-        self.last.lock().remove(&(domain, instance));
+        self.shard(domain, instance).lock().remove(&(domain, instance));
+    }
+
+    /// Total bindings tracked across all shards (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no binding is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -107,5 +146,54 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(accepted.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn striping_preserves_per_binding_isolation() {
+        // Many bindings spread over shards; watermarks never bleed into
+        // each other even when bindings collide on a stripe.
+        let g = ReplayGuard::new();
+        for domain in 0..64u32 {
+            for instance in 0..4u32 {
+                let seq = u64::from(domain * 10 + instance + 1);
+                assert!(g.check_and_advance(domain, instance, seq));
+            }
+        }
+        assert_eq!(g.len(), 64 * 4);
+        for domain in 0..64u32 {
+            for instance in 0..4u32 {
+                let seq = u64::from(domain * 10 + instance + 1);
+                assert_eq!(g.watermark(domain, instance), seq);
+                assert!(!g.check_and_advance(domain, instance, seq));
+            }
+        }
+        // Reset one binding; its neighbours keep their watermarks.
+        g.reset(7, 2);
+        assert_eq!(g.watermark(7, 2), 0);
+        assert_eq!(g.watermark(7, 1), 72);
+        assert_eq!(g.len(), 64 * 4 - 1);
+    }
+
+    #[test]
+    fn concurrent_distinct_bindings_all_accepted() {
+        use std::sync::Arc;
+        // Threads on disjoint bindings must not interfere: every
+        // submission is a fresh maximum for its own binding.
+        let g = Arc::new(ReplayGuard::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for seq in 1..=200u64 {
+                    assert!(g.check_and_advance(t, t * 3, seq));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u32 {
+            assert_eq!(g.watermark(t, t * 3), 200);
+        }
     }
 }

@@ -1,0 +1,253 @@
+//! Offline shim for the `criterion` bench harness.
+//!
+//! Presents the API surface the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, throughput annotation — and
+//! runs each benchmark for a short, fixed measurement budget, printing
+//! one line of mean wall time (plus derived throughput). No warm-up
+//! modelling, outlier rejection, or HTML reports: the point is that
+//! `cargo bench` runs and produces comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Work-per-iteration annotation, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement settings shared by a group.
+#[derive(Debug, Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+            throughput: None,
+        }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), cfg: GroupConfig::default() }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    cfg: GroupConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.cfg.measurement_time = t;
+        self
+    }
+
+    /// Annotate work done per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.to_string(), self.cfg, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.to_string(), self.cfg, |b| f(b, input));
+        self
+    }
+
+    /// End the group (separator line, matching criterion's API shape).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(group: &str, id: &str, cfg: GroupConfig, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: time a single iteration, then size batches so the whole
+    // run fits the measurement budget.
+    let mut probe = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut probe);
+    let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    let budget = cfg.measurement_time;
+    let total_iters =
+        (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let batch = (total_iters / cfg.sample_size as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let mut line = format!(
+        "{group}/{id}: mean {} median {} ({} samples of {batch} iters)",
+        fmt_ns(mean),
+        fmt_ns(median),
+        samples.len(),
+    );
+    if let Some(t) = cfg.throughput {
+        let per_sec = |work: u64| work as f64 / (mean / 1e9);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(", {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!(", {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    eprintln!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Opaque value barrier, re-exported for API compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(2).measurement_time(Duration::from_millis(2));
+        group.throughput(Throughput::Bytes(64));
+        let data = vec![1u8; 64];
+        group.bench_with_input(BenchmarkId::new("sum", 64), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided, and only the part the worker
+//! pool uses: cloneable senders *and receivers* (MPMC consumption) with
+//! disconnect-on-last-sender-drop semantics. Built on `std::sync::mpsc`
+//! with the receiver behind a mutex — contention on that mutex is the
+//! price of the shim, which is fine at the worker counts the benches
+//! drive (≤ 16).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Sending side; cloneable.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Inner::Unbounded(tx) => Inner::Unbounded(tx.clone()),
+                Inner::Bounded(tx) => Inner::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    /// Error: all receivers are gone. Returns the unsent value.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error: channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Inner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving side; cloneable (MPMC: clones share one queue).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value, blocking until one arrives or every
+        /// sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Receive without blocking; `Err` if empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .try_recv()
+                .map_err(|_| RecvError)
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mpmc_fanout() {
+            let (tx, rx) = unbounded::<u32>();
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = 0u32;
+                        while rx.recv().is_ok() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx); // disconnect: workers drain and exit
+            let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn recv_fails_after_senders_gone() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receivers_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+    }
+}

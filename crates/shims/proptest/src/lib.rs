@@ -1,0 +1,487 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), `any::<T>()`,
+//! range strategies, tuple strategies, `prop_map`, `collection::vec`,
+//! `collection::btree_set`, and `array::uniform{8,16}`, plus the
+//! `prop_assert*` / `prop_assume` macros. Cases are generated from a
+//! deterministic per-test seed; there is **no shrinking** — a failing
+//! case panics with the standard assert message, and the run being
+//! deterministic makes it reproducible.
+
+/// Deterministic case-generation RNG (xorshift64*).
+pub mod test_runner {
+    /// The generator handed to strategies.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded deterministically from the test's name so every run
+        /// (and every failure) is reproducible.
+        pub fn for_test(name: &str) -> Self {
+            let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for b in name.bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: state | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state ^= self.state >> 12;
+            self.state ^= self.state << 25;
+            self.state ^= self.state >> 27;
+            self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw from `[0, bound)` (rejection sampled).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            let mask = bound.next_power_of_two().wrapping_sub(1);
+            loop {
+                let draw = self.next_u64() & mask;
+                if draw < bound {
+                    return draw;
+                }
+            }
+        }
+    }
+
+    /// Runner configuration, set via `#![proptest_config(...)]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a generated case did not complete.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// Precondition failed (`prop_assume!`); the case is skipped.
+        Reject(String),
+        /// The property failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A skip outcome.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// A failure outcome.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Something that can generate values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the held value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Weight edge values: all-zero / all-one patterns find
+                    // more parser bugs than uniform noise alone.
+                    match rng.next_u64() % 16 {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for an [`Arbitrary`] type; see [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.below((hi - lo) as u64 + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E));
+}
+
+/// Collection strategies (`proptest::collection::*`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Vec` strategy with a length drawn from `range`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        range: std::ops::Range<usize>,
+    }
+
+    /// Build a `Vec` strategy: each case has a length in `range` and
+    /// elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, range }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.range.is_empty() {
+                self.range.start
+            } else {
+                self.range.start
+                    + rng.below((self.range.end - self.range.start) as u64) as usize
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` strategy; size lands in `range` when the element
+    /// domain is large enough to supply distinct values.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        range: std::ops::Range<usize>,
+    }
+
+    /// Build a `BTreeSet` strategy.
+    pub fn btree_set<S>(elem: S, range: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, range }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = if self.range.is_empty() {
+                self.range.start
+            } else {
+                self.range.start
+                    + rng.below((self.range.end - self.range.start) as u64) as usize
+            };
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 8 + 8 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::*`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! uniform_array {
+        ($($fname:ident => $n:literal => $tyname:ident),*) => {$(
+            /// Strategy producing arrays whose elements all come from
+            /// one element strategy.
+            pub struct $tyname<S>(S);
+
+            /// Build the array strategy.
+            pub fn $fname<S: Strategy>(elem: S) -> $tyname<S> {
+                $tyname(elem)
+            }
+
+            impl<S: Strategy> Strategy for $tyname<S> {
+                type Value = [S::Value; $n];
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    std::array::from_fn(|_| self.0.generate(rng))
+                }
+            }
+        )*};
+    }
+
+    uniform_array!(
+        uniform4 => 4 => Uniform4,
+        uniform8 => 8 => Uniform8,
+        uniform16 => 16 => Uniform16,
+        uniform20 => 20 => Uniform20,
+        uniform32 => 32 => Uniform32
+    );
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case when the precondition fails. Only valid
+/// inside a `proptest!` body (expands to an early return from the case
+/// closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The property-test entry macro. Each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases!($cfg, $name, ($($arg in $strat),*), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($($arg in $strat),*) $body )*
+        }
+    };
+}
+
+/// Internal: the per-test case loop. Public only for macro expansion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_cases {
+    ($cfg:expr, $name:ident, ($($arg:ident in $strat:expr),*), $body:block) => {{
+        let config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+        let mut accepted: u32 = 0;
+        let mut attempts: u32 = 0;
+        let max_attempts = config.cases.saturating_mul(20).max(20);
+        while accepted < config.cases && attempts < max_attempts {
+            attempts += 1;
+            $(
+                let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+            )*
+            // Bodies run with proptest's contract: `Err(Reject)` skips
+            // the case (`prop_assume!`), `Err(Fail)` fails the test, and
+            // assertion failures panic (deterministic, replayable).
+            let case = move || -> Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                Ok(())
+            };
+            match case() {
+                Ok(()) => accepted += 1,
+                Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed: {msg}")
+                }
+            }
+        }
+        assert!(
+            config.cases == 0 || accepted > 0,
+            "proptest shim: every generated case was rejected by prop_assume!"
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3u8..9, m in 10usize..20) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((10..20).contains(&m));
+        }
+
+        #[test]
+        fn prop_map_applies(n in small_even()) {
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n < 5);
+            prop_assert!(n < 5);
+        }
+
+        #[test]
+        fn tuples_and_arrays(t in (any::<bool>(), 0u32..4), a in crate::array::uniform8(any::<u8>())) {
+            prop_assert!(t.1 < 4);
+            prop_assert_eq!(a.len(), 8);
+        }
+
+        #[test]
+        fn btree_set_size_in_range(s in crate::collection::btree_set(0usize..100, 0..10)) {
+            prop_assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u8>(), 0..32);
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

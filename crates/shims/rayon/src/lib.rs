@@ -1,0 +1,229 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Provides `par_iter()` over slices/Vecs with the adapters the
+//! workspace uses, executed genuinely in parallel: the input is split
+//! into one contiguous chunk per available core and mapped on scoped
+//! std threads. This keeps the dump-scan experiment (R-F5) an actual
+//! parallel scan rather than a renamed sequential loop.
+
+/// Everything a `use rayon::prelude::*;` consumer needs.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+pub mod iter {
+    /// `.par_iter()` entry point for shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type yielded by reference.
+        type Item: 'a + Sync;
+        /// Borrow `self` as a parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// A borrowed parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    /// The adapter/terminal surface shared by this shim's iterators.
+    pub trait ParallelIterator: Sized {
+        /// Item type.
+        type Item: Send;
+
+        /// Run the pipeline, returning all produced items in input order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Map each item through `f`.
+        fn map<U: Send, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Map each item to a serial iterator and flatten the results.
+        fn flat_map_iter<U, I, F>(self, f: F) -> FlatMapIter<Self, F>
+        where
+            U: Send,
+            I: IntoIterator<Item = U>,
+            F: Fn(Self::Item) -> I + Sync,
+        {
+            FlatMapIter { base: self, f }
+        }
+
+        /// Keep items satisfying `pred`.
+        fn filter<F>(self, pred: F) -> Filter<Self, F>
+        where
+            F: Fn(&Self::Item) -> bool + Sync,
+        {
+            Filter { base: self, pred }
+        }
+
+        /// Collect into a container (only `Vec` is supported).
+        fn collect<C: FromParallel<Self::Item>>(self) -> C {
+            C::from_parallel(self.drive())
+        }
+
+        /// Sum the items.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.drive().into_iter().sum()
+        }
+
+        /// Number of items produced.
+        fn count(self) -> usize {
+            self.drive().len()
+        }
+    }
+
+    /// Collection target for [`ParallelIterator::collect`].
+    pub trait FromParallel<T> {
+        /// Build the container from the produced items.
+        fn from_parallel(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallel<T> for Vec<T> {
+        fn from_parallel(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Run `f` over each item of `items` on one scoped thread per core
+    /// chunk, preserving input order in the concatenated output.
+    fn parallel_map<'a, T: Sync, U: Send, F>(items: &'a [T], f: F) -> Vec<U>
+    where
+        F: Fn(&'a T) -> U + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let chunk = items.len().div_ceil(threads.max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let f = &f;
+        let mut out: Vec<Vec<U>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            out = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    impl<'a, T: Sync + 'a> ParallelIterator for ParIter<'a, T> {
+        type Item = &'a T;
+        fn drive(self) -> Vec<&'a T> {
+            // Identity pipeline: no closure to fan out yet.
+            self.items.iter().collect()
+        }
+    }
+
+    /// `map` adapter.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<'a, T, U, F> ParallelIterator for Map<ParIter<'a, T>, F>
+    where
+        T: Sync + 'a,
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            parallel_map(self.base.items, |item| (self.f)(item))
+        }
+    }
+
+    /// `flat_map_iter` adapter.
+    pub struct FlatMapIter<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<'a, T, U, I, F> ParallelIterator for FlatMapIter<ParIter<'a, T>, F>
+    where
+        T: Sync + 'a,
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            let nested = parallel_map(self.base.items, |item| {
+                (self.f)(item).into_iter().collect::<Vec<U>>()
+            });
+            nested.into_iter().flatten().collect()
+        }
+    }
+
+    /// `filter` adapter.
+    pub struct Filter<B, F> {
+        base: B,
+        pred: F,
+    }
+
+    impl<B, F> ParallelIterator for Filter<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(&B::Item) -> bool + Sync,
+    {
+        type Item = B::Item;
+        fn drive(self) -> Vec<B::Item> {
+            let pred = self.pred;
+            self.base.drive().into_iter().filter(|item| pred(item)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let input = vec![1usize, 2, 3];
+        let out: Vec<usize> = input.par_iter().flat_map_iter(|&n| vec![n; n]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let input: Vec<u64> = (1..=100).collect();
+        let total: u64 = input.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 5050);
+        assert_eq!(input.par_iter().map(|&x| x).count(), 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

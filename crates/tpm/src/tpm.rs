@@ -66,6 +66,10 @@ pub struct Tpm {
     counters: CounterStore,
     /// Count of commands executed (diagnostics / experiments).
     pub commands_executed: u64,
+    /// Bumped on every mutation of *permanent* state (the part
+    /// `serialize_state` captures). Lets callers skip re-serialization
+    /// and mirroring when a command touched only transient state.
+    state_generation: u64,
 }
 
 /// A parsed authorization trailer.
@@ -159,6 +163,7 @@ impl Tpm {
             srk: None,
             pcrs: PcrBank::new(),
             commands_executed: 0,
+            state_generation: 0,
         }
     }
 
@@ -182,10 +187,26 @@ impl Tpm {
         self.owned
     }
 
+    /// Generation of the permanent state. Unchanged between two calls
+    /// means `serialize_state` would return identical bytes; callers use
+    /// this to elide snapshot + mirror work after read-only commands.
+    pub fn state_generation(&self) -> u64 {
+        self.state_generation
+    }
+
+    /// Record a permanent-state mutation.
+    #[inline]
+    fn touch_state(&mut self) {
+        self.state_generation += 1;
+    }
+
     /// Direct PCR access for platform code (the simulated BIOS/bootloader
     /// measures into PCRs without the command interface, as real
     /// pre-OS firmware effectively does via hardware localities).
     pub fn pcrs_mut(&mut self) -> &mut PcrBank {
+        // Conservative: hand-out of mutable PCR access counts as a
+        // mutation even if the caller ends up not writing.
+        self.touch_state();
         &mut self.pcrs
     }
 
@@ -203,7 +224,17 @@ impl Tpm {
             data.len(),
             NvAttributes { owner_write: false, ..Default::default() },
         )?;
-        self.nv.write(index, 0, data, true)
+        self.nv.write(index, 0, data, true)?;
+        self.touch_state();
+        Ok(())
+    }
+
+    /// Release a provisioned NV area (the companion of `provision_nv`,
+    /// used by the harness to shrink instance state again).
+    pub fn release_nv(&mut self, index: u32) -> Result<(), NvError> {
+        self.nv.release(index)?;
+        self.touch_state();
+        Ok(())
     }
 
     /// TPM-internal OAEP decryption with the EK.
@@ -251,6 +282,7 @@ impl Tpm {
 
     /// Mutable NV store (crate-internal: snapshot restore).
     pub(crate) fn nv_mut(&mut self) -> &mut NvStore {
+        self.touch_state();
         &mut self.nv
     }
 
@@ -261,6 +293,7 @@ impl Tpm {
 
     /// Mutable counter store (crate-internal: snapshot restore).
     pub(crate) fn counters_mut(&mut self) -> &mut CounterStore {
+        self.touch_state();
         &mut self.counters
     }
 
@@ -292,6 +325,7 @@ impl Tpm {
             srk,
             pcrs,
             commands_executed: 0,
+            state_generation: 0,
         }
     }
 
@@ -410,13 +444,17 @@ impl Tpm {
                 self.sessions.clear();
                 self.counters.startup();
                 self.started = true;
+                self.touch_state();
                 Ok(simple_response(rc::SUCCESS, &[]))
             }
             // TPM_ST_STATE — resume (vTPM resume path keeps PCRs).
             0x0002 => {
                 self.sessions.clear();
                 self.counters.startup();
-                self.started = true;
+                if !self.started {
+                    self.started = true;
+                    self.touch_state();
+                }
                 Ok(simple_response(rc::SUCCESS, &[]))
             }
             _ => Err(rc::BAD_PARAMETER),
@@ -446,6 +484,7 @@ impl Tpm {
         let idx = r.u32().map_err(|_| rc::BAD_PARAM_SIZE)? as usize;
         let digest = r.digest().map_err(|_| rc::BAD_PARAM_SIZE)?;
         let v = self.pcrs.extend(idx, &digest).ok_or(rc::BADINDEX)?;
+        self.touch_state();
         Ok(simple_response(rc::SUCCESS, &v))
     }
 
@@ -456,6 +495,7 @@ impl Tpm {
                 return Err(rc::BAD_LOCALITY);
             }
         }
+        self.touch_state();
         Ok(simple_response(rc::SUCCESS, &[]))
     }
 
@@ -578,6 +618,7 @@ impl Tpm {
         });
         self.owner_auth = owner_auth;
         self.owned = true;
+        self.touch_state();
 
         let mut out = Writer::new();
         out.sized_u32(&srk_pub);
@@ -608,6 +649,7 @@ impl Tpm {
         self.owner_auth = [0; DIGEST_LEN];
         self.srk = None;
         self.keys.clear();
+        self.touch_state();
         Ok(auth1_response(rc::SUCCESS, ord, &[], &key, &fresh, &auth.nonce_odd, auth.continue_session))
     }
 
@@ -876,6 +918,7 @@ impl Tpm {
             read_pcr: None,
         };
         self.nv.define(index, size, attrs).map_err(nv_rc)?;
+        self.touch_state();
         Ok(auth1_response(rc::SUCCESS, ord, &[], &key, &fresh, &auth.nonce_odd, auth.continue_session))
     }
 
@@ -895,10 +938,12 @@ impl Tpm {
                 let (key, fresh) =
                     self.check_auth1(&a, (entity::OWNER, handle::OWNER), &owner_auth, ord, params)?;
                 self.nv.write(index, offset, &data, true).map_err(nv_rc)?;
+                self.touch_state();
                 Ok(auth1_response(rc::SUCCESS, ord, &[], &key, &fresh, &a.nonce_odd, a.continue_session))
             }
             None => {
                 self.nv.write(index, offset, &data, false).map_err(nv_rc)?;
+                self.touch_state();
                 Ok(simple_response(rc::SUCCESS, &[]))
             }
         }
@@ -971,6 +1016,7 @@ impl Tpm {
         self.auth_ok(check)?;
         let counter_auth = adip_decrypt(&key, &nonce_even_before, &enc_counter_auth);
         let count_id = self.counters.create(counter_auth, label).map_err(counter_rc)?;
+        self.touch_state();
         let value = self.counters.read(count_id).expect("just created").value;
         let mut out = Writer::new();
         out.u32(count_id).u32(value);
@@ -1003,6 +1049,7 @@ impl Tpm {
             params,
         )?;
         let value = self.counters.increment(count_id).map_err(counter_rc)?;
+        self.touch_state();
         let mut out = Writer::new();
         out.u32(value);
         Ok(auth1_response(rc::SUCCESS, ord, out.as_slice(), &key, &fresh, &auth.nonce_odd, auth.continue_session))
@@ -1036,6 +1083,7 @@ impl Tpm {
             params,
         )?;
         self.counters.release(count_id).map_err(counter_rc)?;
+        self.touch_state();
         Ok(auth1_response(rc::SUCCESS, ord, &[], &key, &fresh, &auth.nonce_odd, auth.continue_session))
     }
 
@@ -1465,6 +1513,34 @@ mod tests {
         let mut t = started_tpm();
         let resp = t.execute(0, &[0x00, 0xC1, 0x00]);
         assert_eq!(parse_response(&resp).unwrap().1, rc::BAD_PARAM_SIZE);
+    }
+
+    #[test]
+    fn state_generation_tracks_permanent_mutations_only() {
+        let mut t = started_tpm();
+        let g0 = t.state_generation();
+        // Read-only / transient-only commands leave the generation alone.
+        t.execute(0, &simple_cmd(ordinal::GET_RANDOM, &16u32.to_be_bytes()));
+        t.execute(0, &simple_cmd(ordinal::PCR_READ, &5u32.to_be_bytes()));
+        t.execute(0, &simple_cmd(ordinal::OIAP, &[]));
+        t.execute(0, &simple_cmd(ordinal::READ_PUBEK, &[]));
+        assert_eq!(t.state_generation(), g0, "transient commands must not bump");
+        // A PCR extend is a permanent mutation.
+        let mut params = Writer::new();
+        params.u32(5).bytes(&[0xAB; 20]);
+        t.execute(0, &simple_cmd(ordinal::EXTEND, params.as_slice()));
+        assert!(t.state_generation() > g0, "extend must bump");
+        // A failing mutation (bad index) must not bump.
+        let g1 = t.state_generation();
+        let mut bad = Writer::new();
+        bad.u32(99).bytes(&[0xAB; 20]);
+        t.execute(0, &simple_cmd(ordinal::EXTEND, bad.as_slice()));
+        assert_eq!(t.state_generation(), g1, "failed extend must not bump");
+        // Equal generations really do mean identical snapshots.
+        let snap_a = t.serialize_state();
+        t.execute(0, &simple_cmd(ordinal::GET_RANDOM, &16u32.to_be_bytes()));
+        assert_eq!(t.state_generation(), g1);
+        assert_eq!(t.serialize_state(), snap_a);
     }
 
     #[test]

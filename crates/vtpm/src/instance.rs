@@ -22,6 +22,10 @@ pub struct VtpmInstance {
     pub tpm: Tpm,
     /// Statistics.
     pub stats: InstanceStats,
+    /// TPM state generation last pushed to the manager's resident-image
+    /// mirror. `tpm.state_generation() == mirrored_generation` means the
+    /// mirror is current and a re-serialize + re-mirror can be skipped.
+    pub mirrored_generation: u64,
 }
 
 impl VtpmInstance {
@@ -31,7 +35,12 @@ impl VtpmInstance {
         let mut seed = manager_seed.to_vec();
         seed.extend_from_slice(b"/instance/");
         seed.extend_from_slice(&id.to_be_bytes());
-        VtpmInstance { id, tpm: Tpm::manufacture(&seed, cfg), stats: InstanceStats::default() }
+        VtpmInstance {
+            id,
+            tpm: Tpm::manufacture(&seed, cfg),
+            stats: InstanceStats::default(),
+            mirrored_generation: u64::MAX,
+        }
     }
 
     /// Rebuild an instance from a TPM state snapshot (restore/migration).
@@ -42,7 +51,12 @@ impl VtpmInstance {
         cfg: TpmConfig,
     ) -> Result<Self, tpm::StateError> {
         let tpm = Tpm::restore_state(state, reseed, cfg)?;
-        Ok(VtpmInstance { id, tpm, stats: InstanceStats::default() })
+        Ok(VtpmInstance {
+            id,
+            tpm,
+            stats: InstanceStats::default(),
+            mirrored_generation: u64::MAX,
+        })
     }
 
     /// Execute a command and update counters.

@@ -50,7 +50,7 @@ pub use hook::{AccessDecision, AccessHook, DenyReason, RequestContext, StockHook
 pub use instance::{InstanceId, InstanceStats, VtpmInstance};
 pub use manager::{ManagerConfig, ManagerStats, VtpmManager};
 pub use migration::{MigrationError, MigrationPackage};
-pub use mirror::{MirrorMode, StateMirror};
+pub use mirror::{MirrorIoStats, MirrorMode, StateMirror};
 pub use persist::{persist, restore, PersistError};
 pub use platform::{Guest, Platform, HW_OWNER_AUTH, HW_SRK_AUTH};
 pub use server::ManagerServer;

@@ -57,6 +57,9 @@ pub struct ManagerStats {
     pub denied: AtomicU64,
     /// Requests that failed before dispatch (bad envelope / no instance).
     pub errors: AtomicU64,
+    /// Handled requests that left the TPM's permanent state untouched, so
+    /// the serialize + mirror step was skipped outright.
+    pub mirror_skipped: AtomicU64,
 }
 
 impl ManagerStats {
@@ -139,9 +142,10 @@ impl VtpmManager {
     /// Create a fresh vTPM instance; returns its id.
     pub fn create_instance(&self) -> XenResult<InstanceId> {
         let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
-        let instance = VtpmInstance::new(id, &self.seed, self.cfg.vtpm_config.clone());
+        let mut instance = VtpmInstance::new(id, &self.seed, self.cfg.vtpm_config.clone());
         let state = instance.tpm.serialize_state();
         self.mirror.update(id, &state)?;
+        instance.mirrored_generation = instance.tpm.state_generation();
         self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
         Ok(id)
     }
@@ -153,6 +157,7 @@ impl VtpmManager {
         instance.id = id;
         let state = instance.tpm.serialize_state();
         self.mirror.update(id, &state)?;
+        instance.mirrored_generation = instance.tpm.state_generation();
         self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
         Ok(id)
     }
@@ -163,6 +168,7 @@ impl VtpmManager {
         instance.id = id;
         let state = instance.tpm.serialize_state();
         self.mirror.update(id, &state)?;
+        instance.mirrored_generation = instance.tpm.state_generation();
         self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
         self.next_instance.fetch_max(id + 1, Ordering::Relaxed);
         Ok(())
@@ -193,7 +199,30 @@ impl VtpmManager {
     ) -> Option<R> {
         let handle = self.instances.read().get(&id).cloned()?;
         let mut guard = handle.lock();
-        Some(f(&mut guard))
+        let out = f(&mut guard);
+        // Toolstack paths can mutate the TPM directly; keep the resident
+        // image current before the lock drops so concurrent readers of
+        // the mirror never see a stale or torn image.
+        self.refresh_mirror(id, &mut guard);
+        Some(out)
+    }
+
+    /// Re-mirror `instance` if its permanent state moved past what the
+    /// mirror holds. Must be called with the instance lock held.
+    fn refresh_mirror(&self, id: InstanceId, instance: &mut VtpmInstance) {
+        let gen = instance.tpm.state_generation();
+        if gen == instance.mirrored_generation {
+            self.stats.mirror_skipped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let state = instance.tpm.serialize_state();
+        match self.mirror.update(id, &state) {
+            Ok(()) => instance.mirrored_generation = gen,
+            // Mirror exhaustion is a host-memory problem, not the guest's;
+            // the mutation already happened, so leave the stale marker and
+            // retry on the next mutation.
+            Err(e) => debug_assert!(false, "mirror update failed: {e}"),
+        }
     }
 
     /// Serialize an instance's TPM state (migration source side).
@@ -201,10 +230,24 @@ impl VtpmManager {
         self.with_instance(id, |i| i.tpm.serialize_state())
     }
 
+    /// Read an instance's resident image back out of the mirror
+    /// (decrypting in Encrypted mode). Diagnostics/tests: the manager's
+    /// own view of what a coherent resident image should decode to.
+    pub fn resident_image(&self, id: InstanceId) -> XenResult<Vec<u8>> {
+        self.mirror.read(id)
+    }
+
     /// Handle one enveloped request arriving from `source_domain`.
     /// Returns the encoded response envelope. This is the manager's hot
     /// path; it takes no global lock while the TPM executes.
     pub fn handle(&self, source_domain: DomainId, envelope_bytes: &[u8]) -> Vec<u8> {
+        // Every request pays both transport hops (request in + response
+        // out): malformed and denied requests crossed the ring too, and
+        // their rejection travels back the same way. Charging this up
+        // front keeps the virtual-time model consistent across outcomes.
+        if self.cfg.charge_virtual_time {
+            self.hv.clock.advance_ns(2 * self.cfg.transport_cost_ns);
+        }
         let envelope = match Envelope::decode(envelope_bytes) {
             Ok(e) => e,
             Err(_) => {
@@ -262,24 +305,23 @@ impl VtpmManager {
             }
         };
 
-        // Virtual-time accounting: transport (in + out) + command cost.
+        // Only dispatched commands pay the modelled TPM execution cost.
         if self.cfg.charge_virtual_time {
             let cmd_cost = ctx.ordinal.map(command_cost_ns).unwrap_or(1_000_000);
-            self.hv.clock.advance_ns(2 * self.cfg.transport_cost_ns + cmd_cost);
+            self.hv.clock.advance_ns(cmd_cost);
         }
 
-        let (body, state) = {
+        let body = {
             let mut instance = handle.lock();
             let body = instance.execute(envelope.locality, &envelope.command);
             instance.stats.last_seq = instance.stats.last_seq.max(envelope.seq);
-            (body, instance.tpm.serialize_state())
+            // Serialize + mirror under the instance lock, and only when
+            // the command actually moved the permanent state: read-only
+            // traffic skips the whole snapshot path, and concurrent
+            // commands can never publish mirror images out of order.
+            self.refresh_mirror(envelope.instance, &mut instance);
+            body
         };
-        // Refresh the resident image (cleartext or encrypted per mode).
-        if let Err(e) = self.mirror.update(envelope.instance, &state) {
-            // Mirror exhaustion is a host-memory problem, not the guest's;
-            // the command already executed, so still return its response.
-            debug_assert!(false, "mirror update failed: {e}");
-        }
 
         self.stats.handled.fetch_add(1, Ordering::Relaxed);
         ResponseEnvelope { seq: envelope.seq, status: ResponseStatus::Ok, body }.encode()
@@ -299,6 +341,11 @@ impl VtpmManager {
     /// The mirror mode in force.
     pub fn mirror_mode(&self) -> MirrorMode {
         self.mirror.mode()
+    }
+
+    /// Mirror write-path counters (pages/bytes written, clean updates).
+    pub fn mirror_io_stats(&self) -> crate::mirror::MirrorIoStats {
+        self.mirror.io_stats()
     }
 }
 
@@ -378,6 +425,21 @@ mod tests {
         );
     }
 
+    /// Hook that refuses everything, with a modelled check cost.
+    struct DenyAllHook;
+
+    impl AccessHook for DenyAllHook {
+        fn authorize(&self, _ctx: &RequestContext<'_>) -> AccessDecision {
+            AccessDecision::Deny(crate::hook::DenyReason::NoCredential)
+        }
+        fn overhead_ns(&self, _ctx: &RequestContext<'_>) -> u64 {
+            2_500
+        }
+        fn name(&self) -> &str {
+            "deny-all"
+        }
+    }
+
     #[test]
     fn virtual_time_charged_per_command() {
         let (hv, mgr) = setup(MirrorMode::Cleartext);
@@ -387,6 +449,177 @@ mod tests {
         let t1 = hv.clock.now_ns();
         // startup cost (1ms) + 2 * transport (15µs each).
         assert_eq!(t1 - t0, 1_000_000 + 30_000);
+
+        // A malformed request still crossed the ring both ways: it pays
+        // the transport hops (but no AC or command cost).
+        let t2 = hv.clock.now_ns();
+        mgr.handle(DomainId(1), b"garbage");
+        assert_eq!(hv.clock.now_ns() - t2, 30_000);
+
+        // A denied request pays transport + the hook's modelled cost,
+        // but never the TPM command cost.
+        mgr.set_hook(Arc::new(DenyAllHook));
+        let t3 = hv.clock.now_ns();
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 2, startup_cmd()));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Denied);
+        assert_eq!(hv.clock.now_ns() - t3, 30_000 + 2_500);
+    }
+
+    fn pcr_read_cmd() -> Vec<u8> {
+        let mut cmd = Vec::new();
+        cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+        cmd.extend_from_slice(&14u32.to_be_bytes());
+        cmd.extend_from_slice(&tpm::ordinal::PCR_READ.to_be_bytes());
+        cmd.extend_from_slice(&0u32.to_be_bytes());
+        cmd
+    }
+
+    fn extend_cmd(idx: u32, digest: [u8; 20]) -> Vec<u8> {
+        let mut cmd = Vec::new();
+        cmd.extend_from_slice(&0x00C1u16.to_be_bytes());
+        cmd.extend_from_slice(&34u32.to_be_bytes());
+        cmd.extend_from_slice(&tpm::ordinal::EXTEND.to_be_bytes());
+        cmd.extend_from_slice(&idx.to_be_bytes());
+        cmd.extend_from_slice(&digest);
+        cmd
+    }
+
+    #[test]
+    fn read_only_commands_skip_the_mirror() {
+        let (_hv, mgr) = setup(MirrorMode::Encrypted);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        let before = mgr.mirror_io_stats();
+        let skipped_before = mgr.stats.mirror_skipped.load(Ordering::Relaxed);
+        for s in 0..20u64 {
+            let resp = mgr.handle(DomainId(1), &envelope(1, id, 2 + s, pcr_read_cmd()));
+            assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+        }
+        let after = mgr.mirror_io_stats();
+        assert_eq!(after.updates, before.updates, "read-only commands must not call the mirror");
+        assert_eq!(after.bytes_written, before.bytes_written);
+        assert_eq!(mgr.stats.mirror_skipped.load(Ordering::Relaxed), skipped_before + 20);
+    }
+
+    #[test]
+    fn mutating_commands_write_only_dirty_pages() {
+        let hv = Arc::new(Hypervisor::boot(2048, 8).unwrap());
+        let mgr = VtpmManager::new(
+            Arc::clone(&hv),
+            b"dirty-pages",
+            ManagerConfig {
+                mirror_mode: MirrorMode::Encrypted,
+                vtpm_config: TpmConfig { nv_budget: 64 * 1024, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        // Grow the state across several pages so a PCR extend dirties
+        // only the page(s) holding the PCR bank, not the NV payload.
+        mgr.with_instance(id, |i| {
+            i.tpm.provision_nv(0x60, &vec![0xE7u8; 3 * 4096]).unwrap();
+        })
+        .unwrap();
+        let total_pages =
+            mgr.with_instance(id, |i| i.tpm.serialize_state().len().div_ceil(4096)).unwrap() as u64;
+        assert!(total_pages >= 4, "state must span several pages for this test");
+        let before = mgr.mirror_io_stats();
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 2, extend_cmd(5, [0xAB; 20])));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+        let after = mgr.mirror_io_stats();
+        let written = after.data_pages_written - before.data_pages_written;
+        assert!(written >= 1, "the extend must dirty at least one page");
+        assert!(
+            written < total_pages,
+            "a one-PCR change must not rewrite the whole {total_pages}-page image (wrote {written})"
+        );
+    }
+
+    #[test]
+    fn concurrent_hammer_with_resize_never_tears_the_image() {
+        // One instance is hammered with mutating commands from several
+        // threads while another thread grows and shrinks its state via
+        // with_instance. The mirror must always decode to a coherent
+        // snapshot (no torn image) and, after the final shrink, no stale
+        // bytes of the large image may survive in a full Dom0 dump.
+        let hv = Arc::new(Hypervisor::boot(8192, 16).unwrap());
+        let mgr = Arc::new(
+            VtpmManager::new(
+                Arc::clone(&hv),
+                b"hammer",
+                ManagerConfig {
+                    mirror_mode: MirrorMode::Cleartext,
+                    vtpm_config: TpmConfig { nv_budget: 64 * 1024, ..Default::default() },
+                    charge_virtual_time: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            let mgr = Arc::clone(&mgr);
+            workers.push(std::thread::spawn(move || {
+                for s in 0..50u64 {
+                    let resp = mgr.handle(
+                        DomainId(1),
+                        &envelope(1, id, 1000 * (t + 1) + s, extend_cmd((t % 8) as u32, [s as u8; 20])),
+                    );
+                    assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+                }
+            }));
+        }
+        // Resizer: repeatedly grow (define + write a fat NV area) and
+        // shrink (release it) the serialized state.
+        {
+            let mgr = Arc::clone(&mgr);
+            workers.push(std::thread::spawn(move || {
+                for round in 0..10u32 {
+                    mgr.with_instance(id, |i| {
+                        i.tpm.provision_nv(0x80 + round, &vec![0xD5u8; 2 * 4096]).unwrap();
+                    })
+                    .unwrap();
+                    mgr.with_instance(id, |i| {
+                        i.tpm.release_nv(0x80 + round).unwrap();
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        // Reader: the mirror must decode to a valid snapshot at any
+        // point — a torn image fails restore_state.
+        {
+            let mgr = Arc::clone(&mgr);
+            workers.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let image = mgr.resident_image(id).expect("image readable");
+                    tpm::Tpm::restore_state(&image, b"probe", tpm::TpmConfig::default())
+                        .expect("mirror image must never be torn");
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        // After the hammering, the image equals a fresh serialization...
+        let state = mgr.export_instance_state(id).unwrap();
+        assert_eq!(mgr.resident_image(id).unwrap(), state);
+        // ...and no stale fat-NV bytes survive anywhere in the dump.
+        let probe = vec![0xD5u8; 64];
+        let mut dump = Vec::new();
+        for (_, _, page) in hv.dump_memory(DomainId::DOM0).unwrap() {
+            dump.extend_from_slice(&page[..]);
+        }
+        assert!(
+            !dump.windows(probe.len()).any(|w| w == &probe[..]),
+            "stale bytes of the released NV area survived in the dump"
+        );
     }
 
     #[test]
