@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1   # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
@@ -24,6 +24,9 @@ struct Sizes {
     f5_vms: Vec<usize>,
     f6_utils: Vec<f64>,
     f6_arrivals: usize,
+    r1_seeds: usize,
+    r1_events: usize,
+    r1_faults: usize,
 }
 
 impl Sizes {
@@ -45,6 +48,9 @@ impl Sizes {
             f5_vms: vec![1, 2, 4, 8, 16, 32],
             f6_utils: vec![0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99],
             f6_arrivals: 200_000,
+            r1_seeds: 16,
+            r1_events: 80,
+            r1_faults: 6,
         }
     }
 
@@ -65,6 +71,9 @@ impl Sizes {
             f5_vms: vec![1, 4, 8],
             f6_utils: vec![0.2, 0.8],
             f6_arrivals: 10_000,
+            r1_seeds: 4,
+            r1_events: 48,
+            r1_faults: 4,
         }
     }
 }
@@ -75,7 +84,7 @@ fn main() {
     let sizes = if quick { Sizes::quick() } else { Sizes::full() };
     let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
-        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6"]
+        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1"]
     } else {
         which
     };
@@ -97,8 +106,9 @@ fn main() {
             "t4" => exp::t4::render(&exp::t4::run(sizes.t4_reps)),
             "f5" => exp::f5::render(&exp::f5::run(&sizes.f5_vms)),
             "f6" => exp::f6::render(&exp::f6::run(&sizes.f6_utils, sizes.f6_arrivals)),
+            "r1" => exp::r1::render(&exp::r1::run(sizes.r1_seeds, sizes.r1_events, sizes.r1_faults)),
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|all)");
                 std::process::exit(2);
             }
         };

@@ -17,6 +17,7 @@
 //! | [`exp::f4`] | R-F4: manager throughput vs worker threads |
 //! | [`exp::t4`] | R-T4: per-mechanism ablation |
 //! | [`exp::f5`] | R-F5: dump-scan at scale |
+//! | [`exp::r1`] | R-R1: chaos + crash/recovery of the mirror pipeline |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
@@ -26,6 +27,7 @@ pub mod exp {
     pub mod f4;
     pub mod f5;
     pub mod f6;
+    pub mod r1;
     pub mod t1;
     pub mod t2;
     pub mod t3;

@@ -1,0 +1,115 @@
+//! Chaos CLI: replay N seeded fault scenarios, each twice, and fail on
+//! any oracle divergence, nonce reuse, or nondeterministic replay.
+//!
+//! ```text
+//! chaos [--seeds N] [--events N] [--faults N] [--mode encrypted|cleartext] [--base LABEL]
+//! ```
+//!
+//! Exit status: 0 clean, 1 divergence/nondeterminism, 2 bad usage.
+
+use std::process::ExitCode;
+
+use vtpm::MirrorMode;
+use vtpm_harness::{run_chaos, ChaosConfig};
+
+fn main() -> ExitCode {
+    let mut seeds = 32usize;
+    let mut cfg = ChaosConfig::default();
+    let mut base = String::from("chaos");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Option<&String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--seeds" => match take("--seeds").and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => return ExitCode::from(2),
+            },
+            "--events" => match take("--events").and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.events = n,
+                None => return ExitCode::from(2),
+            },
+            "--faults" => match take("--faults").and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.faults = n,
+                None => return ExitCode::from(2),
+            },
+            "--mode" => match take("--mode").map(String::as_str) {
+                Some("encrypted") => cfg.mirror_mode = MirrorMode::Encrypted,
+                Some("cleartext") => cfg.mirror_mode = MirrorMode::Cleartext,
+                _ => {
+                    eprintln!("--mode is encrypted|cleartext");
+                    return ExitCode::from(2);
+                }
+            },
+            "--base" => match take("--base") {
+                Some(b) => base = b.clone(),
+                None => return ExitCode::from(2),
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for s in 0..seeds {
+        let seed = format!("{base}-{s}");
+        let first = match run_chaos(seed.as_bytes(), &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("seed {seed}: harness error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let replay = match run_chaos(seed.as_bytes(), &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("seed {seed}: replay error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let deterministic = first == replay;
+        let clean = first.divergences.is_empty() && first.nonce_reuses == 0;
+        println!(
+            "seed {seed}: transcript {} faults {:?} recoveries {} (post {} / pre {}) reconnects {} divergences {} nonce-reuses {}{}",
+            first
+                .transcript
+                .iter()
+                .take(8)
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>(),
+            first.faults.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+            first.crash_recoveries,
+            first.recovered_post,
+            first.recovered_pre,
+            first.ring_reconnects,
+            first.divergences.len(),
+            first.nonce_reuses,
+            if deterministic { "" } else { "  REPLAY MISMATCH" },
+        );
+        for d in &first.divergences {
+            println!("    {d}");
+        }
+        if !deterministic || !clean {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        println!("{failures}/{seeds} seeds failed");
+        ExitCode::from(1)
+    } else {
+        println!("{seeds} seeds clean, replays deterministic");
+        ExitCode::SUCCESS
+    }
+}

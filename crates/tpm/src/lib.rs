@@ -40,7 +40,7 @@ pub mod types;
 pub use client::{ClientError, DirectTransport, TpmClient, Transport};
 pub use counter::{Counter, CounterError, CounterStore};
 pub use keys::{KeyBlob, KeyError, LoadedKey};
-pub use nv::{NvAttributes, NvError};
+pub use nv::{NvArea, NvAttributes, NvError, NvStore};
 pub use pcr::{PcrBank, PcrSelection};
 pub use state::StateError;
 pub use timing::{command_cost_ns, ordinal_of};

@@ -237,6 +237,32 @@ impl Tpm {
         Ok(())
     }
 
+    /// Read-only NV store view (diagnostics and the differential-testing
+    /// oracle, which diffs final NV contents against a reference model).
+    pub fn nv(&self) -> &NvStore {
+        &self.nv
+    }
+
+    /// Read-only counter-table view (same callers as [`Tpm::nv`]).
+    pub fn counters(&self) -> &CounterStore {
+        &self.counters
+    }
+
+    /// Toolstack path: create a monotonic counter without the wire-format
+    /// authorization plumbing (companion of [`Tpm::provision_nv`]).
+    pub fn create_counter(&mut self, auth: [u8; DIGEST_LEN], label: [u8; 4]) -> Result<u32, CounterError> {
+        let handle = self.counters.create(auth, label)?;
+        self.touch_state();
+        Ok(handle)
+    }
+
+    /// Toolstack path: increment a counter; returns the new value.
+    pub fn increment_counter(&mut self, handle: u32) -> Result<u32, CounterError> {
+        let value = self.counters.increment(handle)?;
+        self.touch_state();
+        Ok(value)
+    }
+
     /// TPM-internal OAEP decryption with the EK.
     ///
     /// Models the endorsement-key operations the 1.2 migration commands

@@ -17,7 +17,7 @@ use std::time::Duration;
 use tpm::Transport;
 use xen_sim::{
     ByteRing, DomainId, Endpoint, GrantAccess, GrantRef, Hypervisor, PageRegion, Perms,
-    Result as XenResult, RingDir, XenError,
+    Result as XenResult, RingDir, RingFault, XenError,
 };
 
 use crate::instance::InstanceId;
@@ -233,6 +233,9 @@ pub struct TpmBack {
     pub guest: DomainId,
     ring: ByteRing,
     port: Endpoint,
+    /// The frontend's ring grants, as mapped at connect (held so a
+    /// revocation fault can sever them the way a dying guest would).
+    grants: Vec<GrantRef>,
     /// Scrub consumed requests from the ring (improved hygiene).
     pub scrub: bool,
 }
@@ -246,6 +249,7 @@ impl TpmBack {
     ) -> XenResult<Self> {
         let fdir = frontend_dir(guest);
         let mut mfns = Vec::with_capacity(RING_PAGES);
+        let mut grants = Vec::with_capacity(RING_PAGES);
         for i in 0..RING_PAGES {
             let slot: u32 = hv
                 .xs_read_string(DomainId::DOM0, &format!("{fdir}/ring-ref{i}"))?
@@ -253,6 +257,7 @@ impl TpmBack {
                 .map_err(|_| XenError::BadImage("ring-ref"))?;
             let gref = GrantRef { granter: guest, slot };
             mfns.push(hv.grant_map(gref, DomainId::DOM0)?);
+            grants.push(gref);
         }
         let ring = ByteRing::new(PageRegion::new(mfns))?;
         let fport: u32 = hv
@@ -262,7 +267,16 @@ impl TpmBack {
         let port =
             hv.events.bind_interdomain(DomainId::DOM0, Endpoint { domain: guest, port: fport })?;
         hv.xs_write(DomainId::DOM0, &format!("{}/state", backend_dir(guest)), b"4")?;
-        Ok(TpmBack { hv, manager, guest, ring, port, scrub: false })
+        Ok(TpmBack { hv, manager, guest, ring, port, grants, scrub: false })
+    }
+
+    /// Re-point this backend at a different manager — the manager
+    /// crash/restart path. The ring mappings and the event channel live
+    /// in the (simulated) kernel and survive a manager-process restart;
+    /// only the service behind them is replaced, so the guest's frontend
+    /// never reconnects. Pair with [`VtpmManager::recover`].
+    pub fn rebind(self, manager: Arc<VtpmManager>) -> TpmBack {
+        TpmBack { manager, ..self }
     }
 
     /// Drain and answer every queued request; returns how many were served.
@@ -280,12 +294,42 @@ impl TpmBack {
                 Some(m) => m,
                 None => break,
             };
+            let fault = self.hv.take_ring_fault();
+            if let Some(RingFault::RevokeGrants) = fault {
+                // The guest yanked its ring grants mid-exchange (domain
+                // teardown, a hostile balloon). Sever our mappings and
+                // stop serving; the request is lost with the ring.
+                for &gref in &self.grants {
+                    let _ = self.hv.grant_unmap(gref, DomainId::DOM0);
+                    let _ = self.hv.grant_revoke(gref, self.guest);
+                }
+                return Err(XenError::Injected("ring grants revoked"));
+            }
             // The manager is told the *actual* source domain — ring
             // ownership is the one identity Dom0 can always trust.
             let response = self.manager.handle(self.guest, &payload);
-            self.hv
-                .with_memory_mut(|m| self.ring.write_msg(m, RingDir::BackToFront, id, &response))?;
-            self.hv.events.notify(self.port)?;
+            match fault {
+                // Response lost on the ring: the command took effect but
+                // the guest never hears back and will see a timeout.
+                Some(RingFault::Drop) => {}
+                // Response delivered twice (spurious event/requeue). The
+                // frontend must drop the stale copy by message id.
+                Some(RingFault::Duplicate) => {
+                    for _ in 0..2 {
+                        self.hv.with_memory_mut(|m| {
+                            self.ring.write_msg(m, RingDir::BackToFront, id, &response)
+                        })?;
+                    }
+                    self.hv.events.notify(self.port)?;
+                }
+                Some(RingFault::RevokeGrants) => unreachable!("handled above"),
+                None => {
+                    self.hv.with_memory_mut(|m| {
+                        self.ring.write_msg(m, RingDir::BackToFront, id, &response)
+                    })?;
+                    self.hv.events.notify(self.port)?;
+                }
+            }
             served += 1;
         }
         Ok(served)
@@ -452,6 +496,116 @@ mod tests {
         client.startup_clear().unwrap();
         shutdown.store(true, Ordering::Relaxed);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_response_times_out_but_command_took_effect() {
+        let (hv, mgr) = platform();
+        let (_g, mut front, back) = launch(&hv, &mgr, "g1");
+        front.timeout = Duration::from_millis(300);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || back.run(&sd));
+
+        let mut client = TpmClient::new(&mut front, b"c");
+        client.startup_clear().unwrap();
+
+        hv.inject_ring_fault(xen_sim::RingFault::Drop);
+        // The response is lost: the guest sees a failure...
+        assert!(client.extend(2, &[0x42; 20]).is_err());
+        // ...but the command executed before the response was dropped, so
+        // the PCR moved — exactly the ambiguity a lost ring message
+        // creates on real hardware.
+        let v = client.pcr_read(2).unwrap();
+        assert_ne!(v, [0u8; 20]);
+
+        shutdown.store(true, Ordering::Relaxed);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn duplicated_response_is_dropped_as_stale() {
+        let (hv, mgr) = platform();
+        let (_g, mut front, back) = launch(&hv, &mgr, "g1");
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || back.run(&sd));
+
+        let mut client = TpmClient::new(&mut front, b"c");
+        client.startup_clear().unwrap();
+
+        hv.inject_ring_fault(xen_sim::RingFault::Duplicate);
+        client.extend(1, &[0x07; 20]).unwrap();
+        // The duplicate copy lingers in the ring; the next exchange must
+        // skip it by message id and still complete correctly.
+        let v = client.pcr_read(1).unwrap();
+        assert_ne!(v, [0u8; 20]);
+        assert_eq!(v, client.pcr_read(1).unwrap());
+
+        shutdown.store(true, Ordering::Relaxed);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn revoked_grants_stop_the_backend() {
+        let (hv, mgr) = platform();
+        let (_g, mut front, back) = launch(&hv, &mgr, "g1");
+        let env = front.build_envelope(&[0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1]);
+        let bytes = env.encode();
+        hv.with_memory_mut(|m| front.ring.write_msg(m, RingDir::FrontToBack, 7, &bytes))
+            .unwrap();
+        hv.inject_ring_fault(xen_sim::RingFault::RevokeGrants);
+        match back.serve_pending() {
+            Err(XenError::Injected(_)) => {}
+            other => panic!("expected injected revocation error, got {other:?}"),
+        }
+        // The grants really are gone: a fresh backend cannot re-map them.
+        assert!(TpmBack::connect(Arc::clone(&hv), Arc::clone(&mgr), front.domain).is_err());
+    }
+
+    #[test]
+    fn rebind_survives_manager_restart() {
+        let (hv, mgr) = platform();
+        let (_g, mut front, back) = launch(&hv, &mgr, "g1");
+
+        {
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let sd = Arc::clone(&shutdown);
+            let t = std::thread::spawn(move || {
+                back.run(&sd);
+                back
+            });
+            let mut client = TpmClient::new(&mut front, b"c");
+            client.startup_clear().unwrap();
+            client.extend(4, &[0x33; 20]).unwrap();
+            shutdown.store(true, Ordering::Relaxed);
+            let back = t.join().unwrap();
+
+            // Manager process dies; recover from Dom0 frames and re-point
+            // the surviving backend at the new manager.
+            drop(mgr);
+            let (rec, report) = VtpmManager::recover(
+                Arc::clone(&hv),
+                b"device-test",
+                ManagerConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(report.resumed.len(), 1);
+            let back = back.rebind(Arc::new(rec));
+
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let sd = Arc::clone(&shutdown);
+            let t = std::thread::spawn(move || back.run(&sd));
+            // Same frontend, same ring, same channel: the guest resumes
+            // where it left off, state intact.
+            let mut client = TpmClient::new(&mut front, b"c");
+            let v = client.pcr_read(4).unwrap();
+            assert_ne!(v, [0u8; 20]);
+            shutdown.store(true, Ordering::Relaxed);
+            t.join().unwrap();
+        }
     }
 
     #[test]

@@ -48,9 +48,9 @@ pub use deep_quote::{DeepQuote, DeepQuoteError, BINDING_PCR};
 pub use device::{provision_device, TpmBack, TpmFront, VTPM_FAIL_RC};
 pub use hook::{AccessDecision, AccessHook, DenyReason, RequestContext, StockHook};
 pub use instance::{InstanceId, InstanceStats, VtpmInstance};
-pub use manager::{ManagerConfig, ManagerStats, VtpmManager};
+pub use manager::{ManagerConfig, ManagerStats, RecoveryReport, VtpmManager};
 pub use migration::{MigrationError, MigrationPackage};
-pub use mirror::{MirrorIoStats, MirrorMode, StateMirror};
+pub use mirror::{MirrorIoStats, MirrorMode, MirrorRecovery, StateMirror};
 pub use persist::{persist, restore, PersistError};
 pub use platform::{Guest, Platform, HW_OWNER_AUTH, HW_SRK_AUTH};
 pub use server::ManagerServer;

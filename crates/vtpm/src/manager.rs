@@ -60,6 +60,11 @@ pub struct ManagerStats {
     /// Handled requests that left the TPM's permanent state untouched, so
     /// the serialize + mirror step was skipped outright.
     pub mirror_skipped: AtomicU64,
+    /// Mirror updates that failed after a successful TPM mutation (host
+    /// memory exhaustion or an injected fault). The mirror is stale until
+    /// the next successful refresh; a crash in that window loses the
+    /// unmirrored mutations.
+    pub mirror_failures: AtomicU64,
 }
 
 impl ManagerStats {
@@ -91,10 +96,16 @@ impl VtpmManager {
     /// the seed (in the full platform it is unsealed from the hardware
     /// TPM at boot — see `persist`).
     pub fn new(hv: Arc<Hypervisor>, seed: &[u8], cfg: ManagerConfig) -> XenResult<Self> {
+        Self::with_master_key(hv, seed, cfg, Self::derive_master_key(seed))
+    }
+
+    /// The mirror master key a manager booted from `seed` uses. Public so
+    /// the crash/restart path can re-derive it: recovery rebuilds the
+    /// manager from the Dom0 mirror frames alone, and the key is the one
+    /// secret that must come from outside those frames.
+    pub fn derive_master_key(seed: &[u8]) -> [u8; 16] {
         let key_material = tpm_crypto::sha256(&[seed, b"/mirror-master-key"].concat());
-        let mut master_key = [0u8; 16];
-        master_key.copy_from_slice(&key_material[..16]);
-        Self::with_master_key(hv, seed, cfg, master_key)
+        key_material[..16].try_into().expect("16 bytes")
     }
 
     /// Stand up a manager with an explicit master key (the restore path,
@@ -116,6 +127,59 @@ impl VtpmManager {
             next_instance: AtomicU32::new(1),
             stats: ManagerStats::default(),
         })
+    }
+
+    /// Rebuild a manager from the Dom0 mirror frames alone — the crash/
+    /// restart path. The old manager process is gone; all that survives
+    /// is simulated machine memory. Recovery re-derives the master key
+    /// from the seed (in the full platform: unseals it from the hardware
+    /// TPM), scans Dom0 memory for committed mirror regions, restores
+    /// each instance's TPM from its decrypted image, and resumes serving
+    /// the original instance ids so in-flight guests reconnect.
+    ///
+    /// The caller re-installs its access hook; hooks hold host policy,
+    /// not guest state, and are not part of the mirrored image.
+    pub fn recover(
+        hv: Arc<Hypervisor>,
+        seed: &[u8],
+        cfg: ManagerConfig,
+    ) -> XenResult<(Self, RecoveryReport)> {
+        let master_key = Self::derive_master_key(seed);
+        let (mirror, mirror_report) =
+            StateMirror::recover(Arc::clone(&hv), cfg.mirror_mode, master_key)?;
+        let mgr = VtpmManager {
+            hv,
+            seed: seed.to_vec(),
+            cfg,
+            hook: RwLock::new(Arc::new(StockHook)),
+            instances: RwLock::new(HashMap::new()),
+            mirror,
+            next_instance: AtomicU32::new(1),
+            stats: ManagerStats::default(),
+        };
+        let mut report = RecoveryReport {
+            resumed: Vec::new(),
+            failed: Vec::new(),
+            mirror: mirror_report,
+        };
+        for id in mgr.mirror.instance_ids() {
+            let Ok(state) = mgr.mirror.read(id) else {
+                report.failed.push(id);
+                continue;
+            };
+            match VtpmInstance::from_state(id, &state, &mgr.seed, mgr.cfg.vtpm_config.clone()) {
+                Ok(mut instance) => {
+                    // The mirror is current by construction — the image
+                    // just came from it.
+                    instance.mirrored_generation = instance.tpm.state_generation();
+                    mgr.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+                    mgr.next_instance.fetch_max(id + 1, Ordering::Relaxed);
+                    report.resumed.push(id);
+                }
+                Err(_) => report.failed.push(id),
+            }
+        }
+        Ok((mgr, report))
     }
 
     /// Install an access hook (the improved layer); replaces the current
@@ -174,13 +238,16 @@ impl VtpmManager {
         Ok(())
     }
 
-    /// Remove an instance, scrubbing its resident image.
+    /// Remove an instance, scrubbing its resident image. The mirror is
+    /// scrubbed *before* the instance is unrouted: if the scrub fails
+    /// (injected fault, host trouble) the instance stays registered and
+    /// usable instead of leaving orphaned state in Dom0 frames.
     pub fn destroy_instance(&self, id: InstanceId) -> XenResult<bool> {
-        let existed = self.instances.write().remove(&id).is_some();
-        if existed {
-            self.mirror.remove(id)?;
+        if !self.instances.read().contains_key(&id) {
+            return Ok(false);
         }
-        Ok(existed)
+        self.mirror.remove(id)?;
+        Ok(self.instances.write().remove(&id).is_some())
     }
 
     /// Instance ids currently live.
@@ -218,10 +285,14 @@ impl VtpmManager {
         let state = instance.tpm.serialize_state();
         match self.mirror.update(id, &state) {
             Ok(()) => instance.mirrored_generation = gen,
-            // Mirror exhaustion is a host-memory problem, not the guest's;
-            // the mutation already happened, so leave the stale marker and
-            // retry on the next mutation.
-            Err(e) => debug_assert!(false, "mirror update failed: {e}"),
+            // Mirror failure (host memory exhaustion, injected fault) is
+            // not the guest's problem and the mutation already happened:
+            // count it, leave the stale marker, and retry on the next
+            // mutation. The mirror's atomic commit guarantees the failed
+            // update left the previous committed image intact.
+            Err(_) => {
+                self.stats.mirror_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -347,6 +418,35 @@ impl VtpmManager {
     pub fn mirror_io_stats(&self) -> crate::mirror::MirrorIoStats {
         self.mirror.io_stats()
     }
+
+    /// Committed mirror generation of instance `id` (harness/tests).
+    pub fn mirror_generation(&self, id: InstanceId) -> Option<u64> {
+        self.mirror.generation(id)
+    }
+
+    /// Start auditing mirror CTR nonce pairs (tests/harness; see
+    /// [`StateMirror::enable_nonce_audit`]).
+    pub fn enable_nonce_audit(&self) {
+        self.mirror.enable_nonce_audit();
+    }
+
+    /// Nonce-pair collisions observed since the audit was enabled.
+    pub fn nonce_reuses(&self) -> u64 {
+        self.mirror.nonce_reuses()
+    }
+}
+
+/// What [`VtpmManager::recover`] managed to bring back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Instances restored from their committed mirror image and serving
+    /// again under their original ids, ascending.
+    pub resumed: Vec<InstanceId>,
+    /// Instances whose mirror region was found but whose image failed
+    /// verification or did not parse as TPM state.
+    pub failed: Vec<InstanceId>,
+    /// The underlying memory-scan report.
+    pub mirror: crate::mirror::MirrorRecovery,
 }
 
 #[cfg(test)]
@@ -692,5 +792,75 @@ mod tests {
         assert!(mgr.instance_ids().contains(&id));
         let resp = mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
         assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+    }
+
+    #[test]
+    fn recover_resumes_instances_from_frames_alone() {
+        let (hv, mgr) = setup(MirrorMode::Encrypted);
+        let a = mgr.create_instance().unwrap();
+        let b = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, a, 1, startup_cmd()));
+        mgr.handle(DomainId(1), &envelope(1, a, 2, extend_cmd(3, [0x44; 20])));
+        mgr.handle(DomainId(2), &envelope(2, b, 1, startup_cmd()));
+        let state_a = mgr.export_instance_state(a).unwrap();
+        let state_b = mgr.export_instance_state(b).unwrap();
+        // Kill the manager: only simulated machine memory survives.
+        drop(mgr);
+        let (rec, report) = VtpmManager::recover(
+            Arc::clone(&hv),
+            b"mgr-test",
+            ManagerConfig { mirror_mode: MirrorMode::Encrypted, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, vec![a, b]);
+        assert_eq!(report.failed, Vec::<u32>::new());
+        assert_eq!(rec.export_instance_state(a).unwrap(), state_a);
+        assert_eq!(rec.export_instance_state(b).unwrap(), state_b);
+        // The recovered instances keep serving commands under their ids.
+        let resp = rec.handle(DomainId(1), &envelope(1, a, 3, extend_cmd(3, [0x55; 20])));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+        // And new instances never collide with resumed ids.
+        let c = rec.create_instance().unwrap();
+        assert!(c > b);
+    }
+
+    #[test]
+    fn recover_after_crash_mid_command_yields_pre_or_post_state() {
+        let (hv, mgr) = setup(MirrorMode::Encrypted);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        let pre = mgr.export_instance_state(id).unwrap();
+        // Crash between the TPM mutation's first and second mirror write.
+        hv.inject_write_crash(DomainId::DOM0, 1);
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 2, extend_cmd(7, [0x66; 20])));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+        assert_eq!(mgr.stats.mirror_failures.load(Ordering::Relaxed), 1);
+        let post = mgr.export_instance_state(id).unwrap();
+        hv.clear_faults();
+        drop(mgr);
+        let (rec, report) = VtpmManager::recover(
+            Arc::clone(&hv),
+            b"mgr-test",
+            ManagerConfig { mirror_mode: MirrorMode::Encrypted, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, vec![id]);
+        let got = rec.export_instance_state(id).unwrap();
+        assert!(got == pre || got == post, "recovered state must be pre- or post-command");
+    }
+
+    #[test]
+    fn destroy_instance_survives_scrub_failure() {
+        let (hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        hv.inject_write_crash(DomainId::DOM0, 0);
+        assert!(mgr.destroy_instance(id).is_err(), "scrub failure must surface");
+        hv.clear_faults();
+        // The instance is still routed and usable after the failed scrub.
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 2, extend_cmd(1, [0x11; 20])));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+        assert_eq!(mgr.destroy_instance(id), Ok(true));
+        assert_eq!(mgr.destroy_instance(id), Ok(false));
     }
 }

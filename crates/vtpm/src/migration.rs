@@ -144,13 +144,13 @@ impl MigrationPackage {
                     .bytes(8)
                     .map_err(|_| MigrationError::Malformed)?
                     .try_into()
-                    .unwrap();
+                    .map_err(|_| MigrationError::Malformed)?;
                 let ciphertext = r.sized_u32().map_err(|_| MigrationError::Malformed)?.to_vec();
                 let digest: [u8; 32] = r
                     .bytes(32)
                     .map_err(|_| MigrationError::Malformed)?
                     .try_into()
-                    .unwrap();
+                    .map_err(|_| MigrationError::Malformed)?;
                 Ok(MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest })
             }
             _ => Err(MigrationError::Malformed),

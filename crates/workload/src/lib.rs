@@ -14,11 +14,15 @@
 pub mod arrival;
 pub mod driver;
 pub mod mix;
+pub mod oracle;
 pub mod runner;
 pub mod stats;
+pub mod trace;
 
 pub use arrival::{offered_load_model, OfferedLoadResult, PoissonArrivals};
 pub use driver::GuestSession;
 pub use mix::{CommandMix, Op};
+pub use oracle::TpmOracle;
 pub use runner::{run_concurrent, RunResult};
 pub use stats::{Samples, Summary};
+pub use trace::{generate_trace, TraceEvent};

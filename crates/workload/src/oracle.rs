@@ -1,0 +1,255 @@
+//! A reference TPM oracle for differential testing.
+//!
+//! The chaos harness replays one seeded command trace twice: once
+//! through the full stack (guest ring → manager → instance TPM →
+//! encrypted mirror) and once through this oracle — a deliberately
+//! tiny, independent model of the TPM state the trace touches: the PCR
+//! vector, the NV map, and the monotonic counters. Diffing final states
+//! turns every chaos run into a correctness check: any fault the stack
+//! mishandles (torn mirror, lost NV write, double-applied extend after
+//! a duplicated ring response) shows up as a divergence.
+//!
+//! The oracle is cloneable, so crash/recovery tests can snapshot it
+//! before a command and ask afterwards whether the recovered TPM equals
+//! the *pre*- or *post*-command oracle — the only two legal outcomes.
+
+use std::collections::BTreeMap;
+
+use tpm::{Tpm, DIGEST_LEN, NUM_PCRS};
+use tpm_crypto::sha1;
+
+use crate::trace::TraceEvent;
+
+/// Reference model of the trace-visible TPM state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpmOracle {
+    /// TPM_Startup seen.
+    pub started: bool,
+    /// The PCR vector.
+    pub pcrs: [[u8; DIGEST_LEN]; NUM_PCRS],
+    /// NV map: index → (declared size, contents).
+    pub nv: BTreeMap<u32, Vec<u8>>,
+    /// Monotonic counters: handle → value.
+    pub counters: BTreeMap<u32, u32>,
+    nv_budget: usize,
+    nv_used: usize,
+    next_counter_handle: u32,
+    counter_capacity: usize,
+    active_counter: Option<u32>,
+}
+
+impl TpmOracle {
+    /// Snapshot a real TPM as the oracle's starting state.
+    ///
+    /// Assumes no counter has been incremented in the TPM's current boot
+    /// (the active-counter latch is not observable); capture at instance
+    /// creation — as the harness does — satisfies that trivially.
+    pub fn capture(tpm: &Tpm) -> Self {
+        let nv: BTreeMap<u32, Vec<u8>> = tpm
+            .nv()
+            .indices()
+            .into_iter()
+            .map(|i| (i, tpm.nv().area(i).expect("listed index").data.clone()))
+            .collect();
+        let nv_used: usize = nv.values().map(Vec::len).sum();
+        let counters: BTreeMap<u32, u32> = tpm
+            .counters()
+            .handles()
+            .into_iter()
+            .map(|h| (h, tpm.counters().read(h).expect("listed handle").value))
+            .collect();
+        let next_counter_handle = counters.keys().max().map_or(1, |h| h + 1);
+        TpmOracle {
+            started: tpm.is_started(),
+            pcrs: *tpm.pcrs().snapshot(),
+            nv,
+            counters,
+            nv_budget: tpm.nv().free_bytes() + nv_used,
+            nv_used,
+            next_counter_handle,
+            counter_capacity: 4,
+            active_counter: None,
+        }
+    }
+
+    /// Model a TPM reboot that preserved permanent state (e.g. manager
+    /// crash + recovery from the mirror): counter values, NV and PCR
+    /// bytes all survive, but the one-active-counter-per-boot latch
+    /// clears — any counter may become the active one again.
+    pub fn note_reboot(&mut self) {
+        self.active_counter = None;
+    }
+
+    /// Advance the model by one trace event, mirroring the TPM's exact
+    /// acceptance rules (budget, capacity, one-active-counter-per-boot)
+    /// so a rejected operation is a no-op on both sides.
+    pub fn apply(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Startup => {
+                self.started = true;
+                self.pcrs = *tpm::PcrBank::new().snapshot();
+                self.active_counter = None;
+            }
+            TraceEvent::Extend { pcr, digest } => {
+                let i = pcr as usize;
+                if self.started && i < NUM_PCRS {
+                    let mut buf = [0u8; 2 * DIGEST_LEN];
+                    buf[..DIGEST_LEN].copy_from_slice(&self.pcrs[i]);
+                    buf[DIGEST_LEN..].copy_from_slice(&digest);
+                    self.pcrs[i] = sha1(&buf);
+                }
+            }
+            TraceEvent::PcrRead { .. } | TraceEvent::GetRandom { .. } => {}
+            TraceEvent::ProvisionNv { index, fill, len } => {
+                let len = len as usize;
+                if !self.nv.contains_key(&index) && self.nv_used + len <= self.nv_budget {
+                    self.nv.insert(index, vec![fill; len]);
+                    self.nv_used += len;
+                }
+            }
+            TraceEvent::ReleaseNv { index } => {
+                if let Some(data) = self.nv.remove(&index) {
+                    self.nv_used -= data.len();
+                }
+            }
+            TraceEvent::CreateCounter { .. } => {
+                if self.counters.len() < self.counter_capacity {
+                    let handle = self.next_counter_handle;
+                    self.next_counter_handle += 1;
+                    self.counters.insert(handle, 1);
+                }
+            }
+            TraceEvent::IncrementCounter { nth } => {
+                let handles: Vec<u32> = self.counters.keys().copied().collect();
+                if handles.is_empty() {
+                    return;
+                }
+                let target = handles[nth as usize % handles.len()];
+                match self.active_counter {
+                    Some(active) if active != target => {} // NotActive
+                    _ => {
+                        self.active_counter = Some(target);
+                        *self.counters.get_mut(&target).expect("listed") += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compare against a real TPM; returns one line per divergence
+    /// (empty means the states agree on everything the oracle models).
+    pub fn diff(&self, tpm: &Tpm) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.started != tpm.is_started() {
+            out.push(format!("started: oracle {} vs tpm {}", self.started, tpm.is_started()));
+        }
+        for (i, expect) in self.pcrs.iter().enumerate() {
+            let got = tpm.pcrs().read(i).expect("valid index");
+            if &got != expect {
+                out.push(format!("pcr[{i}]: oracle {} vs tpm {}", hex(expect), hex(&got)));
+            }
+        }
+        let tpm_indices = tpm.nv().indices();
+        for &index in self.nv.keys() {
+            match tpm.nv().area(index) {
+                None => out.push(format!("nv[{index:#x}]: oracle defined, tpm missing")),
+                Some(area) => {
+                    if area.data != self.nv[&index] {
+                        out.push(format!("nv[{index:#x}]: contents differ"));
+                    }
+                }
+            }
+        }
+        for index in tpm_indices {
+            if !self.nv.contains_key(&index) {
+                out.push(format!("nv[{index:#x}]: tpm defined, oracle missing"));
+            }
+        }
+        let tpm_handles = tpm.counters().handles();
+        for (&handle, &value) in &self.counters {
+            match tpm.counters().read(handle) {
+                Err(_) => out.push(format!("counter[{handle}]: oracle defined, tpm missing")),
+                Ok(c) if c.value != value => {
+                    out.push(format!("counter[{handle}]: oracle {value} vs tpm {}", c.value));
+                }
+                Ok(_) => {}
+            }
+        }
+        for handle in tpm_handles {
+            if !self.counters.contains_key(&handle) {
+                out.push(format!("counter[{handle}]: tpm defined, oracle missing"));
+            }
+        }
+        out
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpm::TpmConfig;
+
+    fn fresh() -> (Tpm, TpmOracle) {
+        let tpm = Tpm::manufacture(b"oracle-test", TpmConfig::default());
+        let oracle = TpmOracle::capture(&tpm);
+        (tpm, oracle)
+    }
+
+    #[test]
+    fn capture_of_fresh_tpm_diffs_clean() {
+        let (tpm, oracle) = fresh();
+        assert_eq!(oracle.diff(&tpm), Vec::<String>::new());
+    }
+
+    #[test]
+    fn oracle_tracks_a_mixed_trace() {
+        let (mut tpm, mut oracle) = fresh();
+        let events = crate::trace::generate_trace(b"oracle-mixed", 200);
+        for ev in &events {
+            crate::trace::apply_to_tpm(&mut tpm, ev);
+            oracle.apply(ev);
+        }
+        assert_eq!(oracle.diff(&tpm), Vec::<String>::new());
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let (mut tpm, oracle) = fresh();
+        let ev = TraceEvent::Startup;
+        crate::trace::apply_to_tpm(&mut tpm, &ev);
+        crate::trace::apply_to_tpm(
+            &mut tpm,
+            &TraceEvent::Extend { pcr: 3, digest: [0xEE; DIGEST_LEN] },
+        );
+        // The oracle never saw the events: both flags and PCR 3 differ.
+        let diff = oracle.diff(&tpm);
+        assert!(diff.iter().any(|d| d.starts_with("started")));
+        assert!(diff.iter().any(|d| d.starts_with("pcr[3]")));
+    }
+
+    #[test]
+    fn counter_semantics_match_one_active_per_boot() {
+        let (mut tpm, mut oracle) = fresh();
+        let seq = [
+            TraceEvent::Startup,
+            TraceEvent::CreateCounter { label: *b"ctr1" },
+            TraceEvent::CreateCounter { label: *b"ctr2" },
+            TraceEvent::IncrementCounter { nth: 0 },
+            // Different counter this boot: must be rejected by both.
+            TraceEvent::IncrementCounter { nth: 1 },
+            TraceEvent::Startup,
+            // New boot: the other counter may become active.
+            TraceEvent::IncrementCounter { nth: 1 },
+        ];
+        for ev in &seq {
+            crate::trace::apply_to_tpm(&mut tpm, ev);
+            oracle.apply(ev);
+        }
+        assert_eq!(oracle.diff(&tpm), Vec::<String>::new());
+        assert_eq!(oracle.counters.values().copied().collect::<Vec<_>>(), vec![2, 2]);
+    }
+}

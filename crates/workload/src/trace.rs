@@ -1,0 +1,191 @@
+//! Seeded, replayable command traces.
+//!
+//! A trace is a flat event list drawn from a DRBG: the same seed always
+//! yields the same events, which is what makes chaos runs replayable —
+//! the harness replays one trace through the full stack (with faults)
+//! and through the [`crate::oracle::TpmOracle`] (without), then diffs.
+//!
+//! Events come in two flavours, mirroring how real guests touch a vTPM:
+//!
+//! * **wire events** ([`TraceEvent::wire_command`] returns `Some`) —
+//!   TPM 1.2 commands a guest sends over the split-driver ring:
+//!   Startup, Extend, PcrRead, GetRandom. Auth-session commands are
+//!   deliberately excluded: session nonces depend on the instance RNG,
+//!   which the oracle does not model.
+//! * **toolstack events** — NV provisioning/release and monotonic
+//!   counters, driven through the manager's `with_instance` path. These
+//!   grow and shrink the serialized state, which is exactly what makes
+//!   the mirror's page management interesting under faults.
+
+use tpm::{ordinal, Tpm, DIGEST_LEN};
+use tpm_crypto::drbg::Drbg;
+
+/// NV indices the generator rotates through — a small set, so
+/// provision/release pairs actually collide and exercise redefinition.
+const NV_INDICES: [u32; 6] = [0x0100, 0x0101, 0x0102, 0x0103, 0x0104, 0x0105];
+
+/// One event of a replayable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// TPM_Startup(ST_CLEAR): resets PCRs, re-arms the counter latch.
+    Startup,
+    /// TPM_Extend of `pcr` with `digest`.
+    Extend { pcr: u32, digest: [u8; DIGEST_LEN] },
+    /// TPM_PCRRead of `pcr` (state no-op; exercises the read path).
+    PcrRead { pcr: u32 },
+    /// TPM_GetRandom (state no-op; the RNG is not permanent state).
+    GetRandom { n: u16 },
+    /// Toolstack: provision an NV area filled with `fill`.
+    ProvisionNv { index: u32, fill: u8, len: u16 },
+    /// Toolstack: release an NV area.
+    ReleaseNv { index: u32 },
+    /// Toolstack: create a monotonic counter.
+    CreateCounter { label: [u8; 4] },
+    /// Toolstack: increment the `nth` live counter (mod the live count).
+    IncrementCounter { nth: u8 },
+}
+
+impl TraceEvent {
+    /// Encode as a raw TPM 1.2 wire command, or `None` for toolstack
+    /// events that bypass the ring.
+    pub fn wire_command(&self) -> Option<Vec<u8>> {
+        fn cmd(ordinal: u32, params: &[u8]) -> Vec<u8> {
+            let mut c = vec![0x00, 0xC1];
+            c.extend_from_slice(&(10 + params.len() as u32).to_be_bytes());
+            c.extend_from_slice(&ordinal.to_be_bytes());
+            c.extend_from_slice(params);
+            c
+        }
+        match *self {
+            TraceEvent::Startup => Some(cmd(ordinal::STARTUP, &1u16.to_be_bytes())),
+            TraceEvent::Extend { pcr, digest } => {
+                let mut params = pcr.to_be_bytes().to_vec();
+                params.extend_from_slice(&digest);
+                Some(cmd(ordinal::EXTEND, &params))
+            }
+            TraceEvent::PcrRead { pcr } => Some(cmd(ordinal::PCR_READ, &pcr.to_be_bytes())),
+            TraceEvent::GetRandom { n } => {
+                Some(cmd(ordinal::GET_RANDOM, &(n as u32).to_be_bytes()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this event goes through the toolstack path.
+    pub fn is_toolstack(&self) -> bool {
+        self.wire_command().is_none()
+    }
+}
+
+/// Apply one event directly to a TPM: wire events through `execute`,
+/// toolstack events through the provisioning API. Rejections (budget,
+/// capacity, counter latch) are deliberately swallowed — the oracle
+/// models the same acceptance rules, so both sides no-op together.
+pub fn apply_to_tpm(tpm: &mut Tpm, event: &TraceEvent) {
+    if let Some(wire) = event.wire_command() {
+        let _ = tpm.execute(0, &wire);
+        return;
+    }
+    match *event {
+        TraceEvent::ProvisionNv { index, fill, len } => {
+            let _ = tpm.provision_nv(index, &vec![fill; len as usize]);
+        }
+        TraceEvent::ReleaseNv { index } => {
+            let _ = tpm.release_nv(index);
+        }
+        TraceEvent::CreateCounter { label } => {
+            let _ = tpm.create_counter([0x77; DIGEST_LEN], label);
+        }
+        TraceEvent::IncrementCounter { nth } => {
+            let handles = tpm.counters().handles();
+            if !handles.is_empty() {
+                let target = handles[nth as usize % handles.len()];
+                let _ = tpm.increment_counter(target);
+            }
+        }
+        _ => unreachable!("wire events handled above"),
+    }
+}
+
+/// Generate a deterministic `n`-event trace from `seed`. The first
+/// event is always Startup (a TPM must be started before anything
+/// else); later Startups model guest reboots.
+pub fn generate_trace(seed: &[u8], n: usize) -> Vec<TraceEvent> {
+    let mut rng = Drbg::new(&[seed, b"/trace"].concat());
+    let mut events = Vec::with_capacity(n);
+    if n > 0 {
+        events.push(TraceEvent::Startup);
+    }
+    while events.len() < n {
+        let roll = rng.below(100);
+        let ev = match roll {
+            0..=29 => {
+                let mut digest = [0u8; DIGEST_LEN];
+                rng.fill_bytes(&mut digest);
+                TraceEvent::Extend { pcr: rng.below(16) as u32, digest }
+            }
+            30..=41 => TraceEvent::PcrRead { pcr: rng.below(24) as u32 },
+            42..=51 => TraceEvent::GetRandom { n: 1 + rng.below(32) as u16 },
+            // NV lengths up to ~1.5 pages so a handful of live areas
+            // pushes the serialized state across several mirror pages
+            // and shrinks cross page boundaries.
+            52..=69 => TraceEvent::ProvisionNv {
+                index: NV_INDICES[rng.below(NV_INDICES.len() as u64) as usize],
+                fill: rng.next_u32() as u8,
+                len: 1 + rng.below(6000) as u16,
+            },
+            70..=81 => TraceEvent::ReleaseNv {
+                index: NV_INDICES[rng.below(NV_INDICES.len() as u64) as usize],
+            },
+            82..=87 => {
+                let mut label = [0u8; 4];
+                rng.fill_bytes(&mut label);
+                TraceEvent::CreateCounter { label }
+            }
+            88..=95 => TraceEvent::IncrementCounter { nth: rng.next_u32() as u8 },
+            _ => TraceEvent::Startup,
+        };
+        events.push(ev);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        assert_eq!(generate_trace(b"seed-a", 300), generate_trace(b"seed-a", 300));
+        assert_ne!(generate_trace(b"seed-a", 300), generate_trace(b"seed-b", 300));
+    }
+
+    #[test]
+    fn trace_starts_with_startup() {
+        for seed in [b"x1".as_slice(), b"x2", b"x3"] {
+            assert_eq!(generate_trace(seed, 50)[0], TraceEvent::Startup);
+        }
+    }
+
+    #[test]
+    fn wire_commands_are_well_formed() {
+        let ev = TraceEvent::Extend { pcr: 5, digest: [0xAB; DIGEST_LEN] };
+        let wire = ev.wire_command().unwrap();
+        assert_eq!(&wire[..2], &[0x00, 0xC1]);
+        assert_eq!(u32::from_be_bytes(wire[2..6].try_into().unwrap()) as usize, wire.len());
+        assert_eq!(u32::from_be_bytes(wire[6..10].try_into().unwrap()), ordinal::EXTEND);
+        assert!(TraceEvent::ProvisionNv { index: 1, fill: 0, len: 1 }.is_toolstack());
+    }
+
+    #[test]
+    fn trace_mutates_a_real_tpm_deterministically() {
+        let run = || {
+            let mut tpm = Tpm::manufacture(b"trace-det", tpm::TpmConfig::default());
+            for ev in generate_trace(b"trace-det", 250) {
+                apply_to_tpm(&mut tpm, &ev);
+            }
+            tpm.serialize_state()
+        };
+        assert_eq!(run(), run());
+    }
+}

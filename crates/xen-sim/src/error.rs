@@ -39,6 +39,10 @@ pub enum XenError {
     BadImage(&'static str),
     /// The operation requires privilege the calling domain lacks.
     NotPrivileged(DomainId),
+    /// An injected fault fired (chaos/fault-injection harness). The
+    /// payload names the fault for diagnostics; production code never
+    /// constructs this variant.
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for XenError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for XenError {
             XenError::MessageTooLarge => write!(f, "message exceeds ring slot size"),
             XenError::BadImage(why) => write!(f, "bad domain image: {why}"),
             XenError::NotPrivileged(d) => write!(f, "domain {d} is not privileged"),
+            XenError::Injected(what) => write!(f, "injected fault: {what}"),
         }
     }
 }

@@ -1,0 +1,85 @@
+//! Deterministic fault injection — the chaos harness's hooks into the
+//! simulator.
+//!
+//! Real crash/fault testing of a vTPM manager needs the host to misbehave
+//! at *exactly reproducible* points: the same seed must produce the same
+//! interleaving of failures on every run. This module keeps all injected
+//! faults as explicit state on the [`Hypervisor`](crate::Hypervisor), to
+//! be armed and cleared by a test harness:
+//!
+//! * **Write crash** — after a configured number of `page_write` calls by
+//!   a chosen domain, every further write by that domain fails with
+//!   [`XenError::Injected`](crate::XenError::Injected). This models the
+//!   manager process dying *between any two mirror page writes*: the
+//!   frames keep whatever was written before the trip point, exactly like
+//!   RAM surviving a process crash.
+//! * **Frame corruption** — flip bits in a normal frame regardless of
+//!   ownership (bit rot, a hostile Dom0 process scribbling over the
+//!   mirror). Protected frames stay immune, as the dump facility's
+//!   threat model promises.
+//! * **Ring faults** — a FIFO of one-shot actions the split-driver
+//!   backend consumes before sending each response: drop it, duplicate
+//!   it, or revoke the ring grants underneath the mapping.
+//!
+//! Nothing here is probabilistic; randomness (if any) belongs to the
+//! harness that computes the arm points from a seeded DRBG.
+
+use crate::domain::DomainId;
+
+/// One-shot action applied to the next backend ring response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingFault {
+    /// Swallow the response: the frontend never hears back.
+    Drop,
+    /// Send the response twice under the same message id.
+    Duplicate,
+    /// Tear the ring grants out from under the backend (the guest
+    /// revoking its grants mid-exchange).
+    RevokeGrants,
+}
+
+/// A pending write-crash: `remaining` more writes by `domain` succeed,
+/// then the domain is "crashed" and every write fails until cleared.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WriteCrash {
+    pub(crate) domain: DomainId,
+    pub(crate) remaining: u64,
+}
+
+/// Mutable fault state, owned by the hypervisor behind a mutex. The
+/// hot path only takes the lock when [`armed`](FaultState::armed) says
+/// something is pending.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    /// Armed write-crash countdown.
+    pub(crate) write_crash: Option<WriteCrash>,
+    /// Tripped: this domain's writes now fail unconditionally.
+    pub(crate) crashed: Option<DomainId>,
+    /// FIFO of one-shot ring faults.
+    pub(crate) ring: std::collections::VecDeque<RingFault>,
+}
+
+impl FaultState {
+    /// Whether any fault is armed or tripped (gates the hot-path check).
+    pub(crate) fn any_armed(&self) -> bool {
+        self.write_crash.is_some() || self.crashed.is_some() || !self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_inert() {
+        let s = FaultState::default();
+        assert!(!s.any_armed());
+    }
+
+    #[test]
+    fn armed_crash_registers() {
+        let mut s = FaultState::default();
+        s.write_crash = Some(WriteCrash { domain: DomainId::DOM0, remaining: 3 });
+        assert!(s.any_armed());
+    }
+}

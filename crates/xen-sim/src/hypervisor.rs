@@ -8,7 +8,7 @@
 //! concurrency shape of a real host.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -16,6 +16,7 @@ use crate::clock::VirtualClock;
 use crate::domain::{Domain, DomainConfig, DomainId, DomainState};
 use crate::error::{Result, XenError};
 use crate::event::EventChannels;
+use crate::fault::{FaultState, RingFault, WriteCrash};
 use crate::grant::{GrantAccess, GrantRef, GrantTables};
 use crate::memory::{MachineMemory, PageProtection, PAGE_SIZE};
 use crate::sched::CreditScheduler;
@@ -54,6 +55,14 @@ pub struct Hypervisor {
     xenstore: Mutex<XenStore>,
     sched: Mutex<CreditScheduler>,
     next_domid: AtomicU32,
+    /// Injected-fault state (chaos harness); `faults_armed` keeps the
+    /// write hot path lock-free while nothing is armed.
+    fault: Mutex<FaultState>,
+    faults_armed: AtomicBool,
+    /// Monotonic count of attempted Dom0 `page_write` calls. The crash
+    /// harness uses deltas of this to enumerate "between any two mirror
+    /// page writes" crash points.
+    dom0_writes: AtomicU64,
 }
 
 impl Hypervisor {
@@ -69,6 +78,9 @@ impl Hypervisor {
             xenstore: Mutex::new(XenStore::new()),
             sched: Mutex::new(CreditScheduler::new()),
             next_domid: AtomicU32::new(1),
+            fault: Mutex::new(FaultState::default()),
+            faults_armed: AtomicBool::new(false),
+            dom0_writes: AtomicU64::new(0),
         };
         let frames = hv.memory.write().alloc_frames(DomainId::DOM0, dom0_pages)?;
         hv.domains.write().insert(
@@ -229,11 +241,106 @@ impl Hypervisor {
     /// Write into a frame as `caller`; the frame must be owned by the
     /// caller (mapped-grant writes go through [`Hypervisor::grant_write`]).
     pub fn page_write(&self, caller: DomainId, mfn: usize, off: usize, data: &[u8]) -> Result<()> {
+        if caller.is_dom0() {
+            self.dom0_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.faults_armed.load(Ordering::Relaxed) {
+            self.check_write_fault(caller)?;
+        }
         let mut mem = self.memory.write();
         if mem.owner(mfn)? != caller {
             return Err(XenError::BadFrame);
         }
         mem.write(mfn, off, data)
+    }
+
+    /// Consult the armed faults before performing a write as `caller`.
+    fn check_write_fault(&self, caller: DomainId) -> Result<()> {
+        let mut fault = self.fault.lock();
+        if fault.crashed == Some(caller) {
+            return Err(XenError::Injected("domain crashed"));
+        }
+        if let Some(wc) = &mut fault.write_crash {
+            if wc.domain == caller {
+                if wc.remaining == 0 {
+                    fault.crashed = Some(caller);
+                    fault.write_crash = None;
+                    return Err(XenError::Injected("write crash tripped"));
+                }
+                wc.remaining -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- fault injection (chaos harness hooks) -----------------------------
+
+    /// Arm a write-crash: `after_writes` more `page_write` calls by
+    /// `domain` succeed, then every further write by it fails with
+    /// [`XenError::Injected`] until [`Hypervisor::clear_faults`]. Models a
+    /// process crash between two mirror page writes: memory keeps exactly
+    /// the writes that landed before the trip point.
+    pub fn inject_write_crash(&self, domain: DomainId, after_writes: u64) {
+        let mut fault = self.fault.lock();
+        fault.write_crash = Some(WriteCrash { domain, remaining: after_writes });
+        self.faults_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether an armed write-crash has tripped (the domain is "dead").
+    pub fn fault_crashed(&self) -> bool {
+        self.faults_armed.load(Ordering::Relaxed) && self.fault.lock().crashed.is_some()
+    }
+
+    /// Queue a one-shot ring fault for the split-driver backend to
+    /// consume before sending its next response.
+    pub fn inject_ring_fault(&self, f: RingFault) {
+        let mut fault = self.fault.lock();
+        fault.ring.push_back(f);
+        self.faults_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Backend hook: take the next queued ring fault, if any.
+    pub fn take_ring_fault(&self) -> Option<RingFault> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut fault = self.fault.lock();
+        let f = fault.ring.pop_front();
+        if !fault.any_armed() {
+            self.faults_armed.store(false, Ordering::Relaxed);
+        }
+        f
+    }
+
+    /// Disarm every injected fault (the "restart" point of a crash test).
+    pub fn clear_faults(&self) {
+        let mut fault = self.fault.lock();
+        *fault = FaultState::default();
+        self.faults_armed.store(false, Ordering::Relaxed);
+    }
+
+    /// Attempted Dom0 `page_write` calls so far (monotonic). Harnesses
+    /// diff this across a command to enumerate crash points.
+    pub fn dom0_page_writes(&self) -> u64 {
+        self.dom0_writes.load(Ordering::Relaxed)
+    }
+
+    /// XOR `xor` into frame `mfn` at `off`, bypassing ownership — the
+    /// corruption fault (bit rot / a hostile process scribbling on the
+    /// mirror). Protected frames remain untouchable, per the threat
+    /// model. Not subject to write-crash faults: corruption is something
+    /// that happens *to* memory, not an action of the crashed domain.
+    pub fn corrupt_frame(&self, mfn: usize, off: usize, xor: &[u8]) -> Result<()> {
+        let mut mem = self.memory.write();
+        if mem.protection(mfn)? == PageProtection::Protected {
+            return Err(XenError::ProtectedFrame);
+        }
+        let mut buf = vec![0u8; xor.len()];
+        mem.read(mfn, off, &mut buf)?;
+        for (b, x) in buf.iter_mut().zip(xor) {
+            *b ^= x;
+        }
+        mem.write(mfn, off, &buf)
     }
 
     /// Read from a caller-owned frame.
@@ -747,6 +854,71 @@ mod tests {
         assert!(hv.xs_write(g, "/x", b"v").is_err());
         assert!(hv.alloc_pages(g, 1).is_err());
         assert!(hv.dump_memory(g).is_err());
+    }
+
+    #[test]
+    fn write_crash_trips_after_n_writes() {
+        let hv = host();
+        let mfn = hv.alloc_pages(D0, 1).unwrap()[0];
+        hv.inject_write_crash(D0, 2);
+        hv.page_write(D0, mfn, 0, b"one").unwrap();
+        hv.page_write(D0, mfn, 0, b"two").unwrap();
+        assert_eq!(
+            hv.page_write(D0, mfn, 0, b"three"),
+            Err(XenError::Injected("write crash tripped"))
+        );
+        assert!(hv.fault_crashed());
+        // Stays dead until cleared.
+        assert!(hv.page_write(D0, mfn, 0, b"four").is_err());
+        hv.clear_faults();
+        assert!(!hv.fault_crashed());
+        hv.page_write(D0, mfn, 0, b"five").unwrap();
+    }
+
+    #[test]
+    fn write_crash_scoped_to_domain() {
+        let hv = host();
+        let g = hv.create_domain(D0, DomainConfig::small("g")).unwrap();
+        let gf = hv.domain_info(g).unwrap().frames[0];
+        let d0f = hv.alloc_pages(D0, 1).unwrap()[0];
+        hv.inject_write_crash(D0, 0);
+        assert!(hv.page_write(D0, d0f, 0, b"x").is_err());
+        // The guest is unaffected by Dom0's crash.
+        hv.page_write(g, gf, 0, b"guest fine").unwrap();
+    }
+
+    #[test]
+    fn ring_faults_queue_fifo() {
+        let hv = host();
+        assert_eq!(hv.take_ring_fault(), None);
+        hv.inject_ring_fault(crate::fault::RingFault::Drop);
+        hv.inject_ring_fault(crate::fault::RingFault::Duplicate);
+        assert_eq!(hv.take_ring_fault(), Some(crate::fault::RingFault::Drop));
+        assert_eq!(hv.take_ring_fault(), Some(crate::fault::RingFault::Duplicate));
+        assert_eq!(hv.take_ring_fault(), None);
+    }
+
+    #[test]
+    fn corrupt_frame_flips_bits_but_respects_protection() {
+        let hv = host();
+        let mfn = hv.alloc_pages(D0, 1).unwrap()[0];
+        hv.page_write(D0, mfn, 10, &[0xAA]).unwrap();
+        hv.corrupt_frame(mfn, 10, &[0xFF]).unwrap();
+        let mut b = [0u8; 1];
+        hv.page_read(D0, mfn, 10, &mut b).unwrap();
+        assert_eq!(b[0], 0x55);
+        hv.protect_frame(D0, mfn).unwrap();
+        assert_eq!(hv.corrupt_frame(mfn, 10, &[0xFF]), Err(XenError::ProtectedFrame));
+    }
+
+    #[test]
+    fn dom0_write_counter_monotonic() {
+        let hv = host();
+        let mfn = hv.alloc_pages(D0, 1).unwrap()[0];
+        let before = hv.dom0_page_writes();
+        hv.page_write(D0, mfn, 0, b"a").unwrap();
+        hv.page_write(D0, mfn, 0, b"b").unwrap();
+        assert_eq!(hv.dom0_page_writes(), before + 2);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod clock;
 pub mod domain;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod grant;
 pub mod hypervisor;
 pub mod memory;
@@ -38,6 +39,7 @@ pub use clock::VirtualClock;
 pub use domain::{Domain, DomainConfig, DomainId, DomainState};
 pub use error::{Result, XenError};
 pub use event::{Endpoint, EventChannels, Port};
+pub use fault::RingFault;
 pub use grant::{GrantAccess, GrantRef, GrantTables};
 pub use hypervisor::{DomainImage, Hypervisor};
 pub use memory::{MachineMemory, PageProtection, PAGE_SIZE};

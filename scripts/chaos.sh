@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Seeded chaos sweep over the full vTPM stack (see crates/harness).
+#
+# Runs N seeded scenarios (default 32) in release mode. The chaos CLI
+# already executes every scenario twice and reports "REPLAY MISMATCH"
+# when the two runs differ, so a non-zero exit here means either an
+# oracle divergence, a CTR nonce reuse, or a nondeterministic replay.
+#
+# Usage:
+#   scripts/chaos.sh                 # 32 seeds, encrypted mirror
+#   scripts/chaos.sh 64              # more seeds
+#   scripts/chaos.sh 32 cleartext    # baseline mirror mode
+#   CHAOS_BASE=nightly scripts/chaos.sh   # distinct seed namespace
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds="${1:-32}"
+mode="${2:-encrypted}"
+base="${CHAOS_BASE:-chaos}"
+
+exec cargo run --release -p vtpm-harness --bin chaos -- \
+    --seeds "$seeds" --mode "$mode" --base "$base"

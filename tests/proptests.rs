@@ -353,6 +353,168 @@ proptest! {
     }
 }
 
+// ---- mirror hygiene under random mutation sequences ------------------------------
+
+fn dump_dom0(hv: &vtpm_xen::xen::Hypervisor) -> Vec<u8> {
+    let mut dump = Vec::new();
+    for (_, _, page) in hv.dump_memory(DomainId::DOM0).unwrap() {
+        dump.extend_from_slice(&page[..]);
+    }
+    dump
+}
+
+fn chaos_manager(
+    mode: vtpm_xen::vtpm_stack::MirrorMode,
+    seed: &[u8],
+) -> (std::sync::Arc<vtpm_xen::xen::Hypervisor>, vtpm_xen::vtpm_stack::VtpmManager) {
+    use vtpm_xen::vtpm_stack::{ManagerConfig, VtpmManager};
+    use vtpm_xen::xen::Hypervisor;
+    let hv = std::sync::Arc::new(Hypervisor::boot(4096, 8).unwrap());
+    let mgr = VtpmManager::new(
+        std::sync::Arc::clone(&hv),
+        seed,
+        ManagerConfig {
+            mirror_mode: mode,
+            vtpm_config: vtpm_xen::tpm12::TpmConfig { nv_budget: 32 * 1024, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (hv, mgr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random extend / NV-provision / NV-release / reboot sequences, in
+    /// Encrypted mode with the CTR nonce audit armed: no (page, counter)
+    /// nonce pair is ever consumed twice, whatever the resize pattern.
+    #[test]
+    fn mirror_nonces_never_repeat_under_random_mutation(
+        ops in proptest::collection::vec((0u8..4, any::<u8>(), 1u16..6000), 1..24),
+    ) {
+        use vtpm_xen::bench_workload::trace::apply_to_tpm;
+        use vtpm_xen::bench_workload::TraceEvent;
+        use vtpm_xen::vtpm_stack::MirrorMode;
+
+        let (_hv, mgr) = chaos_manager(MirrorMode::Encrypted, b"prop-nonce");
+        mgr.enable_nonce_audit();
+        let id = mgr.create_instance().unwrap();
+        mgr.with_instance(id, |i| apply_to_tpm(&mut i.tpm, &TraceEvent::Startup)).unwrap();
+        for (kind, b, len) in &ops {
+            let ev = match kind {
+                0 => TraceEvent::Extend { pcr: (*b % 16) as u32, digest: [*b; 20] },
+                1 => TraceEvent::ProvisionNv {
+                    index: 0x0100 + (*b % 6) as u32,
+                    fill: *b,
+                    len: *len,
+                },
+                2 => TraceEvent::ReleaseNv { index: 0x0100 + (*b % 6) as u32 },
+                _ => TraceEvent::Startup,
+            };
+            mgr.with_instance(id, |i| apply_to_tpm(&mut i.tpm, &ev)).unwrap();
+        }
+        prop_assert_eq!(mgr.nonce_reuses(), 0);
+    }
+
+    /// After an NV area is released (the serialized image shrinks), a
+    /// full Dom0 dump contains no run of the area's fill bytes: dropped
+    /// pages of prior image generations are scrubbed, not just unlinked.
+    #[test]
+    fn shrink_leaves_no_prior_generation_bytes_in_dump(
+        fill in 1u8..=255,
+        pages in 2usize..5,
+        encrypted in any::<bool>(),
+    ) {
+        use vtpm_xen::bench_workload::trace::apply_to_tpm;
+        use vtpm_xen::bench_workload::TraceEvent;
+        use vtpm_xen::vtpm_stack::MirrorMode;
+
+        let mode = if encrypted { MirrorMode::Encrypted } else { MirrorMode::Cleartext };
+        let (hv, mgr) = chaos_manager(mode, b"prop-shrink");
+        let id = mgr.create_instance().unwrap();
+        mgr.with_instance(id, |i| apply_to_tpm(&mut i.tpm, &TraceEvent::Startup)).unwrap();
+        mgr.with_instance(id, |i| {
+            i.tpm.provision_nv(0x70, &vec![fill; pages * 4096]).unwrap();
+        })
+        .unwrap();
+        mgr.with_instance(id, |i| i.tpm.release_nv(0x70).unwrap()).unwrap();
+
+        let probe = vec![fill; 64];
+        let dump = dump_dom0(&hv);
+        prop_assert!(
+            !dump.windows(probe.len()).any(|w| w == &probe[..]),
+            "fill byte {fill:#x} from a released {pages}-page NV area survived in the dump"
+        );
+        // The shrunken image is still coherent.
+        let image = mgr.resident_image(id).unwrap();
+        prop_assert_eq!(image, mgr.export_instance_state(id).unwrap());
+    }
+}
+
+// ---- migration package robustness ------------------------------------------------
+
+/// A valid sealed package + its EK and plaintext, built once (RSA keygen
+/// is too slow per-case).
+fn sealed_fixture() -> &'static (
+    vtpm_xen::vtpm_stack::MigrationPackage,
+    vtpm_xen::crypto::RsaPrivateKey,
+    Vec<u8>,
+) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(
+        vtpm_xen::vtpm_stack::MigrationPackage,
+        vtpm_xen::crypto::RsaPrivateKey,
+        Vec<u8>,
+    )> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = Drbg::new(b"prop-mig-ek");
+        let ek = vtpm_xen::crypto::RsaPrivateKey::generate(1024, &mut rng);
+        let state: Vec<u8> = (0..700u32).map(|i| (i * 31 % 251) as u8).collect();
+        let pkg = vtpm_xen::vtpm_stack::migration::package_sealed(&state, &ek.public, &mut rng);
+        (pkg, ek, state)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decoding + opening arbitrary mutations of a real sealed package
+    /// never panics, and no single-byte corruption ever opens.
+    #[test]
+    fn mutated_sealed_packages_never_open(
+        flip_at in any::<u16>(),
+        flip_bit in 0u8..8,
+        truncate_at in any::<u16>(),
+    ) {
+        use vtpm_xen::vtpm_stack::MigrationPackage;
+        let (pkg, ek, state) = sealed_fixture();
+        let good = pkg.encode();
+
+        // Truncation: decode must reject or the opened result must be an
+        // error — a short read can never produce the original state.
+        let t = truncate_at as usize % good.len();
+        if let Ok(p) = MigrationPackage::decode(&good[..t]) {
+            prop_assert!(vtpm_xen::vtpm_stack::migration::open_package(&p, ek).is_err());
+        }
+
+        // Single-bit corruption anywhere in the package: every byte of a
+        // sealed package is load-bearing, so opening must fail.
+        let mut bad = good.clone();
+        let at = flip_at as usize % bad.len();
+        bad[at] ^= 1 << flip_bit;
+        if let Ok(p) = MigrationPackage::decode(&bad) {
+            match vtpm_xen::vtpm_stack::migration::open_package(&p, ek) {
+                Ok(opened) => prop_assert_ne!(
+                    opened, state.clone(),
+                    "corrupted package opened to the original state"
+                ),
+                Err(_) => {}
+            }
+        }
+    }
+}
+
 // ---- DRBG determinism -----------------------------------------------------------
 
 proptest! {

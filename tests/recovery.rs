@@ -1,0 +1,214 @@
+//! Crash/recovery correctness of the mirror pipeline.
+//!
+//! The mirror commits an update as: dirty data pages → shadow slots,
+//! then one metadata page write (the atomic commit point), then
+//! post-commit scrubs. A manager crash between *any* two of those page
+//! writes must be recoverable from the Dom0 frames alone, and the
+//! recovered TPM must equal exactly the pre-command or the post-command
+//! state — nothing in between, nothing else.
+//!
+//! The k-of-n matrix below enumerates every crash point: a fault-free
+//! twin run counts the command's Dom0 page writes (n), then one fresh
+//! platform per k ∈ [0, n] crashes after exactly k writes and recovers.
+
+use std::sync::Arc;
+
+use vtpm_xen::bench_workload::TpmOracle;
+use vtpm_xen::tpm12::TpmConfig;
+use vtpm_xen::vtpm_stack::{ManagerConfig, MirrorMode, Platform, VtpmManager};
+use vtpm_xen::xen::{DomainId, Hypervisor};
+
+fn cfg() -> ManagerConfig {
+    ManagerConfig {
+        mirror_mode: MirrorMode::Encrypted,
+        vtpm_config: TpmConfig { nv_budget: 32 * 1024, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Deterministically rebuild the same pre-command world: a started
+/// instance whose state spans several mirror pages.
+fn build_world(seed: &[u8]) -> (Arc<Hypervisor>, VtpmManager, u32) {
+    use vtpm_xen::bench_workload::trace::apply_to_tpm;
+    use vtpm_xen::bench_workload::TraceEvent;
+    let hv = Arc::new(Hypervisor::boot(4096, 8).unwrap());
+    let mgr = VtpmManager::new(Arc::clone(&hv), seed, cfg()).unwrap();
+    let id = mgr.create_instance().unwrap();
+    mgr.with_instance(id, |i| {
+        apply_to_tpm(&mut i.tpm, &TraceEvent::Startup);
+        i.tpm.provision_nv(0x50, &vec![0xB7; 10 * 1024]).unwrap();
+    })
+    .unwrap();
+    (hv, mgr, id)
+}
+
+/// The command under test: an NV provision that grows the image across
+/// page boundaries — several dirty data pages plus the meta commit plus
+/// post-commit scrubs, i.e. the longest write sequence the mirror does.
+fn target_command(mgr: &VtpmManager, id: u32) {
+    mgr.with_instance(id, |i| {
+        let _ = i.tpm.provision_nv(0x51, &vec![0xC9; 6 * 1024]);
+        let _ = i.tpm.pcrs_mut().extend(4, &[0x5C; 20]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn crash_matrix_every_k_recovers_to_pre_or_post() {
+    const SEED: &[u8] = b"crash-matrix";
+
+    // Fault-free twin run: count the command's Dom0 page writes (n) and
+    // capture the two legal outcome states + oracles.
+    let (hv, mgr, id) = build_world(SEED);
+    let pre_state = mgr.export_instance_state(id).unwrap();
+    let pre_oracle = mgr.with_instance(id, |i| TpmOracle::capture(&i.tpm)).unwrap();
+    let writes_before = hv.dom0_page_writes();
+    target_command(&mgr, id);
+    let n = hv.dom0_page_writes() - writes_before;
+    let post_state = mgr.export_instance_state(id).unwrap();
+    let post_oracle = mgr.with_instance(id, |i| TpmOracle::capture(&i.tpm)).unwrap();
+    assert!(n >= 3, "target command must span several page writes (got {n})");
+    assert_ne!(pre_state, post_state);
+    drop(mgr);
+
+    let (mut saw_pre, mut saw_post) = (0u64, 0u64);
+    for k in 0..=n {
+        let (hv, mgr, id2) = build_world(SEED);
+        assert_eq!(id2, id, "world rebuild must be deterministic");
+        assert_eq!(mgr.export_instance_state(id).unwrap(), pre_state);
+
+        hv.inject_write_crash(DomainId::DOM0, k);
+        target_command(&mgr, id);
+        hv.clear_faults();
+        drop(mgr);
+
+        let (rec, report) = VtpmManager::recover(Arc::clone(&hv), SEED, cfg()).unwrap();
+        assert_eq!(report.resumed, vec![id], "k={k}");
+        assert_eq!(report.failed, Vec::<u32>::new(), "k={k}");
+
+        let got = rec.export_instance_state(id).unwrap();
+        if got == pre_state {
+            saw_pre += 1;
+            assert_eq!(
+                rec.with_instance(id, |i| pre_oracle.diff(&i.tpm)).unwrap(),
+                Vec::<String>::new(),
+                "k={k}: recovered state equals pre bytes but diverges from pre oracle"
+            );
+        } else if got == post_state {
+            saw_post += 1;
+            assert_eq!(
+                rec.with_instance(id, |i| post_oracle.diff(&i.tpm)).unwrap(),
+                Vec::<String>::new(),
+                "k={k}: recovered state equals post bytes but diverges from post oracle"
+            );
+        } else {
+            panic!("k={k}/{n}: recovered state is neither pre- nor post-command");
+        }
+
+        // The recovered manager keeps working: the generation burn means
+        // further mutations never reuse a crash-consumed CTR nonce.
+        rec.enable_nonce_audit();
+        rec.with_instance(id, |i| i.tpm.pcrs_mut().extend(9, &[k as u8; 20]).unwrap())
+            .unwrap();
+        assert_eq!(rec.nonce_reuses(), 0, "k={k}");
+        assert_eq!(
+            rec.resident_image(id).unwrap(),
+            rec.export_instance_state(id).unwrap(),
+            "k={k}: mirror incoherent after post-recovery mutation"
+        );
+    }
+
+    // k=0 dies before the first write (old image intact); k=n never
+    // trips (update commits). Both legal outcomes must appear.
+    assert!(saw_pre >= 1, "no crash point preserved the pre-state");
+    assert!(saw_post >= 1, "no crash point reached the post-state");
+    assert_eq!(saw_pre + saw_post, n + 1);
+}
+
+#[test]
+fn crash_during_destroy_then_recovery_keeps_instance() {
+    // A scrub crash during destroy_instance must not lose the instance:
+    // the failed destroy leaves it routed, and a subsequent manager
+    // crash + recovery still resumes it from its committed region.
+    const SEED: &[u8] = b"destroy-crash";
+    let (hv, mgr, id) = build_world(SEED);
+    let state = mgr.export_instance_state(id).unwrap();
+    hv.inject_write_crash(DomainId::DOM0, 0);
+    assert!(mgr.destroy_instance(id).is_err());
+    hv.clear_faults();
+    drop(mgr);
+    let (rec, report) = VtpmManager::recover(Arc::clone(&hv), SEED, cfg()).unwrap();
+    assert_eq!(report.resumed, vec![id]);
+    assert_eq!(rec.export_instance_state(id).unwrap(), state);
+}
+
+#[test]
+fn export_crash_before_destroy_leaves_source_usable() {
+    // Migration source side: a crash between building the sealed package
+    // and destroying the source instance must leave the source instance
+    // intact and serving — the package is simply not handed out.
+    let platform = Platform::improved(b"mig-crash-host").unwrap();
+    let guest = platform.launch_guest("mig-src").unwrap();
+    let id = guest.instance;
+    let state = platform.manager.export_instance_state(id).unwrap();
+    let dst_ek = platform.hw_ek_public();
+
+    platform.hv.inject_write_crash(DomainId::DOM0, 0);
+    assert!(
+        platform.export_instance(id, true, Some(&dst_ek)).is_none(),
+        "export must fail while the scrub cannot complete"
+    );
+    platform.hv.clear_faults();
+
+    // Source untouched and still mutable.
+    assert_eq!(platform.manager.export_instance_state(id).unwrap(), state);
+    platform
+        .manager
+        .with_instance(id, |i| i.tpm.pcrs_mut().extend(2, &[0x21; 20]).unwrap())
+        .unwrap();
+
+    // With the fault gone the export completes and the source is gone.
+    assert!(platform.export_instance(id, true, Some(&dst_ek)).is_some());
+    assert!(platform.manager.export_instance_state(id).is_none());
+    platform.shutdown();
+}
+
+#[test]
+fn persist_truncation_sweep_never_panics() {
+    // Every strict prefix of a valid encrypted database must be rejected
+    // with a typed error — no panic, no partial restore.
+    use vtpm_xen::tpm12::{DirectTransport, Tpm, TpmClient};
+    use vtpm_xen::vtpm_stack::persist::{persist, restore};
+
+    let (_hv, mgr, _id) = build_world(b"persist-sweep");
+    let mut hw = Tpm::new(b"sweep-hw");
+    let mut c = TpmClient::new(DirectTransport { tpm: &mut hw, locality: 0 }, b"boot");
+    c.startup_clear().unwrap();
+    c.take_ownership(&[1; 20], &[2; 20]).unwrap();
+    let db = persist(&mgr, &mut hw, &[2; 20]).unwrap();
+
+    // Dense sweep over the header + strided sweep over the body.
+    let lens: Vec<usize> = (0..db.len().min(160))
+        .chain((160..db.len()).step_by(41))
+        .chain(db.len().saturating_sub(48)..db.len())
+        .collect();
+    for len in lens {
+        let hv = Arc::new(Hypervisor::boot(1024, 8).unwrap());
+        let r = restore(hv, b"persist-sweep", ManagerConfig::default(), &db[..len], &mut hw, &[2; 20]);
+        assert!(r.is_err(), "truncated db (len {len}/{}) must be rejected", db.len());
+    }
+}
+
+#[test]
+fn chaos_harness_smoke() {
+    // One seeded chaos scenario end to end, replayed for determinism —
+    // the full harness lives in crates/harness; this keeps a sentinel in
+    // the root test suite.
+    use vtpm_harness::{run_chaos, ChaosConfig};
+    let cfg = ChaosConfig { events: 32, faults: 3, ..ChaosConfig::default() };
+    let a = run_chaos(b"root-smoke", &cfg).unwrap();
+    let b = run_chaos(b"root-smoke", &cfg).unwrap();
+    assert_eq!(a, b, "chaos replay must be deterministic");
+    assert_eq!(a.divergences, Vec::<String>::new());
+    assert_eq!(a.nonce_reuses, 0);
+}
