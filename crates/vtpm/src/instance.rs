@@ -26,6 +26,12 @@ pub struct VtpmInstance {
     /// mirror. `tpm.state_generation() == mirrored_generation` means the
     /// mirror is current and a re-serialize + re-mirror can be skipped.
     pub mirrored_generation: u64,
+    /// Set (under the instance lock) by `destroy_instance` before the
+    /// mirror is scrubbed. Requests that cloned the instance handle
+    /// before it was unrouted check this after locking and bail instead
+    /// of mutating the TPM — a post-scrub mutation would re-mirror the
+    /// state and leave an orphaned resident image in Dom0 frames.
+    pub destroyed: bool,
 }
 
 impl VtpmInstance {
@@ -40,6 +46,7 @@ impl VtpmInstance {
             tpm: Tpm::manufacture(&seed, cfg),
             stats: InstanceStats::default(),
             mirrored_generation: u64::MAX,
+            destroyed: false,
         }
     }
 
@@ -56,6 +63,7 @@ impl VtpmInstance {
             tpm,
             stats: InstanceStats::default(),
             mirrored_generation: u64::MAX,
+            destroyed: false,
         })
     }
 

@@ -238,16 +238,32 @@ impl VtpmManager {
         Ok(())
     }
 
-    /// Remove an instance, scrubbing its resident image. The mirror is
-    /// scrubbed *before* the instance is unrouted: if the scrub fails
-    /// (injected fault, host trouble) the instance stays registered and
-    /// usable instead of leaving orphaned state in Dom0 frames.
+    /// Remove an instance, scrubbing its resident image.
+    ///
+    /// Ordering matters: the instance is unrouted (removed from the
+    /// table) and tombstoned (`destroyed`, set under its lock) *before*
+    /// the mirror is scrubbed. Requests that cloned the handle earlier
+    /// must wait for the lock and then observe the tombstone, so no
+    /// concurrent mutation can re-mirror state after the scrub and leave
+    /// an orphaned resident image in Dom0 frames; taking the table write
+    /// lock up front also makes concurrent destroys race safely (one
+    /// wins, the other sees `false`). If the scrub fails (injected
+    /// fault, host trouble) the instance is re-registered and stays
+    /// usable — its mirror region is likewise retained for a re-scrub on
+    /// retry — instead of losing state or leaking frames.
     pub fn destroy_instance(&self, id: InstanceId) -> XenResult<bool> {
-        if !self.instances.read().contains_key(&id) {
+        let Some(handle) = self.instances.write().remove(&id) else {
             return Ok(false);
+        };
+        let mut instance = handle.lock();
+        instance.destroyed = true;
+        if let Err(e) = self.mirror.remove(id) {
+            instance.destroyed = false;
+            drop(instance);
+            self.instances.write().insert(id, handle);
+            return Err(e);
         }
-        self.mirror.remove(id)?;
-        Ok(self.instances.write().remove(&id).is_some())
+        Ok(true)
     }
 
     /// Instance ids currently live.
@@ -266,6 +282,9 @@ impl VtpmManager {
     ) -> Option<R> {
         let handle = self.instances.read().get(&id).cloned()?;
         let mut guard = handle.lock();
+        if guard.destroyed {
+            return None;
+        }
         let out = f(&mut guard);
         // Toolstack paths can mutate the TPM directly; keep the resident
         // image current before the lock drops so concurrent readers of
@@ -384,6 +403,18 @@ impl VtpmManager {
 
         let body = {
             let mut instance = handle.lock();
+            // The handle may have been cloned before a concurrent
+            // destroy unrouted the instance; executing now would
+            // re-mirror state the destroy just scrubbed.
+            if instance.destroyed {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return ResponseEnvelope {
+                    seq: envelope.seq,
+                    status: ResponseStatus::NoInstance,
+                    body: Vec::new(),
+                }
+                .encode();
+            }
             let body = instance.execute(envelope.locality, &envelope.command);
             instance.stats.last_seq = instance.stats.last_seq.max(envelope.seq);
             // Serialize + mirror under the instance lock, and only when
@@ -847,6 +878,104 @@ mod tests {
         assert_eq!(report.resumed, vec![id]);
         let got = rec.export_instance_state(id).unwrap();
         assert!(got == pre || got == post, "recovered state must be pre- or post-command");
+    }
+
+    #[test]
+    fn failed_destroy_then_retry_leaves_no_orphaned_frames() {
+        // A failed destroy must keep the instance wired to its ORIGINAL
+        // mirror region: if the region were dropped on the failed scrub,
+        // the next mutation would re-mirror into fresh frames and orphan
+        // the old ones — still holding the image and a valid metadata
+        // page a later recovery would resurrect.
+        let (hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        hv.inject_write_crash(DomainId::DOM0, 0);
+        assert!(mgr.destroy_instance(id).is_err());
+        hv.clear_faults();
+        // Instance still usable; the mutation re-mirrors in place.
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 2, extend_cmd(2, [0x33; 20])));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+        let state = mgr.export_instance_state(id).unwrap();
+        assert_eq!(mgr.destroy_instance(id), Ok(true));
+        assert!(mgr.mirror_frames(id).is_none());
+        // No byte of the instance survives anywhere in the Dom0 dump...
+        let probe = &state[..64.min(state.len())];
+        let mut dump = Vec::new();
+        for (_, _, page) in hv.dump_memory(DomainId::DOM0).unwrap() {
+            dump.extend_from_slice(&page[..]);
+        }
+        assert!(
+            !dump.windows(probe.len()).any(|w| w == probe),
+            "destroyed instance state survived in the dump"
+        );
+        // ...and no stale metadata page lets recovery resurrect it.
+        drop(mgr);
+        let (_, report) = VtpmManager::recover(
+            Arc::clone(&hv),
+            b"mgr-test",
+            ManagerConfig { mirror_mode: MirrorMode::Cleartext, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, Vec::<u32>::new());
+        assert_eq!(report.failed, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn destroy_racing_with_requests_never_leaves_orphaned_mirror_state() {
+        // Requests that grabbed the instance handle before destroy
+        // unrouted it must observe the tombstone after the scrub instead
+        // of re-mirroring state into Dom0 frames nobody tracks anymore.
+        let hv = Arc::new(Hypervisor::boot(8192, 16).unwrap());
+        let mgr = Arc::new(
+            VtpmManager::new(
+                Arc::clone(&hv),
+                b"destroy-race",
+                ManagerConfig {
+                    mirror_mode: MirrorMode::Cleartext,
+                    charge_virtual_time: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        for round in 0..8u32 {
+            let id = mgr.create_instance().unwrap();
+            mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+            let hammer = {
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    for s in 0..30u64 {
+                        // Ok before the destroy lands, NoInstance after;
+                        // never anything else.
+                        let resp = mgr.handle(
+                            DomainId(1),
+                            &envelope(1, id, 2 + s, extend_cmd((round % 8) as u32, [s as u8; 20])),
+                        );
+                        let status = ResponseEnvelope::decode(&resp).unwrap().status;
+                        assert!(
+                            status == ResponseStatus::Ok || status == ResponseStatus::NoInstance,
+                            "unexpected status during destroy race: {status:?}"
+                        );
+                    }
+                })
+            };
+            assert_eq!(mgr.destroy_instance(id), Ok(true));
+            hammer.join().unwrap();
+            assert!(
+                mgr.mirror_frames(id).is_none(),
+                "round {round}: a racing request re-mirrored a destroyed instance"
+            );
+        }
+        drop(mgr);
+        let (_, report) = VtpmManager::recover(
+            Arc::clone(&hv),
+            b"destroy-race",
+            ManagerConfig { mirror_mode: MirrorMode::Cleartext, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, Vec::<u32>::new(), "orphaned mirror state resurrected");
+        assert_eq!(report.failed, Vec::<u32>::new());
     }
 
     #[test]

@@ -45,6 +45,19 @@
 //! so no two writes of *different* plaintext ever share a keystream (the
 //! classic CTR two-time-pad the old whole-image scheme was open to).
 //!
+//! **Failed updates burn their generation.** A dirty update may die after
+//! encrypting shadow pages under `generation + 1` but before the commit;
+//! those nonces are *consumed* even though nothing committed. The region
+//! tracks the highest possibly-consumed generation (`attempted`), and a
+//! retry first re-commits the *old* image's metadata at `attempted` —
+//! durably burning the consumed counters — before encrypting anything
+//! under `attempted + 1`. The durable invariant this maintains is
+//! `attempted <= committed generation + 1` at every instant, which is
+//! exactly what lets [`StateMirror::recover`] cover all consumed nonces
+//! by burning a single generation. Generations that would truncate in
+//! the 32-bit nonce counter field are refused ([`XenError::BadImage`])
+//! instead of silently wrapping the nonce space.
+//!
 //! **Hygiene.** After the commit, replaced slots and the slots of dropped
 //! pages are zeroed, so no byte of a previous, committed generation
 //! survives in a Dom0 dump. A crash inside that post-commit scrub (or
@@ -106,6 +119,13 @@ struct Region {
     /// Committed generation; bumped on every dirty update and mixed into
     /// the nonce of each page written during that update.
     generation: u64,
+    /// Highest generation whose nonces may have been consumed by shadow
+    /// writes, committed or not. Equal to `generation` except after a
+    /// failed dirty update; a retry must durably burn it (re-commit the
+    /// old metadata at `attempted`) before consuming `attempted + 1`, so
+    /// `attempted <= on-frame generation + 1` always holds and recovery's
+    /// single-generation burn covers every consumed nonce.
+    attempted: u64,
     /// Counter value each data page was last written with (nonce part).
     page_counters: Vec<u32>,
     /// Truncated SHA-256 of each page's stored (post-cipher) bytes.
@@ -199,6 +219,9 @@ pub struct MirrorIoStats {
     pub meta_pages_written: u64,
     /// Total bytes pushed through `page_write`.
     pub bytes_written: u64,
+    /// Post-commit scrubs that failed. The commit itself stood; the stale
+    /// slot bytes linger until the frame is reused or `recover` re-scrubs.
+    pub scrub_failures: u64,
 }
 
 #[derive(Default)]
@@ -209,6 +232,7 @@ struct IoCounters {
     pages_scrubbed: AtomicU64,
     meta_pages_written: AtomicU64,
     bytes_written: AtomicU64,
+    scrub_failures: AtomicU64,
 }
 
 /// The mirror. One per manager.
@@ -358,6 +382,7 @@ impl StateMirror {
             pages_scrubbed: self.io.pages_scrubbed.load(Ordering::Relaxed),
             meta_pages_written: self.io.meta_pages_written.load(Ordering::Relaxed),
             bytes_written: self.io.bytes_written.load(Ordering::Relaxed),
+            scrub_failures: self.io.scrub_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -374,6 +399,7 @@ impl StateMirror {
                 active: Vec::new(),
                 len: 0,
                 generation: 0,
+                attempted: 0,
                 page_counters: Vec::new(),
                 page_digests: Vec::new(),
                 cache: Vec::new(),
@@ -396,6 +422,43 @@ impl StateMirror {
         self.hv.page_write(DomainId::DOM0, mfn, 0, &zeros)?;
         self.io.pages_scrubbed.fetch_add(1, Ordering::Relaxed);
         self.io.bytes_written.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Best-effort scrub for post-commit hygiene: the generation already
+    /// committed, so a failure must not fail the update — count it and
+    /// move on (the bytes linger until the frame is reused or `recover`
+    /// re-scrubs the shadow slots).
+    fn scrub_frame_best_effort(&self, mfn: usize) {
+        if self.scrub_frame(mfn).is_err() {
+            self.io.scrub_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Durably burn the nonces a failed earlier update may have consumed:
+    /// re-commit the *currently committed* image's metadata at
+    /// `region.attempted`, so the on-frame generation catches up with the
+    /// highest consumed counter before the caller consumes `attempted + 1`.
+    /// On failure nothing new was consumed and the burn stays pending.
+    fn burn_attempted(&self, id: u32, region: &mut Region) -> XenResult<()> {
+        let pages = region.len.div_ceil(PAGE_SIZE);
+        let entries: Vec<MetaEntry> = (0..pages)
+            .map(|i| {
+                let act = region.active[i];
+                MetaEntry {
+                    active_mfn: region.slots[i][act as usize] as u32,
+                    shadow_mfn: region.slots[i][1 - act as usize] as u32,
+                    counter: region.page_counters[i],
+                    digest: region.page_digests[i],
+                }
+            })
+            .collect();
+        let meta = build_meta(id, region.attempted, region.len as u64, self.key_check_tag(id), &entries);
+        let mfn = region.meta_mfn.expect("attempted > generation implies an allocated meta frame");
+        self.hv.page_write(DomainId::DOM0, mfn, 0, &meta)?;
+        self.io.meta_pages_written.fetch_add(1, Ordering::Relaxed);
+        self.io.bytes_written.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+        region.generation = region.attempted;
         Ok(())
     }
 
@@ -448,11 +511,28 @@ impl StateMirror {
             region.active.push(1);
         }
 
+        // A failed earlier update may have consumed `attempted` nonces
+        // without committing; burn them durably before consuming more, or
+        // an in-process retry would re-encrypt different plaintext under
+        // the same (id, page, counter) CTR nonce — keystream reuse for an
+        // attacker holding dumps from before and after the retry.
+        if region.attempted > region.generation {
+            self.burn_attempted(id, &mut region)?;
+        }
         let next_gen = region.generation + 1;
+        // The nonce carries the generation as a u32; refuse to wrap the
+        // counter space rather than silently truncate into reuse.
+        if next_gen > u64::from(u32::MAX) {
+            return Err(XenError::BadImage("mirror nonce space exhausted; re-key required"));
+        }
         let counter = next_gen as u32;
 
         // Stage every dirty page into its shadow slot. Nothing here is
-        // visible to readers until the metadata commit.
+        // visible to readers until the metadata commit. The first shadow
+        // write consumes `next_gen` nonces, so mark them attempted first.
+        if !dirty.is_empty() {
+            region.attempted = next_gen;
+        }
         let mut new_counters = region.page_counters.clone();
         new_counters.resize(data_pages, 0);
         new_counters.truncate(data_pages);
@@ -504,6 +584,7 @@ impl StateMirror {
 
         // Committed — fold the new generation into the in-memory region.
         region.generation = next_gen;
+        region.attempted = next_gen;
         for &(i, t) in &targets {
             region.active[i] = t;
         }
@@ -515,18 +596,23 @@ impl StateMirror {
 
         // Post-commit hygiene: zero the replaced slots of rewritten
         // pages and both slots of dropped pages (which join the spare
-        // pool). A crash in here strands stale bytes only until
+        // pool). The commit already stood, so scrub failures are counted
+        // but never fail the update — returning Err here would leave the
+        // manager's mirrored-generation marker stale and trigger a
+        // spurious full re-mirror (burning another generation) for a
+        // mutation that in fact committed. A crash or failure in here
+        // strands stale bytes only until the frame is reused or
         // `recover` re-scrubs every shadow slot.
         for &(i, t) in &targets {
             if i < old_pages {
-                self.scrub_frame(region.slots[i][1 - t as usize])?;
+                self.scrub_frame_best_effort(region.slots[i][1 - t as usize]);
             }
         }
         while region.slots.len() > data_pages {
             let [a, b] = region.slots.pop().expect("len checked");
             region.active.pop();
-            self.scrub_frame(a)?;
-            self.scrub_frame(b)?;
+            self.scrub_frame_best_effort(a);
+            self.scrub_frame_best_effort(b);
             region.spare.push(a);
             region.spare.push(b);
         }
@@ -580,16 +666,29 @@ impl StateMirror {
     }
 
     /// Drop instance `id`'s region, scrubbing its frames.
+    ///
+    /// The region stays in the table until every frame scrub succeeds: a
+    /// partial failure must leave the region re-scrubbable by a retry,
+    /// not orphan half-scrubbed frames (with a still-valid metadata page
+    /// a later `recover` would resurrect) outside any bookkeeping. The
+    /// metadata frame is scrubbed first for the same reason — once it is
+    /// gone, no crash or partial failure can resurrect the image.
     pub fn remove(&self, id: u32) -> XenResult<()> {
-        let handle = self.regions.write().remove(&id);
-        if let Some(handle) = handle {
-            let region = handle.lock();
-            let zeros = [0u8; PAGE_SIZE];
-            let slot_frames = region.slots.iter().flatten().copied();
-            for mfn in region.meta_mfn.into_iter().chain(slot_frames).chain(region.spare.iter().copied()) {
-                self.hv.page_write(DomainId::DOM0, mfn, 0, &zeros)?;
-            }
+        // Map lock before region lock, like every other table accessor;
+        // holding the table write lock across the scrub also keeps a
+        // concurrent `update` from re-creating the region mid-removal.
+        let mut table = self.regions.write();
+        let Some(handle) = table.get(&id).cloned() else {
+            return Ok(());
+        };
+        let region = handle.lock();
+        let zeros = [0u8; PAGE_SIZE];
+        let slot_frames = region.slots.iter().flatten().copied();
+        for mfn in region.meta_mfn.into_iter().chain(slot_frames).chain(region.spare.iter().copied()) {
+            self.hv.page_write(DomainId::DOM0, mfn, 0, &zeros)?;
         }
+        drop(region);
+        table.remove(&id);
         Ok(())
     }
 
@@ -665,6 +764,7 @@ impl StateMirror {
                 // Burn the generation the crashed manager may have used
                 // for uncommitted shadow writes (see module docs).
                 generation: generation + 1,
+                attempted: generation + 1,
                 page_counters: entries.iter().map(|e| e.counter).collect(),
                 page_digests: entries.iter().map(|e| e.digest).collect(),
                 cache: image,
@@ -1026,6 +1126,143 @@ mod tests {
         assert_eq!(rec.generation(1), Some(3));
         assert_eq!(rec.read(1).unwrap(), vec![2u8; 600]);
         assert_eq!(rec.nonce_reuses(), 0);
+    }
+
+    #[test]
+    fn failed_update_burns_generation_for_in_process_retry() {
+        // The in-process analogue of recovery's burn-a-generation rule: a
+        // crashed update consumed (id, page, gen+1) nonces on the frames,
+        // so the manager's retry-on-next-mutation must not hand the same
+        // counter out again for different plaintext (keystream reuse for
+        // an attacker dumping Dom0 before and after the retry).
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [0x5D; 16]).unwrap();
+        m.enable_nonce_audit();
+        let a = vec![0xA1u8; PAGE_SIZE + 700];
+        let b = vec![0xB2u8; PAGE_SIZE + 700];
+        let c = vec![0xC3u8; PAGE_SIZE + 700];
+        m.update(1, &a).unwrap();
+        // Die after one of the two dirty shadow writes.
+        hv.inject_write_crash(DomainId::DOM0, 1);
+        assert!(m.update(1, &b).is_err());
+        hv.clear_faults();
+        m.update(1, &c).unwrap();
+        assert_eq!(m.nonce_reuses(), 0, "retry reused a consumed (page, counter) nonce");
+        assert_eq!(m.read(1).unwrap(), c);
+        // The burn re-committed the old image at the consumed generation
+        // before the retry consumed the next one: 1 (initial) -> 2
+        // (burned by the failed attempt) -> 3 (the retry's commit).
+        assert_eq!(m.generation(1), Some(3));
+    }
+
+    #[test]
+    fn repeated_failed_updates_keep_burns_durable_across_crash_recovery() {
+        // Two failed attempts in a row consume two generations; the burn
+        // must land on the frames (not just in memory) so a crash before
+        // any successful commit still lets recovery's single-generation
+        // burn cover every consumed nonce.
+        let hv = hv();
+        let key = [0x6E; 16];
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        let a = vec![0xA1u8; 600];
+        m.update(1, &a).unwrap(); // committed generation 1
+        // Attempt 2: dies before any write lands; counter 2 is consumed.
+        hv.inject_write_crash(DomainId::DOM0, 0);
+        assert!(m.update(1, &vec![0xB2u8; 600]).is_err());
+        hv.clear_faults();
+        // Attempt 3: the durable burn (metadata at generation 2) lands,
+        // then the shadow write for counter 3 dies.
+        hv.inject_write_crash(DomainId::DOM0, 1);
+        assert!(m.update(1, &vec![0xC3u8; 600]).is_err());
+        hv.clear_faults();
+        assert_eq!(m.generation(1), Some(2), "burn must commit before new nonces are consumed");
+        drop(m);
+        // Crash now: the frames say generation 2, and counter 3 was the
+        // highest consumed. Recovery burns to 3; the next write uses 4.
+        let (rec, report) = StateMirror::recover(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        assert_eq!(report.recovered, vec![1]);
+        assert_eq!(rec.read(1).unwrap(), a, "only generation 1 ever committed an image");
+        assert_eq!(rec.generation(1), Some(3), "recovery must burn past every consumed counter");
+        rec.enable_nonce_audit();
+        let d = vec![0xD4u8; 600];
+        rec.update(1, &d).unwrap();
+        assert_eq!(rec.generation(1), Some(4));
+        assert_eq!(rec.read(1).unwrap(), d);
+        assert_eq!(rec.nonce_reuses(), 0);
+    }
+
+    #[test]
+    fn post_commit_scrub_failure_does_not_fail_the_update() {
+        // Once the metadata commit landed, a failing hygiene scrub must
+        // not turn the update into an error: the caller would treat the
+        // mutation as unmirrored and re-mirror (burning a generation) for
+        // an image that in fact committed.
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [0x31; 16]).unwrap();
+        m.enable_nonce_audit();
+        let a = vec![0xA7u8; 600];
+        let b = vec![0xB8u8; 600];
+        let c = vec![0xC9u8; 600];
+        m.update(1, &a).unwrap();
+        // One dirty shadow write + the metadata commit succeed; the
+        // post-commit scrub of the replaced slot fails.
+        hv.inject_write_crash(DomainId::DOM0, 2);
+        m.update(1, &b).expect("commit stood; scrub failure must be non-fatal");
+        hv.clear_faults();
+        assert_eq!(m.io_stats().scrub_failures, 1);
+        assert_eq!(m.read(1).unwrap(), b);
+        assert_eq!(m.generation(1), Some(2));
+        // And the next update neither re-mirrors spuriously nor reuses a
+        // nonce.
+        m.update(1, &c).unwrap();
+        assert_eq!(m.generation(1), Some(3));
+        assert_eq!(m.read(1).unwrap(), c);
+        assert_eq!(m.nonce_reuses(), 0);
+    }
+
+    #[test]
+    fn nonce_counter_exhaustion_refused_not_truncated() {
+        // The metadata generation is u64 but the nonce carries it as u32;
+        // past u32::MAX the mirror must refuse to write rather than wrap
+        // the (id, page, counter) space. Plant a committed region near
+        // the limit and walk over it.
+        let hv = hv();
+        let key = [0x4B; 16];
+        let probe = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        let tag = probe.key_check_tag(33);
+        let meta = build_meta(33, u64::from(u32::MAX) - 2, 0, tag, &[]);
+        let mfn = hv.alloc_pages(DomainId::DOM0, 1).unwrap()[0];
+        hv.page_write(DomainId::DOM0, mfn, 0, &meta).unwrap();
+        drop(probe);
+        let (rec, report) = StateMirror::recover(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        assert_eq!(report.recovered, vec![33]);
+        // One generation of headroom left (u32::MAX itself)...
+        rec.update(33, b"last nonce that fits").unwrap();
+        assert_eq!(rec.generation(33), Some(u64::from(u32::MAX)));
+        // ...then hard refusal, leaving the committed image untouched.
+        assert!(matches!(
+            rec.update(33, b"would wrap the counter"),
+            Err(XenError::BadImage(_))
+        ));
+        assert_eq!(rec.read(33).unwrap(), b"last nonce that fits");
+    }
+
+    #[test]
+    fn failed_remove_keeps_region_for_rescrub() {
+        // A partial scrub failure must leave the region tracked so a
+        // retry scrubs the same frames — dropping it would orphan frames
+        // still holding the image (and a valid metadata page recovery
+        // would resurrect).
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        m.update(3, b"WIPE-ME-EVENTUALLY").unwrap();
+        hv.inject_write_crash(DomainId::DOM0, 0);
+        assert!(m.remove(3).is_err());
+        hv.clear_faults();
+        assert!(m.region_frames(3).is_some(), "region must stay tracked after a failed scrub");
+        m.remove(3).unwrap();
+        assert!(m.region_frames(3).is_none());
+        assert!(!contains(&dump_all(&hv), b"WIPE-ME-EVENTUALLY"));
     }
 
     #[test]
