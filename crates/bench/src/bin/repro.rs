@@ -1,10 +1,13 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1   # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
+//!
+//! Exits nonzero if R-O1 measures telemetry overhead above its budget
+//! (the CI gate in `scripts/ci.sh` relies on this).
 
 use vtpm_bench::exp;
 
@@ -27,6 +30,8 @@ struct Sizes {
     r1_seeds: usize,
     r1_events: usize,
     r1_faults: usize,
+    o1_batches: usize,
+    o1_per_batch: usize,
 }
 
 impl Sizes {
@@ -51,6 +56,8 @@ impl Sizes {
             r1_seeds: 16,
             r1_events: 80,
             r1_faults: 6,
+            o1_batches: 40,
+            o1_per_batch: 500,
         }
     }
 
@@ -74,6 +81,8 @@ impl Sizes {
             r1_seeds: 4,
             r1_events: 48,
             r1_faults: 4,
+            o1_batches: 15,
+            o1_per_batch: 200,
         }
     }
 }
@@ -83,8 +92,9 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let sizes = if quick { Sizes::quick() } else { Sizes::full() };
     let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut over_budget = false;
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
-        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1"]
+        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1"]
     } else {
         which
     };
@@ -107,12 +117,23 @@ fn main() {
             "f5" => exp::f5::render(&exp::f5::run(&sizes.f5_vms)),
             "f6" => exp::f6::render(&exp::f6::run(&sizes.f6_utils, sizes.f6_arrivals)),
             "r1" => exp::r1::render(&exp::r1::run(sizes.r1_seeds, sizes.r1_events, sizes.r1_faults)),
+            "o1" => {
+                let rows = exp::o1::run(sizes.o1_batches, sizes.o1_per_batch);
+                if exp::o1::max_overhead_pct(&rows) > exp::o1::BUDGET_PCT {
+                    over_budget = true;
+                }
+                exp::o1::render(&rows)
+            }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|all)");
                 std::process::exit(2);
             }
         };
         println!("{output}");
         println!("[{} completed in {:.1}s]\n", exp_name, t0.elapsed().as_secs_f64());
+    }
+    if over_budget {
+        eprintln!("R-O1: telemetry overhead exceeds the {}% budget", exp::o1::BUDGET_PCT);
+        std::process::exit(1);
     }
 }

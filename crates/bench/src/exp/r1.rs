@@ -35,6 +35,17 @@ pub struct R1Row {
     pub divergences: usize,
     /// CTR nonce pairs reused across the run (must be 0).
     pub nonce_reuses: u64,
+    /// Requests the manager completed end to end, summed over epochs
+    /// (from the telemetry registry).
+    pub completed: u64,
+    /// Telemetry span-ring overflow drops (must be 0 at harness sizes).
+    pub dropped_events: u64,
+    /// Post-commit hygiene scrubs that failed (expected only under
+    /// injected crash faults; recovery re-scrubs).
+    pub scrub_failures: u64,
+    /// Mirror generations burned by the retry escrow — the mechanism
+    /// that keeps `nonce_reuses` at 0 after failed commits.
+    pub retried_generation_burns: u64,
     /// Whether the replay produced a byte-identical report.
     pub deterministic: bool,
 }
@@ -61,6 +72,10 @@ pub fn run(seeds: usize, events: usize, faults: usize) -> Vec<R1Row> {
                 ring_reconnects: a.ring_reconnects,
                 divergences: a.divergences.len(),
                 nonce_reuses: a.nonce_reuses,
+                completed: a.completed,
+                dropped_events: a.dropped_events,
+                scrub_failures: a.scrub_failures,
+                retried_generation_burns: a.retried_generation_burns,
                 deterministic: a == b,
             });
         }
@@ -73,12 +88,13 @@ pub fn render(rows: &[R1Row]) -> String {
     let mut out = String::new();
     out.push_str("R-R1  Chaos + crash/recovery of the mirror pipeline (replayed twice per seed)\n");
     out.push_str(&format!(
-        "{:<8} {:<10} {:>6} {:>8} {:>5} {:>5} {:>10} {:>9} {:>7} {:>6}\n",
-        "seed", "mode", "faults", "crashes", "post", "pre", "reconnect", "diverge", "nonce", "det"
+        "{:<8} {:<10} {:>6} {:>8} {:>5} {:>5} {:>10} {:>9} {:>5} {:>9} {:>8} {:>9} {:>7} {:>6}\n",
+        "seed", "mode", "faults", "crashes", "post", "pre", "reconnect", "completed", "drops",
+        "scrubfail", "retburns", "diverge", "nonce", "det"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<8} {:<10} {:>6} {:>8} {:>5} {:>5} {:>10} {:>9} {:>7} {:>6}\n",
+            "{:<8} {:<10} {:>6} {:>8} {:>5} {:>5} {:>10} {:>9} {:>5} {:>9} {:>8} {:>9} {:>7} {:>6}\n",
             r.seed,
             r.mode,
             r.faults,
@@ -86,6 +102,10 @@ pub fn render(rows: &[R1Row]) -> String {
             r.recovered_post,
             r.recovered_pre,
             r.ring_reconnects,
+            r.completed,
+            r.dropped_events,
+            r.scrub_failures,
+            r.retried_generation_burns,
             r.divergences,
             r.nonce_reuses,
             if r.deterministic { "yes" } else { "NO" },
@@ -95,9 +115,13 @@ pub fn render(rows: &[R1Row]) -> String {
     let diverged: usize = rows.iter().map(|r| r.divergences).sum();
     let nondet = rows.iter().filter(|r| !r.deterministic).count();
     out.push_str(&format!(
-        "totals: {} scenarios, {} crash recoveries, {} divergences, {} nondeterministic replays\n",
+        "totals: {} scenarios, {} crash recoveries, {} commands completed, {} span drops, \
+         {} scrub failures, {} divergences, {} nondeterministic replays\n",
         rows.len(),
         crashes,
+        rows.iter().map(|r| r.completed).sum::<u64>(),
+        rows.iter().map(|r| r.dropped_events).sum::<u64>(),
+        rows.iter().map(|r| r.scrub_failures).sum::<u64>(),
         diverged,
         nondet,
     ));
@@ -124,11 +148,17 @@ mod tests {
                 r.mode
             );
         }
-        // The sweep must actually exercise the crash path.
+        // The sweep must actually exercise the crash path, and the
+        // telemetry registry must have seen the traffic without losing
+        // span records.
         assert!(
             rows.iter().map(|r| r.crash_recoveries).sum::<u64>() > 0,
             "no scenario drew a crash fault; widen the sweep"
         );
+        for r in &rows {
+            assert!(r.completed > 0, "seed {} ({}) completed no requests", r.seed, r.mode);
+            assert_eq!(r.dropped_events, 0, "seed {} ({}) dropped spans", r.seed, r.mode);
+        }
         let table = render(&rows);
         assert!(table.contains("0 divergences"));
         assert!(table.contains("0 nondeterministic"));

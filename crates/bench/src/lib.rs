@@ -18,6 +18,7 @@
 //! | [`exp::t4`] | R-T4: per-mechanism ablation |
 //! | [`exp::f5`] | R-F5: dump-scan at scale |
 //! | [`exp::r1`] | R-R1: chaos + crash/recovery of the mirror pipeline |
+//! | [`exp::o1`] | R-O1: telemetry self-overhead on the request path |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
@@ -27,6 +28,7 @@ pub mod exp {
     pub mod f4;
     pub mod f5;
     pub mod f6;
+    pub mod o1;
     pub mod r1;
     pub mod t1;
     pub mod t2;

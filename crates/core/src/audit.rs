@@ -28,6 +28,10 @@ pub struct AuditEntry {
     pub index: u64,
     /// Virtual timestamp (ns) when the decision was made.
     pub timestamp_ns: u64,
+    /// Telemetry request id (`RequestContext::request_id`), covered by
+    /// the chain hash, so audit entries join against telemetry spans.
+    /// 0 for decisions made outside the instrumented request path.
+    pub request_id: u64,
     /// Requesting domain (claimed).
     pub domain: u32,
     /// Target instance.
@@ -43,6 +47,7 @@ pub struct AuditEntry {
 fn entry_material(
     index: u64,
     timestamp_ns: u64,
+    request_id: u64,
     domain: u32,
     instance: u32,
     ordinal: u32,
@@ -51,6 +56,7 @@ fn entry_material(
     let mut buf = Vec::with_capacity(64);
     buf.extend_from_slice(&index.to_be_bytes());
     buf.extend_from_slice(&timestamp_ns.to_be_bytes());
+    buf.extend_from_slice(&request_id.to_be_bytes());
     buf.extend_from_slice(&domain.to_be_bytes());
     buf.extend_from_slice(&instance.to_be_bytes());
     buf.extend_from_slice(&ordinal.to_be_bytes());
@@ -74,10 +80,13 @@ impl AuditLog {
         Self::default()
     }
 
-    /// Append a decision; returns the new chain head.
+    /// Append a decision; returns the new chain head. `request_id` is
+    /// the telemetry id the manager minted for the request (0 outside
+    /// the request path); it is covered by the chain hash.
     pub fn record(
         &self,
         timestamp_ns: u64,
+        request_id: u64,
         domain: u32,
         instance: u32,
         ordinal: u32,
@@ -90,6 +99,7 @@ impl AuditLog {
         material.extend_from_slice(&entry_material(
             index,
             timestamp_ns,
+            request_id,
             domain,
             instance,
             ordinal,
@@ -99,6 +109,7 @@ impl AuditLog {
         entries.push(AuditEntry {
             index,
             timestamp_ns,
+            request_id,
             domain,
             instance,
             ordinal,
@@ -149,6 +160,7 @@ impl AuditLog {
             material.extend_from_slice(&entry_material(
                 e.index,
                 e.timestamp_ns,
+                e.request_id,
                 e.domain,
                 e.instance,
                 e.ordinal,
@@ -175,7 +187,7 @@ mod tests {
             } else {
                 AuditOutcome::Allowed
             };
-            log.record(i as u64 * 1000, 1, 1, 0x17, outcome);
+            log.record(i as u64 * 1000, i as u64 + 1, 1, 1, 0x17, outcome);
         }
         log
     }
@@ -202,6 +214,16 @@ mod tests {
         let log = log_with(5);
         let mut entries = log.entries();
         entries[2].domain = 99; // attacker rewrites who did it
+        assert!(!AuditLog::verify(&entries));
+    }
+
+    #[test]
+    fn request_id_edit_detected() {
+        // The span join key is covered by the chain: an attacker cannot
+        // re-point an audit entry at a different request's span.
+        let log = log_with(5);
+        let mut entries = log.entries();
+        entries[2].request_id = 42;
         assert!(!AuditLog::verify(&entries));
     }
 
@@ -244,7 +266,7 @@ mod tests {
                 let log = Arc::clone(&log);
                 std::thread::spawn(move || {
                     for i in 0..50 {
-                        log.record(i, t, 1, 0x15, AuditOutcome::Allowed);
+                        log.record(i, 0, t, 1, 0x15, AuditOutcome::Allowed);
                     }
                 })
             })

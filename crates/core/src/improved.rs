@@ -214,6 +214,7 @@ impl AccessHook for ImprovedHook {
             };
             self.audit.record(
                 self.hv.clock.now_ns(),
+                ctx.request_id,
                 ctx.claimed_domain,
                 ctx.instance,
                 ctx.ordinal.unwrap_or(0),
@@ -285,6 +286,7 @@ mod tests {
 
     fn ctx<'a>(e: &'a Envelope, source: u32) -> RequestContext<'a> {
         RequestContext {
+            request_id: e.seq, // tests reuse the seq as a stand-in id
             source_domain: DomainId(source),
             claimed_domain: e.domain,
             instance: e.instance,

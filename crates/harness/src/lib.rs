@@ -170,6 +170,23 @@ pub struct ChaosReport {
     /// Mirror CTR nonce-pair collisions observed across the whole run,
     /// crash/recovery cycles included (must be 0).
     pub nonce_reuses: u64,
+    /// Requests the manager completed end to end (telemetry `finished`),
+    /// summed across every manager epoch (recovery replaces the manager
+    /// and with it the registry, so per-epoch counts are accumulated
+    /// just before each replacement).
+    pub completed: u64,
+    /// Span-ring overflow drops, summed across manager epochs. The
+    /// harness sizes the ring generously, so nonzero here means the
+    /// telemetry pipeline lost events it should have kept.
+    pub dropped_events: u64,
+    /// Mirror pages whose hygiene scrub failed, summed across epochs
+    /// (must be 0 — a failed scrub leaks stale ciphertext to Dom0).
+    pub scrub_failures: u64,
+    /// Mirror generations burned via the attempted-generation escrow on
+    /// retry, summed across epochs. Nonzero is expected whenever crash
+    /// faults interrupt commits; it is the mechanism that keeps
+    /// `nonce_reuses` at 0.
+    pub retried_generation_burns: u64,
     /// SHA-256 over the run transcript (every response, generation and
     /// recovery outcome, in order).
     pub transcript: [u8; 32],
@@ -177,6 +194,36 @@ pub struct ChaosReport {
 
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Fold one manager epoch's telemetry and mirror counters into the
+/// report. Called immediately before crash recovery replaces the
+/// manager (which discards its registry) and once at run end, so the
+/// report's totals cover the whole run. Each call point is quiescent —
+/// no exchange is in flight — so the conservation invariants must hold
+/// *exactly*; a violation is reported as a divergence like any other
+/// oracle mismatch.
+fn absorb_epoch_counters(mgr: &VtpmManager, report: &mut ChaosReport, at: &str) {
+    if let Some(t) = mgr.telemetry() {
+        let s = t.snapshot();
+        if s.in_flight != 0 {
+            report.divergences.push(format!(
+                "{at}: telemetry reports {} requests in flight at quiescence",
+                s.in_flight
+            ));
+        }
+        if s.allowed + s.denied + s.malformed != s.finished {
+            report.divergences.push(format!(
+                "{at}: outcome counters do not conserve: {} + {} + {} != {}",
+                s.allowed, s.denied, s.malformed, s.finished
+            ));
+        }
+        report.completed += s.finished;
+        report.dropped_events += s.dropped_events;
+    }
+    let io = mgr.mirror_io_stats();
+    report.scrub_failures += io.scrub_failures;
+    report.retried_generation_burns += io.retried_generation_burns;
 }
 
 /// Synchronously complete one ring exchange: the caller's command goes
@@ -247,6 +294,10 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
         ring_reconnects: 0,
         divergences: Vec::new(),
         nonce_reuses: 0,
+        completed: 0,
+        dropped_events: 0,
+        scrub_failures: 0,
+        retried_generation_burns: 0,
         transcript: [0; 32],
     };
     let mut transcript: Vec<u8> = Vec::new();
@@ -331,6 +382,9 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
         // Post-event crash/recovery cycle.
         if matches!(fault, Some(PlannedFault::CrashAfterWrites(_))) {
             report.nonce_reuses += mgr.nonce_reuses();
+            // Recovery builds a fresh manager (and a fresh telemetry
+            // registry); bank this epoch's counters first.
+            absorb_epoch_counters(&mgr, &mut report, &format!("event {i}"));
             hv.clear_faults();
             let (rec, rec_report) = VtpmManager::recover(Arc::clone(&hv), seed, mgr_cfg.clone())?;
             let rec = Arc::new(rec);
@@ -405,6 +459,7 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
         report.divergences.push("final: resident image diverges from live state".into());
     }
     report.nonce_reuses += mgr.nonce_reuses();
+    absorb_epoch_counters(&mgr, &mut report, "final");
     report.transcript = sha256(&transcript);
     Ok(report)
 }

@@ -142,6 +142,24 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// Time `iters` executions of `routine`, re-running `setup` before
+    /// each one outside the measured window (criterion's
+    /// `iter_with_setup` contract).
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
 }
 
 fn run_benchmark(group: &str, id: &str, cfg: GroupConfig, mut f: impl FnMut(&mut Bencher)) {

@@ -1,0 +1,262 @@
+//! Exporters: JSON metrics snapshot and Chrome trace-event span dump.
+//!
+//! Both are hand-rolled (the workspace has no serde): the JSON emitted
+//! is deliberately simple — objects, arrays, integers, and floats with
+//! fixed formatting — and is validated against a tiny recursive
+//! checker in the tests.
+
+use std::fmt::Write as _;
+
+use crate::{HistogramSnapshot, MetricsSnapshot, SpanRecord};
+
+impl MetricsSnapshot {
+    /// Serialize the snapshot as a single JSON object. Every number in
+    /// the document comes from the same coherent read; histograms nest
+    /// as `{count, sum, mean, p50, p90, p99, p999, max}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        let _ = write!(
+            out,
+            "  \"requests\": {{\"begun\": {}, \"finished\": {}, \"in_flight\": {}, \
+             \"allowed\": {}, \"denied\": {}, \"no_instance\": {}, \"malformed\": {}}},\n",
+            self.begun, self.finished, self.in_flight, self.allowed, self.denied, self.no_instance, self.malformed
+        );
+        let _ = write!(
+            out,
+            "  \"events\": {{\"dropped\": {}}},\n  \"ring\": {{\"exchanges\": {}, \"rx_bytes\": {}, \"tx_bytes\": {}}},\n",
+            self.dropped_events, self.ring_exchanges, self.ring_rx_bytes, self.ring_tx_bytes
+        );
+        out.push_str("  \"deny_reasons\": {");
+        for (i, (label, count)) in self.deny_reasons.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{label}\": {count}");
+        }
+        out.push_str("},\n  \"latency_ns\": {\n");
+        let stages: [(&str, &HistogramSnapshot); 5] = [
+            ("ingress", &self.stage_ingress),
+            ("ac_hook", &self.stage_ac),
+            ("execute", &self.stage_exec),
+            ("mirror", &self.stage_mirror),
+            ("total", &self.total),
+        ];
+        for (i, (name, h)) in stages.iter().enumerate() {
+            let _ = write!(out, "    \"{name}\": {}", hist_json(h));
+            out.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
+        }
+        let _ = write!(out, "  }},\n  \"mirror_bytes_per_cmd\": {}", hist_json(&self.mirror_bytes));
+        if !self.aux.is_empty() {
+            out.push_str(",\n  \"aux\": {");
+            for (i, (label, value)) in self.aux.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{label}\": {value}");
+            }
+            out.push('}');
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+        h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.p999, h.max
+    )
+}
+
+/// Render drained spans as a Chrome trace-event document (JSON object
+/// with a `traceEvents` array of `ph: "X"` complete events), loadable
+/// in `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// Each request renders as up to five nested events on track
+/// `pid = 1, tid = domain`: one `request` spanning end-to-end, plus one
+/// per stage that ran. Timestamps are microseconds (fractional) from
+/// the span's monotonic clock; `args` carry the request id, ordinal,
+/// and outcome so the trace is joinable back to the audit log.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 512);
+    out.push_str("{\"traceEvents\": [\n");
+    let mut first = true;
+    for s in spans {
+        let stages: [(&str, u64, u64); 5] = [
+            ("request", s.ingress_ns, s.total_ns()),
+            ("ingress", s.ingress_ns, s.ingress_stage_ns()),
+            ("ac_hook", s.decode_ns, s.ac_stage_ns()),
+            ("execute", s.ac_ns, s.exec_stage_ns()),
+            ("mirror", s.exec_ns, s.mirror_stage_ns()),
+        ];
+        for (name, start_ns, dur_ns) in stages {
+            if name != "request" && dur_ns == 0 {
+                continue; // stage never ran
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\": \"{name}\", \"cat\": \"vtpm\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+                 \"pid\": 1, \"tid\": {}, \"args\": {{\"request_id\": {}, \"ordinal\": {}, \"outcome\": \"{}\"}}}}",
+                start_ns as f64 / 1000.0,
+                dur_ns as f64 / 1000.0,
+                s.domain,
+                s.request_id,
+                s.ordinal,
+                s.outcome.label()
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Outcome, Telemetry};
+
+    /// Minimal JSON well-formedness checker: consumes one value,
+    /// returns the rest of the input. Panics on malformed input.
+    fn check_value(s: &str) -> &str {
+        let s = s.trim_start();
+        let mut chars = s.char_indices();
+        match chars.next().map(|(_, c)| c) {
+            Some('{') => {
+                let mut rest = s[1..].trim_start();
+                if let Some(stripped) = rest.strip_prefix('}') {
+                    return stripped;
+                }
+                loop {
+                    rest = rest.trim_start();
+                    assert!(rest.starts_with('"'), "expected key at: {rest:.40}");
+                    let close = rest[1..].find('"').expect("unterminated key") + 1;
+                    rest = rest[close + 1..].trim_start();
+                    rest = rest.strip_prefix(':').expect("expected ':'");
+                    rest = check_value(rest).trim_start();
+                    if let Some(stripped) = rest.strip_prefix(',') {
+                        rest = stripped;
+                    } else {
+                        return rest.strip_prefix('}').expect("expected '}'");
+                    }
+                }
+            }
+            Some('[') => {
+                let mut rest = s[1..].trim_start();
+                if let Some(stripped) = rest.strip_prefix(']') {
+                    return stripped;
+                }
+                loop {
+                    rest = check_value(rest).trim_start();
+                    if let Some(stripped) = rest.strip_prefix(',') {
+                        rest = stripped;
+                    } else {
+                        return rest.strip_prefix(']').expect("expected ']'");
+                    }
+                }
+            }
+            Some('"') => {
+                let close = s[1..].find('"').expect("unterminated string") + 1;
+                &s[close + 1..]
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'))
+                    .unwrap_or(s.len());
+                &s[end..]
+            }
+            Some(_) => {
+                for lit in ["true", "false", "null"] {
+                    if let Some(stripped) = s.strip_prefix(lit) {
+                        return stripped;
+                    }
+                }
+                panic!("unexpected JSON at: {s:.40}");
+            }
+            None => panic!("empty JSON"),
+        }
+    }
+
+    fn assert_valid_json(doc: &str) {
+        let rest = check_value(doc);
+        assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40}");
+    }
+
+    fn populated() -> Telemetry {
+        let t = Telemetry::new();
+        for i in 0..20u64 {
+            let mut s = t.begin(i * 1_000);
+            s.set_domain(2 + (i % 3) as u32);
+            s.set_ordinal(0x17);
+            s.stamp_decode(i * 1_000 + 50);
+            s.stamp_ac(i * 1_000 + 80);
+            if i % 5 == 0 {
+                s.set_outcome(Outcome::Denied(2));
+            } else {
+                s.stamp_exec(i * 1_000 + 300);
+                s.stamp_mirror(i * 1_000 + 350);
+                s.set_mirror_bytes(8192);
+                s.set_outcome(Outcome::Ok);
+            }
+            t.finish(s, i * 1_000 + 360);
+        }
+        t.note_ring_exchange(64, 32);
+        t
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed_and_complete() {
+        let t = populated();
+        let json = t.snapshot_with_aux(&[("scrub_failures", 1)]).to_json();
+        assert_valid_json(&json);
+        for key in [
+            "\"requests\"",
+            "\"begun\": 20",
+            "\"allowed\": 16",
+            "\"denied\": 4",
+            "\"deny_reasons\"",
+            "\"replay\": 4",
+            "\"latency_ns\"",
+            "\"ingress\"",
+            "\"ac_hook\"",
+            "\"execute\"",
+            "\"mirror\"",
+            "\"total\"",
+            "\"mirror_bytes_per_cmd\"",
+            "\"rx_bytes\": 64",
+            "\"scrub_failures\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_joinable() {
+        let t = populated();
+        let spans = t.drain_spans();
+        let trace = chrome_trace(&spans);
+        assert_valid_json(&trace);
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"name\": \"request\""));
+        assert!(trace.contains("\"name\": \"execute\""));
+        // Denied spans have no execute/mirror stage events.
+        let denied_events = trace.matches("\"outcome\": \"denied\"").count();
+        assert_eq!(denied_events, 4 * 3); // request + ingress + ac_hook
+        // Every request id appears.
+        for id in 1..=20 {
+            assert!(trace.contains(&format!("\"request_id\": {id},")) || trace.contains(&format!("\"request_id\": {id}}}")),
+                "request {id} missing from trace");
+        }
+    }
+
+    #[test]
+    fn empty_exports_are_valid() {
+        let t = Telemetry::new();
+        assert_valid_json(&t.snapshot().to_json());
+        assert_valid_json(&chrome_trace(&[]));
+    }
+}

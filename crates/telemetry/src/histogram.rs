@@ -1,0 +1,255 @@
+//! Log-linear histograms over `u64` values (latencies in ns, byte
+//! counts), recordable lock-free from any thread.
+//!
+//! Bucketing follows the HdrHistogram idea at fixed, coarse resolution:
+//! values below [`LINEAR_MAX`] get their own bucket; above that, each
+//! power-of-two octave is split into [`SUB_BUCKETS`] linear sub-buckets,
+//! bounding the relative quantile error at `1/SUB_BUCKETS` (6.25%) while
+//! keeping the whole table a fixed 976-slot array of atomics — no
+//! allocation, no locking, three relaxed atomic ops per `record`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this are bucketed exactly.
+const LINEAR_MAX: u64 = 16;
+/// Linear sub-buckets per octave above `LINEAR_MAX`.
+const SUB_BUCKETS: u64 = 16;
+/// log2 of `LINEAR_MAX` (== log2 of `SUB_BUCKETS`).
+const LINEAR_BITS: u32 = 4;
+/// Total bucket count: 16 exact + 60 octaves × 16 sub-buckets.
+const NUM_BUCKETS: usize = (LINEAR_MAX + (64 - LINEAR_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Map a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= LINEAR_BITS
+        let octave = (msb - LINEAR_BITS) as u64;
+        let sub = (v >> (msb - LINEAR_BITS)) & (SUB_BUCKETS - 1);
+        (LINEAR_MAX + octave * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// Lowest value mapping to bucket `idx` (inverse of [`bucket_index`]).
+fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_MAX {
+        idx
+    } else {
+        let octave = (idx - LINEAR_MAX) / SUB_BUCKETS;
+        let sub = (idx - LINEAR_MAX) % SUB_BUCKETS;
+        (LINEAR_MAX + sub) << octave
+    }
+}
+
+/// Midpoint of bucket `idx`, the value quantiles report.
+fn bucket_mid(idx: usize) -> u64 {
+    let low = bucket_low(idx);
+    let width = if (idx as u64) < LINEAR_MAX { 1 } else { 1u64 << ((idx as u64 - LINEAR_MAX) / SUB_BUCKETS) };
+    low + (width - 1) / 2
+}
+
+/// A fixed-size, lock-free log-linear histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the array in place.
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = (0..NUM_BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("length fixed"));
+        Histogram { buckets, count: AtomicU64::new(0), sum: AtomicU64::new(0), max: AtomicU64::new(0) }
+    }
+
+    /// Record one value. Lock-free: three relaxed adds plus a
+    /// `fetch_max`; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the histogram into a summary. Quantiles are bucket
+    /// midpoints (relative error ≤ 1/16 above the linear range).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let mut snap = HistogramSnapshot {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            p999: 0,
+            max,
+        };
+        if count == 0 {
+            return snap;
+        }
+        // One walk over the buckets resolves every quantile.
+        let targets = [
+            (0.50, &mut snap.p50 as *mut u64),
+            (0.90, &mut snap.p90 as *mut u64),
+            (0.99, &mut snap.p99 as *mut u64),
+            (0.999, &mut snap.p999 as *mut u64),
+        ];
+        let mut needed: Vec<(u64, *mut u64)> = targets
+            .into_iter()
+            .map(|(q, out)| (((q * count as f64).ceil() as u64).max(1), out))
+            .collect();
+        needed.sort_by_key(|&(rank, _)| rank);
+        let mut seen = 0u64;
+        let mut next = 0usize;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            while next < needed.len() && seen >= needed[next].0 {
+                // The pointers all target fields of `snap` above; no
+                // aliasing, each written exactly once.
+                unsafe { *needed[next].1 = bucket_mid(idx) };
+                next += 1;
+            }
+            if next == needed.len() {
+                break;
+            }
+        }
+        snap
+    }
+}
+
+/// A frozen view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket midpoint).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_tight() {
+        let mut prev = 0;
+        for idx in 1..NUM_BUCKETS {
+            let low = bucket_low(idx);
+            assert!(low > prev, "bucket {idx} low {low} <= {prev}");
+            assert_eq!(bucket_index(low), idx, "low of bucket {idx} maps back");
+            prev = low;
+        }
+        // The top bucket still covers u64::MAX.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [17u64, 100, 999, 4096, 1_000_000, 123_456_789, u64::MAX / 3] {
+            let mid = bucket_mid(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max, 10_000);
+        let tol = |q: f64, got: u64| {
+            let want = q * 10_000.0;
+            assert!(
+                (got as f64 - want).abs() / want <= 0.08,
+                "q{q}: got {got}, want ~{want}"
+            );
+        };
+        tol(0.50, s.p50);
+        tol(0.90, s.p90);
+        tol(0.99, s.p99);
+        tol(0.999, s.p999);
+        assert!((s.mean - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_records_conserve_count() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.snapshot().count, 80_000);
+    }
+}

@@ -1,0 +1,645 @@
+//! # vtpm-telemetry
+//!
+//! Lock-free tracing, metrics, and audit-correlated observability for
+//! the vTPM stack. Deliberately dependency-free (std only) so it can
+//! sit below every other crate in the workspace.
+//!
+//! The crate provides four pieces, mirroring the request path:
+//!
+//! * **Spans** — a [`Span`] is minted at ring ingress with a fresh
+//!   [`RequestId`] and carried through
+//!   `transport → hook → Tpm::execute → mirror commit`, stamping each
+//!   stage boundary with a caller-supplied monotonic timestamp. The
+//!   clock is *injected* (plain `u64` nanoseconds), so instrumented
+//!   code can feed the xen-sim virtual clock and stay byte-
+//!   deterministic under the chaos harness.
+//! * **Event pipeline** — finished spans are pushed into a striped,
+//!   bounded, allocation-free MPMC [`SpanRing`] (16 stripes, like
+//!   `ReplayGuard`), with an *exact* [`Telemetry::dropped_events`]
+//!   counter on overflow.
+//! * **Metrics registry** — atomic counters plus log-linear
+//!   [`Histogram`]s (p50/p90/p99/p99.9) for per-stage latency, mirror
+//!   bytes per command, and access-control deny reasons.
+//! * **Exporters** — a coherent JSON snapshot ([`MetricsSnapshot`],
+//!   single consistent read) and a Chrome trace-event dump
+//!   ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto.
+//!
+//! The hot path costs a handful of relaxed atomic ops and never
+//! allocates; everything heavier (drain, snapshot, export) happens on
+//! the observer's thread.
+
+mod export;
+mod histogram;
+mod ring;
+
+pub use export::chrome_trace;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use ring::{SpanRing, DEFAULT_SPAN_CAPACITY, SPAN_SHARDS};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one request end-to-end: minted at ring ingress,
+/// propagated through the hook into the audit log, so hash-chained
+/// audit entries are joinable against span records. Ids start at 1;
+/// 0 means "no request" (e.g. administrative audit entries).
+pub type RequestId = u64;
+
+/// Terminal state of a request, mirroring the transport's
+/// `ResponseStatus`. `Denied` carries the deny-reason code assigned by
+/// the access-control layer (see [`DENY_LABELS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Executed by the TPM and mirrored.
+    Ok,
+    /// Rejected by the access-control hook; payload is the
+    /// `DenyReason` code.
+    Denied(u8),
+    /// Authorized, but the target instance does not exist (or was
+    /// destroyed mid-flight).
+    NoInstance,
+    /// The envelope failed to decode.
+    Malformed,
+}
+
+impl Outcome {
+    /// Stable lowercase label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Denied(_) => "denied",
+            Outcome::NoInstance => "no-instance",
+            Outcome::Malformed => "malformed",
+        }
+    }
+}
+
+/// Deny-reason labels indexed by the code the access-control layer
+/// attaches to [`Outcome::Denied`]. The order matches
+/// `vtpm::hook::DenyReason::code()`; unknown codes map to the final
+/// `"other"` slot. Kept here as a table (rather than importing the
+/// enum) because `vtpm` depends on this crate, not the reverse.
+pub const DENY_LABELS: [&str; 8] = [
+    "no-credential",
+    "bad-tag",
+    "replay",
+    "binding-mismatch",
+    "ordinal-denied",
+    "source-mismatch",
+    "locality-denied",
+    "other",
+];
+
+/// Fixed-size record of one request's journey. All timestamps are
+/// caller-supplied monotonic nanoseconds (virtual or wall clock); a
+/// stage that never ran keeps the previous stage's stamp so its
+/// duration reads as zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// End-to-end request id (also stored in the audit log).
+    pub request_id: RequestId,
+    /// Source guest domain.
+    pub domain: u32,
+    /// TPM command ordinal (0 if the envelope never decoded).
+    pub ordinal: u32,
+    /// Ring ingress / start of handling.
+    pub ingress_ns: u64,
+    /// Transport decode + signature verification done.
+    pub decode_ns: u64,
+    /// Access-control decision done.
+    pub ac_ns: u64,
+    /// `Tpm::execute` returned.
+    pub exec_ns: u64,
+    /// Mirror commit done.
+    pub mirror_ns: u64,
+    /// Response encoded; span closed.
+    pub end_ns: u64,
+    /// Bytes the mirror wrote for this command (data + meta pages).
+    pub mirror_bytes: u64,
+    /// Terminal state.
+    pub outcome: Outcome,
+}
+
+impl Default for SpanRecord {
+    fn default() -> Self {
+        SpanRecord {
+            request_id: 0,
+            domain: 0,
+            ordinal: 0,
+            ingress_ns: 0,
+            decode_ns: 0,
+            ac_ns: 0,
+            exec_ns: 0,
+            mirror_ns: 0,
+            end_ns: 0,
+            mirror_bytes: 0,
+            outcome: Outcome::Malformed,
+        }
+    }
+}
+
+impl SpanRecord {
+    /// Duration of the transport (decode/verify) stage.
+    pub fn ingress_stage_ns(&self) -> u64 {
+        self.decode_ns.saturating_sub(self.ingress_ns)
+    }
+    /// Duration of the access-control hook stage.
+    pub fn ac_stage_ns(&self) -> u64 {
+        self.ac_ns.saturating_sub(self.decode_ns)
+    }
+    /// Duration of the TPM execute stage.
+    pub fn exec_stage_ns(&self) -> u64 {
+        self.exec_ns.saturating_sub(self.ac_ns)
+    }
+    /// Duration of the mirror-commit stage.
+    pub fn mirror_stage_ns(&self) -> u64 {
+        self.mirror_ns.saturating_sub(self.exec_ns)
+    }
+    /// End-to-end duration.
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.ingress_ns)
+    }
+}
+
+/// A live span: a [`SpanRecord`] under construction, handed out by
+/// [`Telemetry::begin`] and consumed by [`Telemetry::finish`]. Plain
+/// data on the caller's stack — no allocation, no registry borrow, so
+/// holding one across `await`-free hot code costs nothing.
+#[derive(Debug)]
+pub struct Span {
+    record: SpanRecord,
+}
+
+impl Span {
+    /// The request id minted for this span.
+    pub fn request_id(&self) -> RequestId {
+        self.record.request_id
+    }
+    /// Attach the source domain once known.
+    pub fn set_domain(&mut self, domain: u32) {
+        self.record.domain = domain;
+    }
+    /// Attach the command ordinal once decoded.
+    pub fn set_ordinal(&mut self, ordinal: u32) {
+        self.record.ordinal = ordinal;
+    }
+    /// Bytes the mirror wrote for this command.
+    pub fn set_mirror_bytes(&mut self, bytes: u64) {
+        self.record.mirror_bytes = bytes;
+    }
+    /// Stamp the end of transport decode/verify.
+    pub fn stamp_decode(&mut self, now_ns: u64) {
+        self.record.decode_ns = now_ns;
+    }
+    /// Stamp the end of the access-control decision.
+    pub fn stamp_ac(&mut self, now_ns: u64) {
+        self.record.ac_ns = now_ns;
+    }
+    /// Stamp the end of TPM execution.
+    pub fn stamp_exec(&mut self, now_ns: u64) {
+        self.record.exec_ns = now_ns;
+    }
+    /// Stamp the end of the mirror commit.
+    pub fn stamp_mirror(&mut self, now_ns: u64) {
+        self.record.mirror_ns = now_ns;
+    }
+    /// Set the terminal outcome.
+    pub fn set_outcome(&mut self, outcome: Outcome) {
+        self.record.outcome = outcome;
+    }
+    /// Read access for instrumented code that wants to inspect stamps.
+    pub fn record(&self) -> &SpanRecord {
+        &self.record
+    }
+}
+
+/// Monotonically increasing counters the registry maintains. Separate
+/// struct so snapshotting can iterate them uniformly.
+struct Counters {
+    begun: AtomicU64,
+    finished: AtomicU64,
+    allowed: AtomicU64,
+    denied: AtomicU64,
+    no_instance: AtomicU64,
+    malformed: AtomicU64,
+    ring_exchanges: AtomicU64,
+    ring_rx_bytes: AtomicU64,
+    ring_tx_bytes: AtomicU64,
+    deny_reasons: [AtomicU64; DENY_LABELS.len()],
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            begun: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+            allowed: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+            no_instance: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            ring_exchanges: AtomicU64::new(0),
+            ring_rx_bytes: AtomicU64::new(0),
+            ring_tx_bytes: AtomicU64::new(0),
+            deny_reasons: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The telemetry registry: request-id minting, stage histograms,
+/// decision counters, and the buffered span ring. One per
+/// `VtpmManager`; cheap to share behind an `Arc`.
+pub struct Telemetry {
+    next_id: AtomicU64,
+    counters: Counters,
+    stage_ingress: Histogram,
+    stage_ac: Histogram,
+    stage_exec: Histogram,
+    stage_mirror: Histogram,
+    total: Histogram,
+    mirror_bytes: Histogram,
+    spans: SpanRing,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Registry with the default span-ring capacity
+    /// ([`DEFAULT_SPAN_CAPACITY`] slots × [`SPAN_SHARDS`] stripes).
+    pub fn new() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Registry with `per_stripe` span slots per stripe (rounded up to
+    /// a power of two). Small capacities are how tests provoke exact,
+    /// countable overflow.
+    pub fn with_span_capacity(per_stripe: usize) -> Self {
+        Telemetry {
+            next_id: AtomicU64::new(1),
+            counters: Counters::new(),
+            stage_ingress: Histogram::new(),
+            stage_ac: Histogram::new(),
+            stage_exec: Histogram::new(),
+            stage_mirror: Histogram::new(),
+            total: Histogram::new(),
+            mirror_bytes: Histogram::new(),
+            spans: SpanRing::with_capacity(per_stripe),
+        }
+    }
+
+    /// Mint a request id and open a span at ring ingress. Two relaxed
+    /// atomic increments; no allocation.
+    #[inline]
+    pub fn begin(&self, now_ns: u64) -> Span {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.counters.begun.fetch_add(1, Ordering::Relaxed);
+        let mut record = SpanRecord::default();
+        record.request_id = id;
+        record.ingress_ns = now_ns;
+        // Unstamped stages read as zero-duration, not as [0, now].
+        record.decode_ns = now_ns;
+        record.ac_ns = now_ns;
+        record.exec_ns = now_ns;
+        record.mirror_ns = now_ns;
+        Span { record }
+    }
+
+    /// Close a span: stamp the end, fold the record into histograms and
+    /// decision counters (derived from the outcome, so conservation
+    /// invariants hold exactly), and buffer it in the span ring.
+    pub fn finish(&self, mut span: Span, end_ns: u64) {
+        span.record.end_ns = end_ns;
+        let r = &span.record;
+        match r.outcome {
+            Outcome::Ok => {
+                self.counters.allowed.fetch_add(1, Ordering::Relaxed);
+                self.stage_ingress.record(r.ingress_stage_ns());
+                self.stage_ac.record(r.ac_stage_ns());
+                self.stage_exec.record(r.exec_stage_ns());
+                self.stage_mirror.record(r.mirror_stage_ns());
+                self.mirror_bytes.record(r.mirror_bytes);
+            }
+            Outcome::NoInstance => {
+                // The hook allowed it; the stack just had nowhere to
+                // send it. Counts as allowed for conservation.
+                self.counters.allowed.fetch_add(1, Ordering::Relaxed);
+                self.counters.no_instance.fetch_add(1, Ordering::Relaxed);
+                self.stage_ingress.record(r.ingress_stage_ns());
+                self.stage_ac.record(r.ac_stage_ns());
+            }
+            Outcome::Denied(code) => {
+                self.counters.denied.fetch_add(1, Ordering::Relaxed);
+                let idx = (code as usize).min(DENY_LABELS.len() - 1);
+                self.counters.deny_reasons[idx].fetch_add(1, Ordering::Relaxed);
+                self.stage_ingress.record(r.ingress_stage_ns());
+                self.stage_ac.record(r.ac_stage_ns());
+            }
+            Outcome::Malformed => {
+                self.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.total.record(r.total_ns());
+        self.spans.push(span.record);
+        // `finished` is bumped last so a snapshot observing
+        // begun == finished has also observed every histogram update.
+        self.counters.finished.fetch_add(1, Ordering::Release);
+    }
+
+    /// Record one ring exchange (request/response pair) at the device
+    /// backend, with payload byte counts in each direction.
+    #[inline]
+    pub fn note_ring_exchange(&self, rx_bytes: u64, tx_bytes: u64) {
+        self.counters.ring_exchanges.fetch_add(1, Ordering::Relaxed);
+        self.counters.ring_rx_bytes.fetch_add(rx_bytes, Ordering::Relaxed);
+        self.counters.ring_tx_bytes.fetch_add(tx_bytes, Ordering::Relaxed);
+    }
+
+    /// Exact number of span records dropped on ring overflow.
+    pub fn dropped_events(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Requests begun but not yet finished (racy between the two loads;
+    /// exact at quiescence).
+    pub fn in_flight(&self) -> u64 {
+        let begun = self.counters.begun.load(Ordering::Acquire);
+        let finished = self.counters.finished.load(Ordering::Acquire);
+        begun.saturating_sub(finished)
+    }
+
+    /// Drain all buffered spans (oldest-first), e.g. for a Chrome trace
+    /// dump. Spans drained once are gone; the ring keeps only what has
+    /// not been drained and has not overflowed.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        self.spans.drain()
+    }
+
+    /// Take a coherent snapshot of every counter and histogram.
+    ///
+    /// Coherence protocol: read `(begun, finished)` before and after
+    /// collecting; if both pairs match, no span finished mid-snapshot
+    /// and the numbers are mutually consistent. Retries a bounded
+    /// number of times, then returns the last (best-effort) read —
+    /// callers snapshotting at quiescence (tests, end-of-run reports)
+    /// always get the exact fixed point on the first try.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_with_aux(&[])
+    }
+
+    /// [`Telemetry::snapshot`] plus caller-supplied auxiliary gauges
+    /// (e.g. mirror scrub/replay counters owned by other subsystems)
+    /// folded into the same coherent read and JSON export.
+    pub fn snapshot_with_aux(&self, aux: &[(&'static str, u64)]) -> MetricsSnapshot {
+        const MAX_RETRIES: usize = 16;
+        let mut snap = self.collect(aux);
+        for _ in 0..MAX_RETRIES {
+            let begun = self.counters.begun.load(Ordering::Acquire);
+            let finished = self.counters.finished.load(Ordering::Acquire);
+            if begun == snap.begun && finished == snap.finished {
+                break;
+            }
+            snap = self.collect(aux);
+        }
+        snap
+    }
+
+    fn collect(&self, aux: &[(&'static str, u64)]) -> MetricsSnapshot {
+        let c = &self.counters;
+        let begun = c.begun.load(Ordering::Acquire);
+        let finished = c.finished.load(Ordering::Acquire);
+        MetricsSnapshot {
+            begun,
+            finished,
+            in_flight: begun.saturating_sub(finished),
+            allowed: c.allowed.load(Ordering::Relaxed),
+            denied: c.denied.load(Ordering::Relaxed),
+            no_instance: c.no_instance.load(Ordering::Relaxed),
+            malformed: c.malformed.load(Ordering::Relaxed),
+            dropped_events: self.spans.dropped(),
+            ring_exchanges: c.ring_exchanges.load(Ordering::Relaxed),
+            ring_rx_bytes: c.ring_rx_bytes.load(Ordering::Relaxed),
+            ring_tx_bytes: c.ring_tx_bytes.load(Ordering::Relaxed),
+            deny_reasons: DENY_LABELS
+                .iter()
+                .enumerate()
+                .map(|(i, &label)| (label, c.deny_reasons[i].load(Ordering::Relaxed)))
+                .collect(),
+            stage_ingress: self.stage_ingress.snapshot(),
+            stage_ac: self.stage_ac.snapshot(),
+            stage_exec: self.stage_exec.snapshot(),
+            stage_mirror: self.stage_mirror.snapshot(),
+            total: self.total.snapshot(),
+            mirror_bytes: self.mirror_bytes.snapshot(),
+            aux: aux.to_vec(),
+        }
+    }
+}
+
+/// One coherent read of the whole registry. Produced by
+/// [`Telemetry::snapshot`]; serialized by
+/// [`MetricsSnapshot::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Spans opened.
+    pub begun: u64,
+    /// Spans closed.
+    pub finished: u64,
+    /// `begun - finished` at snapshot time.
+    pub in_flight: u64,
+    /// Requests the hook allowed (includes `no_instance`).
+    pub allowed: u64,
+    /// Requests the hook denied.
+    pub denied: u64,
+    /// Allowed requests whose instance was missing/destroyed.
+    pub no_instance: u64,
+    /// Envelopes that failed to decode.
+    pub malformed: u64,
+    /// Exact span-ring overflow drops.
+    pub dropped_events: u64,
+    /// Ring request/response exchanges seen at the device backend.
+    pub ring_exchanges: u64,
+    /// Request payload bytes received on rings.
+    pub ring_rx_bytes: u64,
+    /// Response payload bytes written to rings.
+    pub ring_tx_bytes: u64,
+    /// Per-reason deny counts, labelled per [`DENY_LABELS`].
+    pub deny_reasons: Vec<(&'static str, u64)>,
+    /// Transport decode/verify stage latency.
+    pub stage_ingress: HistogramSnapshot,
+    /// Access-control hook stage latency.
+    pub stage_ac: HistogramSnapshot,
+    /// TPM execute stage latency.
+    pub stage_exec: HistogramSnapshot,
+    /// Mirror commit stage latency.
+    pub stage_mirror: HistogramSnapshot,
+    /// End-to-end request latency.
+    pub total: HistogramSnapshot,
+    /// Mirror bytes written per executed command.
+    pub mirror_bytes: HistogramSnapshot,
+    /// Caller-supplied gauges from other subsystems (mirror scrubs,
+    /// replay hits, …).
+    pub aux: Vec<(&'static str, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(t: &Telemetry, outcome: Outcome, base: u64) {
+        let mut s = t.begin(base);
+        s.set_domain(3);
+        s.stamp_decode(base + 10);
+        match outcome {
+            Outcome::Malformed => {}
+            _ => {
+                s.stamp_ac(base + 30);
+                if outcome == Outcome::Ok {
+                    s.set_ordinal(0x17);
+                    s.stamp_exec(base + 130);
+                    s.stamp_mirror(base + 150);
+                    s.set_mirror_bytes(4096);
+                }
+            }
+        }
+        s.set_outcome(outcome);
+        t.finish(s, base + 160);
+    }
+
+    #[test]
+    fn outcomes_drive_conservation_counters() {
+        let t = Telemetry::new();
+        for i in 0..10 {
+            run_one(&t, Outcome::Ok, i * 1000);
+        }
+        for i in 0..4 {
+            run_one(&t, Outcome::Denied(2), 100_000 + i * 1000);
+        }
+        run_one(&t, Outcome::Denied(99), 200_000); // unknown code → "other"
+        for i in 0..3 {
+            run_one(&t, Outcome::NoInstance, 300_000 + i * 1000);
+        }
+        run_one(&t, Outcome::Malformed, 400_000);
+        let s = t.snapshot();
+        assert_eq!(s.begun, 19);
+        assert_eq!(s.finished, 19);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.allowed, 13); // 10 ok + 3 no-instance
+        assert_eq!(s.denied, 5);
+        assert_eq!(s.no_instance, 3);
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.allowed + s.denied + s.malformed, s.finished);
+        // Per-reason split: code 2 = "replay", unknown → "other".
+        assert_eq!(s.deny_reasons[2], ("replay", 4));
+        assert_eq!(s.deny_reasons[7], ("other", 1));
+        // Histogram population rules.
+        assert_eq!(s.total.count, 19);
+        assert_eq!(s.stage_ingress.count, 18); // all but malformed
+        assert_eq!(s.stage_ac.count, 18);
+        assert_eq!(s.stage_exec.count, 10); // executed only
+        assert_eq!(s.stage_mirror.count, 10);
+        assert_eq!(s.mirror_bytes.count, 10);
+        assert_eq!(s.mirror_bytes.max, 4096);
+    }
+
+    #[test]
+    fn stage_durations_come_from_stamps() {
+        let t = Telemetry::new();
+        run_one(&t, Outcome::Ok, 1_000);
+        let s = t.snapshot();
+        assert_eq!(s.stage_ingress.max, 10);
+        assert_eq!(s.stage_ac.max, 20);
+        assert_eq!(s.stage_exec.max, 100);
+        assert_eq!(s.stage_mirror.max, 20);
+        assert_eq!(s.total.max, 160);
+        let spans = t.drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].request_id, 1);
+        assert_eq!(spans[0].total_ns(), 160);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_monotonic() {
+        let t = Telemetry::new();
+        let a = t.begin(0);
+        let b = t.begin(0);
+        assert_eq!(a.request_id(), 1);
+        assert_eq!(b.request_id(), 2);
+        t.finish(a, 1);
+        t.finish(b, 1);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn unstamped_stages_read_zero() {
+        let t = Telemetry::new();
+        let mut s = t.begin(500);
+        s.set_outcome(Outcome::Malformed);
+        t.finish(s, 510);
+        let snap = t.snapshot();
+        assert_eq!(snap.total.max, 10);
+        let spans = t.drain_spans();
+        assert_eq!(spans[0].ingress_stage_ns(), 0);
+        assert_eq!(spans[0].ac_stage_ns(), 0);
+        assert_eq!(spans[0].exec_stage_ns(), 0);
+        assert_eq!(spans[0].mirror_stage_ns(), 0);
+    }
+
+    #[test]
+    fn dropped_events_exact_under_overflow() {
+        let t = Telemetry::with_span_capacity(4);
+        // 16 stripes x 4 slots = 64 total, but all spans from one
+        // telemetry share ids that spread across stripes; force exact
+        // accounting instead by checking kept + dropped == finished.
+        for i in 0..500 {
+            run_one(&t, Outcome::Ok, i * 10);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.finished, 500);
+        let kept = t.drain_spans().len() as u64;
+        assert_eq!(kept + s.dropped_events, 500);
+        assert!(s.dropped_events > 0, "tiny ring must overflow");
+        // Counters and histograms are unaffected by span drops.
+        assert_eq!(s.allowed, 500);
+        assert_eq!(s.stage_exec.count, 500);
+    }
+
+    #[test]
+    fn snapshot_is_coherent_under_concurrency() {
+        use std::sync::Arc;
+        let t = Arc::new(Telemetry::new());
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        run_one(&t, if i % 7 == 0 { Outcome::Denied(1) } else { Outcome::Ok }, w * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        // Snapshots taken mid-run must always satisfy the outcome sum
+        // (each counter bumped before `finished`).
+        for _ in 0..50 {
+            let s = t.snapshot();
+            assert!(s.allowed + s.denied + s.malformed >= s.finished);
+            assert!(s.begun >= s.finished);
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let s = t.snapshot();
+        assert_eq!(s.begun, 20_000);
+        assert_eq!(s.finished, 20_000);
+        assert_eq!(s.allowed + s.denied, 20_000);
+        assert_eq!(s.total.count, 20_000);
+    }
+
+    #[test]
+    fn snapshot_with_aux_carries_gauges() {
+        let t = Telemetry::new();
+        let s = t.snapshot_with_aux(&[("mirror_scrub_failures", 3), ("replay_hits", 9)]);
+        assert_eq!(s.aux, vec![("mirror_scrub_failures", 3), ("replay_hits", 9)]);
+    }
+}

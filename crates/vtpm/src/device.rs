@@ -308,6 +308,12 @@ impl TpmBack {
             // The manager is told the *actual* source domain — ring
             // ownership is the one identity Dom0 can always trust.
             let response = self.manager.handle(self.guest, &payload);
+            // Ring-level accounting: one exchange, payload bytes each
+            // way. Recorded at the backend (not in `handle`) so direct
+            // manager calls don't count phantom ring traffic.
+            if let Some(t) = self.manager.telemetry() {
+                t.note_ring_exchange(payload.len() as u64, response.len() as u64);
+            }
             match fault {
                 // Response lost on the ring: the command took effect but
                 // the guest never hears back and will see a timeout.

@@ -13,6 +13,12 @@ use xen_sim::DomainId;
 /// Everything the hook may consider about one request.
 #[derive(Debug, Clone, Copy)]
 pub struct RequestContext<'a> {
+    /// End-to-end telemetry request id, minted by the manager at
+    /// ingress. Hooks thread it into their audit records so the AC4
+    /// hash-chained log is joinable against telemetry spans; it carries
+    /// no authority and plays no part in the access decision (0 for
+    /// contexts built outside the request path, e.g. tests).
+    pub request_id: u64,
     /// The domain the request *actually* arrived from (ring ownership —
     /// the backend knows this reliably).
     pub source_domain: DomainId,
@@ -49,6 +55,23 @@ pub enum DenyReason {
     SourceMismatch,
     /// The claimed locality exceeds what the domain is allowed.
     LocalityDenied,
+}
+
+impl DenyReason {
+    /// Stable numeric code for telemetry/export. Matches the order of
+    /// `vtpm_telemetry::DENY_LABELS`; codes the table does not know
+    /// collapse into its final "other" slot.
+    pub fn code(self) -> u8 {
+        match self {
+            DenyReason::NoCredential => 0,
+            DenyReason::BadTag => 1,
+            DenyReason::Replay => 2,
+            DenyReason::BindingMismatch => 3,
+            DenyReason::OrdinalDenied => 4,
+            DenyReason::SourceMismatch => 5,
+            DenyReason::LocalityDenied => 6,
+        }
+    }
 }
 
 impl std::fmt::Display for DenyReason {
@@ -112,6 +135,7 @@ mod tests {
     fn stock_hook_allows_anything() {
         let hook = StockHook;
         let ctx = RequestContext {
+            request_id: 0,
             source_domain: DomainId(5),
             claimed_domain: 1, // spoofed!
             instance: 99,
@@ -130,5 +154,21 @@ mod tests {
     fn deny_reasons_display() {
         assert_eq!(DenyReason::Replay.to_string(), "sequence replay");
         assert_eq!(DenyReason::BadTag.to_string(), "bad or missing tag");
+    }
+
+    #[test]
+    fn deny_codes_are_distinct_and_stable() {
+        let all = [
+            DenyReason::NoCredential,
+            DenyReason::BadTag,
+            DenyReason::Replay,
+            DenyReason::BindingMismatch,
+            DenyReason::OrdinalDenied,
+            DenyReason::SourceMismatch,
+            DenyReason::LocalityDenied,
+        ];
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.code() as usize, i);
+        }
     }
 }

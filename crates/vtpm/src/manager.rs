@@ -16,6 +16,8 @@ use parking_lot::{Mutex, RwLock};
 use tpm::{command_cost_ns, ordinal_of, TpmConfig};
 use xen_sim::{DomainId, Hypervisor, Result as XenResult};
 
+use vtpm_telemetry::{MetricsSnapshot, Outcome, Span, Telemetry};
+
 use crate::hook::{AccessDecision, AccessHook, RequestContext, StockHook};
 use crate::instance::{InstanceId, VtpmInstance};
 use crate::mirror::{MirrorMode, StateMirror};
@@ -34,6 +36,14 @@ pub struct ManagerConfig {
     /// Whether to charge the modelled hardware-TPM command cost to the
     /// virtual clock (true for experiments reporting virtual time).
     pub charge_virtual_time: bool,
+    /// Runtime switch for the telemetry registry (spans, histograms,
+    /// span ring). Has no effect when the `telemetry` feature is
+    /// compiled out; with the feature on but this false, the manager
+    /// mints no spans and `telemetry()` returns None.
+    pub telemetry_enabled: bool,
+    /// Span-ring slots per stripe (16 stripes). Small values let tests
+    /// provoke exact, countable overflow.
+    pub telemetry_span_capacity: usize,
 }
 
 impl Default for ManagerConfig {
@@ -43,6 +53,8 @@ impl Default for ManagerConfig {
             vtpm_config: TpmConfig::default(),
             transport_cost_ns: 15_000, // ~15µs per hop, typical split-driver cost
             charge_virtual_time: true,
+            telemetry_enabled: true,
+            telemetry_span_capacity: vtpm_telemetry::DEFAULT_SPAN_CAPACITY,
         }
     }
 }
@@ -78,6 +90,29 @@ impl ManagerStats {
     }
 }
 
+/// One coherent operator-facing view of the manager's counters,
+/// including the mirror hygiene counters that used to be reachable only
+/// through [`VtpmManager::mirror_io_stats`]. Produced by
+/// [`VtpmManager::stats_snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStatsSnapshot {
+    /// Requests that reached an instance and executed.
+    pub handled: u64,
+    /// Requests denied by the access hook.
+    pub denied: u64,
+    /// Requests that failed before dispatch (bad envelope / no instance).
+    pub errors: u64,
+    /// Handled requests whose serialize + mirror step was skipped.
+    pub mirror_skipped: u64,
+    /// Mirror updates that failed after a successful TPM mutation.
+    pub mirror_failures: u64,
+    /// Post-commit hygiene scrubs that failed (stale slot bytes linger).
+    pub scrub_failures: u64,
+    /// Mirror updates that had to durably burn generations consumed by a
+    /// failed earlier attempt before committing (retries after failure).
+    pub retried_generation_burns: u64,
+}
+
 /// The manager.
 pub struct VtpmManager {
     hv: Arc<Hypervisor>,
@@ -89,6 +124,18 @@ pub struct VtpmManager {
     next_instance: AtomicU32,
     /// Aggregate statistics.
     pub stats: ManagerStats,
+    /// Telemetry registry (None when disabled at runtime). Compiled out
+    /// entirely without the `telemetry` feature.
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+/// Build the registry a fresh manager should carry, honouring both the
+/// compile-time feature and the runtime config switch.
+#[cfg(feature = "telemetry")]
+fn make_telemetry(cfg: &ManagerConfig) -> Option<Arc<Telemetry>> {
+    cfg.telemetry_enabled
+        .then(|| Arc::new(Telemetry::with_span_capacity(cfg.telemetry_span_capacity)))
 }
 
 impl VtpmManager {
@@ -120,6 +167,8 @@ impl VtpmManager {
         Ok(VtpmManager {
             hv,
             seed: seed.to_vec(),
+            #[cfg(feature = "telemetry")]
+            telemetry: make_telemetry(&cfg),
             cfg,
             hook: RwLock::new(Arc::new(StockHook)),
             instances: RwLock::new(HashMap::new()),
@@ -150,6 +199,8 @@ impl VtpmManager {
         let mgr = VtpmManager {
             hv,
             seed: seed.to_vec(),
+            #[cfg(feature = "telemetry")]
+            telemetry: make_telemetry(&cfg),
             cfg,
             hook: RwLock::new(Arc::new(StockHook)),
             instances: RwLock::new(HashMap::new()),
@@ -201,6 +252,56 @@ impl VtpmManager {
     /// The hypervisor this manager runs on.
     pub fn hypervisor(&self) -> &Arc<Hypervisor> {
         &self.hv
+    }
+
+    /// The telemetry registry, when the `telemetry` feature is compiled
+    /// in and [`ManagerConfig::telemetry_enabled`] is set. Statically
+    /// `None` otherwise, so instrumentation guarded on it folds away.
+    #[inline]
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.as_ref()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            None
+        }
+    }
+
+    /// One coherent snapshot of the whole registry, with the mirror
+    /// hygiene and nonce-audit counters folded in as auxiliary gauges.
+    /// None when telemetry is off (either switch).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let t = self.telemetry()?;
+        let io = self.mirror.io_stats();
+        Some(t.snapshot_with_aux(&[
+            ("mirror_updates", io.updates),
+            ("mirror_clean_updates", io.clean_updates),
+            ("mirror_data_pages_written", io.data_pages_written),
+            ("mirror_pages_scrubbed", io.pages_scrubbed),
+            ("mirror_bytes_written", io.bytes_written),
+            ("mirror_scrub_failures", io.scrub_failures),
+            ("mirror_retried_generation_burns", io.retried_generation_burns),
+            ("mirror_skipped", self.stats.mirror_skipped.load(Ordering::Relaxed)),
+            ("mirror_failures", self.stats.mirror_failures.load(Ordering::Relaxed)),
+            ("nonce_reuses", self.mirror.nonce_reuses()),
+        ]))
+    }
+
+    /// Coherent operator-facing counters: the manager's own atomics plus
+    /// the mirror's hygiene counters (scrub failures, retry burns).
+    pub fn stats_snapshot(&self) -> ManagerStatsSnapshot {
+        let io = self.mirror.io_stats();
+        ManagerStatsSnapshot {
+            handled: self.stats.handled.load(Ordering::Relaxed),
+            denied: self.stats.denied.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            mirror_skipped: self.stats.mirror_skipped.load(Ordering::Relaxed),
+            mirror_failures: self.stats.mirror_failures.load(Ordering::Relaxed),
+            scrub_failures: io.scrub_failures,
+            retried_generation_burns: io.retried_generation_burns,
+        }
     }
 
     /// Create a fresh vTPM instance; returns its id.
@@ -294,16 +395,21 @@ impl VtpmManager {
     }
 
     /// Re-mirror `instance` if its permanent state moved past what the
-    /// mirror holds. Must be called with the instance lock held.
-    fn refresh_mirror(&self, id: InstanceId, instance: &mut VtpmInstance) {
+    /// mirror holds. Must be called with the instance lock held. Returns
+    /// the bytes the mirror durably wrote for this refresh (0 when
+    /// skipped, clean, or failed) — the telemetry span records it.
+    fn refresh_mirror(&self, id: InstanceId, instance: &mut VtpmInstance) -> u64 {
         let gen = instance.tpm.state_generation();
         if gen == instance.mirrored_generation {
             self.stats.mirror_skipped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return 0;
         }
         let state = instance.tpm.serialize_state();
         match self.mirror.update(id, &state) {
-            Ok(()) => instance.mirrored_generation = gen,
+            Ok(bytes) => {
+                instance.mirrored_generation = gen;
+                bytes
+            }
             // Mirror failure (host memory exhaustion, injected fault) is
             // not the guest's problem and the mutation already happened:
             // count it, leave the stale marker, and retry on the next
@@ -311,6 +417,7 @@ impl VtpmManager {
             // update left the previous committed image intact.
             Err(_) => {
                 self.stats.mirror_failures.fetch_add(1, Ordering::Relaxed);
+                0
             }
         }
     }
@@ -327,10 +434,34 @@ impl VtpmManager {
         self.mirror.read(id)
     }
 
+    /// Close `span` with `outcome`, stamping the end from the sim clock.
+    /// A no-op when telemetry is off (span was never minted).
+    #[inline]
+    fn close_span(&self, span: Option<Span>, outcome: Outcome) {
+        if let Some(mut s) = span {
+            if let Some(t) = self.telemetry() {
+                s.set_outcome(outcome);
+                t.finish(s, self.hv.clock.now_ns());
+            }
+        }
+    }
+
     /// Handle one enveloped request arriving from `source_domain`.
     /// Returns the encoded response envelope. This is the manager's hot
     /// path; it takes no global lock while the TPM executes.
+    ///
+    /// Telemetry: a span is minted at entry (ring ingress) and closed on
+    /// every exit path. All stamps come from the hypervisor's virtual
+    /// clock, so traces and histograms are byte-deterministic under the
+    /// chaos harness; the ingress stage covers the up-front transport
+    /// charge (both hops), the AC stage the hook's modelled cost, and
+    /// the execute stage the TPM command cost.
     pub fn handle(&self, source_domain: DomainId, envelope_bytes: &[u8]) -> Vec<u8> {
+        let mut span = self.telemetry().map(|t| {
+            let mut s = t.begin(self.hv.clock.now_ns());
+            s.set_domain(source_domain.0);
+            s
+        });
         // Every request pays both transport hops (request in + response
         // out): malformed and denied requests crossed the ring too, and
         // their rejection travels back the same way. Charging this up
@@ -342,6 +473,7 @@ impl VtpmManager {
             Ok(e) => e,
             Err(_) => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.close_span(span, Outcome::Malformed);
                 return ResponseEnvelope {
                     seq: 0,
                     status: ResponseStatus::Malformed,
@@ -350,8 +482,13 @@ impl VtpmManager {
                 .encode();
             }
         };
+        if let Some(s) = span.as_mut() {
+            s.set_ordinal(ordinal_of(&envelope.command).unwrap_or(0));
+            s.stamp_decode(self.hv.clock.now_ns());
+        }
 
         let ctx = RequestContext {
+            request_id: span.as_ref().map(|s| s.request_id()).unwrap_or(0),
             source_domain,
             claimed_domain: envelope.domain,
             instance: envelope.instance,
@@ -371,8 +508,13 @@ impl VtpmManager {
                 self.hv.clock.advance_ns(ac_cost);
             }
         }
-        if let AccessDecision::Deny(_reason) = hook.authorize(&ctx) {
+        let decision = hook.authorize(&ctx);
+        if let Some(s) = span.as_mut() {
+            s.stamp_ac(self.hv.clock.now_ns());
+        }
+        if let AccessDecision::Deny(reason) = decision {
             self.stats.denied.fetch_add(1, Ordering::Relaxed);
+            self.close_span(span, Outcome::Denied(reason.code()));
             return ResponseEnvelope {
                 seq: envelope.seq,
                 status: ResponseStatus::Denied,
@@ -386,6 +528,7 @@ impl VtpmManager {
             Some(h) => h,
             None => {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.close_span(span, Outcome::NoInstance);
                 return ResponseEnvelope {
                     seq: envelope.seq,
                     status: ResponseStatus::NoInstance,
@@ -408,6 +551,7 @@ impl VtpmManager {
             // re-mirror state the destroy just scrubbed.
             if instance.destroyed {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.close_span(span, Outcome::NoInstance);
                 return ResponseEnvelope {
                     seq: envelope.seq,
                     status: ResponseStatus::NoInstance,
@@ -417,15 +561,23 @@ impl VtpmManager {
             }
             let body = instance.execute(envelope.locality, &envelope.command);
             instance.stats.last_seq = instance.stats.last_seq.max(envelope.seq);
+            if let Some(s) = span.as_mut() {
+                s.stamp_exec(self.hv.clock.now_ns());
+            }
             // Serialize + mirror under the instance lock, and only when
             // the command actually moved the permanent state: read-only
             // traffic skips the whole snapshot path, and concurrent
             // commands can never publish mirror images out of order.
-            self.refresh_mirror(envelope.instance, &mut instance);
+            let mirror_bytes = self.refresh_mirror(envelope.instance, &mut instance);
+            if let Some(s) = span.as_mut() {
+                s.set_mirror_bytes(mirror_bytes);
+                s.stamp_mirror(self.hv.clock.now_ns());
+            }
             body
         };
 
         self.stats.handled.fetch_add(1, Ordering::Relaxed);
+        self.close_span(span, Outcome::Ok);
         ResponseEnvelope { seq: envelope.seq, status: ResponseStatus::Ok, body }.encode()
     }
 

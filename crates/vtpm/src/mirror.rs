@@ -222,6 +222,11 @@ pub struct MirrorIoStats {
     /// Post-commit scrubs that failed. The commit itself stood; the stale
     /// slot bytes linger until the frame is reused or `recover` re-scrubs.
     pub scrub_failures: u64,
+    /// Updates that first had to durably burn generations a failed
+    /// earlier attempt consumed (`attempted > generation` on entry) —
+    /// each one is a retry after a mirror failure, re-committing the old
+    /// image's metadata before consuming fresh CTR nonces.
+    pub retried_generation_burns: u64,
 }
 
 #[derive(Default)]
@@ -233,6 +238,7 @@ struct IoCounters {
     meta_pages_written: AtomicU64,
     bytes_written: AtomicU64,
     scrub_failures: AtomicU64,
+    retried_generation_burns: AtomicU64,
 }
 
 /// The mirror. One per manager.
@@ -383,6 +389,7 @@ impl StateMirror {
             meta_pages_written: self.io.meta_pages_written.load(Ordering::Relaxed),
             bytes_written: self.io.bytes_written.load(Ordering::Relaxed),
             scrub_failures: self.io.scrub_failures.load(Ordering::Relaxed),
+            retried_generation_burns: self.io.retried_generation_burns.load(Ordering::Relaxed),
         }
     }
 
@@ -479,7 +486,12 @@ impl StateMirror {
     /// write at the end is the atomic commit point. The in-memory region
     /// only flips to the new generation after that commit succeeds, so a
     /// failure anywhere leaves the committed image untouched.
-    pub fn update(&self, id: u32, state: &[u8]) -> XenResult<()> {
+    ///
+    /// Returns the bytes durably written to publish this update — dirty
+    /// data pages plus metadata commits (including a retry's generation
+    /// burn), excluding post-commit hygiene scrubs — which telemetry
+    /// records as mirror-bytes-per-command. A clean update returns 0.
+    pub fn update(&self, id: u32, state: &[u8]) -> XenResult<u64> {
         let data_pages = state.len().div_ceil(PAGE_SIZE);
         if data_pages > MAX_DATA_PAGES {
             return Err(XenError::OutOfMemory);
@@ -495,8 +507,9 @@ impl StateMirror {
         let shrunk = data_pages < old_pages;
         if dirty.is_empty() && !shrunk && state.len() == region.len {
             self.io.clean_updates.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            return Ok(0);
         }
+        let mut bytes_this_update = 0u64;
 
         if region.meta_mfn.is_none() {
             let mfn = self.take_frame(&mut region)?;
@@ -518,6 +531,8 @@ impl StateMirror {
         // attacker holding dumps from before and after the retry.
         if region.attempted > region.generation {
             self.burn_attempted(id, &mut region)?;
+            self.io.retried_generation_burns.fetch_add(1, Ordering::Relaxed);
+            bytes_this_update += PAGE_SIZE as u64;
         }
         let next_gen = region.generation + 1;
         // The nonce carries the generation as a u32; refuse to wrap the
@@ -555,6 +570,7 @@ impl StateMirror {
             self.hv.page_write(DomainId::DOM0, region.slots[i][target as usize], 0, &page)?;
             self.io.data_pages_written.fetch_add(1, Ordering::Relaxed);
             self.io.bytes_written.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+            bytes_this_update += PAGE_SIZE as u64;
             new_counters[i] = counter;
             new_digests[i] = page_digest(&page);
             targets.push((i, target));
@@ -581,6 +597,7 @@ impl StateMirror {
         self.hv.page_write(DomainId::DOM0, region.meta_mfn.expect("allocated above"), 0, &meta)?;
         self.io.meta_pages_written.fetch_add(1, Ordering::Relaxed);
         self.io.bytes_written.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+        bytes_this_update += PAGE_SIZE as u64;
 
         // Committed — fold the new generation into the in-memory region.
         region.generation = next_gen;
@@ -616,7 +633,7 @@ impl StateMirror {
             region.spare.push(a);
             region.spare.push(b);
         }
-        Ok(())
+        Ok(bytes_this_update)
     }
 
     /// Read back instance `id`'s resident image (decrypting in Encrypted

@@ -128,6 +128,16 @@ impl ResponseStatus {
             _ => None,
         }
     }
+
+    /// Stable lowercase label, matching the telemetry outcome labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResponseStatus::Ok => "ok",
+            ResponseStatus::Denied => "denied",
+            ResponseStatus::NoInstance => "no-instance",
+            ResponseStatus::Malformed => "malformed",
+        }
+    }
 }
 
 /// A response envelope.

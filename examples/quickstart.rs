@@ -79,6 +79,26 @@ fn main() {
         platform.hook.audit.len(),
         platform.hook.audit.denials()
     );
+
+    // Observability: every command above was also traced by the
+    // telemetry registry. Dump the coherent metrics snapshot (counters,
+    // per-stage latency histograms, mirror bytes) as JSON and the
+    // buffered spans as a Chrome trace — load the latter in
+    // chrome://tracing or https://ui.perfetto.dev to see the request
+    // timeline per stage, joinable to the audit log via request id.
+    let manager = &platform.platform.manager;
+    let snapshot = manager.metrics_snapshot().expect("telemetry enabled by default");
+    let spans = manager.telemetry().expect("telemetry enabled by default").drain_spans();
+    std::fs::create_dir_all("target").expect("target dir");
+    std::fs::write("target/quickstart-metrics.json", snapshot.to_json()).expect("write metrics");
+    std::fs::write("target/quickstart-trace.json", vtpm_xen::telemetry::chrome_trace(&spans))
+        .expect("write trace");
+    println!(
+        "telemetry: {} requests traced ({} allowed, {} denied), \
+         metrics -> target/quickstart-metrics.json, \
+         trace ({} spans) -> target/quickstart-trace.json",
+        snapshot.finished, snapshot.allowed, snapshot.denied, spans.len(),
+    );
 }
 
 fn hex(bytes: &[u8]) -> String {

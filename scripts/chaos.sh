@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Seeded chaos sweep over the full vTPM stack (see crates/harness).
 #
-# Runs N seeded scenarios (default 32) in release mode. The chaos CLI
-# already executes every scenario twice and reports "REPLAY MISMATCH"
-# when the two runs differ, so a non-zero exit here means either an
-# oracle divergence, a CTR nonce reuse, or a nondeterministic replay.
+# Runs N seeded scenarios (default 32) in release mode, spread across
+# all cores (seeds are independent; output stays in seed order). The
+# chaos CLI already executes every scenario twice and reports "REPLAY
+# MISMATCH" when the two runs differ, so a non-zero exit here means
+# either an oracle divergence, a CTR nonce reuse, a telemetry
+# conservation violation, or a nondeterministic replay.
 #
 # Usage:
 #   scripts/chaos.sh                 # 32 seeds, encrypted mirror
 #   scripts/chaos.sh 64              # more seeds
 #   scripts/chaos.sh 32 cleartext    # baseline mirror mode
 #   CHAOS_BASE=nightly scripts/chaos.sh   # distinct seed namespace
+#   CHAOS_JOBS=4 scripts/chaos.sh    # cap worker threads
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +21,7 @@ cd "$(dirname "$0")/.."
 seeds="${1:-32}"
 mode="${2:-encrypted}"
 base="${CHAOS_BASE:-chaos}"
+jobs="${CHAOS_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 exec cargo run --release -p vtpm-harness --bin chaos -- \
-    --seeds "$seeds" --mode "$mode" --base "$base"
+    --seeds "$seeds" --mode "$mode" --base "$base" --jobs "$jobs"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The CI gate: everything a change must survive before merging.
+#
+#   1. tier-1: release build + the full test suite of the root package;
+#   2. chaos smoke: 8 seeded fault scenarios through the full stack,
+#      each replayed twice (determinism) — parallel across cores;
+#   3. R-O1: the telemetry self-overhead budget. `repro o1` exits
+#      nonzero if the enabled-vs-disabled registry increment exceeds
+#      3% of the modelled deployment command latency, failing the gate.
+#
+# Usage:
+#   scripts/ci.sh            # full gate
+#   CHAOS_JOBS=4 scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== chaos smoke: 8 seeds, replayed twice each =="
+CHAOS_BASE=ci scripts/chaos.sh 8
+
+echo "== R-O1: telemetry overhead budget (hard 3% gate) =="
+cargo run --release -p vtpm-bench --bin repro -- o1
+
+echo "CI gate passed."

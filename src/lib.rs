@@ -16,7 +16,9 @@
 //! * [`access_control`] — **the paper's contribution**: AC1–AC4 and
 //!   [`vtpm_ac::SecurePlatform`] ([`vtpm_ac`]);
 //! * [`attack`] — the evaluation's attacker toolkit ([`attacks`]);
-//! * [`bench_workload`] — command mixes, drivers, runners ([`workload`]).
+//! * [`bench_workload`] — command mixes, drivers, runners ([`workload`]);
+//! * [`telemetry`] — lock-free spans, metrics, and exporters threaded
+//!   through the whole request path ([`vtpm_telemetry`]).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use tpm as tpm12;
 pub use tpm_crypto as crypto;
 pub use vtpm as vtpm_stack;
 pub use vtpm_ac as access_control;
+pub use vtpm_telemetry as telemetry;
 pub use workload as bench_workload;
 pub use xen_sim as xen;
 

@@ -61,7 +61,148 @@ fn workload_and_attacks_interleaved() {
     assert_eq!(handled, 4 * 41);
     assert_eq!(denied_stat, 200);
     // Audit chain intact after the concurrent barrage.
-    assert!(vtpm_xen::access_control::AuditLog::verify(&sp.hook.audit.entries()));
+    let audit = sp.hook.audit.entries();
+    assert!(vtpm_xen::access_control::AuditLog::verify(&audit));
+
+    // The telemetry registry observed the same world: conservation over
+    // outcomes, histograms consistent with the manager's own counters,
+    // and every audit entry joinable back to a span via its request id.
+    let snap = sp.platform.manager.metrics_snapshot().expect("telemetry on by default");
+    assert_eq!(snap.in_flight, 0, "quiescent manager has no open spans");
+    assert_eq!(snap.allowed + snap.denied + snap.malformed, snap.finished);
+    assert_eq!(snap.stage_exec.count, handled, "one execute-stage sample per handled command");
+    assert_eq!(snap.denied, denied_stat);
+    assert_eq!(snap.stage_ac.count, snap.allowed + snap.denied);
+    assert_eq!(snap.total.count, snap.finished);
+    for e in &audit {
+        assert!(e.request_id > 0, "audit entry without a span join key");
+        assert!(e.request_id <= snap.begun, "audit entry cites an unminted request id");
+    }
+}
+
+/// N concurrent guest domains against one manager with a deliberately
+/// tiny span ring: the decision counters must conserve exactly, the
+/// stage histograms must agree with `ManagerStats`, and the overflow
+/// drop count must be exact (kept + dropped == finished), not an
+/// estimate.
+#[test]
+fn telemetry_conserves_and_counts_drops_exactly() {
+    use vtpm_xen::access_control::ImprovedHook;
+    use vtpm_xen::vtpm_stack::Envelope;
+
+    const GUESTS: u32 = 4;
+    const EXTENDS: u64 = 100;
+    const FORGED: u64 = 150;
+    const GARBAGE: u64 = 50;
+
+    let hv = Arc::new(Hypervisor::boot(4096, 16).unwrap());
+    let mgr = Arc::new(
+        VtpmManager::new(
+            Arc::clone(&hv),
+            b"conc-telemetry",
+            ManagerConfig {
+                charge_virtual_time: false,
+                // 16 stripes x 4 slots: far fewer than the spans this
+                // test finishes, so the ring must overflow.
+                telemetry_span_capacity: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let hook = Arc::new(ImprovedHook::new(Arc::clone(&hv), b"conc-telemetry", AcConfig::default()));
+    let keyed: Vec<(u32, u32, Vec<u8>)> = (1..=GUESTS)
+        .map(|dom| {
+            let inst = mgr.create_instance().unwrap();
+            (dom, inst, hook.credentials.provision(dom, inst).to_vec())
+        })
+        .collect();
+    mgr.set_hook(Arc::clone(&hook) as _);
+
+    let cmd = |ordinal: u32, body: &[u8]| {
+        let mut c = Vec::new();
+        c.extend_from_slice(&0x00C1u16.to_be_bytes());
+        c.extend_from_slice(&((10 + body.len()) as u32).to_be_bytes());
+        c.extend_from_slice(&ordinal.to_be_bytes());
+        c.extend_from_slice(body);
+        c
+    };
+    let extend_body = {
+        let mut b = Vec::new();
+        b.extend_from_slice(&3u32.to_be_bytes());
+        b.extend_from_slice(&[0x5Au8; 20]);
+        b
+    };
+
+    let mut handles = Vec::new();
+    for (dom, inst, key) in keyed.clone() {
+        let mgr = Arc::clone(&mgr);
+        let startup = cmd(ordinal::STARTUP, &1u16.to_be_bytes());
+        let extend = cmd(ordinal::EXTEND, &extend_body);
+        handles.push(std::thread::spawn(move || {
+            for seq in 1..=(1 + EXTENDS) {
+                let command = if seq == 1 { startup.clone() } else { extend.clone() };
+                let env = Envelope { domain: dom, instance: inst, seq, locality: 0, tag: None, command }
+                    .sign(&key);
+                mgr.handle(DomainId(dom), &env.encode());
+            }
+        }));
+    }
+    // An attacker floods unsigned envelopes (denied: bad-tag)...
+    {
+        let mgr = Arc::clone(&mgr);
+        let (dom, inst, _) = keyed[0].clone();
+        let extend = cmd(ordinal::EXTEND, &extend_body);
+        handles.push(std::thread::spawn(move || {
+            for seq in 0..FORGED {
+                let env = Envelope {
+                    domain: dom,
+                    instance: inst,
+                    seq: 1_000_000 + seq,
+                    locality: 0,
+                    tag: None,
+                    command: extend.clone(),
+                };
+                mgr.handle(DomainId(dom), &env.encode());
+            }
+        }));
+    }
+    // ...while garbage bytes exercise the malformed path.
+    {
+        let mgr = Arc::clone(&mgr);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..GARBAGE {
+                mgr.handle(DomainId(1), &[0xFF; 16]);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = GUESTS as u64 * (1 + EXTENDS) + FORGED + GARBAGE;
+    let snap = mgr.metrics_snapshot().expect("telemetry enabled");
+    assert_eq!(snap.begun, total);
+    assert_eq!(snap.finished, total);
+    assert_eq!(snap.in_flight, 0);
+    // Exact conservation over outcomes.
+    assert_eq!(snap.allowed, GUESTS as u64 * (1 + EXTENDS));
+    assert_eq!(snap.denied, FORGED);
+    assert_eq!(snap.malformed, GARBAGE);
+    assert_eq!(snap.allowed + snap.denied + snap.malformed, snap.finished);
+    assert_eq!(snap.deny_reasons[1], ("bad-tag", FORGED));
+    // Histograms agree with the manager's own counters.
+    let stats = mgr.stats_snapshot();
+    assert_eq!(snap.stage_exec.count, stats.handled);
+    assert_eq!(snap.stage_mirror.count, stats.handled);
+    assert_eq!(snap.stage_ac.count, snap.allowed + snap.denied);
+    assert_eq!(snap.total.count, snap.finished);
+    assert_eq!(snap.denied, stats.denied);
+    // Overflow accounting is exact: every finished span was either kept
+    // in the ring or counted as dropped, nothing in between.
+    let kept = mgr.telemetry().expect("enabled").drain_spans().len() as u64;
+    assert!(snap.dropped_events > 0, "tiny ring must overflow under this load");
+    assert_eq!(kept + snap.dropped_events, snap.finished);
 }
 
 #[test]
