@@ -21,11 +21,13 @@
 //! table.
 
 pub mod dump;
+pub mod migration_window;
 pub mod report;
 pub mod scenarios;
 pub mod sniff;
 
 pub use dump::{high_entropy_fragments, Hit, MemoryDump, ScanStats};
+pub use migration_window::{migration_window_dump, probe_sanity};
 pub use report::AttackMatrix;
 pub use scenarios::{
     bare_command, dump_instance_state, envelope_forgery, extend_command, privileged_ordinal,

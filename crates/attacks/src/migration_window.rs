@@ -1,0 +1,164 @@
+//! **A7 — migration-window dump.** The live-migration variant of the
+//! memory-dump attack: while a vTPM's state is in flight between hosts,
+//! the attacker dumps Dom0-visible RAM on *both* hosts **and** records
+//! every byte on the inter-host fabric (the wiretap). The window is the
+//! worst moment in the instance's life — its entire state crosses a
+//! boundary neither host's runtime protections cover.
+//!
+//! With clear transfer (the baseline protocol) the wiretapped
+//! `Transfer` package *is* the serialized state: the attack succeeds
+//! from the fabric alone, hypervisor protections on both ends
+//! notwithstanding. With sealed transfer the package is AES-CTR
+//! ciphertext under a session key only the destination's hardware TPM
+//! can unwrap ([`MigrationPackage::exposes`] finds nothing), so the
+//! attacker is left with the host dumps — where the encrypted mirror
+//! keeps the state out of Dom0 frames as usual.
+
+use vtpm::migration::MigrationPackage;
+use vtpm::InstanceId;
+use vtpm_cluster::{Cluster, MigMessage};
+use xen_sim::DomainId;
+
+use crate::dump::{high_entropy_fragments, MemoryDump};
+use crate::scenarios::AttackOutcome;
+
+/// Run the migration-window dump against `cluster`, moving `vm` to
+/// `dst`. The migration is driven to mid-transfer (the packaged state
+/// on the wire, not yet verified), the dumps and the wiretap are
+/// scanned, and the migration is then completed so the cluster stays
+/// usable. Success = any high-entropy fragment of the instance's state
+/// recovered from either host's RAM or from the fabric.
+pub fn migration_window_dump(cluster: &mut Cluster, vm: u32, dst: usize) -> AttackOutcome {
+    let Some(mut run) = cluster.begin_migration(vm, dst) else {
+        return AttackOutcome {
+            name: "migration-window-dump",
+            succeeded: false,
+            detail: "vm not migratable".into(),
+        };
+    };
+    // Steps 0..=3: prepare, ack, quiesce, transfer — the package is now
+    // in flight (sent, unverified). Freeze the world and attack.
+    for _ in 0..4 {
+        cluster.step(&mut run);
+    }
+    let (src, dst) = (run.src, run.dst);
+    let local: InstanceId = cluster.hosts[src]
+        .journal
+        .local_of(vm)
+        .expect("mid-migration source still maps the vm");
+    let state = cluster.hosts[src]
+        .platform
+        .manager
+        .export_instance_state(local)
+        .expect("quiesced instance still exports");
+    let probes = high_entropy_fragments(&state, 2);
+    let needles: Vec<&[u8]> = probes.iter().map(|p| &state[p.0..p.1]).collect();
+    assert!(!needles.is_empty(), "instance state has key material");
+
+    // Surface 1+2: Dom0-visible RAM on both ends of the transfer.
+    let mut ram_hits = 0usize;
+    for h in [src, dst] {
+        let dump = MemoryDump::capture(&cluster.hosts[h].platform.hv, DomainId::DOM0)
+            .expect("dom0 can dump");
+        ram_hits += dump.scan(&needles).len();
+    }
+
+    // Surface 3: everything that crossed the fabric, with the transfer
+    // package additionally probed through its own exposure check.
+    let mut wire_hits = 0usize;
+    for frame in cluster.fabric.wiretap() {
+        let Some((_, rest)) = frame.split_first() else { continue };
+        if let Some(MigMessage::Transfer { package, .. }) = MigMessage::decode(rest) {
+            if let Ok(pkg) = MigrationPackage::decode(&package) {
+                wire_hits += needles.iter().filter(|n| pkg.exposes(n)).count();
+            }
+        }
+        wire_hits += needles
+            .iter()
+            .filter(|n| frame.windows(n.len()).any(|w| w == **n))
+            .count();
+    }
+
+    // Let the handoff finish; the attack must not be what breaks it.
+    while cluster.step(&mut run) {}
+    cluster.finish_run(run);
+
+    AttackOutcome {
+        name: "migration-window-dump",
+        succeeded: ram_hits + wire_hits > 0,
+        detail: format!(
+            "{ram_hits} hits in host RAM, {wire_hits} on the fabric ({} probes)",
+            needles.len()
+        ),
+    }
+}
+
+/// Sanity-check the probe machinery: a clear package must expose every
+/// high-entropy fragment of the state it wraps. Keeps the "sealed
+/// leaks nothing" result honest — a probe set that matches nothing by
+/// construction would pass that test vacuously.
+pub fn probe_sanity(state: &[u8]) -> bool {
+    let probes = high_entropy_fragments(state, 1);
+    let clear = vtpm::migration::package_clear(state);
+    !probes.is_empty() && probes.iter().all(|p| clear.exposes(&state[p.0..p.1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtpm::MirrorMode;
+    use vtpm_cluster::{ClusterConfig, MigrateOutcome};
+    use workload::generate_trace;
+
+    fn cluster(seed: &[u8], sealed: bool, mirror: MirrorMode) -> (Cluster, u32) {
+        let mut c = Cluster::new(
+            seed,
+            ClusterConfig { hosts: 2, sealed, mirror_mode: mirror, frames_per_host: 1024, ..Default::default() },
+        )
+        .unwrap();
+        let vm = c.create_vm().unwrap();
+        for ev in generate_trace(&[seed, b"/warm"].concat(), 12) {
+            c.apply_event(vm, &ev);
+        }
+        (c, vm)
+    }
+
+    #[test]
+    fn baseline_clear_transfer_leaks_state_on_the_wire() {
+        let (mut c, vm) = cluster(b"mig-window-base", false, MirrorMode::Cleartext);
+        let out = migration_window_dump(&mut c, vm, 1);
+        assert!(out.succeeded, "clear transfer must leak: {}", out.detail);
+        // The attack window closed with the migration still correct.
+        assert_eq!(c.runnable_hosts(vm), vec![1]);
+    }
+
+    #[test]
+    fn clear_transfer_leaks_from_the_wire_alone() {
+        // Even with the encrypted mirror keeping state out of Dom0
+        // frames, the cleartext package on the fabric is enough.
+        let (mut c, vm) = cluster(b"mig-window-wire", false, MirrorMode::Encrypted);
+        let out = migration_window_dump(&mut c, vm, 1);
+        assert!(out.succeeded, "wire leak missed: {}", out.detail);
+    }
+
+    #[test]
+    fn sealed_transfer_and_encrypted_mirror_leak_nothing() {
+        let (mut c, vm) = cluster(b"mig-window-improved", true, MirrorMode::Encrypted);
+        let out = migration_window_dump(&mut c, vm, 1);
+        assert!(!out.succeeded, "sealed transfer leaked: {}", out.detail);
+        assert_eq!(c.runnable_hosts(vm), vec![1]);
+        // The sealed migration still works end to end afterwards.
+        assert_eq!(c.migrate(vm, 0), MigrateOutcome::Committed);
+    }
+
+    #[test]
+    fn probe_machinery_detects_cleartext() {
+        let state = {
+            let (c, vm) = cluster(b"mig-window-probe", true, MirrorMode::Encrypted);
+            let h = c.home_of(vm).unwrap();
+            let local = c.hosts[h].journal.local_of(vm).unwrap();
+            c.hosts[h].platform.manager.export_instance_state(local).unwrap()
+        };
+        assert!(probe_sanity(&state));
+    }
+}

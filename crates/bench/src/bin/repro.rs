@@ -1,13 +1,14 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1   # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
 //!
-//! Exits nonzero if R-O1 measures telemetry overhead above its budget
-//! (the CI gate in `scripts/ci.sh` relies on this).
+//! Exits nonzero if R-O1 measures telemetry overhead above its budget,
+//! or if R-M1 measures sealed-transfer downtime above its multiple of
+//! the clear baseline (the CI gate in `scripts/ci.sh` relies on both).
 
 use vtpm_bench::exp;
 
@@ -32,6 +33,8 @@ struct Sizes {
     r1_faults: usize,
     o1_batches: usize,
     o1_per_batch: usize,
+    m1_kib: Vec<usize>,
+    m1_reps: usize,
 }
 
 impl Sizes {
@@ -58,6 +61,8 @@ impl Sizes {
             r1_faults: 6,
             o1_batches: 40,
             o1_per_batch: 500,
+            m1_kib: vec![0, 16, 64, 256, 512],
+            m1_reps: 2,
         }
     }
 
@@ -83,6 +88,10 @@ impl Sizes {
             r1_faults: 4,
             o1_batches: 15,
             o1_per_batch: 200,
+            // The budget gate reads the worst premium (largest size),
+            // so --quick keeps it and drops the middle of the sweep.
+            m1_kib: vec![0, 512],
+            m1_reps: 1,
         }
     }
 }
@@ -94,7 +103,7 @@ fn main() {
     let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let mut over_budget = false;
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
-        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1"]
+        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1"]
     } else {
         which
     };
@@ -124,8 +133,15 @@ fn main() {
                 }
                 exp::o1::render(&rows)
             }
+            "m1" => {
+                let points = exp::m1::run(&sizes.m1_kib, sizes.m1_reps);
+                if exp::m1::max_premium_us(&points) > exp::m1::BUDGET_PREMIUM_US {
+                    over_budget = true;
+                }
+                exp::m1::render(&points)
+            }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|all)");
                 std::process::exit(2);
             }
         };
@@ -133,7 +149,11 @@ fn main() {
         println!("[{} completed in {:.1}s]\n", exp_name, t0.elapsed().as_secs_f64());
     }
     if over_budget {
-        eprintln!("R-O1: telemetry overhead exceeds the {}% budget", exp::o1::BUDGET_PCT);
+        eprintln!(
+            "a budget gate failed (R-O1 <= {}% overhead, R-M1 <= {:.0}ms sealing premium)",
+            exp::o1::BUDGET_PCT,
+            exp::m1::BUDGET_PREMIUM_US / 1e3
+        );
         std::process::exit(1);
     }
 }

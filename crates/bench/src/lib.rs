@@ -19,6 +19,7 @@
 //! | [`exp::f5`] | R-F5: dump-scan at scale |
 //! | [`exp::r1`] | R-R1: chaos + crash/recovery of the mirror pipeline |
 //! | [`exp::o1`] | R-O1: telemetry self-overhead on the request path |
+//! | [`exp::m1`] | R-M1: live-migration downtime vs state size (cluster) |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
@@ -28,6 +29,7 @@ pub mod exp {
     pub mod f4;
     pub mod f5;
     pub mod f6;
+    pub mod m1;
     pub mod o1;
     pub mod r1;
     pub mod t1;

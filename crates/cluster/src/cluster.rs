@@ -1,0 +1,925 @@
+//! N simulated hosts, the migration protocol driver, and the
+//! placement/rebalance layer.
+//!
+//! ## Exactly-once
+//!
+//! The invariant the whole module is built around: **at every point, a
+//! VM's vTPM is runnable on at most one host, and at rest on exactly
+//! one**. "Runnable" means a host's durable journal maps the VM to a
+//! local instance, the instance is live in its manager, and it is not
+//! quiesced. The protocol enforces it with:
+//!
+//! * **quiesce before transfer** — the source freezes the instance
+//!   (journalled, then flagged) before the state leaves the host, so
+//!   the shipped snapshot can never diverge from a still-serving copy;
+//! * **commit before release** — the destination adopts (mirror-backed)
+//!   and journals `DstCommitted` before the source journals
+//!   `SrcReleased` and scrubs, so the moment of handoff is the commit
+//!   record, and a crash on either side leaves the journals able to
+//!   prove which side owns the VM;
+//! * **epoch anti-rollback** — every attempt carries a migration epoch
+//!   above everything either journal has seen for that VM; a replayed
+//!   prepare or package re-presents a burned epoch and is refused.
+//!
+//! Crash recovery ([`Cluster::recover_host`]) rebuilds a host's manager
+//! from its mirror frames, then replays the journal over it: re-freeze
+//! VMs with an open outgoing quiesce (the flag itself is volatile —
+//! skipping this is the classic двух-hosts bug: a recovered source would
+//! silently serve a VM whose state is mid-flight), and scrub orphan
+//! instances the journal does not map (an adopt that crashed before its
+//! commit record). [`Cluster::resolve`] then settles any in-doubt
+//! attempt by reading both journals — the model's stand-in for the
+//! toolstack control plane, which (unlike the lossy fabric) is assumed
+//! reliable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tpm_crypto::bignum::BigUint;
+use tpm_crypto::drbg::Drbg;
+use tpm_crypto::rsa::RsaPublicKey;
+use vtpm::migration::{self, MigrationPackage};
+use vtpm::{Envelope, InstanceId, ManagerConfig, MirrorMode, Platform, ResponseEnvelope, VtpmInstance};
+use vtpm_ac::{AuditLog, AuditOutcome, MigrationStage};
+use vtpm_telemetry::{MigrationOutcome, MigrationSpanRecord, MigrationTelemetry};
+use workload::trace::{apply_to_tpm, TraceEvent};
+use xen_sim::{DomainId, Result as XenResult, VirtualClock};
+
+use crate::fabric::Fabric;
+use crate::journal::{JournalRecord, MigrationJournal};
+use crate::protocol::{decode_payload, encode_payload, MigMessage};
+
+/// Modelled cost of OAEP-encrypting the session key to the destination
+/// EK (public-key op, done in Dom0).
+pub const RSA_SEAL_NS: u64 = 1_500_000;
+/// Modelled cost of unwrapping the session key inside the destination's
+/// hardware TPM (private-key op on a slow discrete chip).
+pub const RSA_OPEN_NS: u64 = 6_000_000;
+/// Modelled AES-CTR cost per byte (each direction).
+pub const SYM_BYTE_NS: u64 = 2;
+/// Modelled cost of pausing the guest's vTPM device (quiesce).
+pub const QUIESCE_NS: u64 = 50_000;
+
+/// Guest domains are mapped as `VM_DOMAIN_BASE + vm` on every host.
+pub const VM_DOMAIN_BASE: u32 = 100;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated hosts.
+    pub hosts: usize,
+    /// Ship sealed (destination-bound) packages; `false` is the
+    /// baseline cleartext protocol.
+    pub sealed: bool,
+    /// Mirror mode for every host's manager.
+    pub mirror_mode: MirrorMode,
+    /// Dom0 frame budget per host.
+    pub frames_per_host: usize,
+    /// NV budget per vTPM (the knob benchmarks use to grow state size).
+    pub nv_budget: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            hosts: 3,
+            sealed: true,
+            mirror_mode: MirrorMode::Encrypted,
+            frames_per_host: 4096,
+            nv_budget: 32 * 1024,
+        }
+    }
+}
+
+/// Volatile destination-side state of one incoming migration. Lives in
+/// host memory only — a crash wipes it, and recovery must re-derive
+/// everything it needs from the journal.
+struct Inbound {
+    /// Verified plaintext payload, held between verify and commit.
+    verified: Option<Vec<u8>>,
+}
+
+/// One simulated host: a full [`Platform`] plus its durable migration
+/// journal and hash-chained audit log.
+pub struct ClusterHost {
+    /// The platform (hypervisor, hardware TPM, vTPM manager).
+    pub platform: Platform,
+    /// Durable migration journal (survives crashes).
+    pub journal: MigrationJournal,
+    /// This host's AC4 audit log; migration stages are chained into it.
+    pub audit: AuditLog,
+    inbound: HashMap<(u32, u64), Inbound>,
+}
+
+impl ClusterHost {
+    fn committed_at(&self, vm: u32, epoch: u64) -> bool {
+        self.journal
+            .records()
+            .iter()
+            .any(|r| matches!(*r, JournalRecord::DstCommitted { vm: v, epoch: e, .. } if v == vm && e == epoch))
+    }
+}
+
+/// How a completed migration attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateOutcome {
+    /// The VM now runs on the destination.
+    Committed,
+    /// The attempt aborted; the source still runs the VM.
+    Aborted,
+    /// The destination refused the epoch (burned by an earlier attempt);
+    /// retry with a fresh epoch.
+    RejectedStale,
+}
+
+/// Source-side protocol phase of a [`MigrationRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Proposed,
+    Quiesced,
+    TransferSent,
+    CommitSent,
+    Released,
+    Rejected,
+    Aborted,
+}
+
+/// One in-flight migration attempt, driven step by step so the chaos
+/// matrix can crash either side after any step. The run holds the
+/// *source's volatile* protocol state — abandoning it (source crash)
+/// models exactly the loss a real toolstack daemon suffers; the
+/// journals keep what matters.
+pub struct MigrationRun {
+    /// Cluster-wide VM id being moved.
+    pub vm: u32,
+    /// Source host index.
+    pub src: usize,
+    /// Destination host index.
+    pub dst: usize,
+    /// The attempt's migration epoch.
+    pub epoch: u64,
+    local: InstanceId,
+    phase: Phase,
+    step: usize,
+    dst_ek: Option<RsaPublicKey>,
+    start_ns: u64,
+    step_ns: [u64; 8],
+    quiesce_at_ns: Option<u64>,
+    state_bytes: u64,
+    package_bytes: u64,
+}
+
+impl MigrationRun {
+    /// Steps completed so far (0..=8).
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Total protocol steps.
+    pub const STEPS: usize = 8;
+}
+
+/// The cluster: hosts + fabric + shared clock + placement.
+pub struct Cluster {
+    /// The simulated hosts.
+    pub hosts: Vec<ClusterHost>,
+    /// The message fabric joining them.
+    pub fabric: Fabric,
+    /// Cluster-wide virtual clock (fabric latency, crypto costs,
+    /// downtime measurement all charge here).
+    pub clock: Arc<VirtualClock>,
+    telemetry: MigrationTelemetry,
+    cfg: ClusterConfig,
+    seed: Vec<u8>,
+    next_vm: u32,
+    seqs: HashMap<u32, u64>,
+    commit_ns: HashMap<(u32, u64), u64>,
+}
+
+impl Cluster {
+    /// Boot `cfg.hosts` platforms from `seed` and join them.
+    pub fn new(seed: &[u8], cfg: ClusterConfig) -> XenResult<Self> {
+        let clock = Arc::new(VirtualClock::new());
+        let mut hosts = Vec::with_capacity(cfg.hosts);
+        for h in 0..cfg.hosts {
+            let host_seed = [seed, b"/host/", &(h as u32).to_be_bytes()].concat();
+            let platform = Platform::with_config(
+                &host_seed,
+                cfg.frames_per_host,
+                ManagerConfig {
+                    mirror_mode: cfg.mirror_mode,
+                    vtpm_config: tpm::TpmConfig { nv_budget: cfg.nv_budget, ..Default::default() },
+                    ..Default::default()
+                },
+                true,
+            )?;
+            hosts.push(ClusterHost {
+                platform,
+                journal: MigrationJournal::new(),
+                audit: AuditLog::new(),
+                inbound: HashMap::new(),
+            });
+        }
+        Ok(Cluster {
+            fabric: Fabric::new(cfg.hosts, Arc::clone(&clock)),
+            clock,
+            hosts,
+            telemetry: MigrationTelemetry::new(),
+            cfg,
+            seed: seed.to_vec(),
+            next_vm: 0,
+            seqs: HashMap::new(),
+            commit_ns: HashMap::new(),
+        })
+    }
+
+    /// Cluster-wide migration metrics.
+    pub fn telemetry(&self) -> &MigrationTelemetry {
+        &self.telemetry
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Create a VM on the least-loaded host; returns its cluster-wide id.
+    pub fn create_vm(&mut self) -> XenResult<u32> {
+        let host = (0..self.hosts.len())
+            .min_by_key(|&h| self.hosts[h].journal.mapped_vms().len())
+            .expect("cluster has hosts");
+        let vm = self.next_vm;
+        self.next_vm += 1;
+        let local = self.hosts[host].platform.manager.create_instance()?;
+        self.hosts[host]
+            .journal
+            .append(JournalRecord::VmCreated { vm, local, epoch: 0 });
+        self.seqs.insert(vm, 0);
+        Ok(vm)
+    }
+
+    /// VM ids created so far.
+    pub fn vms(&self) -> Vec<u32> {
+        (0..self.next_vm).collect()
+    }
+
+    /// Hosts on which `vm` is *runnable*: journal-mapped, instance live,
+    /// not quiesced. The exactly-once invariant says this has length 1
+    /// at rest and never exceeds 1.
+    pub fn runnable_hosts(&self, vm: u32) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|&h| {
+                let host = &self.hosts[h];
+                match host.journal.local_of(vm) {
+                    Some(local) => {
+                        host.platform.manager.instance_ids().contains(&local)
+                            && host.platform.manager.is_quiesced(local) != Some(true)
+                    }
+                    None => false,
+                }
+            })
+            .collect()
+    }
+
+    /// The host whose journal currently maps `vm` (runnable or frozen).
+    pub fn home_of(&self, vm: u32) -> Option<usize> {
+        (0..self.hosts.len()).find(|&h| self.hosts[h].journal.local_of(vm).is_some())
+    }
+
+    /// Run `f` against `vm`'s live instance, wherever it is.
+    pub fn with_vm<R>(&self, vm: u32, f: impl FnOnce(&mut VtpmInstance) -> R) -> Option<R> {
+        let h = self.home_of(vm)?;
+        let local = self.hosts[h].journal.local_of(vm)?;
+        self.hosts[h].platform.manager.with_instance(local, f)
+    }
+
+    /// Drive one workload event at `vm`. Wire events go through the
+    /// manager's guest request path (and bounce with `NoInstance` while
+    /// the VM is quiesced — the migration blackout the downtime
+    /// histogram measures); toolstack events use `with_instance`.
+    /// Returns `false` if the VM was not runnable anywhere.
+    pub fn apply_event(&mut self, vm: u32, event: &TraceEvent) -> bool {
+        let hosts = self.runnable_hosts(vm);
+        assert!(hosts.len() <= 1, "vm {vm} runnable on {hosts:?} — exactly-once violated");
+        let Some(&h) = hosts.first() else { return false };
+        let local = self.hosts[h].journal.local_of(vm).expect("runnable implies mapped");
+        if event.is_toolstack() {
+            self.hosts[h]
+                .platform
+                .manager
+                .with_instance(local, |i| apply_to_tpm(&mut i.tpm, event))
+                .is_some()
+        } else {
+            let seq = self.seqs.entry(vm).or_insert(0);
+            *seq += 1;
+            let env = Envelope {
+                domain: VM_DOMAIN_BASE + vm,
+                instance: local,
+                seq: *seq,
+                locality: 0,
+                tag: None,
+                command: event.wire_command().expect("wire event"),
+            };
+            let resp = self.hosts[h]
+                .platform
+                .manager
+                .handle(DomainId(VM_DOMAIN_BASE + vm), &env.encode());
+            ResponseEnvelope::decode(&resp).is_ok()
+        }
+    }
+
+    fn frame(from: usize, msg: &MigMessage) -> Vec<u8> {
+        let mut f = vec![from as u8];
+        f.extend_from_slice(&msg.encode());
+        f
+    }
+
+    fn unframe(bytes: &[u8]) -> Option<(usize, MigMessage)> {
+        let (&from, rest) = bytes.split_first()?;
+        Some((from as usize, MigMessage::decode(rest)?))
+    }
+
+    fn audit_stage(&self, host: usize, peer: usize, vm: u32, epoch: u64, stage: MigrationStage) {
+        self.hosts[host].audit.record(
+            self.clock.now_ns(),
+            0,
+            peer as u32,
+            vm,
+            epoch as u32,
+            AuditOutcome::Migration(stage),
+        );
+    }
+
+    /// Begin migrating `vm` to `dst`. `None` if the VM has no live home
+    /// or is already on `dst`.
+    pub fn begin_migration(&mut self, vm: u32, dst: usize) -> Option<MigrationRun> {
+        let src = self.home_of(vm)?;
+        if src == dst {
+            return None;
+        }
+        let local = self.hosts[src].journal.local_of(vm)?;
+        if !self.hosts[src].platform.manager.instance_ids().contains(&local) {
+            return None;
+        }
+        let epoch = self.hosts[src].journal.next_epoch(vm);
+        self.telemetry.note_started();
+        Some(MigrationRun {
+            vm,
+            src,
+            dst,
+            epoch,
+            local,
+            phase: Phase::Proposed,
+            step: 0,
+            dst_ek: None,
+            start_ns: self.clock.now_ns(),
+            step_ns: [0; 8],
+            quiesce_at_ns: None,
+            state_bytes: 0,
+            package_bytes: 0,
+        })
+    }
+
+    /// Execute the next protocol step. Returns `true` while the run has
+    /// more steps. The step layout (source-driven; destination work is
+    /// message-driven inside [`Cluster::pump_host`]):
+    ///
+    /// 0. source sends `Prepare`
+    /// 1. destination pumps (journal `DstPrepared`, ack with its EK)
+    /// 2. source pumps (journal `SrcQuiesced`, freeze the instance)
+    /// 3. source packages + sends `Transfer`
+    /// 4. destination pumps (open, verify binding/integrity/epoch)
+    /// 5. source pumps (`VerifyAck` → send `Commit`)
+    /// 6. destination pumps (adopt, journal `DstCommitted`, ack)
+    /// 7. source pumps (`CommitAck` → journal `SrcReleased`, scrub)
+    pub fn step(&mut self, run: &mut MigrationRun) -> bool {
+        if run.step >= MigrationRun::STEPS || matches!(run.phase, Phase::Rejected | Phase::Aborted)
+        {
+            return false;
+        }
+        let t0 = self.clock.now_ns();
+        match run.step {
+            0 => {
+                self.fabric.send(
+                    run.dst,
+                    Self::frame(run.src, &MigMessage::Prepare { vm: run.vm, epoch: run.epoch }),
+                );
+            }
+            1 | 4 | 6 => self.pump_host(run.dst),
+            2 => self.src_pump_prepare(run),
+            3 => self.src_transfer(run),
+            5 => self.src_pump_verify(run),
+            7 => self.src_pump_commit_ack(run),
+            _ => unreachable!(),
+        }
+        run.step_ns[run.step] = self.clock.now_ns() - t0;
+        run.step += 1;
+        run.step < MigrationRun::STEPS && !matches!(run.phase, Phase::Rejected | Phase::Aborted)
+    }
+
+    /// Drain `host`'s inbox, handling destination-side protocol
+    /// messages. Source-side messages (acks) are left for the run
+    /// driving them; unknown or stale frames are discarded.
+    pub fn pump_host(&mut self, host: usize) {
+        let mut acks: Vec<Vec<u8>> = Vec::new();
+        while let Some(bytes) = self.fabric.recv(host) {
+            let Some((from, msg)) = Self::unframe(&bytes) else { continue };
+            match msg {
+                MigMessage::Prepare { vm, epoch } => self.dst_prepare(host, from, vm, epoch),
+                MigMessage::Transfer { vm, epoch, package } => {
+                    self.dst_transfer(host, from, vm, epoch, &package)
+                }
+                MigMessage::Commit { vm, epoch } => self.dst_commit(host, from, vm, epoch),
+                MigMessage::Abort { vm, epoch } => self.dst_abort(host, vm, epoch),
+                // Source-side ack: not ours to consume.
+                _ => acks.push(bytes),
+            }
+        }
+        // Re-queue acks in arrival order for the run's own pump.
+        for bytes in acks {
+            self.requeue(host, bytes);
+        }
+    }
+
+    fn requeue(&mut self, host: usize, bytes: Vec<u8>) {
+        // Direct inbox append without re-charging wire cost.
+        self.fabric.requeue(host, bytes);
+    }
+
+    fn dst_prepare(&mut self, host: usize, from: usize, vm: u32, epoch: u64) {
+        let stale = {
+            let h = &self.hosts[host];
+            if h.journal.open_prepare(vm) == Some(epoch) {
+                // Duplicate of an accepted prepare: idempotent re-ack.
+                let ek = h.platform.hw_ek_public();
+                self.fabric.send(
+                    from,
+                    Self::frame(
+                        host,
+                        &MigMessage::PrepareAck {
+                            vm,
+                            epoch,
+                            ek_n: ek.n.to_bytes_be(),
+                            ek_e: ek.e.to_bytes_be(),
+                        },
+                    ),
+                );
+                return;
+            }
+            h.journal.seen_epoch(vm, epoch)
+                || h.journal.local_of(vm).is_some()
+                || h.journal.last_committed_epoch(vm).is_some_and(|c| epoch <= c)
+        };
+        if stale {
+            self.audit_stage(host, from, vm, epoch, MigrationStage::RejectedStale);
+            self.fabric
+                .send(from, Self::frame(host, &MigMessage::PrepareReject { vm, epoch }));
+            return;
+        }
+        self.hosts[host].journal.append(JournalRecord::DstPrepared { vm, epoch });
+        self.hosts[host].inbound.insert((vm, epoch), Inbound { verified: None });
+        self.audit_stage(host, from, vm, epoch, MigrationStage::Prepared);
+        let ek = self.hosts[host].platform.hw_ek_public();
+        self.fabric.send(
+            from,
+            Self::frame(
+                host,
+                &MigMessage::PrepareAck {
+                    vm,
+                    epoch,
+                    ek_n: ek.n.to_bytes_be(),
+                    ek_e: ek.e.to_bytes_be(),
+                },
+            ),
+        );
+    }
+
+    fn dst_transfer(&mut self, host: usize, from: usize, vm: u32, epoch: u64, package: &[u8]) {
+        // Duplicate after a successful verify: idempotent re-ack.
+        if self.hosts[host]
+            .inbound
+            .get(&(vm, epoch))
+            .is_some_and(|i| i.verified.is_some())
+        {
+            self.fabric
+                .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, ok: true }));
+            return;
+        }
+        if self.hosts[host].journal.open_prepare(vm) != Some(epoch) {
+            // Replayed package for a closed or never-opened prepare —
+            // the anti-rollback refusal.
+            self.audit_stage(host, from, vm, epoch, MigrationStage::RejectedStale);
+            self.fabric
+                .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, ok: false }));
+            return;
+        }
+        let verdict = MigrationPackage::decode(package).ok().and_then(|pkg| {
+            // The private-key unwrap happens inside the destination's
+            // hardware TPM; the CTR+digest pass covers the payload.
+            // Clear packages pay neither.
+            if matches!(pkg, MigrationPackage::Sealed { .. }) {
+                self.clock.advance_ns(RSA_OPEN_NS + package.len() as u64 * SYM_BYTE_NS);
+            }
+            self.hosts[host].platform.open_migration_package(&pkg).ok()
+        });
+        let ok = match verdict.and_then(|payload| decode_payload(&payload)) {
+            // The sealed header must match the wire claim — an old
+            // payload cannot be re-dressed as this epoch.
+            Some((pvm, pepoch, state)) if pvm == vm && pepoch == epoch => {
+                self.hosts[host].inbound.insert((vm, epoch), Inbound { verified: Some(state) });
+                self.audit_stage(host, from, vm, epoch, MigrationStage::Verified);
+                true
+            }
+            _ => {
+                self.audit_stage(host, from, vm, epoch, MigrationStage::Aborted);
+                false
+            }
+        };
+        self.fabric
+            .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, ok }));
+    }
+
+    fn dst_commit(&mut self, host: usize, from: usize, vm: u32, epoch: u64) {
+        if self.hosts[host].committed_at(vm, epoch) {
+            // Duplicate commit: idempotent re-ack.
+            self.fabric
+                .send(from, Self::frame(host, &MigMessage::CommitAck { vm, epoch }));
+            return;
+        }
+        let plaintext = self.hosts[host]
+            .inbound
+            .get_mut(&(vm, epoch))
+            .and_then(|i| i.verified.take());
+        let open = self.hosts[host].journal.open_prepare(vm) == Some(epoch);
+        match plaintext {
+            Some(state) if open => {
+                let reseed =
+                    [self.seed.as_slice(), b"/adopt/", &vm.to_be_bytes(), &epoch.to_be_bytes()]
+                        .concat();
+                let cfg = self.hosts[host].platform.manager.config().vtpm_config.clone();
+                // Adopt (durably mirrored) *before* the commit record:
+                // a crash in between leaves an orphan the journal does
+                // not map, which recovery scrubs — never a committed
+                // record with no state behind it.
+                let adopted = VtpmInstance::from_state(0, &state, &reseed, cfg)
+                    .ok()
+                    .and_then(|inst| self.hosts[host].platform.manager.adopt_instance(inst).ok());
+                match adopted {
+                    Some(local) => {
+                        self.hosts[host]
+                            .journal
+                            .append(JournalRecord::DstCommitted { vm, epoch, local });
+                        self.hosts[host].inbound.remove(&(vm, epoch));
+                        self.audit_stage(host, from, vm, epoch, MigrationStage::Committed);
+                        self.commit_ns.insert((vm, epoch), self.clock.now_ns());
+                        self.fabric
+                            .send(from, Self::frame(host, &MigMessage::CommitAck { vm, epoch }));
+                    }
+                    None => {
+                        self.dst_abort(host, vm, epoch);
+                        self.fabric
+                            .send(from, Self::frame(host, &MigMessage::Abort { vm, epoch }));
+                    }
+                }
+            }
+            _ => {
+                // No verified plaintext (crash wiped it, or the verify
+                // never happened): refuse, close the prepare.
+                self.dst_abort(host, vm, epoch);
+                self.fabric
+                    .send(from, Self::frame(host, &MigMessage::Abort { vm, epoch }));
+            }
+        }
+    }
+
+    fn dst_abort(&mut self, host: usize, vm: u32, epoch: u64) {
+        if self.hosts[host].journal.open_prepare(vm) == Some(epoch) {
+            self.hosts[host].journal.append(JournalRecord::DstAborted { vm, epoch });
+            self.hosts[host].inbound.remove(&(vm, epoch));
+            self.audit_stage(host, host, vm, epoch, MigrationStage::Aborted);
+        }
+    }
+
+    /// Source step 2: consume the prepare response; quiesce on ack.
+    fn src_pump_prepare(&mut self, run: &mut MigrationRun) {
+        let mut rejected = false;
+        self.drain_src(run, |msg, _| match msg {
+            MigMessage::PrepareAck { ek_n, ek_e, .. } => Some(RsaPublicKey {
+                n: BigUint::from_bytes_be(&ek_n),
+                e: BigUint::from_bytes_be(&ek_e),
+            }),
+            MigMessage::PrepareReject { .. } => {
+                rejected = true;
+                None
+            }
+            _ => None,
+        })
+        .into_iter()
+        .for_each(|ek| run.dst_ek = Some(ek));
+
+        if rejected {
+            // The destination burned this epoch before we froze
+            // anything; journal the abort (burning it here too) so the
+            // retry proposes a strictly higher one.
+            self.hosts[run.src]
+                .journal
+                .append(JournalRecord::SrcAborted { vm: run.vm, epoch: run.epoch });
+            self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Aborted);
+            run.phase = Phase::Rejected;
+            return;
+        }
+        if run.dst_ek.is_some() && run.phase == Phase::Proposed {
+            // Write-ahead: journal the freeze, then flip the flag.
+            self.hosts[run.src]
+                .journal
+                .append(JournalRecord::SrcQuiesced { vm: run.vm, epoch: run.epoch });
+            self.hosts[run.src].platform.manager.set_quiesced(run.local, true);
+            self.clock.advance_ns(QUIESCE_NS);
+            self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Quiesced);
+            run.quiesce_at_ns = Some(self.clock.now_ns());
+            run.phase = Phase::Quiesced;
+        } else if run.phase == Phase::Proposed {
+            // PrepareAck lost on the fabric: give up before freezing.
+            self.abort_run(run);
+        }
+    }
+
+    /// Source step 3: package the frozen state and ship it.
+    fn src_transfer(&mut self, run: &mut MigrationRun) {
+        if run.phase != Phase::Quiesced {
+            return;
+        }
+        let Some(state) = self.hosts[run.src].platform.manager.export_instance_state(run.local)
+        else {
+            self.abort_run(run);
+            return;
+        };
+        run.state_bytes = state.len() as u64;
+        let payload = encode_payload(run.vm, run.epoch, &state);
+        let package = if self.cfg.sealed {
+            let ek = run.dst_ek.as_ref().expect("quiesced implies acked");
+            let mut rng = Drbg::new(
+                &[
+                    self.seed.as_slice(),
+                    b"/mig/",
+                    &run.vm.to_be_bytes(),
+                    &run.epoch.to_be_bytes(),
+                ]
+                .concat(),
+            );
+            self.clock.advance_ns(RSA_SEAL_NS + payload.len() as u64 * SYM_BYTE_NS);
+            migration::package_sealed(&payload, ek, &mut rng)
+        } else {
+            migration::package_clear(&payload)
+        };
+        let encoded = package.encode();
+        run.package_bytes = encoded.len() as u64;
+        self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Transferred);
+        self.fabric.send(
+            run.dst,
+            Self::frame(run.src, &MigMessage::Transfer { vm: run.vm, epoch: run.epoch, package: encoded }),
+        );
+        run.phase = Phase::TransferSent;
+    }
+
+    /// Source step 5: consume the verify response; commit on ok.
+    fn src_pump_verify(&mut self, run: &mut MigrationRun) {
+        if run.phase != Phase::TransferSent {
+            return;
+        }
+        let mut verdict = None;
+        self.drain_src(run, |msg, _| {
+            if let MigMessage::VerifyAck { ok, .. } = msg {
+                verdict = Some(ok);
+            }
+            None::<()>
+        });
+        match verdict {
+            Some(true) => {
+                self.fabric.send(
+                    run.dst,
+                    Self::frame(run.src, &MigMessage::Commit { vm: run.vm, epoch: run.epoch }),
+                );
+                run.phase = Phase::CommitSent;
+            }
+            // Verification failed, or the ack/transfer was lost: the
+            // commit was never sent, so a unilateral abort is safe.
+            _ => self.abort_run(run),
+        }
+    }
+
+    /// Source step 7: consume the commit ack; release on success.
+    fn src_pump_commit_ack(&mut self, run: &mut MigrationRun) {
+        if run.phase != Phase::CommitSent {
+            return;
+        }
+        let mut acked = false;
+        self.drain_src(run, |msg, _| {
+            if matches!(msg, MigMessage::CommitAck { .. }) {
+                acked = true;
+            }
+            None::<()>
+        });
+        if acked {
+            self.release_src(run.src, run.dst, run.vm, run.epoch);
+            run.phase = Phase::Released;
+        }
+        // No ack: in doubt — the commit may or may not have landed.
+        // The run ends undecided and resolve() settles it from the
+        // journals; aborting unilaterally here could put the VM on two
+        // hosts at once.
+    }
+
+    fn release_src(&mut self, src: usize, dst: usize, vm: u32, epoch: u64) {
+        // Write-ahead: the release record first, then the scrub — a
+        // crash in between leaves an orphan instance recovery scrubs.
+        let local = self.hosts[src].journal.local_of(vm);
+        self.hosts[src].journal.append(JournalRecord::SrcReleased { vm, epoch });
+        if let Some(local) = local {
+            let _ = self.hosts[src].platform.manager.destroy_instance(local);
+        }
+        self.audit_stage(src, dst, vm, epoch, MigrationStage::Released);
+    }
+
+    fn abort_run(&mut self, run: &mut MigrationRun) {
+        self.hosts[run.src]
+            .journal
+            .append(JournalRecord::SrcAborted { vm: run.vm, epoch: run.epoch });
+        if run.quiesce_at_ns.is_some() {
+            self.hosts[run.src].platform.manager.set_quiesced(run.local, false);
+        }
+        self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Aborted);
+        self.fabric.send(
+            run.dst,
+            Self::frame(run.src, &MigMessage::Abort { vm: run.vm, epoch: run.epoch }),
+        );
+        run.phase = Phase::Aborted;
+    }
+
+    /// Drain the source inbox, mapping messages that belong to `run`
+    /// through `f`; frames for other runs or the wrong category are
+    /// discarded (they can only be stale leftovers — one run is in
+    /// flight at a time).
+    fn drain_src<R>(
+        &mut self,
+        run: &MigrationRun,
+        mut f: impl FnMut(MigMessage, usize) -> Option<R>,
+    ) -> Vec<R> {
+        let mut out = Vec::new();
+        while let Some(bytes) = self.fabric.recv(run.src) {
+            let Some((from, msg)) = Self::unframe(&bytes) else { continue };
+            if msg.key() == (run.vm, run.epoch) {
+                if let Some(r) = f(msg, from) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Settle `vm` after a run ended (normally, in doubt, or by crash):
+    /// read every journal — the reliable control plane — and drive both
+    /// sides to a consistent rest state. Idempotent.
+    pub fn resolve(&mut self, vm: u32) {
+        // An open outgoing quiesce: committed remotely → finish the
+        // release; otherwise abort and thaw.
+        for s in 0..self.hosts.len() {
+            let Some(epoch) = self.hosts[s].journal.open_quiesce(vm) else { continue };
+            let committed_on =
+                (0..self.hosts.len()).find(|&d| d != s && self.hosts[d].committed_at(vm, epoch));
+            match committed_on {
+                Some(d) => self.release_src(s, d, vm, epoch),
+                None => {
+                    self.hosts[s].journal.append(JournalRecord::SrcAborted { vm, epoch });
+                    if let Some(local) = self.hosts[s].journal.local_of(vm) {
+                        self.hosts[s].platform.manager.set_quiesced(local, false);
+                    }
+                    self.audit_stage(s, s, vm, epoch, MigrationStage::Aborted);
+                }
+            }
+        }
+        // Dangling incoming prepares (source crashed or its abort was
+        // lost): close them so the epochs stay burned but inactive.
+        for d in 0..self.hosts.len() {
+            if let Some(epoch) = self.hosts[d].journal.open_prepare(vm) {
+                self.dst_abort(d, vm, epoch);
+            }
+        }
+    }
+
+    /// Finish a stepped-out run: settle global state and fold the
+    /// attempt into telemetry. Returns how it ended.
+    pub fn finish_run(&mut self, run: MigrationRun) -> MigrateOutcome {
+        self.resolve(run.vm);
+        let committed = self.hosts[run.dst].committed_at(run.vm, run.epoch);
+        let outcome = if committed {
+            MigrateOutcome::Committed
+        } else if run.phase == Phase::Rejected {
+            MigrateOutcome::RejectedStale
+        } else {
+            MigrateOutcome::Aborted
+        };
+        let downtime_ns = if committed {
+            let commit = self
+                .commit_ns
+                .get(&(run.vm, run.epoch))
+                .copied()
+                .unwrap_or_else(|| self.clock.now_ns());
+            commit.saturating_sub(run.quiesce_at_ns.unwrap_or(commit))
+        } else {
+            0
+        };
+        let s = &run.step_ns;
+        self.telemetry.record(MigrationSpanRecord {
+            vm: run.vm,
+            epoch: run.epoch,
+            src_host: run.src as u32,
+            dst_host: run.dst as u32,
+            sealed: self.cfg.sealed,
+            state_bytes: run.state_bytes,
+            package_bytes: run.package_bytes,
+            // prepare, quiesce, transfer, verify, commit, release.
+            stage_ns: [s[0] + s[1], s[2], s[3], s[4], s[5] + s[6], s[7]],
+            downtime_ns,
+            total_ns: self.clock.now_ns().saturating_sub(run.start_ns),
+            outcome: match outcome {
+                MigrateOutcome::Committed => MigrationOutcome::Committed,
+                MigrateOutcome::Aborted => MigrationOutcome::Aborted,
+                MigrateOutcome::RejectedStale => MigrationOutcome::RejectedStale,
+            },
+        });
+        outcome
+    }
+
+    /// Migrate `vm` to `dst` end to end, retrying (with a fresh epoch)
+    /// if the destination rejects a burned epoch left by an earlier
+    /// crashed attempt.
+    pub fn migrate(&mut self, vm: u32, dst: usize) -> MigrateOutcome {
+        let mut last = MigrateOutcome::Aborted;
+        for _ in 0..3 {
+            let Some(mut run) = self.begin_migration(vm, dst) else { return last };
+            while self.step(&mut run) {}
+            last = self.finish_run(run);
+            if last != MigrateOutcome::RejectedStale {
+                return last;
+            }
+        }
+        last
+    }
+
+    /// Crash host `h`: its manager, quiesce flags, inbound migration
+    /// buffers, and socket inboxes are gone; mirror frames and the
+    /// journal (disk) survive. Then recover: rebuild the manager from
+    /// the mirror, replay the journal over it (re-freeze open outgoing
+    /// quiesces, scrub orphans), ready to serve again.
+    pub fn recover_host(&mut self, h: usize) -> XenResult<vtpm::RecoveryReport> {
+        self.fabric.crash_host(h);
+        self.hosts[h].inbound.clear();
+        let report = self.hosts[h].platform.recover_manager()?;
+        // Re-assert volatile state the journal proves. A recovered
+        // instance comes back *thawed*; skipping the re-freeze would
+        // let the source serve a VM whose state is mid-handoff — the
+        // two-runnable-copies bug.
+        let mapped = self.hosts[h].journal.mapped_vms();
+        for &(vm, local) in &mapped {
+            if self.hosts[h].journal.open_quiesce(vm).is_some() {
+                self.hosts[h].platform.manager.set_quiesced(local, true);
+            }
+        }
+        // Scrub orphans: instances the mirror resurrected but the
+        // journal does not map (adopt or release interrupted between
+        // state write and record).
+        let mapped_locals: Vec<_> = mapped.iter().map(|&(_, l)| l).collect();
+        for id in self.hosts[h].platform.manager.instance_ids() {
+            if !mapped_locals.contains(&id) {
+                let _ = self.hosts[h].platform.manager.destroy_instance(id);
+            }
+        }
+        Ok(report)
+    }
+
+    /// One rebalance pass: move VMs from the most- to the least-loaded
+    /// host until the spread is ≤ 1. Returns the committed moves.
+    pub fn rebalance(&mut self) -> usize {
+        let mut moves = 0;
+        for _ in 0..self.next_vm {
+            let counts: Vec<usize> = (0..self.hosts.len())
+                .map(|h| self.hosts[h].journal.mapped_vms().len())
+                .collect();
+            let (max_h, &max) =
+                counts.iter().enumerate().max_by_key(|&(h, &c)| (c, usize::MAX - h)).unwrap();
+            let (min_h, &min) =
+                counts.iter().enumerate().min_by_key(|&(h, &c)| (c, h)).unwrap();
+            if max - min <= 1 {
+                break;
+            }
+            let Some(&(vm, _)) = self.hosts[max_h].journal.mapped_vms().first() else { break };
+            if self.migrate(vm, min_h) == MigrateOutcome::Committed {
+                moves += 1;
+            } else {
+                break;
+            }
+        }
+        moves
+    }
+}

@@ -1,0 +1,213 @@
+//! The inter-host message fabric.
+//!
+//! Hosts exchange migration-protocol messages over a simulated network:
+//! per-host FIFO inboxes with modelled latency charged to the shared
+//! cluster clock, a wiretap that records every byte on the wire (the
+//! attack surface the migration-window dump scenario scans), and
+//! one-shot fault hooks in the style of `xen_sim`'s
+//! `inject_ring_fault` — armed against the global send counter, so a
+//! seeded plan can drop, duplicate, or reorder exactly the k-th message
+//! of a run and replays stay byte-identical.
+//!
+//! A host crash wipes its inbox: queued-but-unprocessed messages model
+//! kernel socket buffers, not durable state.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use xen_sim::VirtualClock;
+
+/// Per-message fabric latency (ns): connection handling + syscalls.
+pub const FABRIC_MSG_NS: u64 = 150_000;
+/// Per-byte fabric cost (ns): 8 ns/byte ≈ 1 Gbit/s.
+pub const FABRIC_BYTE_NS: u64 = 8;
+
+/// A one-shot fault armed against the global send counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricFault {
+    /// The message vanishes on the wire.
+    Drop,
+    /// The message is delivered twice.
+    Duplicate,
+    /// The message jumps the destination's queue (delivered before
+    /// everything already waiting there).
+    Reorder,
+}
+
+/// Counters the chaos reports surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages handed to [`Fabric::send`].
+    pub sent: u64,
+    /// Messages consumed via [`Fabric::recv`].
+    pub delivered: u64,
+    /// Messages a fault dropped.
+    pub dropped: u64,
+    /// Extra copies a fault injected.
+    pub duplicated: u64,
+    /// Messages a fault reordered.
+    pub reordered: u64,
+    /// Queued messages lost to host crashes.
+    pub crash_lost: u64,
+}
+
+/// The simulated network joining the hosts.
+pub struct Fabric {
+    inboxes: Vec<VecDeque<Vec<u8>>>,
+    faults: Vec<(u64, FabricFault)>,
+    wiretap: Vec<Vec<u8>>,
+    clock: Arc<VirtualClock>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// A fabric joining `hosts` hosts, charging latency to `clock`.
+    pub fn new(hosts: usize, clock: Arc<VirtualClock>) -> Self {
+        Fabric {
+            inboxes: (0..hosts).map(|_| VecDeque::new()).collect(),
+            faults: Vec::new(),
+            wiretap: Vec::new(),
+            clock,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Arm a one-shot `fault` against send number `at_send` (0-based
+    /// over the fabric's lifetime). Multiple faults may be armed;
+    /// each fires once.
+    pub fn inject_fault(&mut self, at_send: u64, fault: FabricFault) {
+        self.faults.push((at_send, fault));
+    }
+
+    /// Ship `bytes` to `to`'s inbox, paying the modelled wire cost.
+    /// Everything sent lands on the wiretap *before* fault handling —
+    /// a dropped message was still on the wire for an eavesdropper.
+    pub fn send(&mut self, to: usize, bytes: Vec<u8>) {
+        let n = self.stats.sent;
+        self.stats.sent += 1;
+        self.clock
+            .advance_ns(FABRIC_MSG_NS + bytes.len() as u64 * FABRIC_BYTE_NS);
+        self.wiretap.push(bytes.clone());
+        let fault = self
+            .faults
+            .iter()
+            .position(|&(at, _)| at == n)
+            .map(|i| self.faults.swap_remove(i).1);
+        match fault {
+            Some(FabricFault::Drop) => {
+                self.stats.dropped += 1;
+            }
+            Some(FabricFault::Duplicate) => {
+                self.stats.duplicated += 1;
+                self.inboxes[to].push_back(bytes.clone());
+                self.inboxes[to].push_back(bytes);
+            }
+            Some(FabricFault::Reorder) => {
+                self.stats.reordered += 1;
+                self.inboxes[to].push_front(bytes);
+            }
+            None => self.inboxes[to].push_back(bytes),
+        }
+    }
+
+    /// Pull the next message waiting at `host`, if any.
+    pub fn recv(&mut self, host: usize) -> Option<Vec<u8>> {
+        let m = self.inboxes[host].pop_front();
+        if m.is_some() {
+            self.stats.delivered += 1;
+        }
+        m
+    }
+
+    /// Put a received-but-unconsumed message back at the end of
+    /// `host`'s inbox without re-charging wire cost (local handoff
+    /// between consumers on the same host, not a re-send).
+    pub fn requeue(&mut self, host: usize, bytes: Vec<u8>) {
+        self.stats.delivered -= 1;
+        self.inboxes[host].push_back(bytes);
+    }
+
+    /// Messages waiting at `host`.
+    pub fn pending(&self, host: usize) -> usize {
+        self.inboxes[host].len()
+    }
+
+    /// A host crashed: its socket buffers are gone.
+    pub fn crash_host(&mut self, host: usize) {
+        self.stats.crash_lost += self.inboxes[host].len() as u64;
+        self.inboxes[host].clear();
+    }
+
+    /// Everything that ever crossed the wire (the eavesdropper's view).
+    pub fn wiretap(&self) -> &[Vec<u8>] {
+        &self.wiretap
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(hosts: usize) -> Fabric {
+        Fabric::new(hosts, Arc::new(VirtualClock::new()))
+    }
+
+    #[test]
+    fn fifo_delivery_and_wire_cost() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut f = Fabric::new(2, Arc::clone(&clock));
+        f.send(1, vec![1; 100]);
+        f.send(1, vec![2; 100]);
+        assert_eq!(clock.now_ns(), 2 * (FABRIC_MSG_NS + 100 * FABRIC_BYTE_NS));
+        assert_eq!(f.recv(1).unwrap()[0], 1);
+        assert_eq!(f.recv(1).unwrap()[0], 2);
+        assert!(f.recv(1).is_none());
+        assert_eq!(f.stats().delivered, 2);
+    }
+
+    #[test]
+    fn faults_fire_once_at_their_send_offset() {
+        let mut f = fabric(2);
+        f.inject_fault(0, FabricFault::Drop);
+        f.inject_fault(2, FabricFault::Duplicate);
+        f.send(1, vec![0]); // dropped
+        f.send(1, vec![1]);
+        f.send(1, vec![2]); // duplicated
+        assert_eq!(f.pending(1), 3);
+        assert_eq!(f.recv(1).unwrap(), vec![1]);
+        assert_eq!(f.recv(1).unwrap(), vec![2]);
+        assert_eq!(f.recv(1).unwrap(), vec![2]);
+        let s = f.stats();
+        assert_eq!((s.dropped, s.duplicated), (1, 1));
+        // The dropped message still hit the wiretap.
+        assert_eq!(f.wiretap().len(), 3);
+    }
+
+    #[test]
+    fn reorder_jumps_the_queue() {
+        let mut f = fabric(2);
+        f.inject_fault(1, FabricFault::Reorder);
+        f.send(1, vec![0]);
+        f.send(1, vec![1]); // cuts in line
+        assert_eq!(f.recv(1).unwrap(), vec![1]);
+        assert_eq!(f.recv(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn crash_wipes_the_inbox() {
+        let mut f = fabric(3);
+        f.send(2, vec![9]);
+        f.send(2, vec![8]);
+        f.crash_host(2);
+        assert!(f.recv(2).is_none());
+        assert_eq!(f.stats().crash_lost, 2);
+        // Other hosts unaffected.
+        f.send(0, vec![7]);
+        assert_eq!(f.recv(0).unwrap(), vec![7]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The per-host durable migration journal.
+//!
+//! Real toolstacks write migration progress to disk *before* acting, so
+//! a host that crashes mid-handoff can tell, on restart, which side of
+//! each step it was on. This module models that disk: a
+//! [`MigrationJournal`] survives the simulated crash of its host
+//! (`Cluster::crash_host` rebuilds the manager from mirror frames but
+//! keeps the journal), and every protocol decision is journalled before
+//! the in-memory action it describes.
+//!
+//! The journal is also the anti-rollback ground truth: an epoch that
+//! appears in *any* record is burned forever on that host —
+//! [`MigrationJournal::seen_epoch`] makes replayed prepares and stale
+//! packages refusable even after the in-memory protocol state was lost
+//! to a crash.
+
+use vtpm::InstanceId;
+
+/// One durable record. `vm` is the cluster-wide VM id; `epoch` the
+/// migration epoch the record belongs to (0 = initial placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// This host hosts `vm` as local instance `local` (initial
+    /// placement at `epoch` 0, or re-created state).
+    VmCreated { vm: u32, local: InstanceId, epoch: u64 },
+    /// Source side: `vm` frozen for outgoing migration `epoch`.
+    SrcQuiesced { vm: u32, epoch: u64 },
+    /// Source side: handoff `epoch` committed remotely; local copy
+    /// released (scrubbed).
+    SrcReleased { vm: u32, epoch: u64 },
+    /// Source side: outgoing migration `epoch` abandoned; local copy
+    /// stays authoritative. Burns the epoch.
+    SrcAborted { vm: u32, epoch: u64 },
+    /// Destination side: accepted a prepare for (`vm`, `epoch`).
+    DstPrepared { vm: u32, epoch: u64 },
+    /// Destination side: incoming migration `epoch` abandoned.
+    DstAborted { vm: u32, epoch: u64 },
+    /// Destination side: adopted `vm` at `epoch` as local instance
+    /// `local`. From here on this host is the authoritative home.
+    DstCommitted { vm: u32, epoch: u64, local: InstanceId },
+}
+
+impl JournalRecord {
+    fn vm(&self) -> u32 {
+        match *self {
+            JournalRecord::VmCreated { vm, .. }
+            | JournalRecord::SrcQuiesced { vm, .. }
+            | JournalRecord::SrcReleased { vm, .. }
+            | JournalRecord::SrcAborted { vm, .. }
+            | JournalRecord::DstPrepared { vm, .. }
+            | JournalRecord::DstAborted { vm, .. }
+            | JournalRecord::DstCommitted { vm, .. } => vm,
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match *self {
+            JournalRecord::VmCreated { epoch, .. }
+            | JournalRecord::SrcQuiesced { epoch, .. }
+            | JournalRecord::SrcReleased { epoch, .. }
+            | JournalRecord::SrcAborted { epoch, .. }
+            | JournalRecord::DstPrepared { epoch, .. }
+            | JournalRecord::DstAborted { epoch, .. }
+            | JournalRecord::DstCommitted { epoch, .. } => epoch,
+        }
+    }
+}
+
+/// The durable record list plus the derived views the protocol driver
+/// and crash recovery read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationJournal {
+    records: Vec<JournalRecord>,
+}
+
+impl MigrationJournal {
+    /// Empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Durably append `r` (write-ahead: callers journal before acting).
+    pub fn append(&mut self, r: JournalRecord) {
+        self.records.push(r);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// The local instance currently hosting `vm` on this host, per the
+    /// journal: set by `VmCreated`/`DstCommitted`, cleared by
+    /// `SrcReleased`. (`SrcAborted` does not clear it — an abort keeps
+    /// the source authoritative.)
+    pub fn local_of(&self, vm: u32) -> Option<InstanceId> {
+        let mut local = None;
+        for r in &self.records {
+            match *r {
+                JournalRecord::VmCreated { vm: v, local: l, .. }
+                | JournalRecord::DstCommitted { vm: v, local: l, .. }
+                    if v == vm =>
+                {
+                    local = Some(l)
+                }
+                JournalRecord::SrcReleased { vm: v, .. } if v == vm => local = None,
+                _ => {}
+            }
+        }
+        local
+    }
+
+    /// VMs this journal currently maps to a local instance.
+    pub fn mapped_vms(&self) -> Vec<(u32, InstanceId)> {
+        let mut vms: Vec<u32> = self.records.iter().map(|r| r.vm()).collect();
+        vms.sort_unstable();
+        vms.dedup();
+        vms.into_iter()
+            .filter_map(|vm| self.local_of(vm).map(|l| (vm, l)))
+            .collect()
+    }
+
+    /// The epoch of an outgoing migration of `vm` that quiesced but has
+    /// neither released nor aborted — the state crash recovery must
+    /// resolve (and re-freeze, since the quiesce flag itself is
+    /// volatile).
+    pub fn open_quiesce(&self, vm: u32) -> Option<u64> {
+        let mut open = None;
+        for r in &self.records {
+            match *r {
+                JournalRecord::SrcQuiesced { vm: v, epoch } if v == vm => open = Some(epoch),
+                JournalRecord::SrcReleased { vm: v, epoch }
+                | JournalRecord::SrcAborted { vm: v, epoch }
+                    if v == vm && open == Some(epoch) =>
+                {
+                    open = None
+                }
+                _ => {}
+            }
+        }
+        open
+    }
+
+    /// The epoch of an incoming migration of `vm` that prepared but has
+    /// neither committed nor aborted.
+    pub fn open_prepare(&self, vm: u32) -> Option<u64> {
+        let mut open = None;
+        for r in &self.records {
+            match *r {
+                JournalRecord::DstPrepared { vm: v, epoch } if v == vm => open = Some(epoch),
+                JournalRecord::DstCommitted { vm: v, epoch, .. }
+                | JournalRecord::DstAborted { vm: v, epoch }
+                    if v == vm && open == Some(epoch) =>
+                {
+                    open = None
+                }
+                _ => {}
+            }
+        }
+        open
+    }
+
+    /// Highest epoch at which this host adopted (or created) `vm`.
+    pub fn last_committed_epoch(&self, vm: u32) -> Option<u64> {
+        self.records
+            .iter()
+            .filter_map(|r| match *r {
+                JournalRecord::VmCreated { vm: v, epoch, .. }
+                | JournalRecord::DstCommitted { vm: v, epoch, .. }
+                    if v == vm =>
+                {
+                    Some(epoch)
+                }
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Whether any record mentions (`vm`, `epoch`) — the burned-epoch
+    /// check behind anti-rollback.
+    pub fn seen_epoch(&self, vm: u32, epoch: u64) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.vm() == vm && r.epoch() == epoch)
+    }
+
+    /// The lowest epoch strictly above every epoch this host has seen
+    /// for `vm` — what the source proposes for its next outgoing
+    /// migration.
+    pub fn next_epoch(&self, vm: u32) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.vm() == vm)
+            .map(|r| r.epoch())
+            .max()
+            .map_or(1, |e| e + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_follows_create_commit_release() {
+        let mut j = MigrationJournal::new();
+        j.append(JournalRecord::VmCreated { vm: 7, local: 3, epoch: 0 });
+        assert_eq!(j.local_of(7), Some(3));
+        assert_eq!(j.mapped_vms(), vec![(7, 3)]);
+        j.append(JournalRecord::SrcQuiesced { vm: 7, epoch: 1 });
+        assert_eq!(j.open_quiesce(7), Some(1));
+        j.append(JournalRecord::SrcReleased { vm: 7, epoch: 1 });
+        assert_eq!(j.local_of(7), None);
+        assert_eq!(j.open_quiesce(7), None);
+        assert!(j.mapped_vms().is_empty());
+        // Coming back later (epoch 4, new local id).
+        j.append(JournalRecord::DstCommitted { vm: 7, epoch: 4, local: 9 });
+        assert_eq!(j.local_of(7), Some(9));
+        assert_eq!(j.last_committed_epoch(7), Some(4));
+    }
+
+    #[test]
+    fn abort_keeps_source_authoritative_but_burns_epoch() {
+        let mut j = MigrationJournal::new();
+        j.append(JournalRecord::VmCreated { vm: 1, local: 2, epoch: 0 });
+        j.append(JournalRecord::SrcQuiesced { vm: 1, epoch: 1 });
+        j.append(JournalRecord::SrcAborted { vm: 1, epoch: 1 });
+        assert_eq!(j.local_of(1), Some(2));
+        assert_eq!(j.open_quiesce(1), None);
+        assert!(j.seen_epoch(1, 1));
+        assert_eq!(j.next_epoch(1), 2);
+    }
+
+    #[test]
+    fn prepare_views_mirror_quiesce_views() {
+        let mut j = MigrationJournal::new();
+        assert_eq!(j.next_epoch(5), 1, "fresh vm starts at epoch 1");
+        j.append(JournalRecord::DstPrepared { vm: 5, epoch: 3 });
+        assert_eq!(j.open_prepare(5), Some(3));
+        j.append(JournalRecord::DstAborted { vm: 5, epoch: 3 });
+        assert_eq!(j.open_prepare(5), None);
+        assert!(j.seen_epoch(5, 3));
+        assert_eq!(j.last_committed_epoch(5), None, "an aborted prepare never adopted");
+        j.append(JournalRecord::DstPrepared { vm: 5, epoch: 4 });
+        j.append(JournalRecord::DstCommitted { vm: 5, epoch: 4, local: 1 });
+        assert_eq!(j.open_prepare(5), None);
+        assert_eq!(j.last_committed_epoch(5), Some(4));
+        assert_eq!(j.next_epoch(5), 5);
+    }
+}

@@ -12,6 +12,30 @@ use tpm_crypto::sha256;
 
 use vtpm::DenyReason;
 
+/// A live-migration protocol stage transition, recorded by the cluster
+/// migration driver into the hash chain of every host it touches — so a
+/// host that later denies having handed an instance off (or claims a
+/// different epoch) contradicts its own tamper-evident log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationStage {
+    /// Destination accepted a prepare for (vm, epoch).
+    Prepared = 0,
+    /// Source froze the instance (downtime window opens).
+    Quiesced = 1,
+    /// Source shipped the sealed package.
+    Transferred = 2,
+    /// Destination verified binding/integrity/epoch of the package.
+    Verified = 3,
+    /// Destination adopted the instance (downtime window closes).
+    Committed = 4,
+    /// Source released (scrubbed) its copy.
+    Released = 5,
+    /// Either side aborted; the source copy stays authoritative.
+    Aborted = 6,
+    /// Destination refused a stale or replayed epoch (anti-rollback).
+    RejectedStale = 7,
+}
+
 /// The decision recorded for an entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuditOutcome {
@@ -19,6 +43,10 @@ pub enum AuditOutcome {
     Allowed,
     /// Request was denied for the given reason.
     Denied(DenyReason),
+    /// A live-migration stage transition (AC4 coverage of the handoff
+    /// protocol; the entry's `instance` is the cluster-wide vm id and
+    /// its `ordinal` carries the migration epoch).
+    Migration(MigrationStage),
 }
 
 /// One audit record.
@@ -63,6 +91,10 @@ fn entry_material(
     let code: u8 = match outcome {
         AuditOutcome::Allowed => 0,
         AuditOutcome::Denied(r) => 1 + *r as u8,
+        // Migration stages occupy a disjoint code band well above any
+        // deny reason, so no stage can collide with (or be rewritten
+        // into) an allow/deny record without breaking the chain.
+        AuditOutcome::Migration(s) => 32 + *s as u8,
     };
     buf.push(code);
     buf
@@ -247,6 +279,36 @@ mod tests {
         assert!(AuditLog::verify(prefix));
         // ...which is why the head hash matters:
         assert_ne!(prefix.last().unwrap().chain, log.head());
+    }
+
+    #[test]
+    fn migration_stage_entries_are_chained() {
+        let log = AuditLog::new();
+        for (i, stage) in [
+            MigrationStage::Prepared,
+            MigrationStage::Quiesced,
+            MigrationStage::Transferred,
+            MigrationStage::Verified,
+            MigrationStage::Committed,
+            MigrationStage::Released,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // instance = cluster vm id, ordinal = migration epoch.
+            log.record(i as u64 * 500, 0, 2, 7, 3, AuditOutcome::Migration(stage));
+        }
+        assert!(AuditLog::verify(&log.entries()));
+        assert_eq!(log.denials(), 0, "stage records are not denials");
+        // Rewriting history — claiming the handoff aborted when the log
+        // says it committed — breaks the chain.
+        let mut entries = log.entries();
+        entries[4].outcome = AuditOutcome::Migration(MigrationStage::Aborted);
+        assert!(!AuditLog::verify(&entries));
+        // So does moving the epoch (ordinal) of a recorded stage.
+        let mut entries = log.entries();
+        entries[0].ordinal = 2;
+        assert!(!AuditLog::verify(&entries));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! chaos [--seeds N] [--events N] [--faults N] [--mode encrypted|cleartext]
-//!       [--base LABEL] [--jobs N]
+//!       [--base LABEL] [--jobs N] [--family mirror|migration|both] [--matrix]
 //! ```
 //!
 //! Seeds run in parallel across `--jobs` worker threads (default: all
@@ -11,6 +11,12 @@
 //! output lines are printed in seed order regardless of completion
 //! order, and the exit status is unchanged: 0 clean, 1 divergence /
 //! nonce reuse / nondeterministic replay, 2 bad usage.
+//!
+//! `--family` picks the scenario family: `mirror` (default) is the
+//! single-host mirror pipeline, `migration` the multi-host cluster
+//! scenarios, `both` runs the two back to back on the same seed list.
+//! `--matrix` additionally runs the exhaustive crash-at-every-step
+//! migration matrix (both roles x every protocol step) on one seed.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -18,7 +24,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use vtpm::MirrorMode;
-use vtpm_harness::{run_chaos, ChaosConfig};
+use vtpm_harness::{
+    run_chaos, run_crash_matrix, run_migration_chaos, ChaosConfig, MigrationChaosConfig,
+};
 
 /// Everything one seed produced: its report text (divergence detail
 /// included) and whether it counts as a failure.
@@ -72,11 +80,125 @@ fn run_seed(seed: &str, cfg: &ChaosConfig) -> SeedOutcome {
     SeedOutcome { text, failed: !deterministic || !clean }
 }
 
+/// Run one migration-family seed twice, diff the replays, render.
+fn run_migration_seed(seed: &str, cfg: &MigrationChaosConfig) -> SeedOutcome {
+    let first = match run_migration_chaos(seed.as_bytes(), cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("seed {seed}: harness error: {e}\n"), failed: true }
+        }
+    };
+    let replay = match run_migration_chaos(seed.as_bytes(), cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("seed {seed}: replay error: {e}\n"), failed: true }
+        }
+    };
+    let deterministic = first == replay;
+    let clean = first.divergences.is_empty();
+    let f = first.fabric;
+    let mut text = format!(
+        "seed {seed} [migration]: transcript {} committed {} aborted {} rejected-stale {} \
+         crashes {} rebalance-moves {} fabric {}s/{}d/{}dup/{}ro/{}lost divergences {}{}\n",
+        first.transcript.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
+        first.committed,
+        first.aborted,
+        first.rejected_stale,
+        first.crashes,
+        first.rebalance_moves,
+        f.sent,
+        f.dropped,
+        f.duplicated,
+        f.reordered,
+        f.crash_lost,
+        first.divergences.len(),
+        if deterministic { "" } else { "  REPLAY MISMATCH" },
+    );
+    for d in &first.divergences {
+        text.push_str(&format!("    {d}\n"));
+    }
+    SeedOutcome { text, failed: !deterministic || !clean }
+}
+
+/// Run the exhaustive crash matrix twice on one seed, diff, render.
+fn run_matrix_seed(seed: &str) -> SeedOutcome {
+    let first = match run_crash_matrix(seed.as_bytes(), true) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("matrix {seed}: harness error: {e}\n"), failed: true }
+        }
+    };
+    let replay = match run_crash_matrix(seed.as_bytes(), true) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("matrix {seed}: replay error: {e}\n"), failed: true }
+        }
+    };
+    let deterministic = first == replay;
+    let clean = first.failures.is_empty() && first.cells.len() == 18;
+    let moved = first.cells.iter().filter(|c| c.moved).count();
+    let mut text = format!(
+        "matrix {seed}: transcript {} cells {} committed-handoffs {} replays-rejected {} \
+         failures {}{}\n",
+        first.transcript.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
+        first.cells.len(),
+        moved,
+        first.replays_rejected,
+        first.failures.len(),
+        if deterministic { "" } else { "  REPLAY MISMATCH" },
+    );
+    for d in &first.failures {
+        text.push_str(&format!("    {d}\n"));
+    }
+    SeedOutcome { text, failed: !deterministic || !clean }
+}
+
+/// Fan `seeds` out over `jobs` worker threads, printing outcomes in
+/// seed order; returns the number of failed seeds.
+fn run_family(seeds: usize, jobs: usize, run: impl Fn(usize) -> SeedOutcome + Sync) -> usize {
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SeedOutcome)>();
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
+                let s = next.fetch_add(1, Ordering::Relaxed);
+                if s >= seeds {
+                    break;
+                }
+                if tx.send((s, run(s))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: BTreeMap<usize, SeedOutcome> = BTreeMap::new();
+        let mut next_print = 0usize;
+        for (s, outcome) in rx {
+            pending.insert(s, outcome);
+            while let Some(o) = pending.remove(&next_print) {
+                print!("{}", o.text);
+                if o.failed {
+                    failures += 1;
+                }
+                next_print += 1;
+            }
+        }
+    });
+    failures
+}
+
 fn main() -> ExitCode {
     let mut seeds = 32usize;
     let mut cfg = ChaosConfig::default();
     let mut base = String::from("chaos");
     let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (mut mirror_family, mut migration_family) = (true, false);
+    let mut matrix = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -120,6 +242,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--family" => match take("--family").map(String::as_str) {
+                Some("mirror") => (mirror_family, migration_family) = (true, false),
+                Some("migration") => (mirror_family, migration_family) = (false, true),
+                Some("both") => (mirror_family, migration_family) = (true, true),
+                _ => {
+                    eprintln!("--family is mirror|migration|both");
+                    return ExitCode::from(2);
+                }
+            },
+            "--matrix" => matrix = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
@@ -131,47 +263,35 @@ fn main() -> ExitCode {
     // Work-stealing over the seed index; results stream back over a
     // channel and are printed strictly in seed order (out-of-order
     // completions buffer until their turn).
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, SeedOutcome)>();
     let mut failures = 0usize;
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let next = &next;
-            let cfg = &cfg;
-            let base = &base;
-            scope.spawn(move || loop {
-                let s = next.fetch_add(1, Ordering::Relaxed);
-                if s >= seeds {
-                    break;
-                }
-                let seed = format!("{base}-{s}");
-                if tx.send((s, run_seed(&seed, cfg))).is_err() {
-                    break;
-                }
-            });
+    let mut ran = 0usize;
+    if mirror_family {
+        failures += run_family(seeds, jobs, |s| run_seed(&format!("{base}-{s}"), &cfg));
+        ran += seeds;
+    }
+    if migration_family {
+        let mig_cfg = MigrationChaosConfig {
+            sealed: cfg.mirror_mode == MirrorMode::Encrypted,
+            ..Default::default()
+        };
+        failures +=
+            run_family(seeds, jobs, |s| run_migration_seed(&format!("{base}-mig-{s}"), &mig_cfg));
+        ran += seeds;
+    }
+    if matrix {
+        let outcome = run_matrix_seed(&format!("{base}-matrix"));
+        print!("{}", outcome.text);
+        if outcome.failed {
+            failures += 1;
         }
-        drop(tx);
-
-        let mut pending: BTreeMap<usize, SeedOutcome> = BTreeMap::new();
-        let mut next_print = 0usize;
-        for (s, outcome) in rx {
-            pending.insert(s, outcome);
-            while let Some(o) = pending.remove(&next_print) {
-                print!("{}", o.text);
-                if o.failed {
-                    failures += 1;
-                }
-                next_print += 1;
-            }
-        }
-    });
+        ran += 1;
+    }
 
     if failures > 0 {
-        println!("{failures}/{seeds} seeds failed");
+        println!("{failures}/{ran} seeds failed");
         ExitCode::from(1)
     } else {
-        println!("{seeds} seeds clean, replays deterministic");
+        println!("{ran} seeds clean, replays deterministic");
         ExitCode::SUCCESS
     }
 }

@@ -27,6 +27,13 @@
 //! the same seed twice must produce byte-identical [`ChaosReport`]s,
 //! which is what `tests/chaos.rs` and `scripts/chaos.sh` check.
 
+pub mod migration_chaos;
+
+pub use migration_chaos::{
+    run_crash_matrix, run_migration_chaos, CrashMatrixReport, MatrixCell, MigrationChaosConfig,
+    MigrationChaosReport,
+};
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -30,10 +30,15 @@
 
 mod export;
 mod histogram;
+mod migration;
 mod ring;
 
 pub use export::chrome_trace;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use migration::{
+    MigrationOutcome, MigrationSnapshot, MigrationSpanRecord, MigrationTelemetry,
+    MIGRATION_STAGE_LABELS,
+};
 pub use ring::{SpanRing, DEFAULT_SPAN_CAPACITY, SPAN_SHARDS};
 
 use std::sync::atomic::{AtomicU64, Ordering};

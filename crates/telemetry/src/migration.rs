@@ -1,0 +1,251 @@
+//! Migration observability: per-attempt spans and cluster-wide stage /
+//! downtime histograms.
+//!
+//! The cluster migration driver runs a staged handoff (prepare →
+//! quiesce → transfer → verify → commit → release); each attempt is
+//! summarized into a [`MigrationSpanRecord`] with per-stage durations
+//! stamped from the injected virtual clock, and folded into
+//! [`MigrationTelemetry`]'s histograms. Guest-visible *downtime* — the
+//! window from source quiesce to destination commit, during which the
+//! instance answers on no host — gets its own histogram: it is the
+//! headline number of the R-M1 experiment.
+//!
+//! Like the request-path registry, everything here takes caller-supplied
+//! nanosecond timestamps, so chaos replays stay byte-deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{Histogram, HistogramSnapshot};
+
+/// Stage labels, in protocol order. Indexes into
+/// [`MigrationSpanRecord::stage_ns`] and
+/// [`MigrationSnapshot::stages`].
+pub const MIGRATION_STAGE_LABELS: [&str; 6] =
+    ["prepare", "quiesce", "transfer", "verify", "commit", "release"];
+
+/// Terminal state of one migration attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// Handoff committed; the instance now runs on the destination.
+    Committed,
+    /// Aborted at some stage; the source copy stayed authoritative.
+    Aborted,
+    /// The destination refused the attempt outright as a stale or
+    /// replayed epoch (anti-rollback).
+    RejectedStale,
+}
+
+impl MigrationOutcome {
+    /// Stable lowercase label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationOutcome::Committed => "committed",
+            MigrationOutcome::Aborted => "aborted",
+            MigrationOutcome::RejectedStale => "rejected-stale",
+        }
+    }
+}
+
+/// One migration attempt, summarized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationSpanRecord {
+    /// Cluster-wide vm id being moved.
+    pub vm: u32,
+    /// Migration epoch of this attempt.
+    pub epoch: u64,
+    /// Source host index.
+    pub src_host: u32,
+    /// Destination host index.
+    pub dst_host: u32,
+    /// Whether the package crossed the fabric sealed (vs cleartext).
+    pub sealed: bool,
+    /// Serialized vTPM state size (plaintext bytes).
+    pub state_bytes: u64,
+    /// Encoded package size as shipped on the fabric.
+    pub package_bytes: u64,
+    /// Per-stage durations (ns), indexed per
+    /// [`MIGRATION_STAGE_LABELS`]; stages never reached read zero.
+    pub stage_ns: [u64; 6],
+    /// Source-quiesce → destination-commit (ns); zero unless committed.
+    pub downtime_ns: u64,
+    /// Whole-attempt duration (ns).
+    pub total_ns: u64,
+    /// How the attempt ended.
+    pub outcome: MigrationOutcome,
+}
+
+/// Cluster-wide migration metrics: attempt counters, per-stage latency
+/// histograms, the downtime histogram, and the retained span records.
+/// One per cluster; snapshots are exact at quiescence.
+pub struct MigrationTelemetry {
+    started: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    rejected_stale: AtomicU64,
+    stages: [Histogram; 6],
+    downtime: Histogram,
+    total: Histogram,
+    package_bytes: Histogram,
+    spans: Mutex<Vec<MigrationSpanRecord>>,
+}
+
+impl Default for MigrationTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MigrationTelemetry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MigrationTelemetry {
+            started: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            rejected_stale: AtomicU64::new(0),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            downtime: Histogram::new(),
+            total: Histogram::new(),
+            package_bytes: Histogram::new(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Note that an attempt began (before any stage runs, so a crashed
+    /// attempt still counts as started).
+    pub fn note_started(&self) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a finished attempt into counters and histograms and retain
+    /// its span record. Downtime is recorded only for committed
+    /// attempts — an abort re-opens the source, so the guest-visible
+    /// gap it caused is bounded by the quiesce stage, not by a
+    /// quiesce→commit distance that never happened.
+    pub fn record(&self, span: MigrationSpanRecord) {
+        match span.outcome {
+            MigrationOutcome::Committed => {
+                self.committed.fetch_add(1, Ordering::Relaxed);
+                self.downtime.record(span.downtime_ns);
+            }
+            MigrationOutcome::Aborted => {
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            MigrationOutcome::RejectedStale => {
+                self.rejected_stale.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (hist, ns) in self.stages.iter().zip(span.stage_ns) {
+            if ns > 0 {
+                hist.record(ns);
+            }
+        }
+        self.total.record(span.total_ns);
+        self.package_bytes.record(span.package_bytes);
+        self.spans.lock().expect("span store poisoned").push(span);
+    }
+
+    /// Retained span records, oldest first.
+    pub fn spans(&self) -> Vec<MigrationSpanRecord> {
+        self.spans.lock().expect("span store poisoned").clone()
+    }
+
+    /// Coherent-at-quiescence snapshot.
+    pub fn snapshot(&self) -> MigrationSnapshot {
+        MigrationSnapshot {
+            started: self.started.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            rejected_stale: self.rejected_stale.load(Ordering::Relaxed),
+            stages: MIGRATION_STAGE_LABELS
+                .iter()
+                .zip(&self.stages)
+                .map(|(&label, h)| (label, h.snapshot()))
+                .collect(),
+            downtime: self.downtime.snapshot(),
+            total: self.total.snapshot(),
+            package_bytes: self.package_bytes.snapshot(),
+        }
+    }
+}
+
+/// One read of [`MigrationTelemetry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationSnapshot {
+    /// Attempts begun (committed + aborted + rejected + in-flight/crashed).
+    pub started: u64,
+    /// Attempts that committed.
+    pub committed: u64,
+    /// Attempts that aborted.
+    pub aborted: u64,
+    /// Attempts refused as stale/replayed epochs.
+    pub rejected_stale: u64,
+    /// Per-stage duration histograms, labelled per
+    /// [`MIGRATION_STAGE_LABELS`].
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+    /// Guest-visible downtime (source quiesce → destination commit),
+    /// committed attempts only.
+    pub downtime: HistogramSnapshot,
+    /// Whole-attempt duration.
+    pub total: HistogramSnapshot,
+    /// Encoded package bytes on the fabric.
+    pub package_bytes: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(outcome: MigrationOutcome, downtime_ns: u64) -> MigrationSpanRecord {
+        MigrationSpanRecord {
+            vm: 1,
+            epoch: 3,
+            src_host: 0,
+            dst_host: 2,
+            sealed: true,
+            state_bytes: 9000,
+            package_bytes: 9200,
+            stage_ns: [100, 50, 4000, 6000, 200, 150],
+            downtime_ns,
+            total_ns: 10_500,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn outcomes_split_counters_and_downtime_is_commit_only() {
+        let t = MigrationTelemetry::new();
+        for _ in 0..3 {
+            t.note_started();
+        }
+        t.record(span(MigrationOutcome::Committed, 6_250));
+        t.record(span(MigrationOutcome::Aborted, 0));
+        t.record(span(MigrationOutcome::RejectedStale, 0));
+        let s = t.snapshot();
+        assert_eq!((s.started, s.committed, s.aborted, s.rejected_stale), (3, 1, 1, 1));
+        assert_eq!(s.downtime.count, 1, "only the commit contributes downtime");
+        assert_eq!(s.downtime.max, 6_250);
+        assert_eq!(s.total.count, 3);
+        assert_eq!(s.package_bytes.max, 9200);
+        assert_eq!(s.stages.len(), MIGRATION_STAGE_LABELS.len());
+        assert_eq!(s.stages[2].0, "transfer");
+        assert_eq!(s.stages[2].1.count, 3);
+        assert_eq!(t.spans().len(), 3);
+    }
+
+    #[test]
+    fn unreached_stages_stay_out_of_histograms() {
+        let t = MigrationTelemetry::new();
+        t.note_started();
+        let mut s = span(MigrationOutcome::Aborted, 0);
+        // Abort at verify: commit/release never ran.
+        s.stage_ns[4] = 0;
+        s.stage_ns[5] = 0;
+        t.record(s);
+        let snap = t.snapshot();
+        assert_eq!(snap.stages[3].1.count, 1);
+        assert_eq!(snap.stages[4].1.count, 0);
+        assert_eq!(snap.stages[5].1.count, 0);
+    }
+}

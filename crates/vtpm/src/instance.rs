@@ -32,6 +32,13 @@ pub struct VtpmInstance {
     /// of mutating the TPM — a post-scrub mutation would re-mirror the
     /// state and leave an orphaned resident image in Dom0 frames.
     pub destroyed: bool,
+    /// Set while the instance is frozen for live migration: guest
+    /// requests are refused (the frontend sees `NoInstance` and holds
+    /// off) but toolstack access via `with_instance` still works so the
+    /// state can be exported. Cleared on abort; a recovered manager
+    /// starts with the flag down — the migration driver re-asserts it
+    /// from its durable journal.
+    pub quiesced: bool,
 }
 
 impl VtpmInstance {
@@ -47,6 +54,7 @@ impl VtpmInstance {
             stats: InstanceStats::default(),
             mirrored_generation: u64::MAX,
             destroyed: false,
+            quiesced: false,
         }
     }
 
@@ -64,6 +72,7 @@ impl VtpmInstance {
             stats: InstanceStats::default(),
             mirrored_generation: u64::MAX,
             destroyed: false,
+            quiesced: false,
         })
     }
 

@@ -367,6 +367,39 @@ impl VtpmManager {
         Ok(true)
     }
 
+    /// Freeze (or thaw) an instance for live migration. While quiesced,
+    /// guest requests through [`handle`](Self::handle) are refused with
+    /// `NoInstance`; toolstack access via
+    /// [`with_instance`](Self::with_instance) keeps working so the
+    /// migration driver can export the frozen state. Returns `false` if
+    /// the instance does not exist (or was destroyed).
+    ///
+    /// The flag lives in volatile manager memory: a crashed-and-recovered
+    /// manager comes back with every instance thawed, and the migration
+    /// driver must re-quiesce from its durable journal before the guest
+    /// can race in a command.
+    pub fn set_quiesced(&self, id: InstanceId, quiesced: bool) -> bool {
+        let Some(handle) = self.instances.read().get(&id).cloned() else {
+            return false;
+        };
+        let mut guard = handle.lock();
+        if guard.destroyed {
+            return false;
+        }
+        guard.quiesced = quiesced;
+        true
+    }
+
+    /// Whether instance `id` is currently quiesced for migration.
+    pub fn is_quiesced(&self, id: InstanceId) -> Option<bool> {
+        let handle = self.instances.read().get(&id).cloned()?;
+        let guard = handle.lock();
+        if guard.destroyed {
+            return None;
+        }
+        Some(guard.quiesced)
+    }
+
     /// Instance ids currently live.
     pub fn instance_ids(&self) -> Vec<InstanceId> {
         let mut v: Vec<InstanceId> = self.instances.read().keys().copied().collect();
@@ -549,7 +582,11 @@ impl VtpmManager {
             // The handle may have been cloned before a concurrent
             // destroy unrouted the instance; executing now would
             // re-mirror state the destroy just scrubbed.
-            if instance.destroyed {
+            if instance.destroyed || instance.quiesced {
+                // Quiesced instances (frozen for live migration) refuse
+                // guest traffic exactly like missing ones: the frontend
+                // backs off and retries, and after a committed migration
+                // the retry lands on the destination host instead.
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 self.close_span(span, Outcome::NoInstance);
                 return ResponseEnvelope {
@@ -706,6 +743,36 @@ mod tests {
             ResponseEnvelope::decode(&resp).unwrap().status,
             ResponseStatus::NoInstance
         );
+    }
+
+    #[test]
+    fn quiesce_refuses_guests_but_not_toolstack() {
+        let (_hv, mgr) = setup(MirrorMode::Encrypted);
+        let id = mgr.create_instance().unwrap();
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+
+        // Frozen for migration: guest traffic bounces like the instance
+        // is gone, but the toolstack export path still reaches it.
+        assert!(mgr.set_quiesced(id, true));
+        assert_eq!(mgr.is_quiesced(id), Some(true));
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 2, startup_cmd()));
+        assert_eq!(
+            ResponseEnvelope::decode(&resp).unwrap().status,
+            ResponseStatus::NoInstance
+        );
+        assert!(mgr.with_instance(id, |i| i.tpm.serialize_state()).is_some());
+
+        // Thawed (migration aborted): service resumes.
+        assert!(mgr.set_quiesced(id, false));
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 3, startup_cmd()));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+
+        // Unknown / destroyed instances can't be quiesced.
+        assert!(!mgr.set_quiesced(999, true));
+        assert_eq!(mgr.is_quiesced(999), None);
+        assert!(mgr.destroy_instance(id).unwrap());
+        assert!(!mgr.set_quiesced(id, true));
     }
 
     /// Hook that refuses everything, with a modelled check cost.

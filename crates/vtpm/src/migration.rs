@@ -12,6 +12,17 @@
 //!   OAEP-encrypted to the *destination hardware TPM's EK* — so only a
 //!   platform holding that physical TPM can open the package — plus a
 //!   SHA-256 integrity digest.
+//!
+//! ## Session key and nonce are single-use
+//!
+//! The (session key, CTR nonce) pair of a sealed package must never be
+//! reused for a second package: CTR mode under a repeated (key, nonce)
+//! is a two-time pad — XOR of two ciphertexts is XOR of the two states.
+//! [`package_sealed`] therefore draws a *fresh* key and nonce from the
+//! caller's DRBG on every call, and callers must never cache or replay
+//! a (key, nonce) pair across packages — retrying a failed transfer
+//! means building a new package, not re-encrypting under the old pair.
+//! `tests::nonces_and_session_keys_are_single_use` pins this down.
 
 use tpm_crypto::aes::AesCtr;
 use tpm_crypto::drbg::Drbg;
@@ -109,6 +120,33 @@ pub fn open_package(
     }
 }
 
+/// Open a package with the destination platform's *hardware TPM*: the
+/// session key is decrypted inside the TPM ([`tpm::Tpm::ek_decrypt_oaep`]),
+/// so the EK private key never leaves it. This is the path real
+/// destinations take; [`open_package`] with a bare [`RsaPrivateKey`] only
+/// exists for tests that hold the key directly.
+pub fn open_package_with_tpm(
+    package: &MigrationPackage,
+    hw: &tpm::Tpm,
+) -> Result<Vec<u8>, MigrationError> {
+    match package {
+        MigrationPackage::Clear(s) => Ok(s.clone()),
+        MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest } => {
+            let key_bytes = hw
+                .ek_decrypt_oaep(enc_session_key)
+                .map_err(|_| MigrationError::WrongDestination)?;
+            let key: [u8; 16] =
+                key_bytes.try_into().map_err(|_| MigrationError::WrongDestination)?;
+            let mut state = ciphertext.clone();
+            AesCtr::new(&key, *nonce).apply_keystream(&mut state);
+            if &sha256(&state) != digest {
+                return Err(MigrationError::Corrupted);
+            }
+            Ok(state)
+        }
+    }
+}
+
 impl MigrationPackage {
     /// Serialize for the wire.
     pub fn encode(&self) -> Vec<u8> {
@@ -129,14 +167,17 @@ impl MigrationPackage {
         w.into_vec()
     }
 
-    /// Parse from the wire.
+    /// Parse from the wire. Trailing bytes after a well-formed package
+    /// are rejected: a package is a complete wire object, and anything
+    /// appended to it (smuggled payload, sloppy framing upstream) makes
+    /// the whole blob malformed rather than silently ignored.
     pub fn decode(data: &[u8]) -> Result<Self, MigrationError> {
         let mut r = Reader::new(data);
         let kind = r.u8().map_err(|_: BufError| MigrationError::Malformed)?;
-        match kind {
-            0 => Ok(MigrationPackage::Clear(
+        let package = match kind {
+            0 => MigrationPackage::Clear(
                 r.sized_u32().map_err(|_| MigrationError::Malformed)?.to_vec(),
-            )),
+            ),
             1 => {
                 let enc_session_key =
                     r.sized_u32().map_err(|_| MigrationError::Malformed)?.to_vec();
@@ -151,10 +192,14 @@ impl MigrationPackage {
                     .map_err(|_| MigrationError::Malformed)?
                     .try_into()
                     .map_err(|_| MigrationError::Malformed)?;
-                Ok(MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest })
+                MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest }
             }
-            _ => Err(MigrationError::Malformed),
+            _ => return Err(MigrationError::Malformed),
+        };
+        if r.remaining() != 0 {
+            return Err(MigrationError::Malformed);
         }
+        Ok(package)
     }
 
     /// Whether the state bytes are visible in the serialized package
@@ -236,5 +281,62 @@ mod tests {
         let p1 = package_sealed(b"s", &dst.public, &mut rng);
         let p2 = package_sealed(b"s", &dst.public, &mut rng);
         assert_ne!(p1, p2, "each migration uses a fresh session key/nonce");
+    }
+
+    #[test]
+    fn nonces_and_session_keys_are_single_use() {
+        // The single-use contract from the module docs: repeated
+        // `package_sealed` calls — same state, same destination, same
+        // DRBG — must never repeat a CTR nonce or a wrapped session
+        // key. A repeat would turn CTR into a two-time pad.
+        let dst = ek();
+        let mut rng = Drbg::new(b"mig-nonce-freshness");
+        let mut nonces = std::collections::HashSet::new();
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..16 {
+            match package_sealed(b"identical state bytes", &dst.public, &mut rng) {
+                MigrationPackage::Sealed { enc_session_key, nonce, .. } => {
+                    assert!(nonces.insert(nonce), "CTR nonce reused across packages");
+                    assert!(keys.insert(enc_session_key), "wrapped session key repeated");
+                }
+                MigrationPackage::Clear(_) => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let dst = ek();
+        let mut rng = Drbg::new(b"mig-trailing");
+        for p in [package_clear(b"abc"), package_sealed(b"abc", &dst.public, &mut rng)] {
+            let mut bytes = p.encode();
+            assert_eq!(MigrationPackage::decode(&bytes).unwrap(), p);
+            bytes.push(0x00);
+            assert_eq!(MigrationPackage::decode(&bytes), Err(MigrationError::Malformed));
+            bytes.pop();
+            bytes.extend_from_slice(b"smuggled");
+            assert_eq!(MigrationPackage::decode(&bytes), Err(MigrationError::Malformed));
+        }
+    }
+
+    #[test]
+    fn sealed_package_bound_to_destination_hardware_tpm() {
+        // The wrong-destination path through real hardware TPMs: a
+        // package sealed to host A's EK opens inside A's TPM but is
+        // refused by a *second* hardware TPM (host B), whose EK private
+        // key simply cannot unwrap the session key.
+        let cfg = tpm::TpmConfig::default();
+        let tpm_a = tpm::Tpm::manufacture(b"hw-tpm-a", cfg.clone());
+        let tpm_b = tpm::Tpm::manufacture(b"hw-tpm-b", cfg);
+        let mut rng = Drbg::new(b"mig-two-hw");
+        let state = b"EK-PRIVATE-PRIME-FACTORS";
+        let p = package_sealed(state, &tpm_a.ek_public(), &mut rng);
+        assert_eq!(open_package_with_tpm(&p, &tpm_a).unwrap(), state);
+        assert_eq!(
+            open_package_with_tpm(&p, &tpm_b),
+            Err(MigrationError::WrongDestination)
+        );
+        // Clear packages open anywhere — the baseline has no binding.
+        assert_eq!(open_package_with_tpm(&package_clear(state), &tpm_b).unwrap(), state);
     }
 }

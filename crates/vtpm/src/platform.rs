@@ -268,7 +268,7 @@ impl Platform {
             MigrationPackage::Sealed { .. } => {
                 // EK decryption happens inside the hardware TPM.
                 let hw = self.hw_tpm.lock();
-                open_with_tpm(package, &hw)?
+                migration::open_package_with_tpm(package, &hw)?
             }
         };
         let instance =
@@ -277,6 +277,43 @@ impl Platform {
         self.manager
             .adopt_instance(instance)
             .map_err(|_| migration::MigrationError::Malformed)
+    }
+
+    /// Open a migration package with this host's hardware TPM without
+    /// adopting it — the cluster migration driver verifies the payload
+    /// (destination binding, integrity, epoch header) *before* deciding
+    /// to commit, and only then builds an instance from the plaintext.
+    pub fn open_migration_package(
+        &self,
+        package: &MigrationPackage,
+    ) -> Result<Vec<u8>, migration::MigrationError> {
+        let hw = self.hw_tpm.lock();
+        migration::open_package_with_tpm(package, &hw)
+    }
+
+    /// The seed this platform was built from (deterministic derivations —
+    /// the cluster migration driver keys its per-host DRBGs off it).
+    pub fn seed(&self) -> &[u8] {
+        &self.seed
+    }
+
+    /// Simulate a Dom0 vTPM-manager crash + restart: stop the backends,
+    /// drop the in-memory manager, and rebuild one from the mirror frames
+    /// alone ([`VtpmManager::recover`]). Volatile per-instance flags (the
+    /// migration quiesce bit) do not survive — callers holding durable
+    /// migration state must re-assert them.
+    pub fn recover_manager(&mut self) -> XenResult<crate::manager::RecoveryReport> {
+        self.shutdown();
+        let (mgr, report) = VtpmManager::recover(
+            Arc::clone(&self.hv),
+            &self.seed,
+            self.manager.config().clone(),
+        )?;
+        // Publish the recovered manager. Existing Arc clones of the old
+        // manager keep their dead view, exactly like stale handles into
+        // a crashed daemon.
+        self.manager = Arc::new(mgr);
+        Ok(report)
     }
 
     /// Migrate a whole VM — domain memory image *and* its vTPM — to
@@ -338,30 +375,6 @@ impl Platform {
             }
         }
         backends.clear();
-    }
-}
-
-/// Open a sealed package with the platform TPM's EK (internal decrypt).
-fn open_with_tpm(
-    package: &MigrationPackage,
-    hw: &Tpm,
-) -> Result<Vec<u8>, migration::MigrationError> {
-    match package {
-        MigrationPackage::Clear(s) => Ok(s.clone()),
-        MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest } => {
-            let key_bytes = hw
-                .ek_decrypt_oaep(enc_session_key)
-                .map_err(|_| migration::MigrationError::WrongDestination)?;
-            let key: [u8; 16] = key_bytes
-                .try_into()
-                .map_err(|_| migration::MigrationError::WrongDestination)?;
-            let mut state = ciphertext.clone();
-            tpm_crypto::aes::AesCtr::new(&key, *nonce).apply_keystream(&mut state);
-            if &tpm_crypto::sha256(&state) != digest {
-                return Err(migration::MigrationError::Corrupted);
-            }
-            Ok(state)
-        }
     }
 }
 

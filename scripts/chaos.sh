@@ -8,12 +8,17 @@
 # either an oracle divergence, a CTR nonce reuse, a telemetry
 # conservation violation, or a nondeterministic replay.
 #
+# Both scenario families run: the single-host mirror pipeline and the
+# multi-host migration scenarios, plus the exhaustive crash-at-every-
+# step migration matrix on one extra seed.
+#
 # Usage:
-#   scripts/chaos.sh                 # 32 seeds, encrypted mirror
+#   scripts/chaos.sh                 # 32 seeds/family, encrypted mirror
 #   scripts/chaos.sh 64              # more seeds
 #   scripts/chaos.sh 32 cleartext    # baseline mirror mode
 #   CHAOS_BASE=nightly scripts/chaos.sh   # distinct seed namespace
 #   CHAOS_JOBS=4 scripts/chaos.sh    # cap worker threads
+#   CHAOS_FAMILY=mirror scripts/chaos.sh  # one family only
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +27,14 @@ seeds="${1:-32}"
 mode="${2:-encrypted}"
 base="${CHAOS_BASE:-chaos}"
 jobs="${CHAOS_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+family="${CHAOS_FAMILY:-both}"
+
+# The crash matrix only makes sense when migration scenarios run.
+matrix=()
+if [ "$family" != "mirror" ]; then
+    matrix=(--matrix)
+fi
 
 exec cargo run --release -p vtpm-harness --bin chaos -- \
-    --seeds "$seeds" --mode "$mode" --base "$base" --jobs "$jobs"
+    --seeds "$seeds" --mode "$mode" --base "$base" --jobs "$jobs" \
+    --family "$family" "${matrix[@]}"

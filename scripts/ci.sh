@@ -4,9 +4,15 @@
 #   1. tier-1: release build + the full test suite of the root package;
 #   2. chaos smoke: 8 seeded fault scenarios through the full stack,
 #      each replayed twice (determinism) — parallel across cores;
-#   3. R-O1: the telemetry self-overhead budget. `repro o1` exits
+#   3. migration chaos smoke: 8 seeded multi-host migration scenarios
+#      plus the exhaustive crash-at-every-step matrix (both roles x
+#      every protocol step) on one seed, each replayed twice;
+#   4. R-O1: the telemetry self-overhead budget. `repro o1` exits
 #      nonzero if the enabled-vs-disabled registry increment exceeds
-#      3% of the modelled deployment command latency, failing the gate.
+#      3% of the modelled deployment command latency, failing the gate;
+#   5. R-M1: the migration downtime budget. `repro m1` exits nonzero
+#      if sealed (destination-bound) transfer adds more than 12 ms of
+#      guest-visible blackout over clear transfer at any state size.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -22,9 +28,16 @@ echo "== tier-1: tests =="
 cargo test -q
 
 echo "== chaos smoke: 8 seeds, replayed twice each =="
-CHAOS_BASE=ci scripts/chaos.sh 8
+CHAOS_BASE=ci CHAOS_FAMILY=mirror scripts/chaos.sh 8
+
+echo "== migration chaos smoke: 8 seeds + crash-at-every-step matrix =="
+cargo run --release -p vtpm-harness --bin chaos -- \
+    --seeds 8 --base ci-mig --family migration --matrix
 
 echo "== R-O1: telemetry overhead budget (hard 3% gate) =="
 cargo run --release -p vtpm-bench --bin repro -- o1
+
+echo "== R-M1: migration downtime budget (sealing premium <= 12ms) =="
+cargo run --release -p vtpm-bench --bin repro -- m1 --quick
 
 echo "CI gate passed."

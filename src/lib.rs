@@ -18,7 +18,10 @@
 //! * [`attack`] — the evaluation's attacker toolkit ([`attacks`]);
 //! * [`bench_workload`] — command mixes, drivers, runners ([`workload`]);
 //! * [`telemetry`] — lock-free spans, metrics, and exporters threaded
-//!   through the whole request path ([`vtpm_telemetry`]).
+//!   through the whole request path ([`vtpm_telemetry`]);
+//! * [`cluster`] — multi-host fabric and the live-migration protocol:
+//!   exactly-once hand-off, epoch anti-rollback, placement/rebalance
+//!   ([`vtpm_cluster`]).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 pub use attacks as attack;
 pub use tpm as tpm12;
 pub use tpm_crypto as crypto;
+pub use vtpm_cluster as cluster;
 pub use vtpm as vtpm_stack;
 pub use vtpm_ac as access_control;
 pub use vtpm_telemetry as telemetry;
@@ -50,6 +54,7 @@ pub mod prelude {
     pub use tpm::{handle, ordinal, rc, PcrSelection, Tpm, TpmClient, TpmConfig};
     pub use vtpm::{Guest, ManagerConfig, MirrorMode, Platform, VtpmManager};
     pub use vtpm_ac::{AcConfig, PolicyEngine, SecurePlatform};
+    pub use vtpm_cluster::{Cluster, ClusterConfig, MigrateOutcome};
     pub use workload::{run_concurrent, CommandMix, GuestSession, Op};
     pub use xen_sim::{DomainConfig, DomainId, Hypervisor};
 }

@@ -296,6 +296,33 @@ proptest! {
         let _ = MigrationPackage::decode(&bytes);
         let _ = PcrSelection::decode(&bytes);
     }
+
+    #[test]
+    fn migration_package_roundtrips_and_rejects_trailing_bytes(
+        state in proptest::collection::vec(any::<u8>(), 0..200),
+        enc_session_key in proptest::collection::vec(any::<u8>(), 0..160),
+        nonce_bytes in proptest::collection::vec(any::<u8>(), 8..9),
+        ciphertext in proptest::collection::vec(any::<u8>(), 0..200),
+        digest_bytes in proptest::collection::vec(any::<u8>(), 32..33),
+        trailer in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        use vtpm_xen::vtpm_stack::MigrationPackage;
+        let nonce: [u8; 8] = nonce_bytes.try_into().unwrap();
+        let digest: [u8; 32] = digest_bytes.try_into().unwrap();
+        let packages = [
+            MigrationPackage::Clear(state),
+            MigrationPackage::Sealed { enc_session_key, nonce, ciphertext, digest },
+        ];
+        for p in packages {
+            let wire = p.encode();
+            // A package is a complete wire object: it round-trips, and
+            // any appended bytes make the whole blob malformed.
+            prop_assert_eq!(MigrationPackage::decode(&wire).as_ref(), Ok(&p));
+            let mut padded = wire;
+            padded.extend_from_slice(&trailer);
+            prop_assert!(MigrationPackage::decode(&padded).is_err());
+        }
+    }
 }
 
 proptest! {
