@@ -152,6 +152,29 @@ mod tests {
     }
 
     #[test]
+    fn migration_window_attack_leaves_a_trail_on_both_hosts() {
+        let (mut c, vm) = cluster(b"mig-window-trail", true, MirrorMode::Encrypted);
+        for h in 0..2 {
+            assert!(c.hosts[h].platform.hv.dump_events().is_empty());
+        }
+        let out = migration_window_dump(&mut c, vm, 1);
+        assert!(!out.succeeded, "sealed+encrypted blocks A7, but...");
+        // ...both ends of the window carry a Dom0 dump-trail entry with
+        // no crash-recovery anywhere near it — exactly what the
+        // sentinel's dump-signature detector fires on. (The cluster
+        // model keeps vTPM state in Dom0-owned mirror frames, so the
+        // fingerprint is the unexplained dump itself, not foreign
+        // frames.)
+        for h in 0..2 {
+            let trail = c.hosts[h].platform.hv.dump_events();
+            assert!(
+                trail.iter().any(|d| d.caller == DomainId::DOM0 && d.frames > 0),
+                "host {h} trail: {trail:?}"
+            );
+        }
+    }
+
+    #[test]
     fn probe_machinery_detects_cleartext() {
         let state = {
             let (c, vm) = cluster(b"mig-window-probe", true, MirrorMode::Encrypted);

@@ -253,6 +253,27 @@ mod tests {
     }
 
     #[test]
+    fn dump_attack_leaves_an_introspectable_trail() {
+        // Even when the improved platform defeats A1, the *attempt* is
+        // visible after the fact: the hypervisor's dump trail records a
+        // Dom0 dump touching foreign frames — the exact fingerprint the
+        // sentinel's dump-signature detector keys on.
+        let sp = SecurePlatform::full(b"attack-trail").unwrap();
+        let mut victim = sp.launch_guest("victim").unwrap();
+        warm_up(&mut victim);
+        let hv = sp.platform.manager.hypervisor();
+        assert!(hv.dump_events().is_empty(), "clean operation never dumps");
+        let out = dump_instance_state(&sp.platform, &victim);
+        assert!(!out.succeeded, "A1 is blocked, but...");
+        assert!(
+            hv.dump_events()
+                .iter()
+                .any(|d| d.caller == DomainId::DOM0 && d.foreign_frames > 0),
+            "...the failed attempt still leaves the dump fingerprint"
+        );
+    }
+
+    #[test]
     fn bare_command_carries_ordinal() {
         let cmd = bare_command(ordinal::NV_DEFINE_SPACE);
         assert_eq!(tpm::ordinal_of(&cmd), Some(ordinal::NV_DEFINE_SPACE));

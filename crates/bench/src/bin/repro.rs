@@ -1,14 +1,16 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1   # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
 //!
 //! Exits nonzero if R-O1 measures telemetry overhead above its budget,
-//! or if R-M1 measures sealed-transfer downtime above its multiple of
-//! the clear baseline (the CI gate in `scripts/ci.sh` relies on both).
+//! if R-M1 measures sealed-transfer downtime above its multiple of the
+//! clear baseline, or if R-D1 sees a sentinel false positive on a clean
+//! seed or a missed attack injection (the CI gate in `scripts/ci.sh`
+//! relies on all three).
 
 use vtpm_bench::exp;
 
@@ -35,6 +37,10 @@ struct Sizes {
     o1_per_batch: usize,
     m1_kib: Vec<usize>,
     m1_reps: usize,
+    d1_mirror_seeds: usize,
+    d1_migration_seeds: usize,
+    d1_events: usize,
+    d1_faults: usize,
 }
 
 impl Sizes {
@@ -63,6 +69,12 @@ impl Sizes {
             o1_per_batch: 500,
             m1_kib: vec![0, 16, 64, 256, 512],
             m1_reps: 2,
+            // 32 + 32 + the matrix = the 65-scenario sweep the chaos CI
+            // stage replays byte-for-byte.
+            d1_mirror_seeds: 32,
+            d1_migration_seeds: 32,
+            d1_events: 60,
+            d1_faults: 5,
         }
     }
 
@@ -92,6 +104,10 @@ impl Sizes {
             // so --quick keeps it and drops the middle of the sweep.
             m1_kib: vec![0, 512],
             m1_reps: 1,
+            d1_mirror_seeds: 4,
+            d1_migration_seeds: 4,
+            d1_events: 30,
+            d1_faults: 3,
         }
     }
 }
@@ -103,7 +119,7 @@ fn main() {
     let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let mut over_budget = false;
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
-        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1"]
+        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "d1"]
     } else {
         which
     };
@@ -140,8 +156,20 @@ fn main() {
                 }
                 exp::m1::render(&points)
             }
+            "d1" => {
+                let report = exp::d1::run(
+                    sizes.d1_mirror_seeds,
+                    sizes.d1_migration_seeds,
+                    sizes.d1_events,
+                    sizes.d1_faults,
+                );
+                if exp::d1::gate_failed(&report) {
+                    over_budget = true;
+                }
+                exp::d1::render(&report)
+            }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|all)");
                 std::process::exit(2);
             }
         };
@@ -150,7 +178,8 @@ fn main() {
     }
     if over_budget {
         eprintln!(
-            "a budget gate failed (R-O1 <= {}% overhead, R-M1 <= {:.0}ms sealing premium)",
+            "a budget gate failed (R-O1 <= {}% overhead, R-M1 <= {:.0}ms sealing premium, \
+             R-D1 zero false positives + full injection detection)",
             exp::o1::BUDGET_PCT,
             exp::m1::BUDGET_PREMIUM_US / 1e3
         );

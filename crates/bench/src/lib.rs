@@ -20,9 +20,11 @@
 //! | [`exp::r1`] | R-R1: chaos + crash/recovery of the mirror pipeline |
 //! | [`exp::o1`] | R-O1: telemetry self-overhead on the request path |
 //! | [`exp::m1`] | R-M1: live-migration downtime vs state size (cluster) |
+//! | [`exp::d1`] | R-D1: sentinel detection quality (FP sweep + injections) |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
+    pub mod d1;
     pub mod f1;
     pub mod f2;
     pub mod f3;

@@ -41,7 +41,10 @@ use tpm_crypto::rsa::RsaPublicKey;
 use vtpm::migration::{self, MigrationPackage};
 use vtpm::{Envelope, InstanceId, ManagerConfig, MirrorMode, Platform, ResponseEnvelope, VtpmInstance};
 use vtpm_ac::{AuditLog, AuditOutcome, MigrationStage};
-use vtpm_telemetry::{MigrationOutcome, MigrationSpanRecord, MigrationTelemetry};
+use vtpm_telemetry::{
+    migration_trace_id, MigrationOutcome, MigrationSpanRecord, MigrationTelemetry,
+    DENY_REJECTED_STALE,
+};
 use workload::trace::{apply_to_tpm, TraceEvent};
 use xen_sim::{DomainId, Result as XenResult, VirtualClock};
 
@@ -158,6 +161,10 @@ pub struct MigrationRun {
     pub dst: usize,
     /// The attempt's migration epoch.
     pub epoch: u64,
+    /// Cluster-wide causal trace id (minted from `(vm, epoch)` at
+    /// `begin_migration`, carried in every wire frame, and recorded as
+    /// the `request_id` of both hosts' migration audit entries).
+    pub trace: u64,
     local: InstanceId,
     phase: Phase,
     step: usize,
@@ -339,15 +346,37 @@ impl Cluster {
         Some((from as usize, MigMessage::decode(rest)?))
     }
 
-    fn audit_stage(&self, host: usize, peer: usize, vm: u32, epoch: u64, stage: MigrationStage) {
+    /// Chain a migration stage into `host`'s audit log under the
+    /// attempt's causal trace id — the hash chain covers `trace`, so
+    /// both hosts' logs join the cluster-wide trace through the same
+    /// `request_id` field per-request entries use.
+    fn audit_stage(
+        &self,
+        host: usize,
+        peer: usize,
+        vm: u32,
+        epoch: u64,
+        trace: u64,
+        stage: MigrationStage,
+    ) {
         self.hosts[host].audit.record(
             self.clock.now_ns(),
-            0,
+            trace,
             peer as u32,
             vm,
             epoch as u32,
             AuditOutcome::Migration(stage),
         );
+    }
+
+    /// Surface a stale/replayed-epoch refusal on `host`'s per-reason
+    /// deny counters (`rejected-stale` slot) without touching the
+    /// request-conservation counters — no guest span exists for a
+    /// protocol refusal.
+    fn note_stale_deny(&self, host: usize) {
+        if let Some(t) = self.hosts[host].platform.manager.telemetry() {
+            t.note_protocol_deny(DENY_REJECTED_STALE);
+        }
     }
 
     /// Begin migrating `vm` to `dst`. `None` if the VM has no live home
@@ -368,6 +397,7 @@ impl Cluster {
             src,
             dst,
             epoch,
+            trace: migration_trace_id(vm, epoch),
             local,
             phase: Phase::Proposed,
             step: 0,
@@ -402,7 +432,10 @@ impl Cluster {
             0 => {
                 self.fabric.send(
                     run.dst,
-                    Self::frame(run.src, &MigMessage::Prepare { vm: run.vm, epoch: run.epoch }),
+                    Self::frame(
+                        run.src,
+                        &MigMessage::Prepare { vm: run.vm, epoch: run.epoch, trace: run.trace },
+                    ),
                 );
             }
             1 | 4 | 6 => self.pump_host(run.dst),
@@ -424,13 +457,20 @@ impl Cluster {
         let mut acks: Vec<Vec<u8>> = Vec::new();
         while let Some(bytes) = self.fabric.recv(host) {
             let Some((from, msg)) = Self::unframe(&bytes) else { continue };
+            // The destination records the trace id it saw on the wire,
+            // not a locally re-derived one — exactly as a real tracing
+            // header propagates.
             match msg {
-                MigMessage::Prepare { vm, epoch } => self.dst_prepare(host, from, vm, epoch),
-                MigMessage::Transfer { vm, epoch, package } => {
-                    self.dst_transfer(host, from, vm, epoch, &package)
+                MigMessage::Prepare { vm, epoch, trace } => {
+                    self.dst_prepare(host, from, vm, epoch, trace)
                 }
-                MigMessage::Commit { vm, epoch } => self.dst_commit(host, from, vm, epoch),
-                MigMessage::Abort { vm, epoch } => self.dst_abort(host, vm, epoch),
+                MigMessage::Transfer { vm, epoch, trace, package } => {
+                    self.dst_transfer(host, from, vm, epoch, trace, &package)
+                }
+                MigMessage::Commit { vm, epoch, trace } => {
+                    self.dst_commit(host, from, vm, epoch, trace)
+                }
+                MigMessage::Abort { vm, epoch, trace } => self.dst_abort(host, vm, epoch, trace),
                 // Source-side ack: not ours to consume.
                 _ => acks.push(bytes),
             }
@@ -446,7 +486,7 @@ impl Cluster {
         self.fabric.requeue(host, bytes);
     }
 
-    fn dst_prepare(&mut self, host: usize, from: usize, vm: u32, epoch: u64) {
+    fn dst_prepare(&mut self, host: usize, from: usize, vm: u32, epoch: u64, trace: u64) {
         let stale = {
             let h = &self.hosts[host];
             if h.journal.open_prepare(vm) == Some(epoch) {
@@ -459,6 +499,7 @@ impl Cluster {
                         &MigMessage::PrepareAck {
                             vm,
                             epoch,
+                            trace,
                             ek_n: ek.n.to_bytes_be(),
                             ek_e: ek.e.to_bytes_be(),
                         },
@@ -471,14 +512,15 @@ impl Cluster {
                 || h.journal.last_committed_epoch(vm).is_some_and(|c| epoch <= c)
         };
         if stale {
-            self.audit_stage(host, from, vm, epoch, MigrationStage::RejectedStale);
+            self.audit_stage(host, from, vm, epoch, trace, MigrationStage::RejectedStale);
+            self.note_stale_deny(host);
             self.fabric
-                .send(from, Self::frame(host, &MigMessage::PrepareReject { vm, epoch }));
+                .send(from, Self::frame(host, &MigMessage::PrepareReject { vm, epoch, trace }));
             return;
         }
         self.hosts[host].journal.append(JournalRecord::DstPrepared { vm, epoch });
         self.hosts[host].inbound.insert((vm, epoch), Inbound { verified: None });
-        self.audit_stage(host, from, vm, epoch, MigrationStage::Prepared);
+        self.audit_stage(host, from, vm, epoch, trace, MigrationStage::Prepared);
         let ek = self.hosts[host].platform.hw_ek_public();
         self.fabric.send(
             from,
@@ -487,6 +529,7 @@ impl Cluster {
                 &MigMessage::PrepareAck {
                     vm,
                     epoch,
+                    trace,
                     ek_n: ek.n.to_bytes_be(),
                     ek_e: ek.e.to_bytes_be(),
                 },
@@ -494,23 +537,36 @@ impl Cluster {
         );
     }
 
-    fn dst_transfer(&mut self, host: usize, from: usize, vm: u32, epoch: u64, package: &[u8]) {
+    fn dst_transfer(
+        &mut self,
+        host: usize,
+        from: usize,
+        vm: u32,
+        epoch: u64,
+        trace: u64,
+        package: &[u8],
+    ) {
         // Duplicate after a successful verify: idempotent re-ack.
         if self.hosts[host]
             .inbound
             .get(&(vm, epoch))
             .is_some_and(|i| i.verified.is_some())
         {
-            self.fabric
-                .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, ok: true }));
+            self.fabric.send(
+                from,
+                Self::frame(host, &MigMessage::VerifyAck { vm, epoch, trace, ok: true }),
+            );
             return;
         }
         if self.hosts[host].journal.open_prepare(vm) != Some(epoch) {
             // Replayed package for a closed or never-opened prepare —
             // the anti-rollback refusal.
-            self.audit_stage(host, from, vm, epoch, MigrationStage::RejectedStale);
-            self.fabric
-                .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, ok: false }));
+            self.audit_stage(host, from, vm, epoch, trace, MigrationStage::RejectedStale);
+            self.note_stale_deny(host);
+            self.fabric.send(
+                from,
+                Self::frame(host, &MigMessage::VerifyAck { vm, epoch, trace, ok: false }),
+            );
             return;
         }
         let verdict = MigrationPackage::decode(package).ok().and_then(|pkg| {
@@ -527,23 +583,23 @@ impl Cluster {
             // payload cannot be re-dressed as this epoch.
             Some((pvm, pepoch, state)) if pvm == vm && pepoch == epoch => {
                 self.hosts[host].inbound.insert((vm, epoch), Inbound { verified: Some(state) });
-                self.audit_stage(host, from, vm, epoch, MigrationStage::Verified);
+                self.audit_stage(host, from, vm, epoch, trace, MigrationStage::Verified);
                 true
             }
             _ => {
-                self.audit_stage(host, from, vm, epoch, MigrationStage::Aborted);
+                self.audit_stage(host, from, vm, epoch, trace, MigrationStage::Aborted);
                 false
             }
         };
         self.fabric
-            .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, ok }));
+            .send(from, Self::frame(host, &MigMessage::VerifyAck { vm, epoch, trace, ok }));
     }
 
-    fn dst_commit(&mut self, host: usize, from: usize, vm: u32, epoch: u64) {
+    fn dst_commit(&mut self, host: usize, from: usize, vm: u32, epoch: u64, trace: u64) {
         if self.hosts[host].committed_at(vm, epoch) {
             // Duplicate commit: idempotent re-ack.
             self.fabric
-                .send(from, Self::frame(host, &MigMessage::CommitAck { vm, epoch }));
+                .send(from, Self::frame(host, &MigMessage::CommitAck { vm, epoch, trace }));
             return;
         }
         let plaintext = self.hosts[host]
@@ -570,33 +626,35 @@ impl Cluster {
                             .journal
                             .append(JournalRecord::DstCommitted { vm, epoch, local });
                         self.hosts[host].inbound.remove(&(vm, epoch));
-                        self.audit_stage(host, from, vm, epoch, MigrationStage::Committed);
+                        self.audit_stage(host, from, vm, epoch, trace, MigrationStage::Committed);
                         self.commit_ns.insert((vm, epoch), self.clock.now_ns());
-                        self.fabric
-                            .send(from, Self::frame(host, &MigMessage::CommitAck { vm, epoch }));
+                        self.fabric.send(
+                            from,
+                            Self::frame(host, &MigMessage::CommitAck { vm, epoch, trace }),
+                        );
                     }
                     None => {
-                        self.dst_abort(host, vm, epoch);
+                        self.dst_abort(host, vm, epoch, trace);
                         self.fabric
-                            .send(from, Self::frame(host, &MigMessage::Abort { vm, epoch }));
+                            .send(from, Self::frame(host, &MigMessage::Abort { vm, epoch, trace }));
                     }
                 }
             }
             _ => {
                 // No verified plaintext (crash wiped it, or the verify
                 // never happened): refuse, close the prepare.
-                self.dst_abort(host, vm, epoch);
+                self.dst_abort(host, vm, epoch, trace);
                 self.fabric
-                    .send(from, Self::frame(host, &MigMessage::Abort { vm, epoch }));
+                    .send(from, Self::frame(host, &MigMessage::Abort { vm, epoch, trace }));
             }
         }
     }
 
-    fn dst_abort(&mut self, host: usize, vm: u32, epoch: u64) {
+    fn dst_abort(&mut self, host: usize, vm: u32, epoch: u64, trace: u64) {
         if self.hosts[host].journal.open_prepare(vm) == Some(epoch) {
             self.hosts[host].journal.append(JournalRecord::DstAborted { vm, epoch });
             self.hosts[host].inbound.remove(&(vm, epoch));
-            self.audit_stage(host, host, vm, epoch, MigrationStage::Aborted);
+            self.audit_stage(host, host, vm, epoch, trace, MigrationStage::Aborted);
         }
     }
 
@@ -624,7 +682,7 @@ impl Cluster {
             self.hosts[run.src]
                 .journal
                 .append(JournalRecord::SrcAborted { vm: run.vm, epoch: run.epoch });
-            self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Aborted);
+            self.audit_stage(run.src, run.dst, run.vm, run.epoch, run.trace, MigrationStage::Aborted);
             run.phase = Phase::Rejected;
             return;
         }
@@ -635,7 +693,7 @@ impl Cluster {
                 .append(JournalRecord::SrcQuiesced { vm: run.vm, epoch: run.epoch });
             self.hosts[run.src].platform.manager.set_quiesced(run.local, true);
             self.clock.advance_ns(QUIESCE_NS);
-            self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Quiesced);
+            self.audit_stage(run.src, run.dst, run.vm, run.epoch, run.trace, MigrationStage::Quiesced);
             run.quiesce_at_ns = Some(self.clock.now_ns());
             run.phase = Phase::Quiesced;
         } else if run.phase == Phase::Proposed {
@@ -674,10 +732,18 @@ impl Cluster {
         };
         let encoded = package.encode();
         run.package_bytes = encoded.len() as u64;
-        self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Transferred);
+        self.audit_stage(run.src, run.dst, run.vm, run.epoch, run.trace, MigrationStage::Transferred);
         self.fabric.send(
             run.dst,
-            Self::frame(run.src, &MigMessage::Transfer { vm: run.vm, epoch: run.epoch, package: encoded }),
+            Self::frame(
+                run.src,
+                &MigMessage::Transfer {
+                    vm: run.vm,
+                    epoch: run.epoch,
+                    trace: run.trace,
+                    package: encoded,
+                },
+            ),
         );
         run.phase = Phase::TransferSent;
     }
@@ -698,7 +764,10 @@ impl Cluster {
             Some(true) => {
                 self.fabric.send(
                     run.dst,
-                    Self::frame(run.src, &MigMessage::Commit { vm: run.vm, epoch: run.epoch }),
+                    Self::frame(
+                        run.src,
+                        &MigMessage::Commit { vm: run.vm, epoch: run.epoch, trace: run.trace },
+                    ),
                 );
                 run.phase = Phase::CommitSent;
             }
@@ -721,7 +790,7 @@ impl Cluster {
             None::<()>
         });
         if acked {
-            self.release_src(run.src, run.dst, run.vm, run.epoch);
+            self.release_src(run.src, run.dst, run.vm, run.epoch, run.trace);
             run.phase = Phase::Released;
         }
         // No ack: in doubt — the commit may or may not have landed.
@@ -730,7 +799,7 @@ impl Cluster {
         // hosts at once.
     }
 
-    fn release_src(&mut self, src: usize, dst: usize, vm: u32, epoch: u64) {
+    fn release_src(&mut self, src: usize, dst: usize, vm: u32, epoch: u64, trace: u64) {
         // Write-ahead: the release record first, then the scrub — a
         // crash in between leaves an orphan instance recovery scrubs.
         let local = self.hosts[src].journal.local_of(vm);
@@ -738,7 +807,7 @@ impl Cluster {
         if let Some(local) = local {
             let _ = self.hosts[src].platform.manager.destroy_instance(local);
         }
-        self.audit_stage(src, dst, vm, epoch, MigrationStage::Released);
+        self.audit_stage(src, dst, vm, epoch, trace, MigrationStage::Released);
     }
 
     fn abort_run(&mut self, run: &mut MigrationRun) {
@@ -748,10 +817,13 @@ impl Cluster {
         if run.quiesce_at_ns.is_some() {
             self.hosts[run.src].platform.manager.set_quiesced(run.local, false);
         }
-        self.audit_stage(run.src, run.dst, run.vm, run.epoch, MigrationStage::Aborted);
+        self.audit_stage(run.src, run.dst, run.vm, run.epoch, run.trace, MigrationStage::Aborted);
         self.fabric.send(
             run.dst,
-            Self::frame(run.src, &MigMessage::Abort { vm: run.vm, epoch: run.epoch }),
+            Self::frame(
+                run.src,
+                &MigMessage::Abort { vm: run.vm, epoch: run.epoch, trace: run.trace },
+            ),
         );
         run.phase = Phase::Aborted;
     }
@@ -785,16 +857,20 @@ impl Cluster {
         // release; otherwise abort and thaw.
         for s in 0..self.hosts.len() {
             let Some(epoch) = self.hosts[s].journal.open_quiesce(vm) else { continue };
+            // No run survives to here (recovery path); the trace id is a
+            // pure function of (vm, epoch), so re-deriving it yields the
+            // exact value the original attempt's wire frames carried.
+            let trace = migration_trace_id(vm, epoch);
             let committed_on =
                 (0..self.hosts.len()).find(|&d| d != s && self.hosts[d].committed_at(vm, epoch));
             match committed_on {
-                Some(d) => self.release_src(s, d, vm, epoch),
+                Some(d) => self.release_src(s, d, vm, epoch, trace),
                 None => {
                     self.hosts[s].journal.append(JournalRecord::SrcAborted { vm, epoch });
                     if let Some(local) = self.hosts[s].journal.local_of(vm) {
                         self.hosts[s].platform.manager.set_quiesced(local, false);
                     }
-                    self.audit_stage(s, s, vm, epoch, MigrationStage::Aborted);
+                    self.audit_stage(s, s, vm, epoch, trace, MigrationStage::Aborted);
                 }
             }
         }
@@ -802,7 +878,7 @@ impl Cluster {
         // lost): close them so the epochs stay burned but inactive.
         for d in 0..self.hosts.len() {
             if let Some(epoch) = self.hosts[d].journal.open_prepare(vm) {
-                self.dst_abort(d, vm, epoch);
+                self.dst_abort(d, vm, epoch, migration_trace_id(vm, epoch));
             }
         }
     }
@@ -831,6 +907,8 @@ impl Cluster {
         };
         let s = &run.step_ns;
         self.telemetry.record(MigrationSpanRecord {
+            trace_id: run.trace,
+            request_id: run.trace,
             vm: run.vm,
             epoch: run.epoch,
             src_host: run.src as u32,
@@ -838,6 +916,7 @@ impl Cluster {
             sealed: self.cfg.sealed,
             state_bytes: run.state_bytes,
             package_bytes: run.package_bytes,
+            start_ns: run.start_ns,
             // prepare, quiesce, transfer, verify, commit, release.
             stage_ns: [s[0] + s[1], s[2], s[3], s[4], s[5] + s[6], s[7]],
             downtime_ns,

@@ -203,6 +203,42 @@ mod tests {
     }
 
     #[test]
+    fn trace_id_joins_wire_frames_audit_chains_and_span() {
+        let mut cluster = Cluster::new(b"cluster-t8", small()).unwrap();
+        let vm = cluster.create_vm().unwrap();
+        for ev in generate_trace(b"t8-trace", 10) {
+            cluster.apply_event(vm, &ev);
+        }
+        assert_eq!(cluster.migrate(vm, 1), MigrateOutcome::Committed);
+
+        let spans = cluster.telemetry().spans();
+        assert_eq!(spans.len(), 1);
+        let trace = spans[0].trace_id;
+        assert_eq!(spans[0].request_id, trace, "span joins audit chains by the same key");
+        assert_eq!(trace, vtpm_telemetry::migration_trace_id(vm, spans[0].epoch));
+
+        // Every wire frame of the attempt carried the trace id.
+        for frame in cluster.fabric.wiretap() {
+            let msg = MigMessage::decode(&frame[1..]).expect("wiretap frame decodes");
+            assert_eq!(msg.trace(), trace, "frame {msg:?} lost the trace header");
+        }
+        // Both hosts chained the migration stages under that id, so the
+        // trace joins source and destination audit logs causally.
+        for h in [0usize, 1] {
+            let entries = cluster.hosts[h].audit.entries();
+            assert!(vtpm_ac::AuditLog::verify(&entries));
+            let stages: Vec<_> = entries
+                .iter()
+                .filter(|e| {
+                    matches!(e.outcome, vtpm_ac::AuditOutcome::Migration(_))
+                        && e.request_id == trace
+                })
+                .collect();
+            assert!(!stages.is_empty(), "host {h} has no audit entries under trace {trace:#x}");
+        }
+    }
+
+    #[test]
     fn quiesced_vm_bounces_guest_traffic() {
         let mut cluster = Cluster::new(b"cluster-t7", small()).unwrap();
         let vm = cluster.create_vm().unwrap();

@@ -18,11 +18,14 @@
 //! ```
 //!
 //! Every message carries (`vm`, `epoch`) so each side can match it
-//! against its durable journal; the sealed package additionally binds
-//! the pair *inside* the encrypted payload (see
-//! [`encode_payload`]/[`decode_payload`]), so an attacker cannot
-//! re-envelope an old package's ciphertext under a fresh epoch — the
-//! digest covers the header.
+//! against its durable journal, plus the attempt's cluster-wide
+//! `trace` id (minted once at the source by
+//! `vtpm_telemetry::migration_trace_id`), so spans and audit records
+//! on source, destination, and fabric stitch into one causal trace;
+//! the sealed package additionally binds the (vm, epoch) pair *inside*
+//! the encrypted payload (see [`encode_payload`]/[`decode_payload`]),
+//! so an attacker cannot re-envelope an old package's ciphertext under
+//! a fresh epoch — the digest covers the header.
 //!
 //! Decoding is hardened the same way as `MigrationPackage::decode`:
 //! untrusted bytes yield `None`, never a panic, and trailing garbage is
@@ -34,21 +37,21 @@ use tpm::buffer::{Reader, Writer};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MigMessage {
     /// s0 → destination: propose migrating `vm` at `epoch`.
-    Prepare { vm: u32, epoch: u64 },
+    Prepare { vm: u32, epoch: u64, trace: u64 },
     /// s1 → source: accepted; seal to this EK (modulus/exponent bytes).
-    PrepareAck { vm: u32, epoch: u64, ek_n: Vec<u8>, ek_e: Vec<u8> },
+    PrepareAck { vm: u32, epoch: u64, trace: u64, ek_n: Vec<u8>, ek_e: Vec<u8> },
     /// s1 → source: refused (stale/replayed epoch, or vm already here).
-    PrepareReject { vm: u32, epoch: u64 },
+    PrepareReject { vm: u32, epoch: u64, trace: u64 },
     /// s3 → destination: the packaged state.
-    Transfer { vm: u32, epoch: u64, package: Vec<u8> },
+    Transfer { vm: u32, epoch: u64, trace: u64, package: Vec<u8> },
     /// s4 → source: package verified (or not).
-    VerifyAck { vm: u32, epoch: u64, ok: bool },
+    VerifyAck { vm: u32, epoch: u64, trace: u64, ok: bool },
     /// s5 → destination: make it authoritative.
-    Commit { vm: u32, epoch: u64 },
+    Commit { vm: u32, epoch: u64, trace: u64 },
     /// s6 → source: adopted; safe to release.
-    CommitAck { vm: u32, epoch: u64 },
+    CommitAck { vm: u32, epoch: u64, trace: u64 },
     /// Either direction: abandon (vm, epoch).
-    Abort { vm: u32, epoch: u64 },
+    Abort { vm: u32, epoch: u64, trace: u64 },
 }
 
 const TAG_PREPARE: u8 = 1;
@@ -71,18 +74,41 @@ fn get_epoch(r: &mut Reader) -> Option<u64> {
     Some(hi << 32 | lo)
 }
 
+fn put_u64(w: &mut Writer, v: u64) {
+    put_epoch(w, v);
+}
+
+fn get_u64(r: &mut Reader) -> Option<u64> {
+    get_epoch(r)
+}
+
 impl MigMessage {
     /// The (vm, epoch) pair every message carries.
     pub fn key(&self) -> (u32, u64) {
         match *self {
-            MigMessage::Prepare { vm, epoch }
+            MigMessage::Prepare { vm, epoch, .. }
             | MigMessage::PrepareAck { vm, epoch, .. }
-            | MigMessage::PrepareReject { vm, epoch }
+            | MigMessage::PrepareReject { vm, epoch, .. }
             | MigMessage::Transfer { vm, epoch, .. }
             | MigMessage::VerifyAck { vm, epoch, .. }
-            | MigMessage::Commit { vm, epoch }
-            | MigMessage::CommitAck { vm, epoch }
-            | MigMessage::Abort { vm, epoch } => (vm, epoch),
+            | MigMessage::Commit { vm, epoch, .. }
+            | MigMessage::CommitAck { vm, epoch, .. }
+            | MigMessage::Abort { vm, epoch, .. } => (vm, epoch),
+        }
+    }
+
+    /// The causal trace id every message carries (header field, minted
+    /// at the source when the attempt began).
+    pub fn trace(&self) -> u64 {
+        match *self {
+            MigMessage::Prepare { trace, .. }
+            | MigMessage::PrepareAck { trace, .. }
+            | MigMessage::PrepareReject { trace, .. }
+            | MigMessage::Transfer { trace, .. }
+            | MigMessage::VerifyAck { trace, .. }
+            | MigMessage::Commit { trace, .. }
+            | MigMessage::CommitAck { trace, .. }
+            | MigMessage::Abort { trace, .. } => trace,
         }
     }
 
@@ -90,6 +116,7 @@ impl MigMessage {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         let (vm, epoch) = self.key();
+        let trace = self.trace();
         let tag = match self {
             MigMessage::Prepare { .. } => TAG_PREPARE,
             MigMessage::PrepareAck { .. } => TAG_PREPARE_ACK,
@@ -103,6 +130,7 @@ impl MigMessage {
         w.u8(tag);
         w.u32(vm);
         put_epoch(&mut w, epoch);
+        put_u64(&mut w, trace);
         match self {
             MigMessage::PrepareAck { ek_n, ek_e, .. } => {
                 w.sized_u32(ek_n);
@@ -126,21 +154,22 @@ impl MigMessage {
         let tag = r.u8().ok()?;
         let vm = r.u32().ok()?;
         let epoch = get_epoch(&mut r)?;
+        let trace = get_u64(&mut r)?;
         let msg = match tag {
-            TAG_PREPARE => MigMessage::Prepare { vm, epoch },
+            TAG_PREPARE => MigMessage::Prepare { vm, epoch, trace },
             TAG_PREPARE_ACK => {
                 let ek_n = r.sized_u32().ok()?.to_vec();
                 let ek_e = r.sized_u32().ok()?.to_vec();
-                MigMessage::PrepareAck { vm, epoch, ek_n, ek_e }
+                MigMessage::PrepareAck { vm, epoch, trace, ek_n, ek_e }
             }
-            TAG_PREPARE_REJECT => MigMessage::PrepareReject { vm, epoch },
+            TAG_PREPARE_REJECT => MigMessage::PrepareReject { vm, epoch, trace },
             TAG_TRANSFER => {
-                MigMessage::Transfer { vm, epoch, package: r.sized_u32().ok()?.to_vec() }
+                MigMessage::Transfer { vm, epoch, trace, package: r.sized_u32().ok()?.to_vec() }
             }
-            TAG_VERIFY_ACK => MigMessage::VerifyAck { vm, epoch, ok: r.u8().ok()? != 0 },
-            TAG_COMMIT => MigMessage::Commit { vm, epoch },
-            TAG_COMMIT_ACK => MigMessage::CommitAck { vm, epoch },
-            TAG_ABORT => MigMessage::Abort { vm, epoch },
+            TAG_VERIFY_ACK => MigMessage::VerifyAck { vm, epoch, trace, ok: r.u8().ok()? != 0 },
+            TAG_COMMIT => MigMessage::Commit { vm, epoch, trace },
+            TAG_COMMIT_ACK => MigMessage::CommitAck { vm, epoch, trace },
+            TAG_ABORT => MigMessage::Abort { vm, epoch, trace },
             _ => return None,
         };
         if r.remaining() != 0 {
@@ -175,22 +204,25 @@ pub fn decode_payload(payload: &[u8]) -> Option<(u32, u64, Vec<u8>)> {
 mod tests {
     use super::*;
 
+    const TRACE: u64 = (1 << 63) | (3 << 32) | 1;
+
     fn all_messages() -> Vec<MigMessage> {
         vec![
-            MigMessage::Prepare { vm: 3, epoch: 1 },
+            MigMessage::Prepare { vm: 3, epoch: 1, trace: TRACE },
             MigMessage::PrepareAck {
                 vm: 3,
                 epoch: 1,
+                trace: TRACE,
                 ek_n: vec![0xAA; 128],
                 ek_e: vec![1, 0, 1],
             },
-            MigMessage::PrepareReject { vm: 3, epoch: 1 },
-            MigMessage::Transfer { vm: 3, epoch: u64::MAX - 1, package: vec![0x55; 300] },
-            MigMessage::VerifyAck { vm: 3, epoch: 1, ok: true },
-            MigMessage::VerifyAck { vm: 3, epoch: 1, ok: false },
-            MigMessage::Commit { vm: 3, epoch: 1 },
-            MigMessage::CommitAck { vm: 3, epoch: 1 },
-            MigMessage::Abort { vm: 3, epoch: 1 },
+            MigMessage::PrepareReject { vm: 3, epoch: 1, trace: TRACE },
+            MigMessage::Transfer { vm: 3, epoch: u64::MAX - 1, trace: u64::MAX, package: vec![0x55; 300] },
+            MigMessage::VerifyAck { vm: 3, epoch: 1, trace: TRACE, ok: true },
+            MigMessage::VerifyAck { vm: 3, epoch: 1, trace: TRACE, ok: false },
+            MigMessage::Commit { vm: 3, epoch: 1, trace: TRACE },
+            MigMessage::CommitAck { vm: 3, epoch: 1, trace: TRACE },
+            MigMessage::Abort { vm: 3, epoch: 1, trace: TRACE },
         ]
     }
 
@@ -198,7 +230,9 @@ mod tests {
     fn wire_roundtrip_every_variant() {
         for m in all_messages() {
             let bytes = m.encode();
-            assert_eq!(MigMessage::decode(&bytes), Some(m));
+            assert_eq!(MigMessage::decode(&bytes), Some(m.clone()));
+            // The header trace id survives the wire on every variant.
+            assert_eq!(MigMessage::decode(&bytes).unwrap().trace(), m.trace());
         }
     }
 

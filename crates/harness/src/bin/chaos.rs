@@ -4,6 +4,7 @@
 //! ```text
 //! chaos [--seeds N] [--events N] [--faults N] [--mode encrypted|cleartext]
 //!       [--base LABEL] [--jobs N] [--family mirror|migration|both] [--matrix]
+//!       [--json]
 //! ```
 //!
 //! Seeds run in parallel across `--jobs` worker threads (default: all
@@ -17,6 +18,12 @@
 //! scenarios, `both` runs the two back to back on the same seed list.
 //! `--matrix` additionally runs the exhaustive crash-at-every-step
 //! migration matrix (both roles x every protocol step) on one seed.
+//!
+//! `--json` switches the per-seed output to one JSON object per line
+//! (stable field order; `report` is the full seed report, plus
+//! `deterministic` and `failed` verdicts), still printed in seed order
+//! — pipe it into `jq` or the bench tooling. The summary line and exit
+//! status are unchanged.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -35,8 +42,13 @@ struct SeedOutcome {
     failed: bool,
 }
 
+/// Wrap a report's JSON with the harness verdicts, as one line.
+fn json_line(report_json: &str, deterministic: bool, failed: bool) -> String {
+    format!("{{\"report\":{report_json},\"deterministic\":{deterministic},\"failed\":{failed}}}\n")
+}
+
 /// Run one seed twice, diff the replays, and render the report line.
-fn run_seed(seed: &str, cfg: &ChaosConfig) -> SeedOutcome {
+fn run_seed(seed: &str, cfg: &ChaosConfig, json: bool) -> SeedOutcome {
     let first = match run_chaos(seed.as_bytes(), cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -53,13 +65,23 @@ fn run_seed(seed: &str, cfg: &ChaosConfig) -> SeedOutcome {
     // Scrub failures are *not* a failure condition: an injected crash
     // can land on a post-commit hygiene scrub, which is best-effort by
     // design (recovery re-scrubs). They are surfaced in the report line
-    // and covered by the determinism diff instead.
+    // and covered by the determinism diff instead. A critical sentinel
+    // alert on a clean (attack-free) seed is a false positive and fails
+    // the seed.
     let clean = first.divergences.is_empty()
         && first.nonce_reuses == 0
-        && first.dropped_events == 0;
+        && first.dropped_events == 0
+        && first.sentinel_critical == 0;
+    if json {
+        return SeedOutcome {
+            text: json_line(&first.to_json(), deterministic, !deterministic || !clean),
+            failed: !deterministic || !clean,
+        };
+    }
     let mut text = format!(
         "seed {seed}: transcript {} faults {:?} recoveries {} (post {} / pre {}) reconnects {} \
-         completed {} dropped {} scrub-failures {} retried-burns {} divergences {} nonce-reuses {}{}\n",
+         completed {} dropped {} scrub-failures {} retried-burns {} divergences {} nonce-reuses {} \
+         sentinel-critical {}{}\n",
         first.transcript.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
         first.faults.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
         first.crash_recoveries,
@@ -72,16 +94,20 @@ fn run_seed(seed: &str, cfg: &ChaosConfig) -> SeedOutcome {
         first.retried_generation_burns,
         first.divergences.len(),
         first.nonce_reuses,
+        first.sentinel_critical,
         if deterministic { "" } else { "  REPLAY MISMATCH" },
     );
     for d in &first.divergences {
         text.push_str(&format!("    {d}\n"));
     }
+    for a in &first.sentinel_alerts {
+        text.push_str(&format!("    {a}\n"));
+    }
     SeedOutcome { text, failed: !deterministic || !clean }
 }
 
 /// Run one migration-family seed twice, diff the replays, render.
-fn run_migration_seed(seed: &str, cfg: &MigrationChaosConfig) -> SeedOutcome {
+fn run_migration_seed(seed: &str, cfg: &MigrationChaosConfig, json: bool) -> SeedOutcome {
     let first = match run_migration_chaos(seed.as_bytes(), cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -95,11 +121,18 @@ fn run_migration_seed(seed: &str, cfg: &MigrationChaosConfig) -> SeedOutcome {
         }
     };
     let deterministic = first == replay;
-    let clean = first.divergences.is_empty();
+    let clean = first.divergences.is_empty() && first.sentinel_critical == 0;
+    if json {
+        return SeedOutcome {
+            text: json_line(&first.to_json(), deterministic, !deterministic || !clean),
+            failed: !deterministic || !clean,
+        };
+    }
     let f = first.fabric;
     let mut text = format!(
         "seed {seed} [migration]: transcript {} committed {} aborted {} rejected-stale {} \
-         crashes {} rebalance-moves {} fabric {}s/{}d/{}dup/{}ro/{}lost divergences {}{}\n",
+         crashes {} rebalance-moves {} fabric {}s/{}d/{}dup/{}ro/{}lost divergences {} \
+         sentinel-critical {}{}\n",
         first.transcript.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
         first.committed,
         first.aborted,
@@ -112,16 +145,20 @@ fn run_migration_seed(seed: &str, cfg: &MigrationChaosConfig) -> SeedOutcome {
         f.reordered,
         f.crash_lost,
         first.divergences.len(),
+        first.sentinel_critical,
         if deterministic { "" } else { "  REPLAY MISMATCH" },
     );
     for d in &first.divergences {
         text.push_str(&format!("    {d}\n"));
     }
+    for a in &first.sentinel_alerts {
+        text.push_str(&format!("    {a}\n"));
+    }
     SeedOutcome { text, failed: !deterministic || !clean }
 }
 
 /// Run the exhaustive crash matrix twice on one seed, diff, render.
-fn run_matrix_seed(seed: &str) -> SeedOutcome {
+fn run_matrix_seed(seed: &str, json: bool) -> SeedOutcome {
     let first = match run_crash_matrix(seed.as_bytes(), true) {
         Ok(r) => r,
         Err(e) => {
@@ -136,6 +173,12 @@ fn run_matrix_seed(seed: &str) -> SeedOutcome {
     };
     let deterministic = first == replay;
     let clean = first.failures.is_empty() && first.cells.len() == 18;
+    if json {
+        return SeedOutcome {
+            text: json_line(&first.to_json(), deterministic, !deterministic || !clean),
+            failed: !deterministic || !clean,
+        };
+    }
     let moved = first.cells.iter().filter(|c| c.moved).count();
     let mut text = format!(
         "matrix {seed}: transcript {} cells {} committed-handoffs {} replays-rejected {} \
@@ -199,6 +242,7 @@ fn main() -> ExitCode {
     let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let (mut mirror_family, mut migration_family) = (true, false);
     let mut matrix = false;
+    let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -252,6 +296,7 @@ fn main() -> ExitCode {
                 }
             },
             "--matrix" => matrix = true,
+            "--json" => json = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
@@ -266,7 +311,7 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     let mut ran = 0usize;
     if mirror_family {
-        failures += run_family(seeds, jobs, |s| run_seed(&format!("{base}-{s}"), &cfg));
+        failures += run_family(seeds, jobs, |s| run_seed(&format!("{base}-{s}"), &cfg, json));
         ran += seeds;
     }
     if migration_family {
@@ -274,12 +319,13 @@ fn main() -> ExitCode {
             sealed: cfg.mirror_mode == MirrorMode::Encrypted,
             ..Default::default()
         };
-        failures +=
-            run_family(seeds, jobs, |s| run_migration_seed(&format!("{base}-mig-{s}"), &mig_cfg));
+        failures += run_family(seeds, jobs, |s| {
+            run_migration_seed(&format!("{base}-mig-{s}"), &mig_cfg, json)
+        });
         ran += seeds;
     }
     if matrix {
-        let outcome = run_matrix_seed(&format!("{base}-matrix"));
+        let outcome = run_matrix_seed(&format!("{base}-matrix"), json);
         print!("{}", outcome.text);
         if outcome.failed {
             failures += 1;

@@ -28,11 +28,13 @@
 //! which is what `tests/chaos.rs` and `scripts/chaos.sh` check.
 
 pub mod migration_chaos;
+pub mod sentinel_feed;
 
 pub use migration_chaos::{
     run_crash_matrix, run_migration_chaos, CrashMatrixReport, MatrixCell, MigrationChaosConfig,
     MigrationChaosReport,
 };
+pub use sentinel_feed::{audit_event, dump_event};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -44,6 +46,7 @@ use tpm_crypto::sha256;
 use vtpm::{
     provision_device, ManagerConfig, MirrorMode, TpmBack, TpmFront, VtpmManager,
 };
+use vtpm_sentinel::{Sentinel, SentinelConfig, Severity, StreamEvent};
 use workload::trace::apply_to_tpm;
 use workload::{generate_trace, TpmOracle, TraceEvent};
 use xen_sim::{DomainConfig, DomainId, Hypervisor, Result as XenResult, RingFault};
@@ -194,6 +197,14 @@ pub struct ChaosReport {
     /// faults interrupt commits; it is the mechanism that keeps
     /// `nonce_reuses` at 0.
     pub retried_generation_burns: u64,
+    /// Sentinel alert lines, in firing order. A clean chaos run (faults
+    /// are injected, attacks are not) must produce zero critical
+    /// alerts — that is the R-D1 false-positive gate.
+    pub sentinel_alerts: Vec<String>,
+    /// Critical (attack-class) alerts among `sentinel_alerts`.
+    pub sentinel_critical: u64,
+    /// Black-box flight dumps the sentinel captured.
+    pub sentinel_flight_dumps: u64,
     /// SHA-256 over the run transcript (every response, generation and
     /// recovery outcome, in order).
     pub transcript: [u8; 32],
@@ -203,6 +214,68 @@ fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) —
+/// enough for report fields, which are ASCII by construction.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `["a","b"]` from strings, escaped.
+pub(crate) fn json_str_array(items: impl IntoIterator<Item = impl AsRef<str>>) -> String {
+    let inner: Vec<String> = items.into_iter().map(|s| json_str(s.as_ref())).collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl ChaosReport {
+    /// One machine-readable JSON object (single line, stable field
+    /// order) — the `--json` chaos CLI output format.
+    pub fn to_json(&self) -> String {
+        let faults: Vec<String> = self
+            .faults
+            .iter()
+            .map(|(at, name)| format!("{{\"at\":{at},\"fault\":{}}}", json_str(name)))
+            .collect();
+        format!(
+            "{{\"family\":\"mirror\",\"seed\":{},\"events\":{},\"faults\":[{}],\
+             \"crash_recoveries\":{},\"recovered_post\":{},\"recovered_pre\":{},\
+             \"ring_reconnects\":{},\"completed\":{},\"dropped_events\":{},\
+             \"scrub_failures\":{},\"retried_generation_burns\":{},\"nonce_reuses\":{},\
+             \"divergences\":{},\"sentinel_alerts\":{},\"sentinel_critical\":{},\
+             \"sentinel_flight_dumps\":{},\"transcript\":{}}}",
+            json_str(&self.seed),
+            self.events,
+            faults.join(","),
+            self.crash_recoveries,
+            self.recovered_post,
+            self.recovered_pre,
+            self.ring_reconnects,
+            self.completed,
+            self.dropped_events,
+            self.scrub_failures,
+            self.retried_generation_burns,
+            self.nonce_reuses,
+            json_str_array(&self.divergences),
+            json_str_array(&self.sentinel_alerts),
+            self.sentinel_critical,
+            self.sentinel_flight_dumps,
+            json_str(&hex(&self.transcript)),
+        )
+    }
+}
+
 /// Fold one manager epoch's telemetry and mirror counters into the
 /// report. Called immediately before crash recovery replaces the
 /// manager (which discards its registry) and once at run end, so the
@@ -210,7 +283,13 @@ fn hex(bytes: &[u8]) -> String {
 /// no exchange is in flight — so the conservation invariants must hold
 /// *exactly*; a violation is reported as a divergence like any other
 /// oracle mismatch.
-fn absorb_epoch_counters(mgr: &VtpmManager, report: &mut ChaosReport, at: &str) {
+fn absorb_epoch_counters(
+    mgr: &VtpmManager,
+    report: &mut ChaosReport,
+    at: &str,
+    sentinel: &mut Sentinel,
+    now_ns: u64,
+) {
     if let Some(t) = mgr.telemetry() {
         let s = t.snapshot();
         if s.in_flight != 0 {
@@ -227,10 +306,28 @@ fn absorb_epoch_counters(mgr: &VtpmManager, report: &mut ChaosReport, at: &str) 
         }
         report.completed += s.finished;
         report.dropped_events += s.dropped_events;
+        // The sentinel consumes this epoch's spans as a stream; the
+        // ring is drained here anyway (the registry dies with the
+        // epoch), so detection adds no retention cost.
+        for record in t.drain_spans() {
+            sentinel.observe(StreamEvent::Span { host: 0, record });
+        }
     }
     let io = mgr.mirror_io_stats();
     report.scrub_failures += io.scrub_failures;
     report.retried_generation_burns += io.retried_generation_burns;
+    sentinel.observe(StreamEvent::Gauge {
+        host: 0,
+        at_ns: now_ns,
+        name: "mirror_scrub_failures",
+        value: io.scrub_failures,
+    });
+    sentinel.observe(StreamEvent::Gauge {
+        host: 0,
+        at_ns: now_ns,
+        name: "nonce_reuses",
+        value: mgr.nonce_reuses(),
+    });
 }
 
 /// Synchronously complete one ring exchange: the caller's command goes
@@ -305,9 +402,13 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
         dropped_events: 0,
         scrub_failures: 0,
         retried_generation_burns: 0,
+        sentinel_alerts: Vec::new(),
+        sentinel_critical: 0,
+        sentinel_flight_dumps: 0,
         transcript: [0; 32],
     };
     let mut transcript: Vec<u8> = Vec::new();
+    let mut sentinel = Sentinel::new(SentinelConfig::default());
 
     for (i, ev) in trace.iter().enumerate() {
         let fault = plan.faults.get(&i).copied();
@@ -391,7 +492,13 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
             report.nonce_reuses += mgr.nonce_reuses();
             // Recovery builds a fresh manager (and a fresh telemetry
             // registry); bank this epoch's counters first.
-            absorb_epoch_counters(&mgr, &mut report, &format!("event {i}"));
+            absorb_epoch_counters(
+                &mgr,
+                &mut report,
+                &format!("event {i}"),
+                &mut sentinel,
+                hv.clock.now_ns(),
+            );
             hv.clear_faults();
             let (rec, rec_report) = VtpmManager::recover(Arc::clone(&hv), seed, mgr_cfg.clone())?;
             let rec = Arc::new(rec);
@@ -399,6 +506,7 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
             back = back.rebind(Arc::clone(&rec));
             mgr = rec;
             report.crash_recoveries += 1;
+            sentinel.observe(StreamEvent::CrashRecovery { host: 0, at_ns: hv.clock.now_ns() });
             transcript.push(rec_report.resumed.len() as u8);
             transcript.push(rec_report.failed.len() as u8);
 
@@ -466,7 +574,22 @@ pub fn run_chaos(seed: &[u8], cfg: &ChaosConfig) -> XenResult<ChaosReport> {
         report.divergences.push("final: resident image diverges from live state".into());
     }
     report.nonce_reuses += mgr.nonce_reuses();
-    absorb_epoch_counters(&mgr, &mut report, "final");
+    absorb_epoch_counters(&mgr, &mut report, "final", &mut sentinel, hv.clock.now_ns());
+    // Any use of the hypervisor's dump facility goes to the sentinel
+    // too. The chaos workload itself never dumps; the crash-recovery
+    // scans that do are excused by the CrashRecovery markers fed above,
+    // so an alert here is real.
+    for d in hv.dump_events() {
+        sentinel.observe(sentinel_feed::dump_event(0, &d));
+    }
+    report.sentinel_alerts = sentinel.alerts().iter().map(|a| a.line()).collect();
+    report.sentinel_critical =
+        sentinel.alerts().iter().filter(|a| a.severity == Severity::Critical).count() as u64;
+    report.sentinel_flight_dumps = sentinel.flight_dumps().len() as u64;
+    for line in &report.sentinel_alerts {
+        transcript.extend_from_slice(line.as_bytes());
+    }
+    transcript.push(report.sentinel_flight_dumps as u8);
     report.transcript = sha256(&transcript);
     Ok(report)
 }

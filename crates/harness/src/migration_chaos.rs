@@ -25,8 +25,12 @@ use tpm_crypto::sha256;
 use vtpm_cluster::{
     Cluster, ClusterConfig, FabricFault, FabricStats, MigMessage, MigrateOutcome,
 };
+use vtpm_sentinel::{Sentinel, SentinelConfig, Severity, StreamEvent};
 use workload::{generate_trace, TpmOracle};
 use xen_sim::Result as XenResult;
+
+use crate::sentinel_feed::{audit_event, dump_event};
+use crate::{json_str, json_str_array};
 
 /// Tunables for one migration-chaos scenario.
 #[derive(Debug, Clone)]
@@ -80,8 +84,49 @@ pub struct MigrationChaosReport {
     pub fabric: FabricStats,
     /// Invariant violations and oracle divergences (empty when correct).
     pub divergences: Vec<String>,
+    /// Sentinel alert lines over the whole run (audit chains, migration
+    /// spans, crash markers from every host feed one stream).
+    pub sentinel_alerts: Vec<String>,
+    /// Critical (attack-class) alerts among `sentinel_alerts` — must be
+    /// zero on clean seeds (the R-D1 false-positive gate).
+    pub sentinel_critical: u64,
+    /// Black-box flight dumps the sentinel captured.
+    pub sentinel_flight_dumps: u64,
     /// SHA-256 over the run transcript.
     pub transcript: [u8; 32],
+}
+
+impl MigrationChaosReport {
+    /// One machine-readable JSON object (single line, stable field
+    /// order) — the `--json` chaos CLI output format.
+    pub fn to_json(&self) -> String {
+        let f = self.fabric;
+        format!(
+            "{{\"family\":\"migration\",\"seed\":{},\"rounds\":{},\"committed\":{},\
+             \"aborted\":{},\"rejected_stale\":{},\"crashes\":{},\"rebalance_moves\":{},\
+             \"fabric\":{{\"sent\":{},\"delivered\":{},\"dropped\":{},\"duplicated\":{},\
+             \"reordered\":{},\"crash_lost\":{}}},\"divergences\":{},\"sentinel_alerts\":{},\
+             \"sentinel_critical\":{},\"sentinel_flight_dumps\":{},\"transcript\":{}}}",
+            json_str(&self.seed),
+            self.rounds,
+            self.committed,
+            self.aborted,
+            self.rejected_stale,
+            self.crashes,
+            self.rebalance_moves,
+            f.sent,
+            f.delivered,
+            f.dropped,
+            f.duplicated,
+            f.reordered,
+            f.crash_lost,
+            json_str_array(&self.divergences),
+            json_str_array(&self.sentinel_alerts),
+            self.sentinel_critical,
+            self.sentinel_flight_dumps,
+            json_str(&hex(&self.transcript)),
+        )
+    }
 }
 
 fn hex(bytes: &[u8]) -> String {
@@ -152,9 +197,18 @@ pub fn run_migration_chaos(
         rebalance_moves: 0,
         fabric: FabricStats::default(),
         divergences: Vec::new(),
+        sentinel_alerts: Vec::new(),
+        sentinel_critical: 0,
+        sentinel_flight_dumps: 0,
         transcript: [0; 32],
     };
     let mut transcript: Vec<u8> = Vec::new();
+    let mut sentinel = Sentinel::new(SentinelConfig::default());
+    // Stream cursors: audit entries already fed, per host, and
+    // migration spans already fed — the sentinel sees each record once,
+    // in a deterministic host-major order per round.
+    let mut audit_fed = vec![0usize; cfg.hosts];
+    let mut spans_fed = 0usize;
 
     let mut oracles: Vec<TpmOracle> = Vec::new();
     for _ in 0..cfg.vms {
@@ -249,6 +303,31 @@ pub fn run_migration_chaos(
             check_vm(&cluster, v, &oracles[v as usize], &format!("round {round}"), &mut report.divergences);
             transcript.push(cluster.home_of(v).map_or(0xFF, |h| h as u8));
         }
+
+        // Feed this round's observability exhaust to the sentinel:
+        // every host's new audit entries, then new migration spans,
+        // then the crash marker if one fired.
+        for (h, fed) in audit_fed.iter_mut().enumerate() {
+            let entries = cluster.hosts[h].audit.entries();
+            for e in &entries[*fed..] {
+                sentinel.observe(audit_event(h as u32, e));
+            }
+            *fed = entries.len();
+        }
+        let spans = cluster.telemetry().spans();
+        for m in &spans[spans_fed..] {
+            sentinel.observe(StreamEvent::MigrationSpan(m.clone()));
+        }
+        spans_fed = spans.len();
+        if let Some(h) = crashed {
+            // Stamped on the crashed host's own clock — the same one its
+            // recovery scan's dump-trail entry carries — so the sentinel
+            // can correlate the two.
+            sentinel.observe(StreamEvent::CrashRecovery {
+                host: h as u32,
+                at_ns: cluster.hosts[h].platform.hv.clock.now_ns(),
+            });
+        }
     }
 
     // Final sweep: invariants, audit chains, fabric counters.
@@ -275,6 +354,23 @@ pub fn run_migration_chaos(
     ] {
         transcript.extend_from_slice(&n.to_be_bytes());
     }
+    // Close out the sentinel stream: every host's dump trail. The only
+    // dumps a fault-injecting (but attack-free) run produces are the
+    // crash-recovery scans, which the sentinel excuses by correlation
+    // with the CrashRecovery markers fed above.
+    for h in 0..cfg.hosts {
+        for d in cluster.hosts[h].platform.hv.dump_events() {
+            sentinel.observe(dump_event(h as u32, &d));
+        }
+    }
+    report.sentinel_alerts = sentinel.alerts().iter().map(|a| a.line()).collect();
+    report.sentinel_critical =
+        sentinel.alerts().iter().filter(|a| a.severity == Severity::Critical).count() as u64;
+    report.sentinel_flight_dumps = sentinel.flight_dumps().len() as u64;
+    for line in &report.sentinel_alerts {
+        transcript.extend_from_slice(line.as_bytes());
+    }
+    transcript.push(report.sentinel_flight_dumps as u8);
     report.transcript = sha256(&transcript);
     Ok(report)
 }
@@ -303,8 +399,43 @@ pub struct CrashMatrixReport {
     pub replays_rejected: u64,
     /// Invariant violations (empty when correct).
     pub failures: Vec<String>,
+    /// Critical sentinel alerts summed over every cell (each cell runs
+    /// its own sentinel over both hosts' audit chains and dump trails;
+    /// a single replayed frame stays under the replay-watch burst, so
+    /// clean cells contribute zero).
+    pub sentinel_critical: u64,
     /// SHA-256 over the matrix transcript.
     pub transcript: [u8; 32],
+}
+
+impl CrashMatrixReport {
+    /// One machine-readable JSON object (single line, stable field
+    /// order) — the `--json` chaos CLI output format.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"role\":{},\"after_step\":{},\"survivor\":{},\"moved\":{}}}",
+                    json_str(c.role),
+                    c.after_step,
+                    c.survivor,
+                    c.moved
+                )
+            })
+            .collect();
+        format!(
+            "{{\"family\":\"matrix\",\"seed\":{},\"cells\":[{}],\"replays_rejected\":{},\
+             \"failures\":{},\"sentinel_critical\":{},\"transcript\":{}}}",
+            json_str(&self.seed),
+            cells.join(","),
+            self.replays_rejected,
+            json_str_array(&self.failures),
+            self.sentinel_critical,
+            json_str(&hex(&self.transcript)),
+        )
+    }
 }
 
 /// Crash {source, destination} after every protocol step `k` in
@@ -316,6 +447,7 @@ pub fn run_crash_matrix(seed: &[u8], sealed: bool) -> XenResult<CrashMatrixRepor
         cells: Vec::new(),
         replays_rejected: 0,
         failures: Vec::new(),
+        sentinel_critical: 0,
         transcript: [0; 32],
     };
     let mut transcript: Vec<u8> = Vec::new();
@@ -346,6 +478,7 @@ pub fn run_crash_matrix(seed: &[u8], sealed: bool) -> XenResult<CrashMatrixRepor
             }
             let crash_host = if crash_src { run.src } else { run.dst };
             cluster.recover_host(crash_host)?;
+            let recovered_at = cluster.hosts[crash_host].platform.hv.clock.now_ns();
             cluster.resolve(vm);
 
             let runnable = cluster.runnable_hosts(vm);
@@ -412,6 +545,15 @@ pub fn run_crash_matrix(seed: &[u8], sealed: bool) -> XenResult<CrashMatrixRepor
             }
 
             transcript.extend_from_slice(&[k as u8, crash_src as u8, survivor as u8, moved as u8]);
+            // A per-cell sentinel over both hosts' exhaust: the crash,
+            // recovery, and single replayed frame are all expected —
+            // a critical alert means a detector misread normal fault
+            // handling as an attack.
+            let mut sentinel = Sentinel::new(SentinelConfig::default());
+            sentinel.observe(StreamEvent::CrashRecovery {
+                host: crash_host as u32,
+                at_ns: recovered_at,
+            });
             for h in 0..2 {
                 transcript.extend_from_slice(
                     &(cluster.hosts[h].journal.records().len() as u32).to_be_bytes(),
@@ -421,7 +563,22 @@ pub fn run_crash_matrix(seed: &[u8], sealed: bool) -> XenResult<CrashMatrixRepor
                     report.failures.push(format!("{cell}: host {h} audit chain broken"));
                 }
                 transcript.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+                for e in &entries {
+                    sentinel.observe(audit_event(h as u32, e));
+                }
+                for d in cluster.hosts[h].platform.hv.dump_events() {
+                    sentinel.observe(dump_event(h as u32, &d));
+                }
             }
+            let critical =
+                sentinel.alerts().iter().filter(|a| a.severity == Severity::Critical).count();
+            if critical > 0 {
+                for a in sentinel.alerts() {
+                    report.failures.push(format!("{cell}: sentinel false positive: {}", a.line()));
+                }
+            }
+            report.sentinel_critical += critical as u64;
+            transcript.push(critical as u8);
             report.cells.push(MatrixCell { role, after_step: k, survivor, moved });
         }
     }

@@ -1,0 +1,40 @@
+//! Adapters from the stack's native records to the sentinel's
+//! plain-field [`StreamEvent`]s.
+//!
+//! `vtpm-sentinel` deliberately depends only on the telemetry crate, so
+//! audit entries and hypervisor dump events cross into it as flattened
+//! views; the harness owns the conversion (it is the process boundary a
+//! real detection plane would sit behind).
+
+use vtpm_ac::{AuditEntry, AuditOutcome};
+use vtpm_sentinel::{AuditKind, AuditView, DumpView, StreamEvent};
+use xen_sim::DumpEvent;
+
+/// Flatten one audit-chain entry for the sentinel stream.
+pub fn audit_event(host: u32, e: &AuditEntry) -> StreamEvent {
+    let kind = match e.outcome {
+        AuditOutcome::Allowed => AuditKind::Allowed,
+        AuditOutcome::Denied(r) => AuditKind::Denied(r.code()),
+        AuditOutcome::Migration(s) => AuditKind::MigrationStage(s as u8),
+    };
+    StreamEvent::Audit(AuditView {
+        host,
+        at_ns: e.timestamp_ns,
+        request_id: e.request_id,
+        domain: e.domain,
+        instance: e.instance,
+        ordinal: e.ordinal,
+        kind,
+    })
+}
+
+/// Flatten one hypervisor dump-trail entry for the sentinel stream.
+pub fn dump_event(host: u32, d: &DumpEvent) -> StreamEvent {
+    StreamEvent::Dump(DumpView {
+        host,
+        at_ns: d.at_ns,
+        caller_domain: d.caller.0,
+        frames: d.frames,
+        foreign_frames: d.foreign_frames,
+    })
+}

@@ -1,0 +1,424 @@
+//! The built-in detector set.
+//!
+//! Detectors are small online state machines: one `observe` per stream
+//! event, no background threads, no clocks of their own — time is
+//! whatever the event stream says. Each security detector *latches* per
+//! scope (host, domain, …): the first firing raises the alert and dumps
+//! the black box; repeats of the same condition stay quiet so a noisy
+//! attack cannot flood the alert log it is trying to hide in.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use vtpm_telemetry::{MigrationOutcome, Outcome, DENY_REJECTED_STALE};
+
+use crate::{Alert, AuditKind, SentinelConfig, Severity, StreamEvent};
+
+/// `MigrationStage::RejectedStale as u8` — the audit stage code of an
+/// anti-rollback refusal (kept as a constant to avoid a dependency on
+/// the access-control crate).
+pub const STAGE_REJECTED_STALE: u8 = 7;
+
+/// An online detector over the sentinel stream.
+pub trait Detector {
+    /// Stable detector name (alert field, transcript key).
+    fn name(&self) -> &'static str;
+    /// Consume one event; return an alert if the detector fires on it.
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert>;
+}
+
+/// The default set, configured from a [`SentinelConfig`].
+pub fn default_detectors(cfg: &SentinelConfig) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(DenyRateEwma::new(
+            cfg.deny_rate_alpha,
+            cfg.deny_rate_threshold,
+            cfg.deny_rate_min_samples,
+        )),
+        Box::new(DumpSignature::new(cfg.recovery_dump_grace_ns)),
+        Box::new(ReplayWatch::new(cfg.replay_window_ns, cfg.replay_burst)),
+        Box::new(NonceHygiene::new()),
+        Box::new(ScrubEscalation::new(cfg.scrub_budget)),
+    ]
+}
+
+/// Per-(host, domain) EWMA of the denied fraction of request spans.
+///
+/// A guest probing ordinals it has no credential for shows up as a
+/// sustained majority-denied stream; normal workloads (even chaos ones
+/// that mix some denied traffic in) stay well below the threshold.
+pub struct DenyRateEwma {
+    alpha: f64,
+    threshold: f64,
+    min_samples: u64,
+    /// (ewma, samples) per (host, domain). BTreeMap for deterministic
+    /// iteration/debug output.
+    state: BTreeMap<(u32, u32), (f64, u64)>,
+    fired: BTreeSet<(u32, u32)>,
+}
+
+impl DenyRateEwma {
+    /// New detector with the given smoothing/threshold parameters.
+    pub fn new(alpha: f64, threshold: f64, min_samples: u64) -> Self {
+        DenyRateEwma { alpha, threshold, min_samples, state: BTreeMap::new(), fired: BTreeSet::new() }
+    }
+}
+
+impl Detector for DenyRateEwma {
+    fn name(&self) -> &'static str {
+        "deny-rate"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        let StreamEvent::Span { host, record } = ev else { return None };
+        let key = (*host, record.domain);
+        let x = if matches!(record.outcome, Outcome::Denied(_)) { 1.0 } else { 0.0 };
+        let entry = self.state.entry(key).or_insert((0.0, 0));
+        entry.0 = self.alpha * x + (1.0 - self.alpha) * entry.0;
+        entry.1 += 1;
+        let (ewma, samples) = *entry;
+        if samples >= self.min_samples && ewma > self.threshold && self.fired.insert(key) {
+            return Some(Alert {
+                detector: "deny-rate",
+                host: *host,
+                at_ns: record.end_ns,
+                severity: Severity::Critical,
+                trace_id: Some(record.request_id),
+                detail: format!(
+                    "domain {} deny-rate EWMA {:.3} > {:.3} after {} spans",
+                    record.domain, ewma, self.threshold, samples
+                ),
+            });
+        }
+        None
+    }
+}
+
+/// Fires on any unexplained use of the memory-dump facility.
+///
+/// Nothing in ordinary operation — request handling, mirroring, live
+/// migration — ever reads frames through the dump path; "memory dump
+/// software" *is* the A1/A7 attack, and the victim's state lives in
+/// Dom0-owned mirror frames, so the mere use of the facility is the
+/// fingerprint, foreign frames or not. The one legitimate user is the
+/// manager's crash-recovery scan, which sweeps Dom0 memory for mirror
+/// metadata: Dom0 dumps landing within `grace_ns` of an observed
+/// crash-recovery on the same host are excused. A guest dumping only
+/// its *own* frames is ignored — the hypervisor shows it nothing
+/// cross-domain. Everything else fires. The check is structural, not
+/// statistical, so it has zero false positives by construction on
+/// attack-free streams.
+pub struct DumpSignature {
+    grace_ns: u64,
+    /// Crash-recovery timestamps per host, as observed on the stream.
+    recoveries: BTreeMap<u32, Vec<u64>>,
+    fired: BTreeSet<(u32, u32)>,
+}
+
+impl DumpSignature {
+    /// New detector excusing recovery scans within `grace_ns`.
+    pub fn new(grace_ns: u64) -> Self {
+        DumpSignature { grace_ns, recoveries: BTreeMap::new(), fired: BTreeSet::new() }
+    }
+
+    /// Is this a Dom0 dump explained by a recovery on the same host?
+    /// Timestamps compare on the host's own clock: the scan and the
+    /// recovery marker are stamped back to back during `recover`.
+    fn recovery_scan(&self, host: u32, caller_domain: u32, at_ns: u64) -> bool {
+        caller_domain == 0
+            && self
+                .recoveries
+                .get(&host)
+                .is_some_and(|rs| rs.iter().any(|&r| at_ns.abs_diff(r) <= self.grace_ns))
+    }
+}
+
+impl Detector for DumpSignature {
+    fn name(&self) -> &'static str {
+        "dump-signature"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        if let StreamEvent::CrashRecovery { host, at_ns } = ev {
+            self.recoveries.entry(*host).or_default().push(*at_ns);
+            return None;
+        }
+        let StreamEvent::Dump(d) = ev else { return None };
+        let guest_self_dump = d.caller_domain != 0 && d.foreign_frames == 0;
+        if guest_self_dump
+            || self.recovery_scan(d.host, d.caller_domain, d.at_ns)
+            || !self.fired.insert((d.host, d.caller_domain))
+        {
+            return None;
+        }
+        Some(Alert {
+            detector: self.name(),
+            host: d.host,
+            at_ns: d.at_ns,
+            severity: Severity::Critical,
+            trace_id: None,
+            detail: format!(
+                "dom{} dumped {} frames ({} foreign) outside any recovery window — \
+                 memory-dump attack pattern",
+                d.caller_domain, d.frames, d.foreign_frames
+            ),
+        })
+    }
+}
+
+/// Watches for bursts of `RejectedStale` — a replayer hammering burned
+/// epochs at a destination.
+///
+/// Sources: audit records chaining the `RejectedStale` migration stage,
+/// protocol-deny audit codes, and migration spans that ended
+/// `RejectedStale`. A healthy `migrate()` retry loop produces at most a
+/// couple per attempt; `burst` within `window_ns` of virtual time means
+/// someone is actively replaying.
+pub struct ReplayWatch {
+    window_ns: u64,
+    burst: usize,
+    /// Recent refusal timestamps per host.
+    hits: BTreeMap<u32, VecDeque<u64>>,
+    fired: BTreeSet<u32>,
+}
+
+impl ReplayWatch {
+    /// New watch over `window_ns` of virtual time.
+    pub fn new(window_ns: u64, burst: usize) -> Self {
+        ReplayWatch { window_ns, burst, hits: BTreeMap::new(), fired: BTreeSet::new() }
+    }
+
+    fn note(&mut self, host: u32, at_ns: u64, trace: Option<u64>) -> Option<Alert> {
+        let q = self.hits.entry(host).or_default();
+        q.push_back(at_ns);
+        while q.front().is_some_and(|&t| t + self.window_ns < at_ns) {
+            q.pop_front();
+        }
+        if q.len() >= self.burst && self.fired.insert(host) {
+            return Some(Alert {
+                detector: "replay-watch",
+                host,
+                at_ns,
+                severity: Severity::Critical,
+                trace_id: trace,
+                detail: format!(
+                    "{} stale-epoch rejections within {}ms — migration replay storm",
+                    q.len(),
+                    self.window_ns / 1_000_000
+                ),
+            });
+        }
+        None
+    }
+}
+
+impl Detector for ReplayWatch {
+    fn name(&self) -> &'static str {
+        "replay-watch"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        match ev {
+            StreamEvent::Audit(a)
+                if matches!(
+                    a.kind,
+                    AuditKind::MigrationStage(STAGE_REJECTED_STALE)
+                        | AuditKind::Denied(DENY_REJECTED_STALE)
+                ) =>
+            {
+                self.note(a.host, a.at_ns, Some(a.request_id))
+            }
+            StreamEvent::MigrationSpan(m) if m.outcome == MigrationOutcome::RejectedStale => {
+                self.note(m.dst_host, ev.at_ns(), Some(m.trace_id))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Nonce reuse is never acceptable: the mirror's encryption depends on
+/// nonce uniqueness, so a nonzero `nonce_reuses` gauge is an invariant
+/// break, full stop.
+pub struct NonceHygiene {
+    fired: BTreeSet<u32>,
+}
+
+impl NonceHygiene {
+    /// New detector.
+    pub fn new() -> Self {
+        NonceHygiene { fired: BTreeSet::new() }
+    }
+}
+
+impl Default for NonceHygiene {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for NonceHygiene {
+    fn name(&self) -> &'static str {
+        "nonce-hygiene"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        let StreamEvent::Gauge { host, at_ns, name, value } = ev else { return None };
+        if *name != "nonce_reuses" || *value == 0 || !self.fired.insert(*host) {
+            return None;
+        }
+        Some(Alert {
+            detector: self.name(),
+            host: *host,
+            at_ns: *at_ns,
+            severity: Severity::Critical,
+            trace_id: None,
+            detail: format!("nonce_reuses = {value} — encryption nonce uniqueness violated"),
+        })
+    }
+}
+
+/// Escalates when cumulative mirror scrub failures cross a budget.
+///
+/// Individual scrub failures are expected under injected faults (the
+/// manager retries and burns the generation), so this is a *warning*
+/// threshold on the cumulative gauge, not a per-event alarm.
+pub struct ScrubEscalation {
+    budget: u64,
+    fired: BTreeSet<u32>,
+}
+
+impl ScrubEscalation {
+    /// New detector tolerating up to `budget` failures per host.
+    pub fn new(budget: u64) -> Self {
+        ScrubEscalation { budget, fired: BTreeSet::new() }
+    }
+}
+
+impl Detector for ScrubEscalation {
+    fn name(&self) -> &'static str {
+        "scrub-escalation"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        let StreamEvent::Gauge { host, at_ns, name, value } = ev else { return None };
+        if *name != "mirror_scrub_failures" || *value < self.budget || !self.fired.insert(*host) {
+            return None;
+        }
+        Some(Alert {
+            detector: self.name(),
+            host: *host,
+            at_ns: *at_ns,
+            severity: Severity::Warning,
+            trace_id: None,
+            detail: format!(
+                "mirror_scrub_failures = {value} reached budget {} — mirror hygiene degrading",
+                self.budget
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DumpView;
+
+    #[test]
+    fn dump_signature_excuses_recovery_scans() {
+        let mut d = DumpSignature::new(1_000);
+        // Recovery observed at t=5_000; the Dom0 scan just before it is
+        // the manager rebuilding its mirror, not an attack.
+        assert!(d
+            .observe(&StreamEvent::CrashRecovery { host: 0, at_ns: 5_000 })
+            .is_none());
+        let scan = StreamEvent::Dump(DumpView {
+            host: 0,
+            at_ns: 4_500,
+            caller_domain: 0,
+            frames: 64,
+            foreign_frames: 40,
+        });
+        assert!(d.observe(&scan).is_none(), "recovery scan must not fire");
+        // The same dump far outside the grace window is an attack, and
+        // a recovery on another host does not excuse it.
+        assert!(d
+            .observe(&StreamEvent::CrashRecovery { host: 1, at_ns: 90_000 })
+            .is_none());
+        let late = StreamEvent::Dump(DumpView {
+            host: 0,
+            at_ns: 90_000,
+            caller_domain: 0,
+            frames: 64,
+            foreign_frames: 40,
+        });
+        assert!(d.observe(&late).is_some());
+    }
+
+    #[test]
+    fn dump_signature_ignores_self_dumps_and_latches() {
+        let mut d = DumpSignature::new(1_000);
+        let benign = StreamEvent::Dump(DumpView {
+            host: 0,
+            at_ns: 10,
+            caller_domain: 4,
+            frames: 8,
+            foreign_frames: 0,
+        });
+        assert!(d.observe(&benign).is_none());
+        let hostile = StreamEvent::Dump(DumpView {
+            host: 0,
+            at_ns: 20,
+            caller_domain: 0,
+            frames: 64,
+            foreign_frames: 40,
+        });
+        assert!(d.observe(&hostile).is_some());
+        assert!(d.observe(&hostile).is_none(), "second identical dump is latched");
+        // A different host fires independently.
+        let other_host = StreamEvent::Dump(DumpView {
+            host: 1,
+            at_ns: 30,
+            caller_domain: 0,
+            frames: 64,
+            foreign_frames: 40,
+        });
+        assert!(d.observe(&other_host).is_some());
+    }
+
+    #[test]
+    fn replay_watch_window_slides() {
+        let mut w = ReplayWatch::new(1_000, 3);
+        let audit = |at_ns| {
+            StreamEvent::Audit(crate::AuditView {
+                host: 0,
+                at_ns,
+                request_id: 0x8000_0000_0000_0001,
+                domain: 1,
+                instance: 1,
+                ordinal: 1,
+                kind: AuditKind::MigrationStage(STAGE_REJECTED_STALE),
+            })
+        };
+        // Three refusals, but spread wider than the window: silent.
+        assert!(w.observe(&audit(0)).is_none());
+        assert!(w.observe(&audit(2_000)).is_none());
+        assert!(w.observe(&audit(4_000)).is_none());
+        // Two more right away close the burst inside one window.
+        assert!(w.observe(&audit(4_100)).is_none());
+        assert!(w.observe(&audit(4_200)).is_some());
+    }
+
+    #[test]
+    fn scrub_escalation_is_a_threshold_not_a_tripwire() {
+        let mut s = ScrubEscalation::new(4);
+        let gauge = |value| StreamEvent::Gauge {
+            host: 0,
+            at_ns: 1,
+            name: "mirror_scrub_failures",
+            value,
+        };
+        assert!(s.observe(&gauge(3)).is_none());
+        let a = s.observe(&gauge(4)).expect("budget reached");
+        assert_eq!(a.severity, Severity::Warning);
+        assert!(s.observe(&gauge(100)).is_none(), "latched per host");
+    }
+}

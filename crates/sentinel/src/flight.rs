@@ -1,0 +1,110 @@
+//! The black box: a bounded ring of recent stream events, snapshotted
+//! when something goes wrong.
+//!
+//! Aircraft flight recorders keep the last N minutes, not the whole
+//! flight; same idea here. The sentinel pushes every event through the
+//! recorder, and when a detector fires (or a host comes back from crash
+//! recovery) the current ring contents are frozen into a [`FlightDump`]
+//! — the context an operator needs to understand the alert, at O(N)
+//! memory no matter how long the run.
+
+use std::collections::VecDeque;
+
+use crate::StreamEvent;
+
+/// Bounded ring of the most recent [`StreamEvent`]s.
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<StreamEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `cap` events (`cap == 0` keeps one).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder { cap, buf: VecDeque::with_capacity(cap) }
+    }
+
+    /// Append an event, evicting the oldest once full.
+    pub fn push(&mut self, ev: StreamEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze the current contents into a dump.
+    pub fn dump(&self, reason: String, at_ns: u64) -> FlightDump {
+        FlightDump { reason, at_ns, events: self.buf.iter().cloned().collect() }
+    }
+}
+
+/// One frozen black-box snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Why the snapshot was taken (alert line or crash-recovery marker).
+    pub reason: String,
+    /// Virtual timestamp of the trigger (ns).
+    pub at_ns: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<StreamEvent>,
+}
+
+impl FlightDump {
+    /// Deterministic transcript line.
+    pub fn summary(&self) -> String {
+        format!("flight-dump at={}ns events={} ({})", self.at_ns, self.events.len(), self.reason)
+    }
+
+    /// Full deterministic rendering, one described event per line.
+    pub fn render(&self) -> String {
+        let mut out = self.summary();
+        for ev in &self.events {
+            out.push_str("\n  ");
+            out.push_str(&ev.describe());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauge(at_ns: u64) -> StreamEvent {
+        StreamEvent::Gauge { host: 0, at_ns, name: "mirror_updates", value: at_ns }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.push(gauge(i));
+        }
+        assert_eq!(r.len(), 4);
+        let d = r.dump("test".into(), 10);
+        let kept: Vec<u64> = d.events.iter().map(StreamEvent::at_ns).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        assert!(d.render().contains("mirror_updates=9"));
+    }
+
+    #[test]
+    fn dump_is_a_frozen_copy() {
+        let mut r = FlightRecorder::new(8);
+        r.push(gauge(1));
+        let d = r.dump("freeze".into(), 1);
+        r.push(gauge(2));
+        assert_eq!(d.events.len(), 1, "later pushes must not leak into the dump");
+        assert_eq!(d.summary(), "flight-dump at=1ns events=1 (freeze)");
+    }
+}

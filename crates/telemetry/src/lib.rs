@@ -33,11 +33,11 @@ mod histogram;
 mod migration;
 mod ring;
 
-pub use export::chrome_trace;
+pub use export::{chrome_trace, cluster_chrome_trace};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use migration::{
-    MigrationOutcome, MigrationSnapshot, MigrationSpanRecord, MigrationTelemetry,
-    MIGRATION_STAGE_LABELS,
+    migration_trace_id, MigrationOutcome, MigrationSnapshot, MigrationSpanRecord,
+    MigrationTelemetry, MIGRATION_STAGE_LABELS,
 };
 pub use ring::{SpanRing, DEFAULT_SPAN_CAPACITY, SPAN_SHARDS};
 
@@ -48,6 +48,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// audit entries are joinable against span records. Ids start at 1;
 /// 0 means "no request" (e.g. administrative audit entries).
 pub type RequestId = u64;
+
+/// Cluster-wide causal trace id. For host-local requests the trace *is*
+/// the request ([`RequestId`] doubles as the trace id); for live
+/// migrations a dedicated id is minted by [`migration_trace_id`] at the
+/// source and carried inside every wire frame of the attempt, so the
+/// spans and audit records it touches on source, destination, and
+/// fabric stitch into one causal trace. Migration trace ids live in a
+/// disjoint high band (bit 63 set) and can never collide with the
+/// small sequential request ids.
+pub type TraceId = u64;
 
 /// Terminal state of a request, mirroring the transport's
 /// `ResponseStatus`. `Denied` carries the deny-reason code assigned by
@@ -79,11 +89,13 @@ impl Outcome {
 }
 
 /// Deny-reason labels indexed by the code the access-control layer
-/// attaches to [`Outcome::Denied`]. The order matches
-/// `vtpm::hook::DenyReason::code()`; unknown codes map to the final
-/// `"other"` slot. Kept here as a table (rather than importing the
-/// enum) because `vtpm` depends on this crate, not the reverse.
-pub const DENY_LABELS: [&str; 8] = [
+/// attaches to [`Outcome::Denied`]. Codes 0–6 match
+/// `vtpm::hook::DenyReason::code()`; code 7 ([`DENY_REJECTED_STALE`])
+/// is reserved for migration-protocol stale/replay refusals recorded
+/// via [`Telemetry::note_protocol_deny`]; unknown codes map to the
+/// final `"other"` slot. Kept here as a table (rather than importing
+/// the enum) because `vtpm` depends on this crate, not the reverse.
+pub const DENY_LABELS: [&str; 9] = [
     "no-credential",
     "bad-tag",
     "replay",
@@ -91,8 +103,14 @@ pub const DENY_LABELS: [&str; 8] = [
     "ordinal-denied",
     "source-mismatch",
     "locality-denied",
+    "rejected-stale",
     "other",
 ];
+
+/// Deny-reason code for a migration-protocol stale/replayed-epoch
+/// refusal (`RejectedStale`). Sits just above the access-control
+/// `DenyReason` band (0–6) in [`DENY_LABELS`].
+pub const DENY_REJECTED_STALE: u8 = 7;
 
 /// Fixed-size record of one request's journey. All timestamps are
 /// caller-supplied monotonic nanoseconds (virtual or wall clock); a
@@ -352,6 +370,18 @@ impl Telemetry {
         self.counters.finished.fetch_add(1, Ordering::Release);
     }
 
+    /// Record a denial that happened *outside* the per-request span
+    /// path — e.g. a migration-protocol stale/replayed-epoch refusal
+    /// ([`DENY_REJECTED_STALE`]). Only the per-reason counter moves:
+    /// no span finished, so the request-conservation invariant
+    /// (`allowed + denied + malformed == finished`) is untouched and
+    /// `denied` keeps counting guest requests exactly.
+    #[inline]
+    pub fn note_protocol_deny(&self, code: u8) {
+        let idx = (code as usize).min(DENY_LABELS.len() - 1);
+        self.counters.deny_reasons[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one ring exchange (request/response pair) at the device
     /// backend, with payload byte counts in each direction.
     #[inline]
@@ -537,7 +567,7 @@ mod tests {
         assert_eq!(s.allowed + s.denied + s.malformed, s.finished);
         // Per-reason split: code 2 = "replay", unknown → "other".
         assert_eq!(s.deny_reasons[2], ("replay", 4));
-        assert_eq!(s.deny_reasons[7], ("other", 1));
+        assert_eq!(s.deny_reasons[8], ("other", 1));
         // Histogram population rules.
         assert_eq!(s.total.count, 19);
         assert_eq!(s.stage_ingress.count, 18); // all but malformed
@@ -639,6 +669,20 @@ mod tests {
         assert_eq!(s.finished, 20_000);
         assert_eq!(s.allowed + s.denied, 20_000);
         assert_eq!(s.total.count, 20_000);
+    }
+
+    #[test]
+    fn protocol_denies_count_without_breaking_conservation() {
+        let t = Telemetry::new();
+        run_one(&t, Outcome::Ok, 0);
+        t.note_protocol_deny(DENY_REJECTED_STALE);
+        t.note_protocol_deny(DENY_REJECTED_STALE);
+        let s = t.snapshot();
+        assert_eq!(s.deny_reasons[DENY_REJECTED_STALE as usize], ("rejected-stale", 2));
+        // No span finished for the protocol refusals: request-level
+        // conservation still holds exactly.
+        assert_eq!(s.allowed + s.denied + s.malformed, s.finished);
+        assert_eq!(s.denied, 0);
     }
 
     #[test]

@@ -16,13 +16,25 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::{Histogram, HistogramSnapshot};
+use crate::{Histogram, HistogramSnapshot, RequestId, TraceId};
 
 /// Stage labels, in protocol order. Indexes into
 /// [`MigrationSpanRecord::stage_ns`] and
 /// [`MigrationSnapshot::stages`].
 pub const MIGRATION_STAGE_LABELS: [&str; 6] =
     ["prepare", "quiesce", "transfer", "verify", "commit", "release"];
+
+/// Mint the cluster-wide [`TraceId`] for migration attempt `(vm,
+/// epoch)`. Deterministic — both a replay of the same seed and the
+/// destination's own audit trail agree on it — and disjoint from the
+/// per-request id space: bit 63 is always set, while request ids are
+/// small sequential integers. The id is minted once at the source and
+/// shipped inside every wire frame of the attempt; receivers record
+/// the value from the wire rather than re-deriving it, exactly as a
+/// real tracing header would behave.
+pub fn migration_trace_id(vm: u32, epoch: u64) -> TraceId {
+    (1u64 << 63) | ((vm as u64) << 32) | (epoch & 0xFFFF_FFFF)
+}
 
 /// Terminal state of one migration attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +62,14 @@ impl MigrationOutcome {
 /// One migration attempt, summarized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationSpanRecord {
+    /// Cluster-wide causal trace id of the attempt (see
+    /// [`migration_trace_id`]), carried in every wire frame.
+    pub trace_id: TraceId,
+    /// The request-id key under which both hosts chained this attempt's
+    /// audit records (equal to [`MigrationSpanRecord::trace_id`] —
+    /// migration audit entries join spans through the same
+    /// `request_id` field per-request entries use).
+    pub request_id: RequestId,
     /// Cluster-wide vm id being moved.
     pub vm: u32,
     /// Migration epoch of this attempt.
@@ -64,6 +84,10 @@ pub struct MigrationSpanRecord {
     pub state_bytes: u64,
     /// Encoded package size as shipped on the fabric.
     pub package_bytes: u64,
+    /// Virtual timestamp (ns) when the attempt began — lets exporters
+    /// lay the stage durations out on the absolute timeline next to
+    /// per-request spans.
+    pub start_ns: u64,
     /// Per-stage durations (ns), indexed per
     /// [`MIGRATION_STAGE_LABELS`]; stages never reached read zero.
     pub stage_ns: [u64; 6],
@@ -199,6 +223,8 @@ mod tests {
 
     fn span(outcome: MigrationOutcome, downtime_ns: u64) -> MigrationSpanRecord {
         MigrationSpanRecord {
+            trace_id: migration_trace_id(1, 3),
+            request_id: migration_trace_id(1, 3),
             vm: 1,
             epoch: 3,
             src_host: 0,
@@ -206,11 +232,23 @@ mod tests {
             sealed: true,
             state_bytes: 9000,
             package_bytes: 9200,
+            start_ns: 1_000,
             stage_ns: [100, 50, 4000, 6000, 200, 150],
             downtime_ns,
             total_ns: 10_500,
             outcome,
         }
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_disjoint_from_request_ids() {
+        let a = migration_trace_id(1, 3);
+        assert_eq!(a, migration_trace_id(1, 3), "same attempt, same id");
+        assert_ne!(a, migration_trace_id(1, 4), "epochs separate attempts");
+        assert_ne!(a, migration_trace_id(2, 3), "vms separate attempts");
+        // Request ids are small sequential integers; migration traces
+        // live in the high band and can never collide with them.
+        assert!(a >= 1 << 63);
     }
 
     #[test]

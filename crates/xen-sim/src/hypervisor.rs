@@ -43,6 +43,24 @@ pub struct DomainImage {
 /// One dumped frame: (mfn, owner, contents).
 pub type DumpedFrame = (usize, DomainId, Box<[u8; PAGE_SIZE]>);
 
+/// One recorded use of the dump facility. Real hypervisors leave a
+/// trace of `xc_map_foreign_range` in `xl dmesg`; this is the simulated
+/// equivalent — the structural signal the sentinel's dump-signature
+/// detector keys on. Ordinary guest/manager traffic never dumps, so any
+/// entry with `foreign_frames > 0` is a cross-domain memory read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DumpEvent {
+    /// Virtual time of the call.
+    pub at_ns: u64,
+    /// Domain that invoked the dump.
+    pub caller: DomainId,
+    /// Frames returned in total.
+    pub frames: u64,
+    /// Frames owned by a domain other than the caller (Dom0's
+    /// foreign-mapping reach; always 0 for a plain guest).
+    pub foreign_frames: u64,
+}
+
 /// The simulated host.
 pub struct Hypervisor {
     /// Virtual time for this host.
@@ -63,6 +81,8 @@ pub struct Hypervisor {
     /// harness uses deltas of this to enumerate "between any two mirror
     /// page writes" crash points.
     dom0_writes: AtomicU64,
+    /// Every use of the dump facility, in call order (see [`DumpEvent`]).
+    dump_log: Mutex<Vec<DumpEvent>>,
 }
 
 impl Hypervisor {
@@ -81,6 +101,7 @@ impl Hypervisor {
             fault: Mutex::new(FaultState::default()),
             faults_armed: AtomicBool::new(false),
             dom0_writes: AtomicU64::new(0),
+            dump_log: Mutex::new(Vec::new()),
         };
         let frames = hv.memory.write().alloc_frames(DomainId::DOM0, dom0_pages)?;
         hv.domains.write().insert(
@@ -398,7 +419,25 @@ impl Hypervisor {
                 Err(e) => return Err(e),
             }
         }
+        drop(mem);
+        // Leave a trace: dumping is observable even when it succeeds,
+        // so introspection tooling (the sentinel) can flag it after the
+        // fact — the one thing the bare facility never offered.
+        let foreign = out.iter().filter(|(_, owner, _)| *owner != caller).count() as u64;
+        self.dump_log.lock().push(DumpEvent {
+            at_ns: self.clock.now_ns(),
+            caller,
+            frames: out.len() as u64,
+            foreign_frames: foreign,
+        });
         Ok(out)
+    }
+
+    /// The dump trail, in call order. Empty on a host where nothing ever
+    /// used the dump facility — the sentinel treats any entry not
+    /// explained by a crash-recovery scan as a dump-attack signature.
+    pub fn dump_events(&self) -> Vec<DumpEvent> {
+        self.dump_log.lock().clone()
     }
 
     // ---- grants -----------------------------------------------------------
@@ -768,6 +807,27 @@ mod tests {
         hv.protect_frame(D0, gf).unwrap();
         let dump2 = hv.dump_memory(D0).unwrap();
         assert!(dump2.iter().all(|(mfn, _, _)| *mfn != gf));
+    }
+
+    #[test]
+    fn dump_calls_leave_an_introspectable_trail() {
+        let hv = host();
+        let g = hv.create_domain(D0, DomainConfig::small("g")).unwrap();
+        assert!(hv.dump_events().is_empty(), "no dumps yet, no trail");
+
+        hv.clock.advance_ns(1_000);
+        let dump = hv.dump_memory(D0).unwrap();
+        let guest_frames = dump.iter().filter(|(_, owner, _)| *owner == g).count() as u64;
+        hv.dump_memory(g).unwrap();
+
+        let events = hv.dump_events();
+        assert_eq!(events.len(), 2);
+        // Dom0's dump crossed domain boundaries; the guest's did not.
+        assert_eq!(events[0].caller, D0);
+        assert_eq!(events[0].at_ns, 1_000);
+        assert_eq!(events[0].frames, dump.len() as u64);
+        assert!(events[0].foreign_frames >= guest_frames && events[0].foreign_frames > 0);
+        assert_eq!((events[1].caller, events[1].foreign_frames), (g, 0));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use error::{Result, XenError};
 pub use event::{Endpoint, EventChannels, Port};
 pub use fault::RingFault;
 pub use grant::{GrantAccess, GrantRef, GrantTables};
-pub use hypervisor::{DomainImage, Hypervisor};
+pub use hypervisor::{DomainImage, DumpEvent, Hypervisor};
 pub use memory::{MachineMemory, PageProtection, PAGE_SIZE};
 pub use ring::{ByteRing, PageRegion, RingDir};
 pub use sched::{CreditScheduler, Priority};

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Performance trajectory artifacts (machine-readable, one JSON file per
+# subsystem, committed nowhere — diff them across checkouts).
+#
+# Currently emits:
+#   BENCH_sentinel.json — sentinel plane numbers: the R-D1 scripted-
+#   injection detection results (detected / detector / virtual-time
+#   latency / events-to-detection), the false-positive count over an
+#   attack-free sweep, wall ns per stream event through the full engine
+#   (flight recorder + all five detectors), and R-O1's telemetry
+#   self-overhead percentage. The binary exits nonzero if the R-D1 gate
+#   fails, so this doubles as a slow-path check.
+#
+# Usage:
+#   scripts/bench.sh             # full sizes
+#   scripts/bench.sh --quick     # CI-sized
+#   BENCH_OUT=/tmp scripts/bench.sh   # artifact directory
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="${BENCH_OUT:-.}"
+quick=()
+if [ "${1:-}" = "--quick" ]; then
+    quick=(--quick)
+fi
+
+echo "== sentinel bench -> ${out_dir}/BENCH_sentinel.json =="
+cargo run --release -p vtpm-bench --bin sentinel_bench -- \
+    "${quick[@]}" --out "${out_dir}/BENCH_sentinel.json"

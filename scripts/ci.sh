@@ -12,7 +12,12 @@
 #      3% of the modelled deployment command latency, failing the gate;
 #   5. R-M1: the migration downtime budget. `repro m1` exits nonzero
 #      if sealed (destination-bound) transfer adds more than 12 ms of
-#      guest-visible blackout over clear transfer at any state size.
+#      guest-visible blackout over clear transfer at any state size;
+#   6. R-D1: the sentinel smoke. `repro d1 --quick` replays a small
+#      attack-free chaos sweep with the detection plane consuming every
+#      span, audit record, gauge, and dump-trail entry, then injects
+#      A1/A7/replay-storm. It exits nonzero on any clean-seed critical
+#      alert (a false positive) or any missed injection.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -39,5 +44,8 @@ cargo run --release -p vtpm-bench --bin repro -- o1
 
 echo "== R-M1: migration downtime budget (sealing premium <= 12ms) =="
 cargo run --release -p vtpm-bench --bin repro -- m1 --quick
+
+echo "== R-D1: sentinel smoke (zero clean-seed FPs, all injections detected) =="
+cargo run --release -p vtpm-bench --bin repro -- d1 --quick
 
 echo "CI gate passed."

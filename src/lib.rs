@@ -21,7 +21,11 @@
 //!   through the whole request path ([`vtpm_telemetry`]);
 //! * [`cluster`] — multi-host fabric and the live-migration protocol:
 //!   exactly-once hand-off, epoch anti-rollback, placement/rebalance
-//!   ([`vtpm_cluster`]).
+//!   ([`vtpm_cluster`]);
+//! * [`sentinel`] — the streaming security-detection plane: five
+//!   detectors over the span/audit/gauge/dump-trail stream, a bounded
+//!   flight recorder, and a Prometheus-style exporter
+//!   ([`vtpm_sentinel`]).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@ pub use attacks as attack;
 pub use tpm as tpm12;
 pub use tpm_crypto as crypto;
 pub use vtpm_cluster as cluster;
+pub use vtpm_sentinel as sentinel;
 pub use vtpm as vtpm_stack;
 pub use vtpm_ac as access_control;
 pub use vtpm_telemetry as telemetry;
@@ -55,6 +60,7 @@ pub mod prelude {
     pub use vtpm::{Guest, ManagerConfig, MirrorMode, Platform, VtpmManager};
     pub use vtpm_ac::{AcConfig, PolicyEngine, SecurePlatform};
     pub use vtpm_cluster::{Cluster, ClusterConfig, MigrateOutcome};
+    pub use vtpm_sentinel::{Sentinel, SentinelConfig, StreamEvent};
     pub use workload::{run_concurrent, CommandMix, GuestSession, Op};
     pub use xen_sim::{DomainConfig, DomainId, Hypervisor};
 }

@@ -542,6 +542,72 @@ proptest! {
     }
 }
 
+// ---- telemetry histogram merge ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Folding one log-linear histogram into another is indistinguishable
+    /// from recording every value into a single histogram: count, sum and
+    /// max combine losslessly, and every reported quantile stays within
+    /// the structural <= 1/16 relative-error bound of the true quantile
+    /// of the combined value multiset. This is the invariant the cluster
+    /// roll-up (per-host histograms merged into one view) depends on.
+    #[test]
+    fn histogram_merge_conserves_mass_and_error_bound(
+        xs in proptest::collection::vec(any::<u64>(), 0..300),
+        ys in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        use vtpm_xen::telemetry::Histogram;
+
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        let merged = a.snapshot();
+
+        // Merge == single-histogram recording, bit for bit.
+        prop_assert_eq!(merged, whole.snapshot());
+
+        // Mass conservation against ground truth (sum wraps like the
+        // underlying atomic counter does).
+        prop_assert_eq!(merged.count, (xs.len() + ys.len()) as u64);
+        let true_sum = xs.iter().chain(&ys).fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(merged.sum, true_sum);
+        prop_assert_eq!(merged.max, xs.iter().chain(&ys).copied().max().unwrap_or(0));
+
+        // Each quantile of the merged histogram is within 1/16 relative
+        // error of the true order statistic at the same rank (exact in
+        // the linear range).
+        let mut all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        all.sort_unstable();
+        if !all.is_empty() {
+            for (q, got) in [(0.50, merged.p50), (0.90, merged.p90),
+                             (0.99, merged.p99), (0.999, merged.p999)] {
+                let rank = ((q * all.len() as f64).ceil() as usize).max(1);
+                let want = all[rank - 1];
+                if want < 16 {
+                    prop_assert_eq!(got, want, "q{} exact below linear max", q);
+                } else {
+                    let err = (got as f64 - want as f64).abs() / want as f64;
+                    prop_assert!(
+                        err <= 1.0 / 16.0 + 1e-9,
+                        "q{}: got {}, want {}, relative error {}", q, got, want, err
+                    );
+                }
+            }
+        }
+    }
+}
+
 // ---- DRBG determinism -----------------------------------------------------------
 
 proptest! {
