@@ -1,6 +1,8 @@
 //! Criterion bench for R-F4: worker-pool request handling throughput,
 //! plus a mirror-I/O report: bytes pushed into the Dom0 resident-image
-//! mirror per command, split by command class and mirror mode.
+//! mirror per command, split by command class and mirror mode, plus the
+//! R-P1 resident-instance sweep: per-command hot-path cost with 100 to
+//! 10 000 instances routed through the sharded table.
 
 use std::sync::Arc;
 
@@ -140,5 +142,71 @@ fn report_mirror_io(_c: &mut Criterion) {
     eprintln!();
 }
 
-criterion_group!(benches, bench_manager, report_mirror_io);
+/// R-P1 shape under Criterion: time `handle` on a fixed active set
+/// while the resident-instance count scales. Flat timings across the
+/// sweep are the sharded routing table doing its job; see
+/// `vtpm_bench::exp::p1` for the gated version with full counters.
+fn bench_resident_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager_scaling/resident_instances");
+    group.sample_size(10);
+
+    for count in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("instances", count), &count, |b, &count| {
+            let hv = Arc::new(Hypervisor::boot(count * 8 + 2048, 16).unwrap());
+            let mgr = VtpmManager::new(
+                Arc::clone(&hv),
+                b"bench-p1",
+                ManagerConfig {
+                    mirror_mode: MirrorMode::Encrypted,
+                    charge_virtual_time: false,
+                    telemetry_enabled: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let first = mgr.create_instance().unwrap();
+            let startup = Envelope {
+                domain: 1,
+                instance: first,
+                seq: 1,
+                locality: 0,
+                tag: None,
+                command: vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1],
+            };
+            mgr.handle(DomainId(1), &startup.encode());
+            let state = mgr.export_instance_state(first).unwrap();
+            let cfg = mgr.config().vtpm_config.clone();
+            for i in 1..count {
+                let id = first + i as u32;
+                let inst =
+                    vtpm::VtpmInstance::from_state(id, &state, &id.to_be_bytes(), cfg.clone())
+                        .unwrap();
+                mgr.restore_instance(id, inst).unwrap();
+            }
+            // Fixed active set spread across the id range: the sweep
+            // varies residents, not the cache working set.
+            let active: Vec<u32> =
+                (0..64).map(|i| first + (i * count / 64) as u32).collect();
+            let cmd = pcr_read_cmd();
+            let mut seq = 1u64;
+            let mut j = 0usize;
+            b.iter(|| {
+                seq += 1;
+                j += 1;
+                let env = Envelope {
+                    domain: 1,
+                    instance: active[j % active.len()],
+                    seq,
+                    locality: 0,
+                    tag: None,
+                    command: cmd.clone(),
+                };
+                mgr.handle(DomainId(1), &env.encode())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_manager, report_mirror_io, bench_resident_instances);
 criterion_main!(benches);

@@ -1,16 +1,18 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1   # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
 //!
 //! Exits nonzero if R-O1 measures telemetry overhead above its budget,
 //! if R-M1 measures sealed-transfer downtime above its multiple of the
-//! clear baseline, or if R-D1 sees a sentinel false positive on a clean
-//! seed or a missed attack injection (the CI gate in `scripts/ci.sh`
-//! relies on all three).
+//! clear baseline, if R-D1 sees a sentinel false positive on a clean
+//! seed or a missed attack injection, or if R-P1 measures the manager's
+//! per-command read path degrading by more than its scaling budget
+//! between the smallest and largest instance counts (the CI gate in
+//! `scripts/ci.sh` relies on all four).
 
 use vtpm_bench::exp;
 
@@ -41,6 +43,9 @@ struct Sizes {
     d1_migration_seeds: usize,
     d1_events: usize,
     d1_faults: usize,
+    p1_counts: Vec<usize>,
+    p1_read_cmds: usize,
+    p1_mutate_cmds: usize,
 }
 
 impl Sizes {
@@ -75,6 +80,9 @@ impl Sizes {
             d1_migration_seeds: 32,
             d1_events: 60,
             d1_faults: 5,
+            p1_counts: vec![100, 1_000, 10_000],
+            p1_read_cmds: 50_000,
+            p1_mutate_cmds: 5_000,
         }
     }
 
@@ -108,6 +116,11 @@ impl Sizes {
             d1_migration_seeds: 4,
             d1_events: 30,
             d1_faults: 3,
+            // The gate is the ratio of the extremes, so --quick keeps
+            // the 100- and 10k-instance endpoints and drops the middle.
+            p1_counts: vec![100, 10_000],
+            p1_read_cmds: 40_000,
+            p1_mutate_cmds: 2_000,
         }
     }
 }
@@ -119,7 +132,10 @@ fn main() {
     let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let mut over_budget = false;
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
-        vec!["t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "d1"]
+        vec![
+            "t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "d1",
+            "p1",
+        ]
     } else {
         which
     };
@@ -168,8 +184,16 @@ fn main() {
                 }
                 exp::d1::render(&report)
             }
+            "p1" => {
+                let points =
+                    exp::p1::run(&sizes.p1_counts, sizes.p1_read_cmds, sizes.p1_mutate_cmds);
+                if exp::p1::overhead_ratio(&points) > exp::p1::BUDGET_RATIO {
+                    over_budget = true;
+                }
+                exp::p1::render(&points)
+            }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|all)");
                 std::process::exit(2);
             }
         };
@@ -179,9 +203,11 @@ fn main() {
     if over_budget {
         eprintln!(
             "a budget gate failed (R-O1 <= {}% overhead, R-M1 <= {:.0}ms sealing premium, \
-             R-D1 zero false positives + full injection detection)",
+             R-D1 zero false positives + full injection detection, \
+             R-P1 <= {:.1}x read-path scaling ratio)",
             exp::o1::BUDGET_PCT,
-            exp::m1::BUDGET_PREMIUM_US / 1e3
+            exp::m1::BUDGET_PREMIUM_US / 1e3,
+            exp::p1::BUDGET_RATIO
         );
         std::process::exit(1);
     }

@@ -21,6 +21,7 @@
 //! | [`exp::o1`] | R-O1: telemetry self-overhead on the request path |
 //! | [`exp::m1`] | R-M1: live-migration downtime vs state size (cluster) |
 //! | [`exp::d1`] | R-D1: sentinel detection quality (FP sweep + injections) |
+//! | [`exp::p1`] | R-P1: manager hot path vs resident instance count |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
@@ -33,6 +34,7 @@ pub mod exp {
     pub mod f6;
     pub mod m1;
     pub mod o1;
+    pub mod p1;
     pub mod r1;
     pub mod t1;
     pub mod t2;

@@ -6,8 +6,9 @@
 //! views; the harness owns the conversion (it is the process boundary a
 //! real detection plane would sit behind).
 
+use vtpm::VtpmManager;
 use vtpm_ac::{AuditEntry, AuditOutcome};
-use vtpm_sentinel::{AuditKind, AuditView, DumpView, StreamEvent};
+use vtpm_sentinel::{Alert, AuditKind, AuditView, DumpView, StreamEvent};
 use xen_sim::DumpEvent;
 
 /// Flatten one audit-chain entry for the sentinel stream.
@@ -37,4 +38,85 @@ pub fn dump_event(host: u32, d: &DumpEvent) -> StreamEvent {
         frames: d.frames,
         foreign_frames: d.foreign_frames,
     })
+}
+
+/// Close the detection loop: latch the manager's admission throttle for
+/// every domain a deny-rate alert implicates. Returns how many domains
+/// were throttled. Idempotent — the admission controller's `throttle`
+/// is a latch, so feeding the same alerts twice changes nothing — and a
+/// no-op when admission control is disabled in the manager's config.
+pub fn apply_admission_alerts(mgr: &VtpmManager, alerts: &[Alert]) -> usize {
+    let mut applied = 0;
+    for alert in alerts {
+        if alert.detector != "deny-rate" {
+            continue;
+        }
+        if let Some(domain) = alert.domain {
+            if mgr.admission().throttle(domain) {
+                applied += 1;
+            }
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vtpm::{AdmissionConfig, ManagerConfig};
+    use vtpm_sentinel::{Sentinel, SentinelConfig};
+    use vtpm_telemetry::{Outcome, SpanRecord};
+    use xen_sim::Hypervisor;
+
+    fn denied_span(host: u32, id: u64, domain: u32, end_ns: u64) -> StreamEvent {
+        StreamEvent::Span {
+            host,
+            record: SpanRecord {
+                request_id: id,
+                domain,
+                ordinal: 0x14,
+                ingress_ns: end_ns.saturating_sub(100),
+                decode_ns: end_ns.saturating_sub(80),
+                ac_ns: end_ns.saturating_sub(60),
+                exec_ns: end_ns.saturating_sub(40),
+                mirror_ns: end_ns.saturating_sub(20),
+                end_ns,
+                mirror_bytes: 0,
+                outcome: Outcome::Denied(0),
+            },
+        }
+    }
+
+    #[test]
+    fn deny_rate_alert_throttles_the_implicated_domain() {
+        let hv = Arc::new(Hypervisor::boot(2048, 8).unwrap());
+        let mgr = vtpm::VtpmManager::new(
+            Arc::clone(&hv),
+            b"bridge",
+            ManagerConfig {
+                admission: AdmissionConfig { enabled: true, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // A sustained majority-denied stream from domain 7 trips the
+        // sentinel's deny-rate detector...
+        let mut sentinel = Sentinel::new(SentinelConfig::default());
+        for i in 0..20 {
+            sentinel.observe(denied_span(0, i, 7, 1_000 * i));
+        }
+        let alerts: Vec<Alert> = sentinel.alerts().to_vec();
+        assert!(alerts.iter().any(|a| a.detector == "deny-rate" && a.domain == Some(7)));
+
+        // ...and the bridge latches the manager's admission throttle for
+        // exactly that domain, idempotently.
+        assert!(!mgr.admission().is_throttled(7));
+        assert_eq!(apply_admission_alerts(&mgr, &alerts), 1);
+        assert!(mgr.admission().is_throttled(7));
+        assert!(!mgr.admission().is_throttled(1), "uninvolved domains stay admitted");
+        assert_eq!(apply_admission_alerts(&mgr, &alerts), 0, "re-applying is a no-op");
+        assert_eq!(mgr.admission().throttle_events(), 1);
+    }
 }

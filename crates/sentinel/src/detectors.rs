@@ -83,6 +83,7 @@ impl Detector for DenyRateEwma {
                 at_ns: record.end_ns,
                 severity: Severity::Critical,
                 trace_id: Some(record.request_id),
+                domain: Some(record.domain),
                 detail: format!(
                     "domain {} deny-rate EWMA {:.3} > {:.3} after {} spans",
                     record.domain, ewma, self.threshold, samples
@@ -156,6 +157,7 @@ impl Detector for DumpSignature {
             at_ns: d.at_ns,
             severity: Severity::Critical,
             trace_id: None,
+            domain: None,
             detail: format!(
                 "dom{} dumped {} frames ({} foreign) outside any recovery window — \
                  memory-dump attack pattern",
@@ -200,6 +202,7 @@ impl ReplayWatch {
                 at_ns,
                 severity: Severity::Critical,
                 trace_id: trace,
+                domain: None,
                 detail: format!(
                     "{} stale-epoch rejections within {}ms — migration replay storm",
                     q.len(),
@@ -271,6 +274,7 @@ impl Detector for NonceHygiene {
             at_ns: *at_ns,
             severity: Severity::Critical,
             trace_id: None,
+            domain: None,
             detail: format!("nonce_reuses = {value} — encryption nonce uniqueness violated"),
         })
     }
@@ -309,6 +313,7 @@ impl Detector for ScrubEscalation {
             at_ns: *at_ns,
             severity: Severity::Warning,
             trace_id: None,
+            domain: None,
             detail: format!(
                 "mirror_scrub_failures = {value} reached budget {} — mirror hygiene degrading",
                 self.budget

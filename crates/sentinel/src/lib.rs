@@ -225,6 +225,10 @@ pub struct Alert {
     pub severity: Severity,
     /// Causal trace/request id of the triggering event, when it has one.
     pub trace_id: Option<u64>,
+    /// Source domain the alert implicates, when the detector attributes
+    /// one (today only the deny-rate detector does). This is what the
+    /// manager's admission-control bridge keys its throttling on.
+    pub domain: Option<u32>,
     /// Human-readable specifics (deterministic for a given stream).
     pub detail: String,
 }

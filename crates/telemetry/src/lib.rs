@@ -92,10 +92,12 @@ impl Outcome {
 /// attaches to [`Outcome::Denied`]. Codes 0–6 match
 /// `vtpm::hook::DenyReason::code()`; code 7 ([`DENY_REJECTED_STALE`])
 /// is reserved for migration-protocol stale/replay refusals recorded
-/// via [`Telemetry::note_protocol_deny`]; unknown codes map to the
-/// final `"other"` slot. Kept here as a table (rather than importing
-/// the enum) because `vtpm` depends on this crate, not the reverse.
-pub const DENY_LABELS: [&str; 9] = [
+/// via [`Telemetry::note_protocol_deny`]; code 8 ([`DENY_ADMISSION`])
+/// for refusals by per-domain admission control at ring ingress;
+/// unknown codes map to the final `"other"` slot. Kept here as a table
+/// (rather than importing the enum) because `vtpm` depends on this
+/// crate, not the reverse.
+pub const DENY_LABELS: [&str; 10] = [
     "no-credential",
     "bad-tag",
     "replay",
@@ -104,6 +106,7 @@ pub const DENY_LABELS: [&str; 9] = [
     "source-mismatch",
     "locality-denied",
     "rejected-stale",
+    "admission",
     "other",
 ];
 
@@ -111,6 +114,10 @@ pub const DENY_LABELS: [&str; 9] = [
 /// refusal (`RejectedStale`). Sits just above the access-control
 /// `DenyReason` band (0–6) in [`DENY_LABELS`].
 pub const DENY_REJECTED_STALE: u8 = 7;
+
+/// Deny-reason code for a request refused at ring ingress by the
+/// manager's per-domain admission control (throttled source domain).
+pub const DENY_ADMISSION: u8 = 8;
 
 /// Fixed-size record of one request's journey. All timestamps are
 /// caller-supplied monotonic nanoseconds (virtual or wall clock); a
@@ -567,7 +574,7 @@ mod tests {
         assert_eq!(s.allowed + s.denied + s.malformed, s.finished);
         // Per-reason split: code 2 = "replay", unknown → "other".
         assert_eq!(s.deny_reasons[2], ("replay", 4));
-        assert_eq!(s.deny_reasons[8], ("other", 1));
+        assert_eq!(s.deny_reasons[9], ("other", 1));
         // Histogram population rules.
         assert_eq!(s.total.count, 19);
         assert_eq!(s.stage_ingress.count, 18); // all but malformed

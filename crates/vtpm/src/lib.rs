@@ -32,6 +32,7 @@
 //! (`scrub` flags on the drivers), sealed persistence ([`persist`]) and
 //! destination-bound migration ([`migration`]).
 
+pub mod admission;
 pub mod deep_quote;
 pub mod device;
 pub mod hook;
@@ -44,13 +45,14 @@ pub mod platform;
 pub mod server;
 pub mod transport;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionError};
 pub use deep_quote::{DeepQuote, DeepQuoteError, BINDING_PCR};
 pub use device::{provision_device, TpmBack, TpmFront, VTPM_FAIL_RC};
 pub use hook::{AccessDecision, AccessHook, DenyReason, RequestContext, StockHook};
 pub use instance::{InstanceId, InstanceStats, VtpmInstance};
 pub use manager::{ManagerConfig, ManagerStats, ManagerStatsSnapshot, RecoveryReport, VtpmManager};
 pub use migration::{MigrationError, MigrationPackage};
-pub use mirror::{MirrorIoStats, MirrorMode, MirrorRecovery, StateMirror};
+pub use mirror::{FlushPolicy, MirrorIoStats, MirrorMode, MirrorRecovery, StateMirror};
 pub use persist::{persist, restore, PersistError};
 pub use platform::{Guest, Platform, HW_OWNER_AUTH, HW_SRK_AUTH};
 pub use server::ManagerServer;

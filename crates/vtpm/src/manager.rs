@@ -2,10 +2,19 @@
 //! routes guest commands to them, and holds their state.
 //!
 //! The manager is deliberately concurrency-first: instances live behind
-//! individual `parking_lot::Mutex`es inside a read-mostly table, so
-//! requests for *different* instances execute on different cores with no
-//! shared lock on the hot path (per the session's concurrency guides —
-//! one lock per resource, never a global lock around work).
+//! individual `parking_lot::Mutex`es inside an N-way sharded routing
+//! table, so requests for *different* instances execute on different
+//! cores with no shared lock on the hot path, and create/destroy churn
+//! locks only the id's shard instead of one global table lock (per the
+//! session's concurrency guides — one lock per resource, never a global
+//! lock around work).
+//!
+//! Two further scale mechanisms ride on that shape: the mirror's
+//! group-commit pipeline (see [`crate::mirror`] and
+//! [`ManagerConfig::flush_policy`]) coalesces many instances' metadata
+//! commits into batched flush passes, and per-domain admission control
+//! ([`crate::admission`]) refuses traffic from persistently denied
+//! domains at ring ingress, before any hook or TPM work is spent on it.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -18,9 +27,10 @@ use xen_sim::{DomainId, Hypervisor, Result as XenResult};
 
 use vtpm_telemetry::{MetricsSnapshot, Outcome, Span, Telemetry};
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::hook::{AccessDecision, AccessHook, RequestContext, StockHook};
 use crate::instance::{InstanceId, VtpmInstance};
-use crate::mirror::{MirrorMode, StateMirror};
+use crate::mirror::{FlushPolicy, MirrorMode, StateMirror};
 use crate::transport::{Envelope, ResponseEnvelope, ResponseStatus};
 
 /// Manager configuration.
@@ -44,6 +54,13 @@ pub struct ManagerConfig {
     /// Span-ring slots per stripe (16 stripes). Small values let tests
     /// provoke exact, countable overflow.
     pub telemetry_span_capacity: usize,
+    /// Group-commit flush policy for the state mirror. The default
+    /// (per-command) commits every update inline, byte-identical to the
+    /// unbatched pipeline; batched policies defer metadata commits to
+    /// coalesced flush passes.
+    pub flush_policy: FlushPolicy,
+    /// Per-domain admission control at ring ingress (default: disabled).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ManagerConfig {
@@ -55,6 +72,8 @@ impl Default for ManagerConfig {
             charge_virtual_time: true,
             telemetry_enabled: true,
             telemetry_span_capacity: vtpm_telemetry::DEFAULT_SPAN_CAPACITY,
+            flush_policy: FlushPolicy::per_command(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -77,6 +96,13 @@ pub struct ManagerStats {
     /// the next successful refresh; a crash in that window loses the
     /// unmirrored mutations.
     pub mirror_failures: AtomicU64,
+    /// Requests refused at ring ingress by per-domain admission control.
+    pub throttled: AtomicU64,
+    /// Total finished requests — the snapshot coherence epoch. Every
+    /// request bumps exactly one outcome counter (handled / denied /
+    /// errors / throttled) and then this, with `Release`, so
+    /// [`VtpmManager::stats_snapshot`] can reject torn reads.
+    pub finished: AtomicU64,
 }
 
 impl ManagerStats {
@@ -87,6 +113,14 @@ impl ManagerStats {
             self.denied.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
         )
+    }
+
+    /// Count one finished request: its outcome counter first, then the
+    /// `finished` epoch (the order the snapshot's conservation check
+    /// relies on).
+    fn finish_one(&self, outcome: &AtomicU64) {
+        outcome.fetch_add(1, Ordering::Relaxed);
+        self.finished.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -111,6 +145,59 @@ pub struct ManagerStatsSnapshot {
     /// Mirror updates that had to durably burn generations consumed by a
     /// failed earlier attempt before committing (retries after failure).
     pub retried_generation_burns: u64,
+    /// Requests refused at ring ingress by admission control.
+    pub throttled: u64,
+    /// Total finished requests. The snapshot is coherent:
+    /// `handled + denied + errors + throttled == finished` holds for
+    /// every snapshot, even ones taken mid-load.
+    pub finished: u64,
+}
+
+/// Shards in the striped instance-routing table (a power of two: ids
+/// map to shards with a mask).
+const INSTANCE_SHARDS: usize = 64;
+
+/// The N-way sharded routing table. Lookup on the hot path takes one
+/// shard's read lock; create/destroy take one shard's write lock — so
+/// mass instance churn on a consolidation host stops serializing on a
+/// single global table lock.
+struct InstanceTable {
+    shards: Vec<RwLock<HashMap<InstanceId, Arc<Mutex<VtpmInstance>>>>>,
+}
+
+impl InstanceTable {
+    fn new() -> Self {
+        InstanceTable {
+            shards: (0..INSTANCE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, id: InstanceId) -> &RwLock<HashMap<InstanceId, Arc<Mutex<VtpmInstance>>>> {
+        &self.shards[id as usize & (INSTANCE_SHARDS - 1)]
+    }
+
+    fn get(&self, id: InstanceId) -> Option<Arc<Mutex<VtpmInstance>>> {
+        self.shard(id).read().get(&id).cloned()
+    }
+
+    fn insert(&self, id: InstanceId, instance: Arc<Mutex<VtpmInstance>>) {
+        self.shard(id).write().insert(id, instance);
+    }
+
+    fn remove(&self, id: InstanceId) -> Option<Arc<Mutex<VtpmInstance>>> {
+        self.shard(id).write().remove(&id)
+    }
+
+    /// Every routed id, ascending.
+    fn ids(&self) -> Vec<InstanceId> {
+        let mut v: Vec<InstanceId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// The manager.
@@ -119,8 +206,9 @@ pub struct VtpmManager {
     seed: Vec<u8>,
     cfg: ManagerConfig,
     hook: RwLock<Arc<dyn AccessHook>>,
-    instances: RwLock<HashMap<InstanceId, Arc<Mutex<VtpmInstance>>>>,
+    instances: InstanceTable,
     mirror: StateMirror,
+    admission: AdmissionController,
     next_instance: AtomicU32,
     /// Aggregate statistics.
     pub stats: ManagerStats,
@@ -164,14 +252,16 @@ impl VtpmManager {
         master_key: [u8; 16],
     ) -> XenResult<Self> {
         let mirror = StateMirror::new(Arc::clone(&hv), cfg.mirror_mode, master_key)?;
+        mirror.set_flush_policy(cfg.flush_policy);
         Ok(VtpmManager {
             hv,
             seed: seed.to_vec(),
             #[cfg(feature = "telemetry")]
             telemetry: make_telemetry(&cfg),
+            admission: AdmissionController::new(cfg.admission),
             cfg,
             hook: RwLock::new(Arc::new(StockHook)),
-            instances: RwLock::new(HashMap::new()),
+            instances: InstanceTable::new(),
             mirror,
             next_instance: AtomicU32::new(1),
             stats: ManagerStats::default(),
@@ -196,14 +286,16 @@ impl VtpmManager {
         let master_key = Self::derive_master_key(seed);
         let (mirror, mirror_report) =
             StateMirror::recover(Arc::clone(&hv), cfg.mirror_mode, master_key)?;
+        mirror.set_flush_policy(cfg.flush_policy);
         let mgr = VtpmManager {
             hv,
             seed: seed.to_vec(),
             #[cfg(feature = "telemetry")]
             telemetry: make_telemetry(&cfg),
+            admission: AdmissionController::new(cfg.admission),
             cfg,
             hook: RwLock::new(Arc::new(StockHook)),
-            instances: RwLock::new(HashMap::new()),
+            instances: InstanceTable::new(),
             mirror,
             next_instance: AtomicU32::new(1),
             stats: ManagerStats::default(),
@@ -223,7 +315,7 @@ impl VtpmManager {
                     // The mirror is current by construction — the image
                     // just came from it.
                     instance.mirrored_generation = instance.tpm.state_generation();
-                    mgr.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+                    mgr.instances.insert(id, Arc::new(Mutex::new(instance)));
                     mgr.next_instance.fetch_max(id + 1, Ordering::Relaxed);
                     report.resumed.push(id);
                 }
@@ -283,25 +375,90 @@ impl VtpmManager {
             ("mirror_bytes_written", io.bytes_written),
             ("mirror_scrub_failures", io.scrub_failures),
             ("mirror_retried_generation_burns", io.retried_generation_burns),
+            ("mirror_staged_updates", io.staged_updates),
+            ("mirror_batched_commits", io.batched_commits),
+            ("mirror_flushes", io.flushes),
             ("mirror_skipped", self.stats.mirror_skipped.load(Ordering::Relaxed)),
             ("mirror_failures", self.stats.mirror_failures.load(Ordering::Relaxed)),
             ("nonce_reuses", self.mirror.nonce_reuses()),
+            ("admission_refused", self.admission.refused_total()),
+            ("admission_throttle_events", self.admission.throttle_events()),
         ]))
     }
 
     /// Coherent operator-facing counters: the manager's own atomics plus
     /// the mirror's hygiene counters (scrub failures, retry burns).
+    ///
+    /// The outcome counters are read seqlock-style against the
+    /// `finished` epoch: a snapshot is only returned when `finished`
+    /// was stable across the reads *and* the outcomes sum to it, so
+    /// `handled + denied + errors + throttled == finished` holds for
+    /// every snapshot — independent `Relaxed` loads used to let a
+    /// mid-command snapshot violate that conservation.
     pub fn stats_snapshot(&self) -> ManagerStatsSnapshot {
         let io = self.mirror.io_stats();
-        ManagerStatsSnapshot {
-            handled: self.stats.handled.load(Ordering::Relaxed),
-            denied: self.stats.denied.load(Ordering::Relaxed),
-            errors: self.stats.errors.load(Ordering::Relaxed),
-            mirror_skipped: self.stats.mirror_skipped.load(Ordering::Relaxed),
-            mirror_failures: self.stats.mirror_failures.load(Ordering::Relaxed),
-            scrub_failures: io.scrub_failures,
-            retried_generation_burns: io.retried_generation_burns,
+        loop {
+            let f0 = self.stats.finished.load(Ordering::Acquire);
+            let handled = self.stats.handled.load(Ordering::Relaxed);
+            let denied = self.stats.denied.load(Ordering::Relaxed);
+            let errors = self.stats.errors.load(Ordering::Relaxed);
+            let throttled = self.stats.throttled.load(Ordering::Relaxed);
+            let f1 = self.stats.finished.load(Ordering::Acquire);
+            if f0 == f1 && handled + denied + errors + throttled == f0 {
+                return ManagerStatsSnapshot {
+                    handled,
+                    denied,
+                    errors,
+                    throttled,
+                    finished: f0,
+                    mirror_skipped: self.stats.mirror_skipped.load(Ordering::Relaxed),
+                    mirror_failures: self.stats.mirror_failures.load(Ordering::Relaxed),
+                    scrub_failures: io.scrub_failures,
+                    retried_generation_burns: io.retried_generation_burns,
+                };
+            }
+            // A writer is between its outcome bump and the epoch bump —
+            // a two-instruction window; spin until the world is still.
+            std::hint::spin_loop();
         }
+    }
+
+    /// The per-domain admission controller (diagnostics and the
+    /// sentinel→manager enforcement bridge).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Publish every staged mirror generation now — the explicit
+    /// group-commit point (no-op under the per-command policy).
+    pub fn flush_mirror(&self) -> XenResult<()> {
+        self.mirror.flush()
+    }
+
+    /// Instance ids with a staged, unflushed mirror generation.
+    pub fn pending_mirror_instances(&self) -> Vec<InstanceId> {
+        self.mirror.pending_instances()
+    }
+
+    /// Swap the mirror's flush policy at runtime (benchmarks compare
+    /// per-command vs batched on one world). Updates staged under the
+    /// old policy flush on the next mutation or explicit
+    /// [`flush_mirror`](Self::flush_mirror).
+    pub fn set_flush_policy(&self, policy: FlushPolicy) {
+        self.mirror.set_flush_policy(policy);
+    }
+
+    /// Mirror a brand-new instance's first image, scrubbing and
+    /// untracking the region if the update fails partway. Without the
+    /// cleanup a failed first update leaked a tracked region with
+    /// part-written frames: never routed, never scrubbed, and in the
+    /// way of any later instance reusing the id.
+    fn mirror_initial(&self, id: InstanceId, state: &[u8]) -> XenResult<()> {
+        self.mirror.update(id, state).map_err(|e| {
+            let _ = self.mirror.discard_uncommitted(id);
+            e
+        })?;
+        Ok(())
     }
 
     /// Create a fresh vTPM instance; returns its id.
@@ -309,9 +466,9 @@ impl VtpmManager {
         let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
         let mut instance = VtpmInstance::new(id, &self.seed, self.cfg.vtpm_config.clone());
         let state = instance.tpm.serialize_state();
-        self.mirror.update(id, &state)?;
+        self.mirror_initial(id, &state)?;
         instance.mirrored_generation = instance.tpm.state_generation();
-        self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+        self.instances.insert(id, Arc::new(Mutex::new(instance)));
         Ok(id)
     }
 
@@ -321,9 +478,9 @@ impl VtpmManager {
         let mut instance = instance;
         instance.id = id;
         let state = instance.tpm.serialize_state();
-        self.mirror.update(id, &state)?;
+        self.mirror_initial(id, &state)?;
         instance.mirrored_generation = instance.tpm.state_generation();
-        self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+        self.instances.insert(id, Arc::new(Mutex::new(instance)));
         Ok(id)
     }
 
@@ -332,9 +489,9 @@ impl VtpmManager {
     pub fn restore_instance(&self, id: InstanceId, mut instance: VtpmInstance) -> XenResult<()> {
         instance.id = id;
         let state = instance.tpm.serialize_state();
-        self.mirror.update(id, &state)?;
+        self.mirror_initial(id, &state)?;
         instance.mirrored_generation = instance.tpm.state_generation();
-        self.instances.write().insert(id, Arc::new(Mutex::new(instance)));
+        self.instances.insert(id, Arc::new(Mutex::new(instance)));
         self.next_instance.fetch_max(id + 1, Ordering::Relaxed);
         Ok(())
     }
@@ -352,8 +509,12 @@ impl VtpmManager {
     /// fault, host trouble) the instance is re-registered and stays
     /// usable — its mirror region is likewise retained for a re-scrub on
     /// retry — instead of losing state or leaking frames.
+    ///
+    /// Sharding does not weaken the ordering: all three steps touch only
+    /// the id's own shard, and the shard's write lock serializes racing
+    /// destroys of the same id exactly as the global lock did.
     pub fn destroy_instance(&self, id: InstanceId) -> XenResult<bool> {
-        let Some(handle) = self.instances.write().remove(&id) else {
+        let Some(handle) = self.instances.remove(id) else {
             return Ok(false);
         };
         let mut instance = handle.lock();
@@ -361,7 +522,7 @@ impl VtpmManager {
         if let Err(e) = self.mirror.remove(id) {
             instance.destroyed = false;
             drop(instance);
-            self.instances.write().insert(id, handle);
+            self.instances.insert(id, handle);
             return Err(e);
         }
         Ok(true)
@@ -379,7 +540,7 @@ impl VtpmManager {
     /// driver must re-quiesce from its durable journal before the guest
     /// can race in a command.
     pub fn set_quiesced(&self, id: InstanceId, quiesced: bool) -> bool {
-        let Some(handle) = self.instances.read().get(&id).cloned() else {
+        let Some(handle) = self.instances.get(id) else {
             return false;
         };
         let mut guard = handle.lock();
@@ -392,7 +553,7 @@ impl VtpmManager {
 
     /// Whether instance `id` is currently quiesced for migration.
     pub fn is_quiesced(&self, id: InstanceId) -> Option<bool> {
-        let handle = self.instances.read().get(&id).cloned()?;
+        let handle = self.instances.get(id)?;
         let guard = handle.lock();
         if guard.destroyed {
             return None;
@@ -402,9 +563,7 @@ impl VtpmManager {
 
     /// Instance ids currently live.
     pub fn instance_ids(&self) -> Vec<InstanceId> {
-        let mut v: Vec<InstanceId> = self.instances.read().keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.instances.ids()
     }
 
     /// Run `f` with exclusive access to instance `id` (toolstack paths:
@@ -414,7 +573,7 @@ impl VtpmManager {
         id: InstanceId,
         f: impl FnOnce(&mut VtpmInstance) -> R,
     ) -> Option<R> {
-        let handle = self.instances.read().get(&id).cloned()?;
+        let handle = self.instances.get(id)?;
         let mut guard = handle.lock();
         if guard.destroyed {
             return None;
@@ -467,6 +626,16 @@ impl VtpmManager {
         self.mirror.read(id)
     }
 
+    /// Count one finished, *admitted* request: feed its outcome into
+    /// the source domain's admission EWMA, then bump the stats counter
+    /// and the coherence epoch. `denied` means the access hook denied
+    /// it — the signal the admission controller throttles on.
+    #[inline]
+    fn account(&self, outcome: &AtomicU64, source_domain: DomainId, denied: bool) {
+        self.admission.record_outcome(source_domain.0, denied);
+        self.stats.finish_one(outcome);
+    }
+
     /// Close `span` with `outcome`, stamping the end from the sim clock.
     /// A no-op when telemetry is off (span was never minted).
     #[inline]
@@ -505,7 +674,7 @@ impl VtpmManager {
         let envelope = match Envelope::decode(envelope_bytes) {
             Ok(e) => e,
             Err(_) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.account(&self.stats.errors, source_domain, false);
                 self.close_span(span, Outcome::Malformed);
                 return ResponseEnvelope {
                     seq: 0,
@@ -518,6 +687,22 @@ impl VtpmManager {
         if let Some(s) = span.as_mut() {
             s.set_ordinal(ordinal_of(&envelope.command).unwrap_or(0));
             s.stamp_decode(self.hv.clock.now_ns());
+        }
+
+        // Per-domain admission control at ring ingress: a domain whose
+        // traffic the hook keeps denying is refused here, before any
+        // hook evaluation or TPM work is spent on it. The refusal is
+        // not fed back as an outcome — `admit` already decays the
+        // domain's EWMA per refusal, which is how it earns release.
+        if self.admission.admit(source_domain.0).is_err() {
+            self.stats.finish_one(&self.stats.throttled);
+            self.close_span(span, Outcome::Denied(vtpm_telemetry::DENY_ADMISSION));
+            return ResponseEnvelope {
+                seq: envelope.seq,
+                status: ResponseStatus::Throttled,
+                body: Vec::new(),
+            }
+            .encode();
         }
 
         let ctx = RequestContext {
@@ -546,7 +731,7 @@ impl VtpmManager {
             s.stamp_ac(self.hv.clock.now_ns());
         }
         if let AccessDecision::Deny(reason) = decision {
-            self.stats.denied.fetch_add(1, Ordering::Relaxed);
+            self.account(&self.stats.denied, source_domain, true);
             self.close_span(span, Outcome::Denied(reason.code()));
             return ResponseEnvelope {
                 seq: envelope.seq,
@@ -556,11 +741,11 @@ impl VtpmManager {
             .encode();
         }
 
-        let handle = self.instances.read().get(&envelope.instance).cloned();
+        let handle = self.instances.get(envelope.instance);
         let handle = match handle {
             Some(h) => h,
             None => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.account(&self.stats.errors, source_domain, false);
                 self.close_span(span, Outcome::NoInstance);
                 return ResponseEnvelope {
                     seq: envelope.seq,
@@ -587,7 +772,7 @@ impl VtpmManager {
                 // guest traffic exactly like missing ones: the frontend
                 // backs off and retries, and after a committed migration
                 // the retry lands on the destination host instead.
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.account(&self.stats.errors, source_domain, false);
                 self.close_span(span, Outcome::NoInstance);
                 return ResponseEnvelope {
                     seq: envelope.seq,
@@ -613,7 +798,7 @@ impl VtpmManager {
             body
         };
 
-        self.stats.handled.fetch_add(1, Ordering::Relaxed);
+        self.account(&self.stats.handled, source_domain, false);
         self.close_span(span, Outcome::Ok);
         ResponseEnvelope { seq: envelope.seq, status: ResponseStatus::Ok, body }.encode()
     }
@@ -1210,5 +1395,234 @@ mod tests {
         assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
         assert_eq!(mgr.destroy_instance(id), Ok(true));
         assert_eq!(mgr.destroy_instance(id), Ok(false));
+    }
+
+    /// Hook that denies every request from one source domain.
+    struct DenyDomainHook(u32);
+
+    impl AccessHook for DenyDomainHook {
+        fn authorize(&self, ctx: &RequestContext<'_>) -> AccessDecision {
+            if ctx.source_domain.0 == self.0 {
+                AccessDecision::Deny(crate::hook::DenyReason::NoCredential)
+            } else {
+                AccessDecision::Allow
+            }
+        }
+        fn name(&self) -> &str {
+            "deny-domain"
+        }
+    }
+
+    #[test]
+    fn admission_throttles_abusive_domain_then_releases() {
+        // A domain whose traffic the hook keeps denying gets refused at
+        // ring ingress (Throttled) once its deny-rate EWMA trips; the
+        // refusals themselves decay the EWMA until the domain is
+        // re-admitted. A clean domain sharing the manager is never
+        // throttled.
+        let hv = Arc::new(Hypervisor::boot(2048, 8).unwrap());
+        let mgr = VtpmManager::new(
+            Arc::clone(&hv),
+            b"admission",
+            ManagerConfig {
+                mirror_mode: MirrorMode::Cleartext,
+                charge_virtual_time: false,
+                admission: AdmissionConfig { enabled: true, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        mgr.set_hook(Arc::new(DenyDomainHook(2)));
+
+        // Hammer from the abusive domain until the gate trips.
+        let mut saw_throttled_at = None;
+        for s in 0..40u64 {
+            let resp = mgr.handle(DomainId(2), &envelope(2, id, s, pcr_read_cmd()));
+            let status = ResponseEnvelope::decode(&resp).unwrap().status;
+            match status {
+                ResponseStatus::Denied => {
+                    assert!(saw_throttled_at.is_none(), "denied again after throttle tripped");
+                }
+                ResponseStatus::Throttled => {
+                    saw_throttled_at = Some(s);
+                    break;
+                }
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        let tripped = saw_throttled_at.expect("sustained denials must trip the throttle");
+        assert!(
+            tripped >= mgr.admission().config().min_samples as u64,
+            "throttle tripped before min_samples denials"
+        );
+        assert!(mgr.admission().is_throttled(2));
+        assert_eq!(mgr.admission().throttle_events(), 1);
+
+        // The clean domain is untouched while domain 2 is throttled.
+        let resp = mgr.handle(DomainId(1), &envelope(1, id, 100, pcr_read_cmd()));
+        assert_eq!(ResponseEnvelope::decode(&resp).unwrap().status, ResponseStatus::Ok);
+
+        // Each refusal decays the EWMA; the domain earns release in a
+        // bounded number of attempts and reaches the hook again.
+        let mut released_at = None;
+        for s in 0..40u64 {
+            let resp = mgr.handle(DomainId(2), &envelope(2, id, 200 + s, pcr_read_cmd()));
+            let status = ResponseEnvelope::decode(&resp).unwrap().status;
+            if status == ResponseStatus::Denied {
+                released_at = Some(s);
+                break;
+            }
+            assert_eq!(status, ResponseStatus::Throttled);
+        }
+        assert!(released_at.is_some(), "throttled domain never earned release");
+        assert!(!mgr.admission().is_throttled(2));
+        assert!(mgr.admission().refused_total() > 0);
+
+        // Conservation holds across the mixed outcomes.
+        let snap = mgr.stats_snapshot();
+        assert!(snap.throttled > 0);
+        assert_eq!(snap.handled + snap.denied + snap.errors + snap.throttled, snap.finished);
+    }
+
+    #[test]
+    fn admission_disabled_by_default_never_throttles() {
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let id = mgr.create_instance().unwrap();
+        mgr.set_hook(Arc::new(DenyAllHook));
+        for s in 0..50u64 {
+            let resp = mgr.handle(DomainId(3), &envelope(3, id, s, startup_cmd()));
+            assert_eq!(
+                ResponseEnvelope::decode(&resp).unwrap().status,
+                ResponseStatus::Denied,
+                "disabled admission must never interpose"
+            );
+        }
+        assert_eq!(mgr.stats_snapshot().throttled, 0);
+        assert_eq!(mgr.admission().throttle_events(), 0);
+    }
+
+    #[test]
+    fn cross_shard_destroys_race_handles_without_orphaning_mirror_state() {
+        // Instances spread across distinct shards of the routing table
+        // are destroyed while worker threads hammer all of them. The
+        // PR-2 destroy ordering (unroute → tombstone → scrub) must hold
+        // per shard: destroyed ids leave no mirror frames behind and
+        // recovery resurrects exactly the survivors.
+        let hv = Arc::new(Hypervisor::boot(16384, 16).unwrap());
+        let mgr = Arc::new(
+            VtpmManager::new(
+                Arc::clone(&hv),
+                b"shard-race",
+                ManagerConfig {
+                    mirror_mode: MirrorMode::Cleartext,
+                    charge_virtual_time: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let ids: Vec<u32> = (0..12).map(|_| mgr.create_instance().unwrap()).collect();
+        for &id in &ids {
+            mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        }
+        // Destroy every other instance (ids span many shards: sequential
+        // ids land in sequential shards with the 64-way split).
+        let doomed: Vec<u32> = ids.iter().copied().step_by(2).collect();
+        let survivors: Vec<u32> = ids.iter().copied().skip(1).step_by(2).collect();
+
+        let mut workers = Vec::new();
+        for (t, &id) in ids.iter().enumerate() {
+            let mgr = Arc::clone(&mgr);
+            workers.push(std::thread::spawn(move || {
+                for s in 0..25u64 {
+                    let resp = mgr.handle(
+                        DomainId(1),
+                        &envelope(1, id, 2 + s, extend_cmd((t % 8) as u32, [s as u8; 20])),
+                    );
+                    let status = ResponseEnvelope::decode(&resp).unwrap().status;
+                    assert!(
+                        status == ResponseStatus::Ok || status == ResponseStatus::NoInstance,
+                        "unexpected status during cross-shard race: {status:?}"
+                    );
+                }
+            }));
+        }
+        {
+            let mgr = Arc::clone(&mgr);
+            let doomed = doomed.clone();
+            workers.push(std::thread::spawn(move || {
+                for id in doomed {
+                    assert_eq!(mgr.destroy_instance(id), Ok(true));
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        for &id in &doomed {
+            assert!(mgr.mirror_frames(id).is_none(), "destroyed id {id} kept mirror frames");
+        }
+        for &id in &survivors {
+            assert!(mgr.mirror_frames(id).is_some(), "survivor {id} lost its mirror region");
+        }
+        drop(mgr);
+        let (_, report) = VtpmManager::recover(
+            Arc::clone(&hv),
+            b"shard-race",
+            ManagerConfig { mirror_mode: MirrorMode::Cleartext, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, survivors, "recovery must resurrect exactly the survivors");
+        assert_eq!(report.failed, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn stats_snapshot_conserves_under_concurrent_traffic() {
+        // The seqlock snapshot must satisfy
+        // handled + denied + errors + throttled == finished at any
+        // sampling instant, even while workers are mid-account.
+        let (_hv, mgr) = setup(MirrorMode::Cleartext);
+        let mgr = Arc::new(mgr);
+        let id = mgr.create_instance().unwrap();
+        mgr.handle(DomainId(1), &envelope(1, id, 1, startup_cmd()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for t in 0..3u64 {
+            let mgr = Arc::clone(&mgr);
+            workers.push(std::thread::spawn(move || {
+                for s in 0..200u64 {
+                    // Mix of ok (valid id) and error (missing id) exits.
+                    let target = if s % 3 == 0 { 999 } else { id };
+                    mgr.handle(DomainId(1), &envelope(1, target, 1000 * t + s, pcr_read_cmd()));
+                }
+            }));
+        }
+        let sampler = {
+            let mgr = Arc::clone(&mgr);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = mgr.stats_snapshot();
+                    assert_eq!(
+                        s.handled + s.denied + s.errors + s.throttled,
+                        s.finished,
+                        "snapshot violated outcome conservation"
+                    );
+                    samples += 1;
+                }
+                samples
+            })
+        };
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let samples = sampler.join().unwrap();
+        assert!(samples > 0);
+        let s = mgr.stats_snapshot();
+        assert_eq!(s.finished, 601); // startup + 600 worker requests
     }
 }

@@ -58,6 +58,23 @@
 //! the 32-bit nonce counter field are refused ([`XenError::BadImage`])
 //! instead of silently wrapping the nonce space.
 //!
+//! **Group commit.** Under a batched [`FlushPolicy`] an update *stages*
+//! its generation — dirty pages land durably in shadow slots, but the
+//! metadata write that publishes them is deferred — and a later
+//! [`StateMirror::flush`] commits every staged region in one pass,
+//! ascending id order. Staging is invisible to readers and to recovery
+//! (the committed metadata still describes the previous generation), so
+//! a crash anywhere in the window leaves each instance exactly pre- or
+//! post-batch, and the ascending-id commit order makes the post set a
+//! deterministic prefix of the batch. At most one staged generation may
+//! exist per region — a second mutation first commits the staged one —
+//! which is what keeps `attempted <= committed + 1` intact; the
+//! amortization therefore comes from coalescing *across instances*
+//! (one flush pass, one lock round per region), never from stacking
+//! generations of one instance. The default policy
+//! ([`FlushPolicy::per_command`]) commits inline inside `update` with a
+//! write sequence byte-identical to the unbatched pipeline.
+//!
 //! **Hygiene.** After the commit, replaced slots and the slots of dropped
 //! pages are zeroed, so no byte of a previous, committed generation
 //! survives in a Dom0 dump. A crash inside that post-commit scrub (or
@@ -76,7 +93,7 @@
 //! `generation + 1`, guaranteeing future writes never reuse a (page,
 //! counter) pair even across crash/restart cycles.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -107,6 +124,54 @@ pub enum MirrorMode {
     Encrypted,
 }
 
+/// When the group-commit pipeline publishes staged generations.
+///
+/// The default ([`FlushPolicy::per_command`]) disables batching: every
+/// `update` commits its metadata inline, with a write sequence
+/// byte-identical to the unbatched pipeline. A batched policy defers
+/// the metadata write until any threshold trips (a zero byte/age
+/// threshold means "no such threshold").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush once the batch has durably staged this many bytes
+    /// (0 = no byte threshold).
+    pub max_batch_bytes: u64,
+    /// Flush once this many instances hold a staged generation.
+    /// 0 disables batching entirely (per-command inline commits).
+    pub max_batch_instances: usize,
+    /// Flush once the oldest staged generation is this many virtual
+    /// nanoseconds old (0 = no age threshold).
+    pub max_age_ns: u64,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        Self::per_command()
+    }
+}
+
+impl FlushPolicy {
+    /// No batching: every update commits inline (the default).
+    pub const fn per_command() -> Self {
+        FlushPolicy { max_batch_bytes: 0, max_batch_instances: 0, max_age_ns: 0 }
+    }
+
+    /// A batched policy. `max_batch_instances` is clamped to at least 1
+    /// (0 is the per-command sentinel).
+    pub const fn batched(max_batch_bytes: u64, max_batch_instances: usize, max_age_ns: u64) -> Self {
+        FlushPolicy {
+            max_batch_bytes,
+            max_batch_instances: if max_batch_instances == 0 { 1 } else { max_batch_instances },
+            max_age_ns,
+        }
+    }
+
+    /// Whether updates commit inline instead of staging for a flush.
+    pub fn is_per_command(&self) -> bool {
+        self.max_batch_instances == 0
+    }
+}
+
 struct Region {
     /// The metadata frame, allocated on the first non-empty update.
     meta_mfn: Option<usize>,
@@ -134,6 +199,90 @@ struct Region {
     cache: Vec<u8>,
     /// Scrubbed frames freed by shrinks, kept for regrow reuse.
     spare: Vec<usize>,
+    /// A staged — written but uncommitted — generation awaiting its
+    /// flush (batched policies only; `None` under per-command commits).
+    staged: Option<Staged>,
+}
+
+/// A fully staged generation: every dirty page already landed durably
+/// in its shadow slot, but the metadata frame still describes the
+/// previous generation. `commit_locked` publishes it with one atomic
+/// metadata write. At most one exists per region at any instant — that
+/// is what keeps `attempted <= committed + 1`.
+struct Staged {
+    /// The generation the staged pages were encrypted under.
+    gen: u64,
+    /// Payload length of the staged image.
+    len: usize,
+    /// Per-page write counters once this generation commits.
+    counters: Vec<u32>,
+    /// Per-page stored-bytes digests once this generation commits.
+    digests: Vec<[u8; 8]>,
+    /// (page index, slot) of every page this generation rewrote.
+    targets: Vec<(usize, u8)>,
+    /// Plaintext of the staged image (the diff cache after commit).
+    state: Vec<u8>,
+    /// Bytes durably written while staging (shadow pages plus any
+    /// generation burn) — the caller's return value.
+    staged_bytes: u64,
+}
+
+/// Shards in the striped region table (a power of two: ids map to
+/// shards with a mask).
+const REGION_SHARDS: usize = 64;
+
+/// N-way striped id → region map. Create/destroy of one instance takes
+/// only its shard's lock, so mass churn stops serializing on a single
+/// global table lock.
+struct RegionTable {
+    shards: Vec<RwLock<HashMap<u32, Arc<Mutex<Region>>>>>,
+}
+
+impl RegionTable {
+    fn new() -> Self {
+        RegionTable {
+            shards: (0..REGION_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, id: u32) -> &RwLock<HashMap<u32, Arc<Mutex<Region>>>> {
+        &self.shards[id as usize & (REGION_SHARDS - 1)]
+    }
+
+    fn get(&self, id: u32) -> Option<Arc<Mutex<Region>>> {
+        self.shard(id).read().get(&id).cloned()
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.shard(id).read().contains_key(&id)
+    }
+
+    fn insert(&self, id: u32, region: Arc<Mutex<Region>>) {
+        self.shard(id).write().insert(id, region);
+    }
+
+    /// Every tracked id, ascending.
+    fn ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Instances holding a staged generation, awaiting the next flush.
+#[derive(Default)]
+struct PendingBatch {
+    /// Staged instance ids, ascending — the flush's commit order.
+    ids: BTreeSet<u32>,
+    /// Bytes durably staged across the batch (coarse: reset when the
+    /// batch drains empty).
+    bytes: u64,
+    /// Virtual time the batch's first staging happened.
+    opened_ns: u64,
 }
 
 /// A parsed per-page metadata entry.
@@ -227,6 +376,13 @@ pub struct MirrorIoStats {
     /// each one is a retry after a mirror failure, re-committing the old
     /// image's metadata before consuming fresh CTR nonces.
     pub retried_generation_burns: u64,
+    /// Updates that staged under a batched policy (commit deferred to a
+    /// flush) instead of committing inline.
+    pub staged_updates: u64,
+    /// Staged generations published by a flush pass.
+    pub batched_commits: u64,
+    /// Group-commit flush passes over the pending batch.
+    pub flushes: u64,
 }
 
 #[derive(Default)]
@@ -239,6 +395,9 @@ struct IoCounters {
     bytes_written: AtomicU64,
     scrub_failures: AtomicU64,
     retried_generation_burns: AtomicU64,
+    staged_updates: AtomicU64,
+    batched_commits: AtomicU64,
+    flushes: AtomicU64,
 }
 
 /// The mirror. One per manager.
@@ -250,7 +409,11 @@ struct IoCounters {
 pub struct StateMirror {
     hv: Arc<Hypervisor>,
     mode: MirrorMode,
-    regions: RwLock<HashMap<u32, Arc<Mutex<Region>>>>,
+    regions: RegionTable,
+    /// Active flush policy (default: per-command inline commits).
+    policy: RwLock<FlushPolicy>,
+    /// Instances with staged, unflushed generations.
+    pending: Mutex<PendingBatch>,
     /// AES key (Encrypted mode). Also written to `key_frame` so the
     /// "protected memory" story is literal: the only in-simulation copy
     /// of the key sits in a frame the dump facility refuses to read.
@@ -317,7 +480,9 @@ impl StateMirror {
         Ok(StateMirror {
             hv,
             mode,
-            regions: RwLock::new(HashMap::new()),
+            regions: RegionTable::new(),
+            policy: RwLock::new(FlushPolicy::per_command()),
+            pending: Mutex::new(PendingBatch::default()),
             master_key: key,
             key_frame,
             io: IoCounters::default(),
@@ -390,15 +555,37 @@ impl StateMirror {
             bytes_written: self.io.bytes_written.load(Ordering::Relaxed),
             scrub_failures: self.io.scrub_failures.load(Ordering::Relaxed),
             retried_generation_burns: self.io.retried_generation_burns.load(Ordering::Relaxed),
+            staged_updates: self.io.staged_updates.load(Ordering::Relaxed),
+            batched_commits: self.io.batched_commits.load(Ordering::Relaxed),
+            flushes: self.io.flushes.load(Ordering::Relaxed),
         }
     }
 
-    /// Fetch or create the per-instance region handle.
+    /// Replace the flush policy. Takes effect for subsequent updates;
+    /// anything already staged commits under the new thresholds (or via
+    /// an explicit [`StateMirror::flush`]).
+    pub fn set_flush_policy(&self, policy: FlushPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The active flush policy.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        *self.policy.read()
+    }
+
+    /// Instance ids with a staged, unflushed generation (ascending).
+    pub fn pending_instances(&self) -> Vec<u32> {
+        self.pending.lock().ids.iter().copied().collect()
+    }
+
+    /// Fetch or create the per-instance region handle. Only the id's
+    /// shard is locked.
     fn region_handle(&self, id: u32) -> Arc<Mutex<Region>> {
-        if let Some(r) = self.regions.read().get(&id) {
+        let shard = self.regions.shard(id);
+        if let Some(r) = shard.read().get(&id) {
             return Arc::clone(r);
         }
-        let mut table = self.regions.write();
+        let mut table = shard.write();
         Arc::clone(table.entry(id).or_insert_with(|| {
             Arc::new(Mutex::new(Region {
                 meta_mfn: None,
@@ -411,6 +598,7 @@ impl StateMirror {
                 page_digests: Vec::new(),
                 cache: Vec::new(),
                 spare: Vec::new(),
+                staged: None,
             }))
         }))
     }
@@ -491,33 +679,73 @@ impl StateMirror {
     /// data pages plus metadata commits (including a retry's generation
     /// burn), excluding post-commit hygiene scrubs — which telemetry
     /// records as mirror-bytes-per-command. A clean update returns 0.
+    /// Under a batched policy the metadata commit is deferred to a
+    /// flush, so the returned count covers the staged pages only.
     pub fn update(&self, id: u32, state: &[u8]) -> XenResult<u64> {
         let data_pages = state.len().div_ceil(PAGE_SIZE);
         if data_pages > MAX_DATA_PAGES {
             return Err(XenError::OutOfMemory);
         }
+        let per_command = self.policy.read().is_per_command();
         let handle = self.region_handle(id);
         let mut region = handle.lock();
         self.io.updates.fetch_add(1, Ordering::Relaxed);
 
+        // At most one staged generation may exist per region (that is
+        // the `attempted <= committed + 1` invariant): publish any
+        // previous staged generation before staging anew.
+        if region.staged.is_some() {
+            self.commit_locked(id, &mut region)?;
+            self.dequeue(id);
+        }
+
+        let Some(staged) = self.stage_locked(id, &mut region, state)? else {
+            self.io.clean_updates.fetch_add(1, Ordering::Relaxed);
+            return Ok(0);
+        };
+        let staged_bytes = staged.staged_bytes;
+        region.staged = Some(staged);
+
+        if per_command {
+            let commit_bytes = self.commit_locked(id, &mut region)?;
+            return Ok(staged_bytes + commit_bytes);
+        }
+
+        self.io.staged_updates.fetch_add(1, Ordering::Relaxed);
+        let due = self.enqueue(id, staged_bytes);
+        drop(region);
+        if due {
+            self.flush()?;
+        }
+        Ok(staged_bytes)
+    }
+
+    /// Stage `state` as the region's next generation: grow the backing
+    /// frames, durably burn a failed earlier attempt if one is pending,
+    /// and write every dirty page into its shadow slot. Returns `None`
+    /// when nothing is dirty (no page written at all). On `Some`, the
+    /// record is ready for `commit_locked`; `region.attempted` already
+    /// names the staged generation, so a failure from here on follows
+    /// the ordinary burn-on-retry path.
+    fn stage_locked(&self, id: u32, region: &mut Region, state: &[u8]) -> XenResult<Option<Staged>> {
+        let data_pages = state.len().div_ceil(PAGE_SIZE);
         let old_pages = region.len.div_ceil(PAGE_SIZE);
         let dirty: Vec<usize> = (0..data_pages)
             .filter(|&i| i >= old_pages || !page_eq(state, &region.cache, i))
             .collect();
         let shrunk = data_pages < old_pages;
         if dirty.is_empty() && !shrunk && state.len() == region.len {
-            self.io.clean_updates.fetch_add(1, Ordering::Relaxed);
-            return Ok(0);
+            return Ok(None);
         }
         let mut bytes_this_update = 0u64;
 
         if region.meta_mfn.is_none() {
-            let mfn = self.take_frame(&mut region)?;
+            let mfn = self.take_frame(region)?;
             region.meta_mfn = Some(mfn);
         }
         while region.slots.len() < data_pages {
-            let a = self.take_frame(&mut region)?;
-            let b = self.take_frame(&mut region)?;
+            let a = self.take_frame(region)?;
+            let b = self.take_frame(region)?;
             region.slots.push([a, b]);
             // New pages are written below; slot 0 becomes active at
             // commit (the placeholder 1 makes the target math uniform).
@@ -530,7 +758,7 @@ impl StateMirror {
         // the same (id, page, counter) CTR nonce — keystream reuse for an
         // attacker holding dumps from before and after the retry.
         if region.attempted > region.generation {
-            self.burn_attempted(id, &mut region)?;
+            self.burn_attempted(id, region)?;
             self.io.retried_generation_burns.fetch_add(1, Ordering::Relaxed);
             bytes_this_update += PAGE_SIZE as u64;
         }
@@ -576,10 +804,29 @@ impl StateMirror {
             targets.push((i, target));
         }
 
-        // Build the new generation's metadata and commit it with one
-        // atomic page write.
+        Ok(Some(Staged {
+            gen: next_gen,
+            len: state.len(),
+            counters: new_counters,
+            digests: new_digests,
+            targets,
+            state: state.to_vec(),
+            staged_bytes: bytes_this_update,
+        }))
+    }
+
+    /// Publish the region's staged generation: build the new metadata
+    /// and commit it with one atomic page write, fold the generation
+    /// into the in-memory region, then do the post-commit hygiene
+    /// scrubs. On failure the staged record is restored untouched —
+    /// every staged page already landed durably, so a retry rewrites
+    /// the *identical* metadata bytes and consumes no new nonce.
+    /// Returns the commit's durable bytes (the metadata page).
+    fn commit_locked(&self, id: u32, region: &mut Region) -> XenResult<u64> {
+        let staged = region.staged.take().expect("commit_locked requires a staged generation");
+        let data_pages = staged.len.div_ceil(PAGE_SIZE);
         let mut target_of = vec![None; data_pages];
-        for &(i, t) in &targets {
+        for &(i, t) in &staged.targets {
             target_of[i] = Some(t);
         }
         let entries: Vec<MetaEntry> = (0..data_pages)
@@ -588,28 +835,34 @@ impl StateMirror {
                 MetaEntry {
                     active_mfn: region.slots[i][act as usize] as u32,
                     shadow_mfn: region.slots[i][1 - act as usize] as u32,
-                    counter: new_counters[i],
-                    digest: new_digests[i],
+                    counter: staged.counters[i],
+                    digest: staged.digests[i],
                 }
             })
             .collect();
-        let meta = build_meta(id, next_gen, state.len() as u64, self.key_check_tag(id), &entries);
-        self.hv.page_write(DomainId::DOM0, region.meta_mfn.expect("allocated above"), 0, &meta)?;
+        let meta = build_meta(id, staged.gen, staged.len as u64, self.key_check_tag(id), &entries);
+        let meta_mfn = region.meta_mfn.expect("staged generation implies a meta frame");
+        if let Err(e) = self.hv.page_write(DomainId::DOM0, meta_mfn, 0, &meta) {
+            region.staged = Some(staged);
+            return Err(e);
+        }
         self.io.meta_pages_written.fetch_add(1, Ordering::Relaxed);
         self.io.bytes_written.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
-        bytes_this_update += PAGE_SIZE as u64;
 
         // Committed — fold the new generation into the in-memory region.
-        region.generation = next_gen;
-        region.attempted = next_gen;
-        for &(i, t) in &targets {
+        // `old_pages` must come from the pre-fold length: the hygiene
+        // scrubs below only cover replaced slots of pages that existed
+        // in the previous committed image.
+        let old_pages = region.len.div_ceil(PAGE_SIZE);
+        region.generation = staged.gen;
+        region.attempted = staged.gen;
+        for &(i, t) in &staged.targets {
             region.active[i] = t;
         }
-        region.page_counters = new_counters;
-        region.page_digests = new_digests;
-        region.len = state.len();
-        region.cache.clear();
-        region.cache.extend_from_slice(state);
+        region.page_counters = staged.counters;
+        region.page_digests = staged.digests;
+        region.len = staged.len;
+        region.cache = staged.state;
 
         // Post-commit hygiene: zero the replaced slots of rewritten
         // pages and both slots of dropped pages (which join the spare
@@ -620,7 +873,7 @@ impl StateMirror {
         // mutation that in fact committed. A crash or failure in here
         // strands stale bytes only until the frame is reused or
         // `recover` re-scrubs every shadow slot.
-        for &(i, t) in &targets {
+        for &(i, t) in &staged.targets {
             if i < old_pages {
                 self.scrub_frame_best_effort(region.slots[i][1 - t as usize]);
             }
@@ -633,7 +886,102 @@ impl StateMirror {
             region.spare.push(a);
             region.spare.push(b);
         }
-        Ok(bytes_this_update)
+        Ok(PAGE_SIZE as u64)
+    }
+
+    /// Record a freshly staged instance in the pending batch and report
+    /// whether the policy says the batch is due. Called with the region
+    /// lock held — region before pending is the lock order everywhere.
+    fn enqueue(&self, id: u32, staged_bytes: u64) -> bool {
+        let policy = *self.policy.read();
+        let now = self.hv.clock.now_ns();
+        let mut pending = self.pending.lock();
+        if pending.ids.is_empty() {
+            pending.opened_ns = now;
+        }
+        pending.ids.insert(id);
+        pending.bytes += staged_bytes;
+        let instances_due = pending.ids.len() >= policy.max_batch_instances.max(1);
+        let bytes_due = policy.max_batch_bytes > 0 && pending.bytes >= policy.max_batch_bytes;
+        let age_due =
+            policy.max_age_ns > 0 && now.saturating_sub(pending.opened_ns) >= policy.max_age_ns;
+        instances_due || bytes_due || age_due
+    }
+
+    /// Drop a committed (or discarded) instance from the pending batch.
+    fn dequeue(&self, id: u32) {
+        let mut pending = self.pending.lock();
+        if pending.ids.remove(&id) && pending.ids.is_empty() {
+            pending.bytes = 0;
+        }
+    }
+
+    /// The group-commit point: publish every staged generation,
+    /// ascending instance id. Stops at the first commit failure, leaving
+    /// that instance and everything after it staged for an idempotent
+    /// retry; instances already committed stay committed — which is what
+    /// makes the crash matrix's post-batch set a deterministic
+    /// ascending-id prefix of the batch.
+    pub fn flush(&self) -> XenResult<()> {
+        let ids: Vec<u32> = self.pending.lock().ids.iter().copied().collect();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        self.io.flushes.fetch_add(1, Ordering::Relaxed);
+        for id in ids {
+            let Some(handle) = self.regions.get(id) else {
+                self.dequeue(id);
+                continue;
+            };
+            let mut region = handle.lock();
+            if region.staged.is_none() {
+                self.dequeue(id);
+                continue;
+            }
+            self.commit_locked(id, &mut region)?;
+            self.io.batched_commits.fetch_add(1, Ordering::Relaxed);
+            self.dequeue(id);
+        }
+        Ok(())
+    }
+
+    /// Tear down a region whose first update never committed
+    /// (`generation == 0`) — the create/adopt/restore error path, where
+    /// a failed initial `update` left allocated, possibly part-written
+    /// frames tracked but no metadata ever published. Scrubs are
+    /// best-effort (the fault that failed the update may still hold;
+    /// the frames carry no committed metadata and, in `Encrypted` mode,
+    /// only ciphertext, so nothing can be resurrected from them) and
+    /// the region is untracked unconditionally. Regions with a
+    /// committed generation are left untouched: a failed re-update of a
+    /// live region (e.g. a restore onto a recovered id) keeps its
+    /// committed image and the ordinary burn-on-retry semantics.
+    pub fn discard_uncommitted(&self, id: u32) -> XenResult<()> {
+        let committed = match self.regions.get(id) {
+            None => return Ok(()),
+            Some(handle) => handle.lock().generation > 0,
+        };
+        if committed {
+            return Ok(());
+        }
+        let mut table = self.regions.shard(id).write();
+        let Some(handle) = table.get(&id).cloned() else {
+            return Ok(());
+        };
+        let region = handle.lock();
+        for mfn in region
+            .meta_mfn
+            .into_iter()
+            .chain(region.slots.iter().flatten().copied())
+            .chain(region.spare.iter().copied())
+        {
+            self.scrub_frame_best_effort(mfn);
+        }
+        drop(region);
+        table.remove(&id);
+        drop(table);
+        self.dequeue(id);
+        Ok(())
     }
 
     /// Read back instance `id`'s resident image (decrypting in Encrypted
@@ -644,7 +992,7 @@ impl StateMirror {
     /// corruption of the resident frames surfaces as
     /// [`XenError::BadImage`] instead of silently decoding garbage.
     pub fn read(&self, id: u32) -> XenResult<Vec<u8>> {
-        let handle = self.regions.read().get(&id).cloned().ok_or(XenError::BadFrame)?;
+        let handle = self.regions.get(id).ok_or(XenError::BadFrame)?;
         let region = handle.lock();
         let meta_mfn = region.meta_mfn.ok_or(XenError::BadFrame)?;
         let mut meta = vec![0u8; PAGE_SIZE];
@@ -691,10 +1039,11 @@ impl StateMirror {
     /// metadata frame is scrubbed first for the same reason — once it is
     /// gone, no crash or partial failure can resurrect the image.
     pub fn remove(&self, id: u32) -> XenResult<()> {
-        // Map lock before region lock, like every other table accessor;
-        // holding the table write lock across the scrub also keeps a
-        // concurrent `update` from re-creating the region mid-removal.
-        let mut table = self.regions.write();
+        // Shard lock before region lock, like every other table
+        // accessor; holding the shard's write lock across the scrub also
+        // keeps a concurrent `update` from re-creating the region
+        // mid-removal.
+        let mut table = self.regions.shard(id).write();
         let Some(handle) = table.get(&id).cloned() else {
             return Ok(());
         };
@@ -706,6 +1055,8 @@ impl StateMirror {
         }
         drop(region);
         table.remove(&id);
+        drop(table);
+        self.dequeue(id);
         Ok(())
     }
 
@@ -713,7 +1064,7 @@ impl StateMirror {
     /// ground truth). The first entry is the metadata frame; the rest
     /// are the active data slots in page order.
     pub fn region_frames(&self, id: u32) -> Option<Vec<usize>> {
-        self.regions.read().get(&id).map(|r| {
+        self.regions.get(id).map(|r| {
             let region = r.lock();
             let mut mfns: Vec<usize> = region.meta_mfn.into_iter().collect();
             mfns.extend(
@@ -725,14 +1076,12 @@ impl StateMirror {
 
     /// Committed generation of instance `id`, if it has a region.
     pub fn generation(&self, id: u32) -> Option<u64> {
-        self.regions.read().get(&id).map(|r| r.lock().generation)
+        self.regions.get(id).map(|r| r.lock().generation)
     }
 
     /// Ids with a live region, ascending.
     pub fn instance_ids(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self.regions.read().keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.regions.ids()
     }
 
     /// Rebuild a mirror from the Dom0 frames alone — the manager
@@ -762,7 +1111,7 @@ impl StateMirror {
             let Some((id, generation, len, key_check, entries)) = parse_meta(&page[..]) else {
                 continue;
             };
-            if mirror.regions.read().contains_key(&id) {
+            if mirror.regions.contains(id) {
                 continue;
             }
             if key_check != mirror.key_check_tag(id) {
@@ -786,6 +1135,7 @@ impl StateMirror {
                 page_digests: entries.iter().map(|e| e.digest).collect(),
                 cache: image,
                 spare: Vec::new(),
+                staged: None,
             };
             for e in &entries {
                 mirror.scrub_frame(e.shadow_mfn as usize)?;
@@ -795,7 +1145,7 @@ impl StateMirror {
             mirror.hv.page_write(DomainId::DOM0, *mfn, 0, &meta)?;
             mirror.io.meta_pages_written.fetch_add(1, Ordering::Relaxed);
             mirror.io.bytes_written.fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
-            mirror.regions.write().insert(id, Arc::new(Mutex::new(region)));
+            mirror.regions.insert(id, Arc::new(Mutex::new(region)));
             report.recovered.push(id);
         }
         report.recovered.sort_unstable();
@@ -1335,5 +1685,142 @@ mod tests {
         assert_eq!(report.corrupt, vec![11], "wrong key must be detected, not decode garbage");
         assert!(report.recovered.is_empty());
         assert!(rec.read(11).is_err());
+    }
+
+    #[test]
+    fn batched_updates_commit_on_flush() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [0x21; 16]).unwrap();
+        m.update(1, b"instance one, gen one").unwrap();
+        m.update(2, b"instance two, gen one").unwrap();
+        m.set_flush_policy(FlushPolicy::batched(0, 8, 0));
+
+        // Stage both: data pages land, metadata stays at the old
+        // generation, so a read still returns the committed image.
+        m.update(1, b"instance one, gen two").unwrap();
+        m.update(2, b"instance two, gen two").unwrap();
+        assert_eq!(m.pending_instances(), vec![1, 2]);
+        assert_eq!(m.read(1).unwrap(), b"instance one, gen one");
+        assert_eq!(m.read(2).unwrap(), b"instance two, gen one");
+        assert_eq!(m.generation(1), Some(1));
+
+        m.flush().unwrap();
+        assert_eq!(m.pending_instances(), Vec::<u32>::new());
+        assert_eq!(m.read(1).unwrap(), b"instance one, gen two");
+        assert_eq!(m.read(2).unwrap(), b"instance two, gen two");
+        assert_eq!(m.generation(1), Some(2));
+        let io = m.io_stats();
+        assert_eq!(io.staged_updates, 2);
+        assert_eq!(io.batched_commits, 2);
+        assert_eq!(io.flushes, 1);
+        assert_eq!(m.nonce_reuses(), 0);
+    }
+
+    #[test]
+    fn instance_threshold_reached_flushes_inline() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        m.set_flush_policy(FlushPolicy::batched(0, 2, 0));
+        m.update(1, b"a").unwrap();
+        assert_eq!(m.pending_instances(), vec![1], "below threshold: staged");
+        // The second staged instance trips max_batch_instances = 2.
+        m.update(2, b"b").unwrap();
+        assert_eq!(m.pending_instances(), Vec::<u32>::new());
+        assert_eq!(m.read(1).unwrap(), b"a");
+        assert_eq!(m.read(2).unwrap(), b"b");
+        assert_eq!(m.io_stats().flushes, 1);
+    }
+
+    #[test]
+    fn second_update_to_staged_region_commits_the_first() {
+        // Only one staged generation may exist per region — the nonce
+        // invariant `attempted <= committed + 1` depends on it.
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [0x22; 16]).unwrap();
+        m.enable_nonce_audit();
+        m.set_flush_policy(FlushPolicy::batched(0, 8, 0));
+        m.update(7, b"first staged generation").unwrap();
+        assert_eq!(m.generation(7), Some(0), "still uncommitted");
+        m.update(7, b"second staged generation").unwrap();
+        assert_eq!(m.generation(7), Some(1), "restage published the first");
+        m.flush().unwrap();
+        assert_eq!(m.generation(7), Some(2));
+        assert_eq!(m.read(7).unwrap(), b"second staged generation");
+        assert_eq!(m.nonce_reuses(), 0);
+    }
+
+    #[test]
+    fn flush_failure_keeps_staged_for_idempotent_retry() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, [0x23; 16]).unwrap();
+        m.enable_nonce_audit();
+        m.update(1, b"one committed").unwrap();
+        m.update(2, b"two committed").unwrap();
+        m.set_flush_policy(FlushPolicy::batched(0, 8, 0));
+        m.update(1, b"one staged").unwrap();
+        m.update(2, b"two staged").unwrap();
+
+        // The flush commits id 1's metadata, then dies on id 2's: the
+        // ascending-id prefix stands, the rest stays staged.
+        hv.inject_write_crash(DomainId::DOM0, 1);
+        assert!(m.flush().is_err());
+        hv.clear_faults();
+        assert_eq!(m.read(1).unwrap(), b"one staged");
+        assert_eq!(m.read(2).unwrap(), b"two committed");
+        assert_eq!(m.pending_instances(), vec![2]);
+
+        // Retry is idempotent: the staged pages already landed, so the
+        // commit rewrites identical metadata and consumes no new nonce.
+        let data_before = m.io_stats().data_pages_written;
+        m.flush().unwrap();
+        assert_eq!(m.io_stats().data_pages_written, data_before);
+        assert_eq!(m.read(2).unwrap(), b"two staged");
+        assert_eq!(m.pending_instances(), Vec::<u32>::new());
+        assert_eq!(m.nonce_reuses(), 0);
+    }
+
+    #[test]
+    fn crash_with_staged_batch_recovers_committed_images() {
+        // A staged-but-unflushed generation must be invisible to
+        // recovery: the committed metadata still describes the old
+        // image, and recovery's shadow-slot scrub erases the staged
+        // bytes.
+        let hv = hv();
+        let key = [0x24; 16];
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        m.update(3, b"durable image").unwrap();
+        m.set_flush_policy(FlushPolicy::batched(0, 8, 0));
+        m.update(3, b"STAGED-ONLY-SECRET-BYTES").unwrap();
+        drop(m); // crash before any flush
+
+        let (rec, report) = StateMirror::recover(Arc::clone(&hv), MirrorMode::Encrypted, key).unwrap();
+        assert_eq!(report.recovered, vec![3]);
+        assert_eq!(rec.read(3).unwrap(), b"durable image");
+        let blob = dump_all(&hv);
+        assert!(
+            !contains(&blob, b"STAGED-ONLY-SECRET-BYTES"),
+            "recovery must scrub staged shadow slots"
+        );
+    }
+
+    #[test]
+    fn discard_uncommitted_untracks_and_scrubs_a_never_committed_region() {
+        let hv = hv();
+        let m = StateMirror::new(Arc::clone(&hv), MirrorMode::Cleartext, [0; 16]).unwrap();
+        // First-ever update dies mid-stage: the region is tracked but
+        // generation 0 never committed.
+        hv.inject_write_crash(DomainId::DOM0, 0);
+        assert!(m.update(9, b"NEVER-COMMITTED-BYTES").is_err());
+        hv.clear_faults();
+        assert!(m.region_frames(9).is_some(), "failed first update leaves the region tracked");
+        m.discard_uncommitted(9).unwrap();
+        assert!(m.region_frames(9).is_none());
+        assert!(!contains(&dump_all(&hv), b"NEVER-COMMITTED-BYTES"));
+        // A committed region is left intact: discard only covers regions
+        // whose metadata was never published.
+        m.update(10, b"committed").unwrap();
+        m.discard_uncommitted(10).unwrap();
+        assert!(m.region_frames(10).is_some());
+        assert_eq!(m.read(10).unwrap(), b"committed");
     }
 }

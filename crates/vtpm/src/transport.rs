@@ -107,6 +107,9 @@ pub enum ResponseStatus {
     NoInstance,
     /// Envelope was malformed.
     Malformed,
+    /// Refused at ring ingress by per-domain admission control; the
+    /// frontend should back off before retrying.
+    Throttled,
 }
 
 impl ResponseStatus {
@@ -116,6 +119,7 @@ impl ResponseStatus {
             ResponseStatus::Denied => 1,
             ResponseStatus::NoInstance => 2,
             ResponseStatus::Malformed => 3,
+            ResponseStatus::Throttled => 4,
         }
     }
 
@@ -125,6 +129,7 @@ impl ResponseStatus {
             1 => Some(ResponseStatus::Denied),
             2 => Some(ResponseStatus::NoInstance),
             3 => Some(ResponseStatus::Malformed),
+            4 => Some(ResponseStatus::Throttled),
             _ => None,
         }
     }
@@ -136,6 +141,7 @@ impl ResponseStatus {
             ResponseStatus::Denied => "denied",
             ResponseStatus::NoInstance => "no-instance",
             ResponseStatus::Malformed => "malformed",
+            ResponseStatus::Throttled => "throttled",
         }
     }
 }
@@ -249,6 +255,7 @@ mod tests {
             ResponseStatus::Denied,
             ResponseStatus::NoInstance,
             ResponseStatus::Malformed,
+            ResponseStatus::Throttled,
         ] {
             let r = ResponseEnvelope { seq: 42, status, body: vec![1, 2, 3] };
             let d = ResponseEnvelope::decode(&r.encode()).unwrap();

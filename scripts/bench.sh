@@ -11,6 +11,12 @@
 #   self-overhead percentage. The binary exits nonzero if the R-D1 gate
 #   fails, so this doubles as a slow-path check.
 #
+#   BENCH_manager.json — Dom0 manager scaling numbers: the R-P1 sweep
+#   (read/mutate wall ns per command at 100/1k/10k resident instances,
+#   per-command vs group-commit flush policy, staging/commit/flush
+#   amortization counters) and the scaling-ratio gate. The binary exits
+#   nonzero if the 10k-vs-100 read-path ratio exceeds 1.5x.
+#
 # Usage:
 #   scripts/bench.sh             # full sizes
 #   scripts/bench.sh --quick     # CI-sized
@@ -28,3 +34,7 @@ fi
 echo "== sentinel bench -> ${out_dir}/BENCH_sentinel.json =="
 cargo run --release -p vtpm-bench --bin sentinel_bench -- \
     "${quick[@]}" --out "${out_dir}/BENCH_sentinel.json"
+
+echo "== manager bench -> ${out_dir}/BENCH_manager.json =="
+cargo run --release -p vtpm-bench --bin manager_bench -- \
+    "${quick[@]}" --out "${out_dir}/BENCH_manager.json"

@@ -17,7 +17,11 @@
 #      attack-free chaos sweep with the detection plane consuming every
 #      span, audit record, gauge, and dump-trail entry, then injects
 #      A1/A7/replay-storm. It exits nonzero on any clean-seed critical
-#      alert (a false positive) or any missed injection.
+#      alert (a false positive) or any missed injection;
+#   7. R-P1: the manager scaling budget. `repro p1 --quick` measures the
+#      routing hot path (PcrRead over a fixed active set) at 100 and
+#      10 000 resident instances and exits nonzero if the per-command
+#      cost degrades by more than 1.5x between the endpoints.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -47,5 +51,8 @@ cargo run --release -p vtpm-bench --bin repro -- m1 --quick
 
 echo "== R-D1: sentinel smoke (zero clean-seed FPs, all injections detected) =="
 cargo run --release -p vtpm-bench --bin repro -- d1 --quick
+
+echo "== R-P1: manager scaling budget (10k/100-instance read path <= 1.5x) =="
+cargo run --release -p vtpm-bench --bin repro -- p1 --quick
 
 echo "CI gate passed."

@@ -205,6 +205,134 @@ fn telemetry_conserves_and_counts_drops_exactly() {
     assert_eq!(kept + snap.dropped_events, snap.finished);
 }
 
+/// A sampler thread reads `stats_snapshot()` continuously while mixed
+/// traffic (ok, denied, error, throttled) hammers the manager: every
+/// snapshot must satisfy handled + denied + errors + throttled ==
+/// finished. Before the seqlock, independent Relaxed loads let a
+/// mid-command sample violate that conservation.
+#[test]
+fn stats_snapshots_conserve_while_mixed_traffic_runs() {
+    use vtpm_xen::vtpm_stack::{AdmissionConfig, Envelope};
+
+    let hv = Arc::new(Hypervisor::boot(4096, 16).unwrap());
+    let mgr = Arc::new(
+        VtpmManager::new(
+            Arc::clone(&hv),
+            b"conc-conserve",
+            ManagerConfig {
+                charge_virtual_time: false,
+                admission: AdmissionConfig { enabled: true, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let inst = mgr.create_instance().unwrap();
+    let startup = vec![0x00, 0xC1, 0, 0, 0, 12, 0, 0, 0, 0x99, 0, 1];
+    mgr.handle(
+        DomainId(1),
+        &Envelope { domain: 1, instance: inst, seq: 1, locality: 0, tag: None, command: startup }
+            .encode(),
+    );
+
+    let pcr_read = {
+        let mut c = Vec::new();
+        c.extend_from_slice(&0x00C1u16.to_be_bytes());
+        c.extend_from_slice(&14u32.to_be_bytes());
+        c.extend_from_slice(&ordinal::PCR_READ.to_be_bytes());
+        c.extend_from_slice(&0u32.to_be_bytes());
+        c
+    };
+
+    const WORKERS: u64 = 3;
+    const REQUESTS: u64 = 300;
+    let mut handles = Vec::new();
+    for t in 0..WORKERS {
+        let mgr = Arc::clone(&mgr);
+        let cmd = pcr_read.clone();
+        handles.push(std::thread::spawn(move || {
+            for s in 0..REQUESTS {
+                // Ok traffic, NoInstance errors, and malformed garbage
+                // interleave so every outcome counter is in motion.
+                match s % 3 {
+                    0 => {
+                        mgr.handle(DomainId(1), &[0xEE; 11]);
+                    }
+                    1 => {
+                        let env = Envelope {
+                            domain: 1,
+                            instance: 9999,
+                            seq: 10_000 * t + s,
+                            locality: 0,
+                            tag: None,
+                            command: cmd.clone(),
+                        };
+                        mgr.handle(DomainId(1), &env.encode());
+                    }
+                    _ => {
+                        let env = Envelope {
+                            domain: 1,
+                            instance: inst,
+                            seq: 10_000 * t + s,
+                            locality: 0,
+                            tag: None,
+                            command: cmd.clone(),
+                        };
+                        mgr.handle(DomainId(1), &env.encode());
+                    }
+                }
+            }
+        }));
+    }
+    // Throttled exits too: latch domain 5 and bounce requests off it.
+    {
+        let mgr = Arc::clone(&mgr);
+        let cmd = pcr_read.clone();
+        handles.push(std::thread::spawn(move || {
+            mgr.admission().throttle(5);
+            for s in 0..REQUESTS {
+                let env = Envelope {
+                    domain: 5,
+                    instance: inst,
+                    seq: 50_000 + s,
+                    locality: 0,
+                    tag: None,
+                    command: cmd.clone(),
+                };
+                mgr.handle(DomainId(5), &env.encode());
+            }
+        }));
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let mgr = Arc::clone(&mgr);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut samples = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let s = mgr.stats_snapshot();
+                assert_eq!(
+                    s.handled + s.denied + s.errors + s.throttled,
+                    s.finished,
+                    "mid-traffic snapshot violated outcome conservation"
+                );
+                samples += 1;
+            }
+            samples
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    assert!(sampler.join().unwrap() > 0);
+
+    let s = mgr.stats_snapshot();
+    assert_eq!(s.finished, 1 + (WORKERS + 1) * REQUESTS);
+    assert!(s.throttled > 0, "the throttled domain must have been refused at ingress");
+    assert_eq!(s.handled + s.denied + s.errors + s.throttled, s.finished);
+}
+
 #[test]
 fn xenstore_transactions_race_correctly() {
     let hv = Arc::new(Hypervisor::boot(256, 8).unwrap());

@@ -182,6 +182,61 @@ fn destroyed_instance_leaves_no_residue() {
 }
 
 #[test]
+fn failed_initial_mirror_leaves_no_tracked_region() {
+    // Regression: create_instance mirrors the fresh instance's first
+    // image before routing it. If that update dies partway (Dom0 write
+    // fault), the half-written region used to stay *tracked* — never
+    // routed, never scrubbed, and squatting on the id. The error path
+    // must untrack it so the failed create leaves nothing behind.
+    // Sweep the crash point across every write of the initial mirror.
+    use std::sync::Arc;
+    use vtpm_xen::vtpm_stack::{ManagerConfig, MirrorMode, VtpmManager};
+
+    let cfg = ManagerConfig { mirror_mode: MirrorMode::Encrypted, ..Default::default() };
+    let mut k = 0u64;
+    loop {
+        let hv = Arc::new(Hypervisor::boot(4096, 8).unwrap());
+        let mgr =
+            VtpmManager::new(Arc::clone(&hv), b"fault-create-leak", cfg.clone()).unwrap();
+        let first = mgr.create_instance().unwrap();
+        hv.inject_write_crash(DomainId::DOM0, k);
+        let res = mgr.create_instance();
+        hv.clear_faults();
+        match res {
+            Err(_) => {
+                // The failed create's id (allocated monotonically) must
+                // not keep a mirror region, and the survivor is intact.
+                assert!(
+                    mgr.mirror_frames(first + 1).is_none(),
+                    "k={k}: failed create leaked a tracked mirror region"
+                );
+                assert_eq!(mgr.instance_ids(), vec![first]);
+                assert!(mgr.mirror_frames(first).is_some());
+                // Recovery from the frames alone agrees: only the
+                // survivor comes back, nothing half-written resurrects.
+                drop(mgr);
+                let (rec, report) =
+                    VtpmManager::recover(Arc::clone(&hv), b"fault-create-leak", cfg.clone())
+                        .unwrap();
+                assert_eq!(report.resumed, vec![first], "k={k}");
+                assert_eq!(report.failed, Vec::<u32>::new(), "k={k}");
+                // The recovered world can reuse the id space freely.
+                let next = rec.create_instance().unwrap();
+                assert!(rec.mirror_frames(next).is_some());
+            }
+            Ok(id) => {
+                // Enough budget for a full create: the sweep is done.
+                assert!(mgr.mirror_frames(id).is_some());
+                assert!(k > 0, "k=0 must fail the create");
+                break;
+            }
+        }
+        k += 1;
+        assert!(k < 200, "initial mirror should not take 200 writes");
+    }
+}
+
+#[test]
 fn oversized_command_rejected_at_the_ring() {
     let p = Platform::baseline(b"fault-oversize").unwrap();
     let mut g = p.launch_guest("g").unwrap();
