@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1   # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
@@ -9,10 +9,12 @@
 //! Exits nonzero if R-O1 measures telemetry overhead above its budget,
 //! if R-M1 measures sealed-transfer downtime above its multiple of the
 //! clear baseline, if R-D1 sees a sentinel false positive on a clean
-//! seed or a missed attack injection, or if R-P1 measures the manager's
+//! seed or a missed attack injection, if R-P1 measures the manager's
 //! per-command read path degrading by more than its scaling budget
-//! between the smallest and largest instance counts (the CI gate in
-//! `scripts/ci.sh` relies on all four).
+//! between the smallest and largest instance counts, or if R-C1
+//! measures the crypto floor regressing (RSA private-op speedup below
+//! 4x schoolbook, absolute RSA/AES floors violated) — the CI gate in
+//! `scripts/ci.sh` relies on all five.
 
 use vtpm_bench::exp;
 
@@ -46,6 +48,10 @@ struct Sizes {
     p1_counts: Vec<usize>,
     p1_read_cmds: usize,
     p1_mutate_cmds: usize,
+    c1_passes: usize,
+    c1_rsa_reps: usize,
+    c1_schoolbook_reps: usize,
+    c1_aes_mib: usize,
 }
 
 impl Sizes {
@@ -83,6 +89,10 @@ impl Sizes {
             p1_counts: vec![100, 1_000, 10_000],
             p1_read_cmds: 50_000,
             p1_mutate_cmds: 5_000,
+            c1_passes: 5,
+            c1_rsa_reps: 30,
+            c1_schoolbook_reps: 6,
+            c1_aes_mib: 4,
         }
     }
 
@@ -121,6 +131,12 @@ impl Sizes {
             p1_counts: vec![100, 10_000],
             p1_read_cmds: 40_000,
             p1_mutate_cmds: 2_000,
+            // Medians over 3 passes: the gate compares in-process
+            // ratios, which survive CI noise at these sizes.
+            c1_passes: 3,
+            c1_rsa_reps: 10,
+            c1_schoolbook_reps: 3,
+            c1_aes_mib: 1,
         }
     }
 }
@@ -134,7 +150,7 @@ fn main() {
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
             "t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "d1",
-            "p1",
+            "p1", "c1",
         ]
     } else {
         which
@@ -192,8 +208,20 @@ fn main() {
                 }
                 exp::p1::render(&points)
             }
+            "c1" => {
+                let report = exp::c1::run(
+                    sizes.c1_passes,
+                    sizes.c1_rsa_reps,
+                    sizes.c1_schoolbook_reps,
+                    sizes.c1_aes_mib,
+                );
+                if exp::c1::gate_failed(&report) {
+                    over_budget = true;
+                }
+                exp::c1::render(&report)
+            }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1|all)");
                 std::process::exit(2);
             }
         };
@@ -204,10 +232,13 @@ fn main() {
         eprintln!(
             "a budget gate failed (R-O1 <= {}% overhead, R-M1 <= {:.0}ms sealing premium, \
              R-D1 zero false positives + full injection detection, \
-             R-P1 <= {:.1}x read-path scaling ratio)",
+             R-P1 <= {:.1}x read-path scaling ratio, \
+             R-C1 >= {:.0}x RSA speedup / >= {:.0} MB/s AES-CTR)",
             exp::o1::BUDGET_PCT,
             exp::m1::BUDGET_PREMIUM_US / 1e3,
-            exp::p1::BUDGET_RATIO
+            exp::p1::BUDGET_RATIO,
+            exp::c1::MIN_RSA_SPEEDUP,
+            exp::c1::MIN_AES_CTR_MBPS
         );
         std::process::exit(1);
     }

@@ -22,9 +22,11 @@
 //! | [`exp::m1`] | R-M1: live-migration downtime vs state size (cluster) |
 //! | [`exp::d1`] | R-D1: sentinel detection quality (FP sweep + injections) |
 //! | [`exp::p1`] | R-P1: manager hot path vs resident instance count |
+//! | [`exp::c1`] | R-C1: crypto floor (RSA/AES/SHA) with regression gates |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
+    pub mod c1;
     pub mod d1;
     pub mod f1;
     pub mod f2;

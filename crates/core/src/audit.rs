@@ -8,7 +8,7 @@
 //! mechanism.
 
 use parking_lot::Mutex;
-use tpm_crypto::sha256;
+use tpm_crypto::{sha256::Sha256, Digest};
 
 use vtpm::DenyReason;
 
@@ -72,6 +72,8 @@ pub struct AuditEntry {
     pub chain: [u8; 32],
 }
 
+/// Serialized chain material for one entry: three u64s, three u32s, and
+/// the outcome code — 37 bytes, built on the stack.
 fn entry_material(
     index: u64,
     timestamp_ns: u64,
@@ -80,14 +82,14 @@ fn entry_material(
     instance: u32,
     ordinal: u32,
     outcome: &AuditOutcome,
-) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64);
-    buf.extend_from_slice(&index.to_be_bytes());
-    buf.extend_from_slice(&timestamp_ns.to_be_bytes());
-    buf.extend_from_slice(&request_id.to_be_bytes());
-    buf.extend_from_slice(&domain.to_be_bytes());
-    buf.extend_from_slice(&instance.to_be_bytes());
-    buf.extend_from_slice(&ordinal.to_be_bytes());
+) -> [u8; 37] {
+    let mut buf = [0u8; 37];
+    buf[0..8].copy_from_slice(&index.to_be_bytes());
+    buf[8..16].copy_from_slice(&timestamp_ns.to_be_bytes());
+    buf[16..24].copy_from_slice(&request_id.to_be_bytes());
+    buf[24..28].copy_from_slice(&domain.to_be_bytes());
+    buf[28..32].copy_from_slice(&instance.to_be_bytes());
+    buf[32..36].copy_from_slice(&ordinal.to_be_bytes());
     let code: u8 = match outcome {
         AuditOutcome::Allowed => 0,
         AuditOutcome::Denied(r) => 1 + *r as u8,
@@ -96,8 +98,20 @@ fn entry_material(
         // into) an allow/deny record without breaking the chain.
         AuditOutcome::Migration(s) => 32 + *s as u8,
     };
-    buf.push(code);
+    buf[36] = code;
     buf
+}
+
+/// One chain link: `SHA256(prev ‖ material)`, streamed through the
+/// incremental context — no concatenation buffer, no allocation. The
+/// digest is byte-identical to hashing the concatenation.
+fn chain_hash(prev: &[u8; 32], material: &[u8; 37]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(material);
+    let mut out = [0u8; 32];
+    h.finalize_into(&mut out);
+    out
 }
 
 /// The log.
@@ -127,17 +141,9 @@ impl AuditLog {
         let mut entries = self.entries.lock();
         let index = entries.len() as u64;
         let prev = entries.last().map(|e| e.chain).unwrap_or([0; 32]);
-        let mut material = prev.to_vec();
-        material.extend_from_slice(&entry_material(
-            index,
-            timestamp_ns,
-            request_id,
-            domain,
-            instance,
-            ordinal,
-            &outcome,
-        ));
-        let chain = sha256(&material);
+        let material =
+            entry_material(index, timestamp_ns, request_id, domain, instance, ordinal, &outcome);
+        let chain = chain_hash(&prev, &material);
         entries.push(AuditEntry {
             index,
             timestamp_ns,
@@ -188,8 +194,7 @@ impl AuditLog {
             if e.index != i as u64 {
                 return false;
             }
-            let mut material = prev.to_vec();
-            material.extend_from_slice(&entry_material(
+            let material = entry_material(
                 e.index,
                 e.timestamp_ns,
                 e.request_id,
@@ -197,8 +202,8 @@ impl AuditLog {
                 e.instance,
                 e.ordinal,
                 &e.outcome,
-            ));
-            if sha256(&material) != e.chain {
+            );
+            if chain_hash(&prev, &material) != e.chain {
                 return false;
             }
             prev = e.chain;

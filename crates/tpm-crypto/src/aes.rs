@@ -1,9 +1,27 @@
-//! AES-128 block cipher (FIPS 197) and CTR-mode keystream.
+//! AES-128/256 block cipher (FIPS 197) and CTR-mode keystream.
 //!
 //! Used by the paper's AC3 mechanism to keep vTPM instance state encrypted
 //! in memory, and by the vTPM manager to persist instance state. Only the
 //! forward (encrypt) direction is needed because CTR decryption is
 //! encryption of the counter stream.
+//!
+//! Two implementations of the round function coexist:
+//!
+//! * the **T-table path** (the default): SubBytes+ShiftRows+MixColumns
+//!   fused into four 256-entry u32 tables generated at compile time, one
+//!   XOR-chain per state column per round. CTR mode drives it four
+//!   blocks at a time ([`Aes128::ctr_xor_at`]) so the four independent
+//!   lookup chains overlap in the pipeline;
+//! * the **scalar path** ([`Aes128::encrypt_block_scalar`]): the
+//!   original byte-at-a-time SubBytes/ShiftRows/MixColumns rounds,
+//!   retained verbatim as the differential reference the KAT and
+//!   property tests compare against.
+//!
+//! Both paths share one key schedule, expanded once per key ([`Aes128`] /
+//! [`Aes256`] are cheap to clone and cache — see `vtpm::mirror`, which
+//! reuses the master-key schedule across every page of a snapshot).
+//! T-table lookups are data-dependent loads; see the crate docs for the
+//! cache-timing model this codebase accepts.
 
 /// AES S-box.
 const SBOX: [u8; 256] = [
@@ -31,15 +49,166 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 
 /// Multiply by x in GF(2^8) modulo the AES polynomial.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// T-table 0: `TE0[x]` packs the MixColumns column `(2·S(x), S(x), S(x),
+/// 3·S(x))` as a big-endian word, so one lookup performs SubBytes and the
+/// x-contribution of MixColumns for a whole column. TE1..TE3 are byte
+/// rotations of TE0 matching the other three MixColumns rows.
+const fn make_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+}
+
+const fn rotate_table(src: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(bits);
+        i += 1;
+    }
+    t
+}
+
+const TE0: [u32; 256] = make_te0();
+const TE1: [u32; 256] = rotate_table(&TE0, 8);
+const TE2: [u32; 256] = rotate_table(&TE0, 16);
+const TE3: [u32; 256] = rotate_table(&TE0, 24);
+
+/// One full T-table round for a single column. The column's row-r byte
+/// comes from input column `c + r` (ShiftRows), MSB is row 0.
+macro_rules! te_col {
+    ($a:expr, $b:expr, $c:expr, $d:expr) => {
+        TE0[($a >> 24) as usize]
+            ^ TE1[(($b >> 16) & 0xff) as usize]
+            ^ TE2[(($c >> 8) & 0xff) as usize]
+            ^ TE3[($d & 0xff) as usize]
+    };
+}
+
+/// Final round (no MixColumns) for a single column: plain S-box bytes.
+macro_rules! sbox_col {
+    ($a:expr, $b:expr, $c:expr, $d:expr) => {
+        ((SBOX[($a >> 24) as usize] as u32) << 24)
+            ^ ((SBOX[(($b >> 16) & 0xff) as usize] as u32) << 16)
+            ^ ((SBOX[(($c >> 8) & 0xff) as usize] as u32) << 8)
+            ^ (SBOX[($d & 0xff) as usize] as u32)
+    };
+}
+
+/// T-table encryption of one block. `rk` is the word-form key schedule:
+/// `4 * (rounds + 1)` big-endian words.
+#[inline]
+fn encrypt_one(rk: &[u32], block: &mut [u8; 16]) {
+    let nr = rk.len() / 4 - 1;
+    let mut c0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ rk[0];
+    let mut c1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ rk[1];
+    let mut c2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ rk[2];
+    let mut c3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ rk[3];
+    for r in 1..nr {
+        let t0 = te_col!(c0, c1, c2, c3) ^ rk[4 * r];
+        let t1 = te_col!(c1, c2, c3, c0) ^ rk[4 * r + 1];
+        let t2 = te_col!(c2, c3, c0, c1) ^ rk[4 * r + 2];
+        let t3 = te_col!(c3, c0, c1, c2) ^ rk[4 * r + 3];
+        c0 = t0;
+        c1 = t1;
+        c2 = t2;
+        c3 = t3;
+    }
+    let t0 = sbox_col!(c0, c1, c2, c3) ^ rk[4 * nr];
+    let t1 = sbox_col!(c1, c2, c3, c0) ^ rk[4 * nr + 1];
+    let t2 = sbox_col!(c2, c3, c0, c1) ^ rk[4 * nr + 2];
+    let t3 = sbox_col!(c3, c0, c1, c2) ^ rk[4 * nr + 3];
+    block[0..4].copy_from_slice(&t0.to_be_bytes());
+    block[4..8].copy_from_slice(&t1.to_be_bytes());
+    block[8..12].copy_from_slice(&t2.to_be_bytes());
+    block[12..16].copy_from_slice(&t3.to_be_bytes());
+}
+
+/// T-table encryption of four independent blocks, rounds interleaved so
+/// the four dependent lookup chains overlap in the pipeline. This is the
+/// CTR fast path: counter blocks are independent by construction.
+#[inline]
+fn encrypt_four(rk: &[u32], blocks: &mut [[u8; 16]; 4]) {
+    let nr = rk.len() / 4 - 1;
+    let mut s = [[0u32; 4]; 4];
+    for (b, block) in blocks.iter().enumerate() {
+        for c in 0..4 {
+            s[b][c] =
+                u32::from_be_bytes(block[c * 4..c * 4 + 4].try_into().unwrap()) ^ rk[c];
+        }
+    }
+    for r in 1..nr {
+        for state in s.iter_mut() {
+            let [c0, c1, c2, c3] = *state;
+            state[0] = te_col!(c0, c1, c2, c3) ^ rk[4 * r];
+            state[1] = te_col!(c1, c2, c3, c0) ^ rk[4 * r + 1];
+            state[2] = te_col!(c2, c3, c0, c1) ^ rk[4 * r + 2];
+            state[3] = te_col!(c3, c0, c1, c2) ^ rk[4 * r + 3];
+        }
+    }
+    for (b, block) in blocks.iter_mut().enumerate() {
+        let [c0, c1, c2, c3] = s[b];
+        let t0 = sbox_col!(c0, c1, c2, c3) ^ rk[4 * nr];
+        let t1 = sbox_col!(c1, c2, c3, c0) ^ rk[4 * nr + 1];
+        let t2 = sbox_col!(c2, c3, c0, c1) ^ rk[4 * nr + 2];
+        let t3 = sbox_col!(c3, c0, c1, c2) ^ rk[4 * nr + 3];
+        block[0..4].copy_from_slice(&t0.to_be_bytes());
+        block[4..8].copy_from_slice(&t1.to_be_bytes());
+        block[8..12].copy_from_slice(&t2.to_be_bytes());
+        block[12..16].copy_from_slice(&t3.to_be_bytes());
+    }
+}
+
+/// CTR keystream XOR over a word-form key schedule: 8-byte nonce, 64-bit
+/// big-endian block counter, four blocks per batch through
+/// [`encrypt_four`], scalar tail for the remainder.
+fn ctr_xor(rk: &[u32], nonce: &[u8; 8], data: &mut [u8], start_block: u64) {
+    let mut chunks = data.chunks_exact_mut(64);
+    let mut block_idx = start_block;
+    for chunk in &mut chunks {
+        let mut ks = [[0u8; 16]; 4];
+        for (i, blk) in ks.iter_mut().enumerate() {
+            blk[..8].copy_from_slice(nonce);
+            blk[8..].copy_from_slice(&block_idx.wrapping_add(i as u64).to_be_bytes());
+        }
+        encrypt_four(rk, &mut ks);
+        for (i, blk) in ks.iter().enumerate() {
+            for (d, k) in chunk[i * 16..(i + 1) * 16].iter_mut().zip(blk.iter()) {
+                *d ^= k;
+            }
+        }
+        block_idx = block_idx.wrapping_add(4);
+    }
+    for chunk in chunks.into_remainder().chunks_mut(16) {
+        let mut ks = [0u8; 16];
+        ks[..8].copy_from_slice(nonce);
+        ks[8..].copy_from_slice(&block_idx.to_be_bytes());
+        encrypt_one(rk, &mut ks);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+        block_idx = block_idx.wrapping_add(1);
+    }
 }
 
 /// AES-128 with a precomputed key schedule.
 #[derive(Clone)]
 pub struct Aes128 {
-    /// 11 round keys of 16 bytes each.
+    /// 11 round keys of 16 bytes each (scalar reference path).
     round_keys: [[u8; 16]; 11],
+    /// The same schedule as 44 big-endian words (T-table path).
+    rk: [u32; 44],
 }
 
 impl Aes128 {
@@ -63,27 +232,124 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
+        for (r, rkb) in round_keys.iter_mut().enumerate() {
             for c in 0..4 {
-                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                rkb[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
             }
         }
-        Aes128 { round_keys }
+        let mut rk = [0u32; 44];
+        for (i, word) in w.iter().enumerate() {
+            rk[i] = u32::from_be_bytes(*word);
+        }
+        Aes128 { round_keys, rk }
     }
 
-    /// Encrypt one 16-byte block in place.
+    /// Encrypt one 16-byte block in place (T-table path).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for round in 1..10 {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+        encrypt_one(&self.rk, block);
+    }
+
+    /// Encrypt one block with the original byte-wise rounds. Retained as
+    /// the differential reference; tests assert it matches
+    /// [`encrypt_block`](Self::encrypt_block) on every input they try.
+    pub fn encrypt_block_scalar(&self, block: &mut [u8; 16]) {
+        encrypt_scalar(&self.round_keys, block);
+    }
+
+    /// Encrypt four independent blocks with interleaved rounds.
+    pub fn encrypt4(&self, blocks: &mut [[u8; 16]; 4]) {
+        encrypt_four(&self.rk, blocks);
+    }
+
+    /// XOR the CTR keystream (8-byte `nonce`, block counter starting at
+    /// `start_block`) into `data`, four blocks per batch. This is the
+    /// schedule-cached fast path: one `Aes128` can stream any number of
+    /// nonces without re-expanding the key.
+    pub fn ctr_xor_at(&self, nonce: &[u8; 8], data: &mut [u8], start_block: u64) {
+        ctr_xor(&self.rk, nonce, data, start_block);
+    }
+}
+
+/// AES-256 with a precomputed key schedule.
+#[derive(Clone)]
+pub struct Aes256 {
+    /// 15 round keys of 16 bytes each (scalar reference path).
+    round_keys: [[u8; 16]; 15],
+    /// The same schedule as 60 big-endian words (T-table path).
+    rk: [u32; 60],
+}
+
+impl Aes256 {
+    /// Expand a 32-byte key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        let mut w = [[0u8; 4]; 60];
+        for i in 0..8 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
         }
+        for i in 8..60 {
+            let mut t = w[i - 1];
+            if i % 8 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 8 - 1];
+            } else if i % 8 == 4 {
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 8][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 15];
+        for (r, rkb) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rkb[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        let mut rk = [0u32; 60];
+        for (i, word) in w.iter().enumerate() {
+            rk[i] = u32::from_be_bytes(*word);
+        }
+        Aes256 { round_keys, rk }
+    }
+
+    /// Encrypt one 16-byte block in place (T-table path).
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        encrypt_one(&self.rk, block);
+    }
+
+    /// Encrypt one block with the byte-wise reference rounds.
+    pub fn encrypt_block_scalar(&self, block: &mut [u8; 16]) {
+        encrypt_scalar(&self.round_keys, block);
+    }
+
+    /// Encrypt four independent blocks with interleaved rounds.
+    pub fn encrypt4(&self, blocks: &mut [[u8; 16]; 4]) {
+        encrypt_four(&self.rk, blocks);
+    }
+
+    /// XOR the CTR keystream into `data`; see [`Aes128::ctr_xor_at`].
+    pub fn ctr_xor_at(&self, nonce: &[u8; 8], data: &mut [u8], start_block: u64) {
+        ctr_xor(&self.rk, nonce, data, start_block);
+    }
+}
+
+/// Byte-wise reference encryption shared by both key sizes.
+fn encrypt_scalar(round_keys: &[[u8; 16]], block: &mut [u8; 16]) {
+    let nr = round_keys.len() - 1;
+    add_round_key(block, &round_keys[0]);
+    for rk in &round_keys[1..nr] {
         sub_bytes(block);
         shift_rows(block);
-        add_round_key(block, &self.round_keys[10]);
+        mix_columns(block);
+        add_round_key(block, rk);
     }
+    sub_bytes(block);
+    shift_rows(block);
+    add_round_key(block, &round_keys[nr]);
 }
 
 #[inline]
@@ -146,19 +412,44 @@ impl AesCtr {
         AesCtr { cipher: Aes128::new(key), nonce }
     }
 
+    /// Create a CTR context from an already-expanded cipher, skipping the
+    /// key schedule. This is how per-object nonce streams share one
+    /// cached schedule.
+    pub fn from_cipher(cipher: Aes128, nonce: [u8; 8]) -> Self {
+        AesCtr { cipher, nonce }
+    }
+
     /// XOR the keystream (starting at block `start_block`) into `data`.
     pub fn apply_keystream_at(&self, data: &mut [u8], start_block: u64) {
-        let mut counter_block = [0u8; 16];
-        counter_block[..8].copy_from_slice(&self.nonce);
-        for (i, chunk) in data.chunks_mut(16).enumerate() {
-            let ctr = start_block.wrapping_add(i as u64);
-            counter_block[8..].copy_from_slice(&ctr.to_be_bytes());
-            let mut ks = counter_block;
-            self.cipher.encrypt_block(&mut ks);
-            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-                *d ^= k;
-            }
-        }
+        self.cipher.ctr_xor_at(&self.nonce, data, start_block);
+    }
+
+    /// XOR the keystream into `data` starting at block 0.
+    pub fn apply_keystream(&self, data: &mut [u8]) {
+        self.apply_keystream_at(data, 0);
+    }
+}
+
+/// CTR mode over AES-256; same counter-block layout as [`AesCtr`].
+pub struct AesCtr256 {
+    cipher: Aes256,
+    nonce: [u8; 8],
+}
+
+impl AesCtr256 {
+    /// Create a CTR context with an 8-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: [u8; 8]) -> Self {
+        AesCtr256 { cipher: Aes256::new(key), nonce }
+    }
+
+    /// Create a CTR context from an already-expanded cipher.
+    pub fn from_cipher(cipher: Aes256, nonce: [u8; 8]) -> Self {
+        AesCtr256 { cipher, nonce }
+    }
+
+    /// XOR the keystream (starting at block `start_block`) into `data`.
+    pub fn apply_keystream_at(&self, data: &mut [u8], start_block: u64) {
+        self.cipher.ctr_xor_at(&self.nonce, data, start_block);
     }
 
     /// XOR the keystream into `data` starting at block 0.
@@ -198,6 +489,59 @@ mod tests {
             unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
         Aes128::new(&key).encrypt_block(&mut block);
         assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let mut block: [u8; 16] =
+            unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        Aes256::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
+    #[test]
+    fn ttable_matches_scalar_reference() {
+        let c128 = Aes128::new(&[0x5a; 16]);
+        let c256 = Aes256::new(&[0xa5; 32]);
+        for seed in 0u8..32 {
+            let mut a = [0u8; 16];
+            for (i, b) in a.iter_mut().enumerate() {
+                *b = seed.wrapping_mul(31).wrapping_add(i as u8 * 17);
+            }
+            let mut t = a;
+            let mut s = a;
+            c128.encrypt_block(&mut t);
+            c128.encrypt_block_scalar(&mut s);
+            assert_eq!(t, s, "aes128 seed {seed}");
+            let mut t = a;
+            let mut s = a;
+            c256.encrypt_block(&mut t);
+            c256.encrypt_block_scalar(&mut s);
+            assert_eq!(t, s, "aes256 seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encrypt4_matches_single() {
+        let cipher = Aes128::new(&[0x3c; 16]);
+        let mut quad = [[0u8; 16]; 4];
+        for (i, b) in quad.iter_mut().enumerate() {
+            b.fill(i as u8 * 63);
+        }
+        let singles: Vec<[u8; 16]> = quad
+            .iter()
+            .map(|b| {
+                let mut s = *b;
+                cipher.encrypt_block(&mut s);
+                s
+            })
+            .collect();
+        cipher.encrypt4(&mut quad);
+        assert_eq!(quad.to_vec(), singles);
     }
 
     #[test]
@@ -243,5 +587,29 @@ mod tests {
         ctr.apply_keystream(&mut data);
         ctr.apply_keystream(&mut data);
         assert_eq!(data, vec![0xAAu8; 7]);
+    }
+
+    #[test]
+    fn ctr_from_cipher_matches_keyed() {
+        let key = [0x42u8; 16];
+        let nonce = [9u8; 8];
+        let mut a = vec![0u8; 80];
+        let mut b = vec![0u8; 80];
+        AesCtr::new(&key, nonce).apply_keystream(&mut a);
+        AesCtr::from_cipher(Aes128::new(&key), nonce).apply_keystream(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ctr256_roundtrip_and_seek() {
+        let key = [0x11u8; 32];
+        let ctr = AesCtr256::new(&key, [2; 8]);
+        let plain: Vec<u8> = (0..130).map(|i| i as u8).collect();
+        let mut data = plain.clone();
+        ctr.apply_keystream(&mut data);
+        assert_ne!(data, plain);
+        let mut tail = data[64..].to_vec();
+        ctr.apply_keystream_at(&mut tail, 4);
+        assert_eq!(&tail[..], &plain[64..]);
     }
 }

@@ -2,9 +2,23 @@
 //!
 //! Limbs are little-endian `u64`; every value is kept *normalized* (no
 //! trailing zero limbs), so equality and comparison are limb-wise.
-//! Modular exponentiation uses Montgomery multiplication (CIOS) for odd
-//! moduli — the only case TPM 1.2 RSA needs — with a square-and-multiply
-//! fallback for even moduli so the API is total.
+//!
+//! Modular exponentiation for odd moduli — the only case TPM 1.2 RSA
+//! needs — runs through [`MontgomeryCtx`]: allocation-free Montgomery
+//! multiplication with a dedicated squaring kernel (the cross-product
+//! half of a square is computed once and doubled) and fixed-window
+//! (2^4) exponentiation, so a w-bit exponent costs w squarings plus
+//! w/4 multiplies plus a 15-entry table instead of w + w/2 multiplies.
+//! A square-and-multiply fallback covers even moduli so the API stays
+//! total, and [`BigUint::mod_pow_schoolbook`] retains the slow
+//! full-product-then-Knuth-divide path as an independent differential
+//! reference — the test battery asserts the optimized path is
+//! byte-identical to it (`tests/proptests.rs`).
+//!
+//! None of this is hardened against local side channels (the window
+//! scan skips zero windows, the final Montgomery subtraction is
+//! conditional); the simulated attacker model is memory disclosure,
+//! not power or timing analysis — see `rsa.rs`.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -471,6 +485,34 @@ impl BigUint {
         result
     }
 
+    /// `self^exp mod m` by plain square-and-multiply over full products
+    /// and Knuth division — the retained schoolbook path.
+    ///
+    /// This is deliberately *not* routed through [`MontgomeryCtx`]: it
+    /// shares no code with the optimized fast path, which makes it an
+    /// independent differential reference. The KAT/proptest battery and
+    /// the R-C1 experiment both assert the Montgomery fixed-window
+    /// (and, in `rsa.rs`, the CRT) results are byte-identical to this
+    /// function's output. Panics if `m` is zero.
+    pub fn mod_pow_schoolbook(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "mod_pow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let mut base = self.rem(m);
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul_mod(&base, m);
+            }
+            base = base.mul_mod(&base, m);
+        }
+        result
+    }
+
     /// Greatest common divisor (binary GCD).
     pub fn gcd(&self, other: &BigUint) -> BigUint {
         let mut a = self.clone();
@@ -574,10 +616,16 @@ impl Ord for BigUint {
 
 /// Montgomery multiplication context for a fixed odd modulus.
 ///
-/// Implements CIOS (coarsely integrated operand scanning); all operands
-/// inside the context live in Montgomery form padded to `n` limbs.
+/// All operands inside the context live in Montgomery form padded to
+/// `k = n.limbs.len()` limbs. The kernels are allocation-free: callers
+/// provide a `2k + 1`-limb wide scratch buffer that holds the full
+/// product, which [`MontgomeryCtx::reduce`] then folds limb by limb.
+/// Squaring computes each cross product `a[i]*a[j]` (i < j) once and
+/// doubles the accumulator — roughly half the 64x64 multiplies of a
+/// general product — and exponentiation scans the exponent in fixed
+/// 4-bit windows over a 15-entry odd-power table.
 pub struct MontgomeryCtx {
-    /// Modulus limbs (little-endian, length n).
+    /// Modulus limbs (little-endian, length k).
     n: Vec<u64>,
     /// `-n^{-1} mod 2^64`.
     n0_inv: u64,
@@ -586,6 +634,11 @@ pub struct MontgomeryCtx {
     /// The modulus as a BigUint (for conversions).
     modulus: BigUint,
 }
+
+/// Window width for fixed-window exponentiation. 4 divides the limb
+/// width, so a window never straddles limbs; the table costs 14 extra
+/// products and removes three of every four multiply steps.
+const WINDOW_BITS: usize = 4;
 
 impl MontgomeryCtx {
     /// Build a context; panics if `m` is even or zero.
@@ -606,75 +659,200 @@ impl MontgomeryCtx {
         MontgomeryCtx { n, n0_inv, r2, modulus: m.clone() }
     }
 
-    /// CIOS Montgomery product: returns `a * b * R^{-1} mod n` (length-n limbs).
-    #[allow(clippy::needless_range_loop)] // limb index arithmetic is the algorithm
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    /// Montgomery-reduce the `2k`-limb value in `wide` (plus carry limb
+    /// `wide[2k]`) into `out`: `out = wide * R^{-1} mod n`.
+    ///
+    /// Requires `wide < n * R`, which holds for any product or square of
+    /// operands `< n`. Consumes `wide` as scratch.
+    fn reduce(&self, wide: &mut [u64], out: &mut [u64]) {
         let k = self.n.len();
-        // t has k+2 limbs.
-        let mut t = vec![0u64; k + 2];
+        debug_assert_eq!(wide.len(), 2 * k + 1);
         for i in 0..k {
-            // t += a[i] * b
+            let m = wide[i].wrapping_mul(self.n0_inv);
             let mut carry = 0u128;
-            for j in 0..k {
-                let s = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
-                t[j] = s as u64;
+            for (j, &nj) in self.n.iter().enumerate() {
+                let s = wide[i + j] as u128 + m as u128 * nj as u128 + carry;
+                wide[i + j] = s as u64;
                 carry = s >> 64;
             }
-            let s = t[k] as u128 + carry;
-            t[k] = s as u64;
-            t[k + 1] = (s >> 64) as u64;
-
-            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
-            let m = t[0].wrapping_mul(self.n0_inv);
-            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
-            let mut carry = s >> 64;
-            for j in 1..k {
-                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
-                t[j - 1] = s as u64;
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = wide[idx] as u128 + carry;
+                wide[idx] = s as u64;
                 carry = s >> 64;
+                idx += 1;
             }
-            let s = t[k] as u128 + carry;
-            t[k - 1] = s as u64;
-            t[k] = t[k + 1] + ((s >> 64) as u64);
-            t[k + 1] = 0;
         }
-        // Conditional final subtraction.
-        let ge = t[k] != 0 || cmp_limbs(&t[..k], &self.n) != Ordering::Less;
-        let mut out = t[..k].to_vec();
+        let ge = wide[2 * k] != 0 || cmp_limbs(&wide[k..2 * k], &self.n) != Ordering::Less;
         if ge {
             let mut borrow = 0u64;
             for j in 0..k {
-                let (d1, b1) = out[j].overflowing_sub(self.n[j]);
+                let (d1, b1) = wide[k + j].overflowing_sub(self.n[j]);
                 let (d2, b2) = d1.overflowing_sub(borrow);
                 out[j] = d2;
                 borrow = (b1 as u64) + (b2 as u64);
             }
+        } else {
+            out.copy_from_slice(&wide[k..2 * k]);
         }
-        out
+    }
+
+    /// Montgomery product into `out`: `out = a * b * R^{-1} mod n`.
+    /// `wide` is the shared `2k + 1`-limb scratch.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], wide: &mut [u64], out: &mut [u64]) {
+        let k = self.n.len();
+        wide.fill(0);
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let s = wide[i + j] as u128 + ai as u128 * bj as u128 + carry;
+                wide[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            // Limbs above i+k are still zero, so the carry lands whole.
+            wide[i + k] = carry as u64;
+        }
+        self.reduce(wide, out);
+    }
+
+    /// Montgomery square into `out`: `out = a^2 * R^{-1} mod n`.
+    ///
+    /// The cross products (i < j) are accumulated once and doubled, then
+    /// the diagonal squares are added — `k*(k-1)/2 + k` multiplies
+    /// against `k^2` for the general kernel.
+    fn mont_sqr_into(&self, a: &[u64], wide: &mut [u64], out: &mut [u64]) {
+        let k = self.n.len();
+        wide.fill(0);
+        // Cross products a[i]*a[j] for i < j.
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &aj) in a.iter().enumerate().skip(i + 1) {
+                let s = wide[i + j] as u128 + ai as u128 * aj as u128 + carry;
+                wide[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = wide[idx] as u128 + carry;
+                wide[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        // Double the cross half.
+        let mut top = 0u64;
+        for w in wide.iter_mut() {
+            let new_top = *w >> 63;
+            *w = (*w << 1) | top;
+            top = new_top;
+        }
+        // Add the diagonal squares.
+        let mut carry = 0u64;
+        for (i, &ai) in a.iter().enumerate() {
+            let sq = ai as u128 * ai as u128;
+            let (s1, c1) = wide[2 * i].overflowing_add(sq as u64);
+            let (s1, c2) = s1.overflowing_add(carry);
+            wide[2 * i] = s1;
+            let (s2, c3) = wide[2 * i + 1].overflowing_add((sq >> 64) as u64);
+            let (s2, c4) = s2.overflowing_add(c1 as u64 + c2 as u64);
+            wide[2 * i + 1] = s2;
+            carry = c3 as u64 + c4 as u64;
+        }
+        if carry != 0 {
+            wide[2 * k] = wide[2 * k].wrapping_add(carry);
+        }
+        self.reduce(wide, out);
     }
 
     /// Modular exponentiation: `base^exp mod n` (base must be `< n`).
+    ///
+    /// Fixed-window: the exponent is scanned most-significant-first in
+    /// aligned 4-bit windows; each window costs four squarings plus at
+    /// most one table multiply (zero windows skip the multiply, which
+    /// leaks window Hamming information — acceptable here, see the
+    /// module docs on the side-channel model).
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let k = self.n.len();
-        let mut base_limbs = base.limbs.clone();
-        base_limbs.resize(k, 0);
-        // Into Montgomery form: base * R mod n = montmul(base, R^2).
-        let base_m = self.mont_mul(&base_limbs, &self.r2);
+        let mut wide = vec![0u64; 2 * k + 1];
         // 1 in Montgomery form: montmul(1, R^2).
         let mut one = vec![0u64; k];
         one[0] = 1;
-        let mut acc = self.mont_mul(&one, &self.r2);
+        let mut one_m = vec![0u64; k];
+        self.mont_mul_into(&one, &self.r2, &mut wide, &mut one_m);
 
-        // Left-to-right square and multiply.
         let nbits = exp.bits();
-        for i in (0..nbits).rev() {
-            acc = self.mont_mul(&acc, &acc);
-            if exp.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+        if nbits == 0 {
+            // base^0 = 1 (mod_pow catches m == 1 before building a ctx).
+            let mut out = vec![0u64; k];
+            self.mont_mul_into(&one_m, &one, &mut wide, &mut out);
+            let mut r = BigUint { limbs: out };
+            r.normalize();
+            return r;
+        }
+
+        let mut base_limbs = base.limbs.clone();
+        base_limbs.resize(k, 0);
+
+        // Short exponents (e.g. the public exponent 65537) cannot
+        // amortize the 14-product window table; plain left-to-right
+        // square-and-multiply wins there.
+        if nbits <= 64 {
+            let mut base_m = vec![0u64; k];
+            self.mont_mul_into(&base_limbs, &self.r2, &mut wide, &mut base_m);
+            let mut acc = base_m.clone();
+            let mut tmp = vec![0u64; k];
+            for i in (0..nbits - 1).rev() {
+                self.mont_sqr_into(&acc, &mut wide, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+                if exp.bit(i) {
+                    self.mont_mul_into(&acc, &base_m, &mut wide, &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            let mut out = vec![0u64; k];
+            self.mont_mul_into(&acc, &one, &mut wide, &mut out);
+            let mut r = BigUint { limbs: out };
+            r.normalize();
+            return r;
+        }
+
+        // Table of base^w in Montgomery form for w = 1..15 (index 0
+        // holds 1_M so `table[w]` is uniform; it is never multiplied).
+        let mut table = vec![vec![0u64; k]; 1 << WINDOW_BITS];
+        table[0].copy_from_slice(&one_m);
+        let mut base_m = vec![0u64; k];
+        self.mont_mul_into(&base_limbs, &self.r2, &mut wide, &mut base_m);
+        table[1].copy_from_slice(&base_m);
+        for w in 2..1 << WINDOW_BITS {
+            let (lo, hi) = table.split_at_mut(w);
+            self.mont_mul_into(&lo[w - 1], &base_m, &mut wide, &mut hi[0]);
+        }
+
+        let nwin = nbits.div_ceil(WINDOW_BITS);
+        let mut acc = vec![0u64; k];
+        let mut tmp = vec![0u64; k];
+        // Top window (always nonzero: it contains the exponent's MSB).
+        acc.copy_from_slice(&table[window4(&exp.limbs, nwin - 1)]);
+        for win in (0..nwin - 1).rev() {
+            for _ in 0..WINDOW_BITS {
+                self.mont_sqr_into(&acc, &mut wide, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let w = window4(&exp.limbs, win);
+            if w != 0 {
+                self.mont_mul_into(&acc, &table[w], &mut wide, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
             }
         }
         // Out of Montgomery form: montmul(acc, 1).
-        let out = self.mont_mul(&acc, &one);
+        let mut out = vec![0u64; k];
+        self.mont_mul_into(&acc, &one, &mut wide, &mut out);
         let mut r = BigUint { limbs: out };
         r.normalize();
         r
@@ -684,6 +862,19 @@ impl MontgomeryCtx {
     pub fn modulus(&self) -> &BigUint {
         &self.modulus
     }
+}
+
+/// Aligned 4-bit window `win` of a little-endian limb slice (window 0 is
+/// the least significant nibble). Windows never straddle limbs because
+/// 4 divides 64.
+#[inline]
+fn window4(limbs: &[u64], win: usize) -> usize {
+    let bit = win * WINDOW_BITS;
+    let limb = bit / 64;
+    if limb >= limbs.len() {
+        return 0;
+    }
+    ((limbs[limb] >> (bit % 64)) & 0xf) as usize
 }
 
 fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {

@@ -14,8 +14,20 @@ pub trait Digest: Clone {
     fn new() -> Self;
     /// Absorb `data`.
     fn update(&mut self, data: &[u8]);
-    /// Produce the digest, consuming the state.
-    fn finalize(self) -> Vec<u8>;
+    /// Produce the digest into `out` (exactly `OUTPUT_LEN` bytes),
+    /// consuming the state. This is the allocation-free primitive the
+    /// hot paths (HMAC, DRBG, audit chain, one-shots) build on.
+    fn finalize_into(self, out: &mut [u8]);
+
+    /// Produce the digest as a fresh `Vec`, consuming the state.
+    fn finalize(self) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut out = vec![0u8; Self::OUTPUT_LEN];
+        self.finalize_into(&mut out);
+        out
+    }
 
     /// One-shot convenience.
     fn digest(data: &[u8]) -> Vec<u8> {
@@ -25,18 +37,20 @@ pub trait Digest: Clone {
     }
 }
 
-/// One-shot SHA-1 (the TPM 1.2 hash).
+/// One-shot SHA-1 (the TPM 1.2 hash). Allocation-free.
 pub fn sha1(data: &[u8]) -> [u8; 20] {
-    let v = crate::sha1::Sha1::digest(data);
+    let mut h = crate::sha1::Sha1::new();
+    h.update(data);
     let mut out = [0u8; 20];
-    out.copy_from_slice(&v);
+    h.finalize_into(&mut out);
     out
 }
 
-/// One-shot SHA-256.
+/// One-shot SHA-256. Allocation-free.
 pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let v = crate::sha256::Sha256::digest(data);
+    let mut h = crate::sha256::Sha256::new();
+    h.update(data);
     let mut out = [0u8; 32];
-    out.copy_from_slice(&v);
+    h.finalize_into(&mut out);
     out
 }

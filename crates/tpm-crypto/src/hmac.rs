@@ -35,12 +35,16 @@ impl<D: Digest> Hmac<D> {
         self.inner.update(data);
     }
 
-    /// Produce the MAC, consuming the state.
+    /// Produce the MAC, consuming the state. The inner digest lands in a
+    /// stack buffer (digests here are at most 64 bytes), so the only
+    /// allocation is the returned Vec.
     pub fn finalize(self) -> Vec<u8> {
-        let inner_hash = self.inner.finalize();
+        let mut inner_hash = [0u8; 64];
+        debug_assert!(D::OUTPUT_LEN <= 64);
+        self.inner.finalize_into(&mut inner_hash[..D::OUTPUT_LEN]);
         let mut outer = D::new();
         outer.update(&self.opad_key);
-        outer.update(&inner_hash);
+        outer.update(&inner_hash[..D::OUTPUT_LEN]);
         outer.finalize()
     }
 

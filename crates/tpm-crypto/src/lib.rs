@@ -10,11 +10,16 @@
 //! * [`sha1`]/[`sha256`] — FIPS 180-4 digests behind the [`hash::Digest`] trait.
 //! * [`hmac`] — RFC 2104 HMAC, generic over the digest, plus constant-time
 //!   comparison ([`hmac::ct_eq`]).
-//! * [`bignum`] — u64-limb big integers with Knuth division and Montgomery
-//!   modular exponentiation.
-//! * [`rsa`] — key generation (Miller–Rabin), CRT private ops, OAEP-SHA1
-//!   and PKCS#1 v1.5-SHA1 padding (the TPM 1.2 schemes).
-//! * [`aes`] — AES-128 + CTR keystream for vTPM state protection (AC3).
+//! * [`bignum`] — u64-limb big integers with Knuth division and an
+//!   allocation-free Montgomery engine (dedicated squaring, fixed 4-bit
+//!   window exponentiation) plus a retained schoolbook reference path.
+//! * [`rsa`] — key generation (Miller–Rabin), CRT private ops with Garner
+//!   recombination (and [`rsa::RsaPrivateKey::raw_schoolbook`] as the
+//!   differential baseline), OAEP-SHA1 and PKCS#1 v1.5-SHA1 padding
+//!   (the TPM 1.2 schemes).
+//! * [`aes`] — AES-128/256 via compile-time T-tables with a 4-block
+//!   interleaved CTR pipeline for vTPM state protection (AC3); the
+//!   original byte-wise rounds survive as the scalar reference path.
 //! * [`drbg`] — a deterministic hash DRBG so a seeded TPM replays
 //!   identically across runs.
 //!
@@ -30,7 +35,7 @@ pub mod rsa;
 pub mod sha1;
 pub mod sha256;
 
-pub use aes::{Aes128, AesCtr};
+pub use aes::{Aes128, Aes256, AesCtr, AesCtr256};
 pub use bignum::BigUint;
 pub use drbg::Drbg;
 pub use hash::{sha1, sha256, Digest};

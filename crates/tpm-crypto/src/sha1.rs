@@ -89,17 +89,27 @@ impl Digest for Sha1 {
         self.buf_len = rest.len();
     }
 
-    fn finalize(mut self) -> Vec<u8> {
+    fn finalize_into(mut self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::OUTPUT_LEN);
+        // Pad in place: 0x80, zeros to byte 56 of the final block, then
+        // the bit length — one or two compressions, no per-byte updates.
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        let len = self.buf_len;
+        self.buf[len] = 0x80;
+        if len < 56 {
+            self.buf[len + 1..56].fill(0);
+        } else {
+            self.buf[len + 1..].fill(0);
+            let block = self.buf;
+            self.compress(&block);
+            self.buf[..56].fill(0);
         }
-        // Length update must not count toward total_len; compress directly.
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
         self.compress(&block);
-        self.h.iter().flat_map(|w| w.to_be_bytes()).collect()
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.h) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
     }
 }
 

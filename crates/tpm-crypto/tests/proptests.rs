@@ -1,0 +1,345 @@
+//! Differential property tests: the optimized paths (Montgomery +
+//! fixed-window exponentiation, CRT + Garner recombination, 4-block
+//! pipelined AES-CTR) must be **byte-identical** to the slow reference
+//! paths they replaced (`mod_pow_schoolbook`, `raw_schoolbook`, and
+//! single-block scalar CTR) on arbitrary inputs — including the
+//! boundary shapes where windowed/pipelined code classically breaks:
+//! operands hugging the modulus, all-ones carry chains, p≈q CRT keys,
+//! zero/one exponents, ragged lengths, and counter wrap-around.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::proptest;
+use tpm_crypto::aes::{Aes128, Aes256, AesCtr};
+use tpm_crypto::bignum::MontgomeryCtx;
+use tpm_crypto::rsa::RsaPrivateKey;
+use tpm_crypto::{BigUint, Drbg};
+
+// ------------------------------------------------------ helper plumbing
+
+/// Scalar single-block CTR reference: one counter block at a time
+/// through the byte-wise reference rounds, no batching, no seek logic.
+fn ctr_reference_128(key: &[u8; 16], nonce: &[u8; 8], data: &mut [u8], start_block: u64) {
+    let cipher = Aes128::new(key);
+    for (i, chunk) in data.chunks_mut(16).enumerate() {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(nonce);
+        block[8..].copy_from_slice(&start_block.wrapping_add(i as u64).to_be_bytes());
+        cipher.encrypt_block_scalar(&mut block);
+        for (d, k) in chunk.iter_mut().zip(block.iter()) {
+            *d ^= k;
+        }
+    }
+}
+
+fn ctr_reference_256(key: &[u8; 32], nonce: &[u8; 8], data: &mut [u8], start_block: u64) {
+    let cipher = Aes256::new(key);
+    for (i, chunk) in data.chunks_mut(16).enumerate() {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(nonce);
+        block[8..].copy_from_slice(&start_block.wrapping_add(i as u64).to_be_bytes());
+        cipher.encrypt_block_scalar(&mut block);
+        for (d, k) in chunk.iter_mut().zip(block.iter()) {
+            *d ^= k;
+        }
+    }
+}
+
+/// Deterministically generated RSA keys, shared across cases (keygen is
+/// the expensive part; the differential property varies the message).
+fn test_keys() -> &'static [RsaPrivateKey] {
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<Vec<RsaPrivateKey>> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        [b"proptest-key-a".as_slice(), b"proptest-key-b".as_slice()]
+            .iter()
+            .map(|seed| {
+                let mut rng = Drbg::new(seed);
+                RsaPrivateKey::generate(1024, &mut rng)
+            })
+            .collect()
+    })
+}
+
+// --------------------------------------------- RSA / bignum differential
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CRT + Montgomery + window private op == plain schoolbook c^d mod n.
+    #[test]
+    fn rsa_crt_matches_schoolbook(msg in vec(any::<u8>(), 1..100), key_idx in 0usize..2) {
+        let key = &test_keys()[key_idx];
+        let m = BigUint::from_bytes_be(&msg).rem(&key.public.n);
+        let c = key.public.raw(&m);
+        prop_assert_eq!(key.raw(&c).to_bytes_be(), key.raw_schoolbook(&c).to_bytes_be());
+        // And the roundtrip actually decrypts.
+        prop_assert_eq!(key.raw(&c).to_bytes_be(), m.to_bytes_be());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Montgomery fixed-window mod_pow == schoolbook on random odd moduli
+    /// of 1..5 limbs (the even-modulus fallback shares the schoolbook
+    /// structure already).
+    #[test]
+    fn mod_pow_matches_schoolbook(
+        base in vec(any::<u8>(), 0..40),
+        exp in vec(any::<u8>(), 0..24),
+        modulus in vec(any::<u8>(), 1..40),
+    ) {
+        // Force the modulus odd and nonzero.
+        let mut modulus = modulus;
+        *modulus.last_mut().unwrap() |= 1;
+        let m = BigUint::from_bytes_be(&modulus);
+        let b = BigUint::from_bytes_be(&base);
+        let e = BigUint::from_bytes_be(&exp);
+        prop_assert_eq!(
+            b.mod_pow(&e, &m).to_bytes_be(),
+            b.mod_pow_schoolbook(&e, &m).to_bytes_be()
+        );
+    }
+
+    /// Pipelined CTR == scalar single-block CTR for arbitrary lengths,
+    /// offsets into the stream, and keys.
+    #[test]
+    fn ctr_pipelined_matches_scalar(
+        key in proptest::array::uniform16(any::<u8>()),
+        nonce in proptest::array::uniform8(any::<u8>()),
+        data in vec(any::<u8>(), 0..300),
+        start in any::<u64>(),
+    ) {
+        let mut fast = data.clone();
+        AesCtr::new(&key, nonce).apply_keystream_at(&mut fast, start);
+        let mut slow = data.clone();
+        ctr_reference_128(&key, &nonce, &mut slow, start);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Same for AES-256, plus the cached-schedule entry point.
+    #[test]
+    fn ctr256_pipelined_matches_scalar(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform8(any::<u8>()),
+        data in vec(any::<u8>(), 0..200),
+        start in any::<u64>(),
+    ) {
+        let mut fast = data.clone();
+        Aes256::new(&key).ctr_xor_at(&nonce, &mut fast, start);
+        let mut slow = data.clone();
+        ctr_reference_256(&key, &nonce, &mut slow, start);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Splitting a stream at any point must not change the bytes: the
+    /// pipelined path's 4-block batching may never leak into output
+    /// position. Also covers ragged (non-multiple-of-16) splits.
+    #[test]
+    fn ctr_split_invariance(
+        key in proptest::array::uniform16(any::<u8>()),
+        nonce in proptest::array::uniform8(any::<u8>()),
+        blocks in 0usize..12,
+        extra in 0usize..16,
+        split_block in 0usize..12,
+    ) {
+        let len = blocks * 16 + extra;
+        let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+        let ctr = AesCtr::new(&key, nonce);
+        let mut whole = data.clone();
+        ctr.apply_keystream(&mut whole);
+        let cut = (split_block * 16).min(len);
+        let mut parts = data.clone();
+        ctr.apply_keystream_at(&mut parts[..cut], 0);
+        ctr.apply_keystream_at(&mut parts[cut..], (cut / 16) as u64);
+        prop_assert_eq!(whole, parts);
+    }
+}
+
+/// Counter wrap-around: the 64-bit block counter wraps modulo 2^64 and
+/// the pipelined batcher must wrap exactly like the scalar path across
+/// the boundary (including mid-batch).
+#[test]
+fn ctr_counter_wrap_boundary() {
+    let key = [0x42u8; 16];
+    let nonce = [7u8; 8];
+    for offset in 0..5u64 {
+        let start = u64::MAX - offset;
+        let data: Vec<u8> = (0..160).map(|i| i as u8).collect();
+        let mut fast = data.clone();
+        AesCtr::new(&key, nonce).apply_keystream_at(&mut fast, start);
+        let mut slow = data.clone();
+        ctr_reference_128(&key, &nonce, &mut slow, start);
+        assert_eq!(fast, slow, "wrap at MAX - {offset}");
+    }
+}
+
+// ----------------------------------------------------- bignum edge cases
+
+/// Operands hugging the modulus: base in {m-2, m-1, m, m+1} (mod_pow
+/// reduces first; the Montgomery engine must agree with schoolbook on
+/// every one, including the conditional-final-subtraction edge).
+#[test]
+fn mont_base_near_modulus() {
+    let moduli = [
+        BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"),
+        BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"),
+        BigUint::from_u64(0xffff_ffff_ffff_fff1),
+        BigUint::from_u64(3),
+    ];
+    let exp = BigUint::from_hex("10001");
+    for m in &moduli {
+        assert!(m.is_odd());
+        for delta in 0..4u64 {
+            let base = if delta < 2 {
+                m.sub(&BigUint::from_u64(2 - delta)) // m-2, m-1
+            } else {
+                m.add(&BigUint::from_u64(delta - 2)) // m, m+1
+            };
+            assert_eq!(
+                base.mod_pow(&exp, m).to_bytes_be(),
+                base.mod_pow_schoolbook(&exp, m).to_bytes_be(),
+                "modulus {} base m{:+}",
+                m.to_hex(),
+                delta as i64 - 2
+            );
+        }
+    }
+}
+
+/// All-ones limbs force the longest possible carry-propagation chains
+/// through the Montgomery reduction and the squaring kernel's doubling
+/// pass.
+#[test]
+fn mont_all_ones_carry_chains() {
+    // 2^256 - 1 = product of known factors, but as a modulus it is just
+    // an odd value with every bit set.
+    let m = BigUint::from_hex(&"f".repeat(64));
+    let base = BigUint::from_hex(&"f".repeat(63)); // 2^252 - 1 < m
+    let exps = [
+        BigUint::from_u64(2),
+        BigUint::from_u64(3),
+        BigUint::from_hex(&"f".repeat(32)),
+        BigUint::from_hex("8000000000000001"),
+    ];
+    for e in &exps {
+        assert_eq!(
+            base.mod_pow(e, &m).to_bytes_be(),
+            base.mod_pow_schoolbook(e, &m).to_bytes_be(),
+            "exp {}",
+            e.to_hex()
+        );
+    }
+}
+
+/// Zero and one exponents, and exponents that are exact multiples of
+/// the 4-bit window, on both engines.
+#[test]
+fn mont_trivial_and_window_aligned_exponents() {
+    let m = BigUint::from_hex("c000000000000000000000000000000000000000000000000000000000000df1");
+    let base = BigUint::from_u64(0xdead_beef_cafe_f00d);
+    let cases = [
+        BigUint::zero(),
+        BigUint::one(),
+        BigUint::from_u64(16),          // one full window, low bits zero
+        BigUint::from_u64(0x10000),     // window-aligned power of two
+        BigUint::from_u64(0xffff),      // every window all-ones
+        BigUint::from_hex("100000000000000000000000000000000"), // > modulus bits
+    ];
+    for e in &cases {
+        assert_eq!(
+            base.mod_pow(e, &m).to_bytes_be(),
+            base.mod_pow_schoolbook(e, &m).to_bytes_be(),
+            "exp {}",
+            e.to_hex()
+        );
+    }
+    // exp = 0 must yield exactly 1 regardless of engine.
+    assert!(base.mod_pow(&BigUint::zero(), &m).is_one());
+    // modulus 1: everything is 0.
+    assert!(base.mod_pow(&BigUint::from_u64(5), &BigUint::one()).is_zero());
+}
+
+/// Direct MontgomeryCtx::pow probes with base < n at the extremes
+/// (0, 1, n-1), bypassing mod_pow's pre-reduction.
+#[test]
+fn mont_ctx_direct_extremes() {
+    let m = BigUint::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543211");
+    let ctx = MontgomeryCtx::new(&m);
+    let e = BigUint::from_u64(65537);
+    for base in [BigUint::zero(), BigUint::one(), m.sub(&BigUint::one())] {
+        assert_eq!(
+            ctx.pow(&base, &e).to_bytes_be(),
+            base.mod_pow_schoolbook(&e, &m).to_bytes_be(),
+            "base {}",
+            base.to_hex()
+        );
+    }
+    // (n-1)^2 mod n == 1: the classic conditional-subtraction probe.
+    let nm1 = m.sub(&BigUint::one());
+    assert!(ctx.pow(&nm1, &BigUint::from_u64(2)).is_one());
+}
+
+/// CRT with p ≈ q (twin-ish primes): m1 - m2 is tiny, h is tiny, and
+/// Garner's recombination must still be exact. Built from a hand-rolled
+/// key over p = 10007, q = 10009 rather than generated primes so the
+/// near-equal shape is guaranteed.
+#[test]
+fn crt_close_primes() {
+    let p = BigUint::from_u64(10007);
+    let q = BigUint::from_u64(10009);
+    let n = p.mul(&q);
+    let e = BigUint::from_u64(65537);
+    let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+    let d = e.mod_inverse(&phi).expect("e coprime to phi");
+    let dp = d.rem(&p.sub(&BigUint::one()));
+    let dq = d.rem(&q.sub(&BigUint::one()));
+    let qinv = q.mod_inverse(&p).expect("q invertible mod p");
+    let key = RsaPrivateKey {
+        public: tpm_crypto::rsa::RsaPublicKey { n: n.clone(), e },
+        d,
+        p,
+        q,
+        dp,
+        dq,
+        qinv,
+    };
+    // Every residue class shape: 0, 1, multiples of p and q, n-1.
+    let mut probes = vec![
+        BigUint::zero(),
+        BigUint::one(),
+        BigUint::from_u64(10007), // ≡ 0 mod p
+        BigUint::from_u64(10009), // ≡ 0 mod q
+        n.sub(&BigUint::one()),
+    ];
+    for x in 2..40u64 {
+        probes.push(BigUint::from_u64(x * 2_500_001 % 100_160_063));
+    }
+    for c in &probes {
+        let c = c.rem(&key.public.n);
+        assert_eq!(
+            key.raw(&c).to_bytes_be(),
+            key.raw_schoolbook(&c).to_bytes_be(),
+            "cipher {}",
+            c.to_hex()
+        );
+    }
+}
+
+/// The generated 1024-bit keys as well: raw == raw_schoolbook on edge
+/// ciphertexts (0, 1, n-1) where CRT's m1/m2 degenerate.
+#[test]
+fn crt_edge_ciphertexts() {
+    for key in test_keys() {
+        let n = &key.public.n;
+        for c in [BigUint::zero(), BigUint::one(), n.sub(&BigUint::one())] {
+            assert_eq!(
+                key.raw(&c).to_bytes_be(),
+                key.raw_schoolbook(&c).to_bytes_be(),
+                "cipher {}",
+                c.to_hex()
+            );
+        }
+    }
+}

@@ -98,7 +98,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use tpm_crypto::aes::AesCtr;
+use tpm_crypto::aes::Aes128;
 use xen_sim::{DomainId, Hypervisor, Result as XenResult, XenError, PAGE_SIZE};
 
 /// Metadata magic: identifies a mirror metadata frame in a memory scan.
@@ -418,6 +418,10 @@ pub struct StateMirror {
     /// "protected memory" story is literal: the only in-simulation copy
     /// of the key sits in a frame the dump facility refuses to read.
     master_key: Option<[u8; 16]>,
+    /// Expanded AES schedule for `master_key`, computed once at
+    /// construction: every page of every snapshot streams through this
+    /// cached schedule instead of re-expanding the key per page.
+    master_cipher: Option<Aes128>,
     key_frame: Option<usize>,
     io: IoCounters,
     /// Opt-in (page, counter) nonce-pair audit (tests/harness).
@@ -483,6 +487,7 @@ impl StateMirror {
             regions: RegionTable::new(),
             policy: RwLock::new(FlushPolicy::per_command()),
             pending: Mutex::new(PendingBatch::default()),
+            master_cipher: key.as_ref().map(Aes128::new),
             master_key: key,
             key_frame,
             io: IoCounters::default(),
@@ -789,9 +794,12 @@ impl StateMirror {
             page[..chunk.len()].copy_from_slice(chunk);
             page[chunk.len()..].fill(0);
             if let MirrorMode::Encrypted = self.mode {
-                let key = self.master_key.as_ref().expect("encrypted mode has key");
-                AesCtr::new(key, Self::page_nonce(id, counter))
-                    .apply_keystream_at(&mut page, i as u64 * BLOCKS_PER_PAGE);
+                let cipher = self.master_cipher.as_ref().expect("encrypted mode has key");
+                cipher.ctr_xor_at(
+                    &Self::page_nonce(id, counter),
+                    &mut page,
+                    i as u64 * BLOCKS_PER_PAGE,
+                );
                 self.audit_nonce(id, i as u32, counter);
             }
             let target = 1 - region.active[i];
@@ -1019,9 +1027,12 @@ impl StateMirror {
                 return Err(XenError::BadImage("mirror page corrupt"));
             }
             if let MirrorMode::Encrypted = self.mode {
-                let key = self.master_key.as_ref().expect("encrypted mode has key");
-                AesCtr::new(key, Self::page_nonce(id, e.counter))
-                    .apply_keystream_at(&mut page, i as u64 * BLOCKS_PER_PAGE);
+                let cipher = self.master_cipher.as_ref().expect("encrypted mode has key");
+                cipher.ctr_xor_at(
+                    &Self::page_nonce(id, e.counter),
+                    &mut page,
+                    i as u64 * BLOCKS_PER_PAGE,
+                );
             }
             let done = i * PAGE_SIZE;
             let take = PAGE_SIZE.min(len - done);

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use tpm_crypto::aes::AesCtr;
+use tpm_crypto::aes::Aes128;
 
 use tpm::buffer::{Reader, Writer};
 use tpm::{handle, DirectTransport, SealedBlob, Tpm, TpmClient};
@@ -52,11 +52,13 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-fn entry_cipher(master_key: &[u8; 16], id: u32) -> AesCtr {
+/// Per-entry CTR nonce: instance id, then a domain-separation tag so the
+/// persistence stream can never collide with mirror page nonces.
+fn entry_nonce(id: u32) -> [u8; 8] {
     let mut nonce = [0u8; 8];
     nonce[..4].copy_from_slice(&id.to_be_bytes());
     nonce[4..].copy_from_slice(b"PERS");
-    AesCtr::new(master_key, nonce)
+    nonce
 }
 
 /// Serialize the manager's instance database.
@@ -83,16 +85,17 @@ pub fn persist(
         w.sized_u32(&sealed.encode());
     }
 
+    // One key-schedule expansion for the whole database walk.
+    let db_cipher = master_key.map(|key| Aes128::new(&key));
     let ids = manager.instance_ids();
     w.u32(ids.len() as u32);
     for id in ids {
         let state = manager.export_instance_state(id).ok_or(PersistError::BadInstance(id))?;
-        let payload = match mode {
-            MirrorMode::Cleartext => state,
-            MirrorMode::Encrypted => {
-                let key = master_key.expect("encrypted mode has key");
+        let payload = match &db_cipher {
+            None => state,
+            Some(cipher) => {
                 let mut buf = state;
-                entry_cipher(&key, id).apply_keystream(&mut buf);
+                cipher.ctr_xor_at(&entry_nonce(id), &mut buf, 0);
                 buf
             }
         };
@@ -139,14 +142,15 @@ pub fn restore(
         None => VtpmManager::new(hv, seed, cfg).map_err(|_| PersistError::Malformed)?,
     };
 
+    let db_cipher = master_key.map(|key| Aes128::new(&key));
     let n = r.u32().map_err(|_| PersistError::Malformed)?;
     for _ in 0..n {
         let id = r.u32().map_err(|_| PersistError::Malformed)?;
         let payload = r.sized_u32().map_err(|_| PersistError::Malformed)?;
-        let state = match master_key {
-            Some(key) => {
+        let state = match &db_cipher {
+            Some(cipher) => {
                 let mut buf = payload.to_vec();
-                entry_cipher(&key, id).apply_keystream(&mut buf);
+                cipher.ctr_xor_at(&entry_nonce(id), &mut buf, 0);
                 buf
             }
             None => payload.to_vec(),

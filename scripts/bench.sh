@@ -17,6 +17,13 @@
 #   amortization counters) and the scaling-ratio gate. The binary exits
 #   nonzero if the 10k-vs-100 read-path ratio exceeds 1.5x.
 #
+#   BENCH_crypto.json — crypto-floor numbers: the R-C1 measurement set
+#   (optimized vs schoolbook RSA-1024 private op and the speedup ratio,
+#   pipelined vs scalar AES-128-CTR MB/s, SHA-256 bulk MB/s and 40-byte
+#   ns) plus the gate thresholds. The binary exits nonzero if the RSA
+#   speedup drops below 4x, the private op exceeds its absolute
+#   ceiling, or pipelined CTR falls below its MB/s floor.
+#
 # Usage:
 #   scripts/bench.sh             # full sizes
 #   scripts/bench.sh --quick     # CI-sized
@@ -38,3 +45,7 @@ cargo run --release -p vtpm-bench --bin sentinel_bench -- \
 echo "== manager bench -> ${out_dir}/BENCH_manager.json =="
 cargo run --release -p vtpm-bench --bin manager_bench -- \
     "${quick[@]}" --out "${out_dir}/BENCH_manager.json"
+
+echo "== crypto bench -> ${out_dir}/BENCH_crypto.json =="
+cargo run --release -p vtpm-bench --bin crypto_bench -- \
+    "${quick[@]}" --out "${out_dir}/BENCH_crypto.json"

@@ -11,7 +11,7 @@
 #      nonzero if the enabled-vs-disabled registry increment exceeds
 #      3% of the modelled deployment command latency, failing the gate;
 #   5. R-M1: the migration downtime budget. `repro m1` exits nonzero
-#      if sealed (destination-bound) transfer adds more than 12 ms of
+#      if sealed (destination-bound) transfer adds more than 7 ms of
 #      guest-visible blackout over clear transfer at any state size;
 #   6. R-D1: the sentinel smoke. `repro d1 --quick` replays a small
 #      attack-free chaos sweep with the detection plane consuming every
@@ -21,7 +21,12 @@
 #   7. R-P1: the manager scaling budget. `repro p1 --quick` measures the
 #      routing hot path (PcrRead over a fixed active set) at 100 and
 #      10 000 resident instances and exits nonzero if the per-command
-#      cost degrades by more than 1.5x between the endpoints.
+#      cost degrades by more than 1.5x between the endpoints;
+#   8. R-C1: the crypto floor. `repro c1 --quick` measures the optimized
+#      RSA-1024 private op (CRT + Montgomery + fixed window) against the
+#      retained schoolbook reference and the pipelined AES-CTR keystream,
+#      and exits nonzero if the RSA speedup drops below 4x, the private
+#      op exceeds 2 ms, or CTR throughput falls below 40 MB/s.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -46,7 +51,7 @@ cargo run --release -p vtpm-harness --bin chaos -- \
 echo "== R-O1: telemetry overhead budget (hard 3% gate) =="
 cargo run --release -p vtpm-bench --bin repro -- o1
 
-echo "== R-M1: migration downtime budget (sealing premium <= 12ms) =="
+echo "== R-M1: migration downtime budget (sealing premium <= 7ms) =="
 cargo run --release -p vtpm-bench --bin repro -- m1 --quick
 
 echo "== R-D1: sentinel smoke (zero clean-seed FPs, all injections detected) =="
@@ -54,5 +59,8 @@ cargo run --release -p vtpm-bench --bin repro -- d1 --quick
 
 echo "== R-P1: manager scaling budget (10k/100-instance read path <= 1.5x) =="
 cargo run --release -p vtpm-bench --bin repro -- p1 --quick
+
+echo "== R-C1: crypto floor (RSA speedup >= 4x, CTR >= 40 MB/s) =="
+cargo run --release -p vtpm-bench --bin repro -- c1 --quick
 
 echo "CI gate passed."
