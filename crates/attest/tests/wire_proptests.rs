@@ -1,0 +1,105 @@
+//! Property tests for the evidence wire format: the decoder must never
+//! panic on hostile bytes, and encode∘decode must be the identity on
+//! well-formed evidence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::proptest;
+use vtpm::deep_quote::DeepQuote;
+use vtpm_attest::{Evidence, WireError};
+
+/// Build a structurally valid evidence blob from fuzzable scalars. The
+/// selection is derived as a strictly ascending subset of 0..24.
+fn build_evidence(
+    instance: u32,
+    window: u64,
+    sel_mask: u32,
+    fill: u8,
+    sig_len: usize,
+    key_len: usize,
+    log_len: usize,
+) -> Evidence {
+    let mut selection: Vec<usize> = (0..24usize).filter(|i| sel_mask & (1 << i) != 0).collect();
+    if selection.is_empty() {
+        selection.push(0);
+    }
+    let values = selection.iter().map(|&i| [fill.wrapping_add(i as u8); 20]).collect();
+    Evidence {
+        instance,
+        window,
+        quote: DeepQuote {
+            vtpm_pcr_values: values,
+            vtpm_selection: selection,
+            vtpm_signature: vec![fill; sig_len],
+            vtpm_aik_modulus: vec![fill.wrapping_add(1); key_len],
+            vtpm_ek_modulus: vec![fill.wrapping_add(2); key_len],
+            hw_binding_pcr: [fill.wrapping_add(3); 20],
+            hw_signature: vec![fill.wrapping_add(4); sig_len],
+            hw_aik_modulus: vec![fill.wrapping_add(5); key_len],
+            registration_log: (0..log_len).map(|i| [fill.wrapping_add(i as u8); 20]).collect(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode == identity for arbitrary well-formed evidence.
+    #[test]
+    fn roundtrip(
+        instance in any::<u32>(),
+        window in any::<u64>(),
+        sel_mask in any::<u32>(),
+        fill in any::<u8>(),
+        sig_len in 1usize..200,
+        key_len in 1usize..200,
+        log_len in 1usize..20,
+    ) {
+        let e = build_evidence(instance, window, sel_mask, fill, sig_len, key_len, log_len);
+        let decoded = Evidence::decode(&e.encode()).expect("well-formed must parse");
+        prop_assert_eq!(decoded, e);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it parses or it
+    /// returns a WireError, nothing else.
+    #[test]
+    fn decode_never_panics(bytes in vec(any::<u8>(), 0..600)) {
+        let _ = Evidence::decode(&bytes);
+    }
+
+    /// Any trailing garbage after a valid blob makes the whole thing
+    /// invalid (nothing is silently ignored).
+    #[test]
+    fn trailing_garbage_always_rejected(
+        sel_mask in any::<u32>(),
+        extra in vec(any::<u8>(), 1..40),
+    ) {
+        let mut bytes = build_evidence(1, 2, sel_mask, 0x5A, 64, 64, 3).encode();
+        bytes.extend_from_slice(&extra);
+        prop_assert_eq!(Evidence::decode(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    /// No strict prefix of a valid blob parses: the format is
+    /// self-delimiting with no optional tail.
+    #[test]
+    fn prefixes_never_parse(cut_back in 1usize..80) {
+        let bytes = build_evidence(1, 2, 0b111, 0x5A, 64, 64, 3).encode();
+        let cut = bytes.len().saturating_sub(cut_back);
+        prop_assert!(Evidence::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of a valid blob either fails to parse
+    /// or decodes to *different* evidence — never silently to the same
+    /// value (the digest, and so the replay ledger, keys on content).
+    #[test]
+    fn single_byte_flip_never_collides(pos_seed in any::<u64>(), bit in 0u8..8) {
+        let e = build_evidence(1, 2, 0b1010, 0x5A, 64, 64, 3);
+        let mut bytes = e.encode();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match Evidence::decode(&bytes) {
+            Ok(decoded) => prop_assert_ne!(decoded, e),
+            Err(_) => {}
+        }
+    }
+}

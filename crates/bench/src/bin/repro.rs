@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1   # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1|a1  # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
@@ -11,10 +11,13 @@
 //! clear baseline, if R-D1 sees a sentinel false positive on a clean
 //! seed or a missed attack injection, if R-P1 measures the manager's
 //! per-command read path degrading by more than its scaling budget
-//! between the smallest and largest instance counts, or if R-C1
+//! between the smallest and largest instance counts, if R-C1
 //! measures the crypto floor regressing (RSA private-op speedup below
-//! 4x schoolbook, absolute RSA/AES floors violated) — the CI gate in
-//! `scripts/ci.sh` relies on all five.
+//! 4x schoolbook, absolute RSA/AES floors violated), or if R-A1
+//! measures the cached attestation plane below its speedup floor,
+//! refuses an honest submission, or lets any defense scenario diverge
+//! (unrefused replay/stale evidence, undetected storm, clean-sweep
+//! false positive) — the CI gate in `scripts/ci.sh` relies on all six.
 
 use vtpm_bench::exp;
 
@@ -52,6 +55,12 @@ struct Sizes {
     c1_rsa_reps: usize,
     c1_schoolbook_reps: usize,
     c1_aes_mib: usize,
+    a1_instances: usize,
+    a1_verifiers: usize,
+    a1_quotes: usize,
+    a1_uncached_quotes: usize,
+    a1_attack_seeds: usize,
+    a1_clean_seeds: usize,
 }
 
 impl Sizes {
@@ -93,6 +102,15 @@ impl Sizes {
             c1_rsa_reps: 30,
             c1_schoolbook_reps: 6,
             c1_aes_mib: 4,
+            // The farm-scale claim: 1k+ verifiers, 10k+ quote requests
+            // against the cached plane, per-request baseline sampled at
+            // a count that keeps the run minutes-free (qps is a rate).
+            a1_instances: 16,
+            a1_verifiers: 1_024,
+            a1_quotes: 10_000,
+            a1_uncached_quotes: 512,
+            a1_attack_seeds: 3,
+            a1_clean_seeds: 3,
         }
     }
 
@@ -137,6 +155,14 @@ impl Sizes {
             c1_rsa_reps: 10,
             c1_schoolbook_reps: 3,
             c1_aes_mib: 1,
+            // The speedup gate is a ratio, so --quick shrinks both
+            // sides of it together.
+            a1_instances: 4,
+            a1_verifiers: 64,
+            a1_quotes: 512,
+            a1_uncached_quotes: 64,
+            a1_attack_seeds: 1,
+            a1_clean_seeds: 1,
         }
     }
 }
@@ -150,7 +176,7 @@ fn main() {
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
             "t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "d1",
-            "p1", "c1",
+            "p1", "c1", "a1",
         ]
     } else {
         which
@@ -220,8 +246,22 @@ fn main() {
                 }
                 exp::c1::render(&report)
             }
+            "a1" => {
+                let report = exp::a1::run(
+                    sizes.a1_instances,
+                    sizes.a1_verifiers,
+                    sizes.a1_quotes,
+                    sizes.a1_uncached_quotes,
+                    sizes.a1_attack_seeds,
+                    sizes.a1_clean_seeds,
+                );
+                if exp::a1::gate_failed(&report) {
+                    over_budget = true;
+                }
+                exp::a1::render(&report)
+            }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1|a1|all)");
                 std::process::exit(2);
             }
         };
@@ -233,12 +273,14 @@ fn main() {
             "a budget gate failed (R-O1 <= {}% overhead, R-M1 <= {:.0}ms sealing premium, \
              R-D1 zero false positives + full injection detection, \
              R-P1 <= {:.1}x read-path scaling ratio, \
-             R-C1 >= {:.0}x RSA speedup / >= {:.0} MB/s AES-CTR)",
+             R-C1 >= {:.0}x RSA speedup / >= {:.0} MB/s AES-CTR, \
+             R-A1 >= {:.0}x cached-attestation speedup + clean defense sweep)",
             exp::o1::BUDGET_PCT,
             exp::m1::BUDGET_PREMIUM_US / 1e3,
             exp::p1::BUDGET_RATIO,
             exp::c1::MIN_RSA_SPEEDUP,
-            exp::c1::MIN_AES_CTR_MBPS
+            exp::c1::MIN_AES_CTR_MBPS,
+            exp::a1::MIN_CACHE_SPEEDUP
         );
         std::process::exit(1);
     }

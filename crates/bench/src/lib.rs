@@ -23,9 +23,11 @@
 //! | [`exp::d1`] | R-D1: sentinel detection quality (FP sweep + injections) |
 //! | [`exp::p1`] | R-P1: manager hot path vs resident instance count |
 //! | [`exp::c1`] | R-C1: crypto floor (RSA/AES/SHA) with regression gates |
+//! | [`exp::a1`] | R-A1: attestation plane at farm scale |
 
 /// Experiment modules, one per table/figure.
 pub mod exp {
+    pub mod a1;
     pub mod c1;
     pub mod d1;
     pub mod f1;

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! chaos [--seeds N] [--events N] [--faults N] [--mode encrypted|cleartext]
-//!       [--base LABEL] [--jobs N] [--family mirror|migration|both] [--matrix]
-//!       [--json]
+//!       [--base LABEL] [--jobs N] [--family mirror|migration|attest|both|all]
+//!       [--matrix] [--json]
 //! ```
 //!
 //! Seeds run in parallel across `--jobs` worker threads (default: all
@@ -15,9 +15,15 @@
 //!
 //! `--family` picks the scenario family: `mirror` (default) is the
 //! single-host mirror pipeline, `migration` the multi-host cluster
-//! scenarios, `both` runs the two back to back on the same seed list.
-//! `--matrix` additionally runs the exhaustive crash-at-every-step
-//! migration matrix (both roles x every protocol step) on one seed.
+//! scenarios, `attest` the attestation-plane quote-storm/replay
+//! scenarios, `both` runs mirror + migration back to back on the same
+//! seed list, `all` runs every family. Attest seeds *expect* critical
+//! sentinel alerts (the injected attacks must be detected), so their
+//! clean criterion is divergence-freedom alone — missed detections and
+//! false positives are folded into the divergence list by the family
+//! itself. `--matrix` additionally runs the exhaustive
+//! crash-at-every-step migration matrix (both roles x every protocol
+//! step) on one seed.
 //!
 //! `--json` switches the per-seed output to one JSON object per line
 //! (stable field order; `report` is the full seed report, plus
@@ -32,7 +38,8 @@ use std::sync::mpsc;
 
 use vtpm::MirrorMode;
 use vtpm_harness::{
-    run_chaos, run_crash_matrix, run_migration_chaos, ChaosConfig, MigrationChaosConfig,
+    run_attest_chaos, run_chaos, run_crash_matrix, run_migration_chaos, AttestChaosConfig,
+    ChaosConfig, MigrationChaosConfig,
 };
 
 /// Everything one seed produced: its report text (divergence detail
@@ -157,6 +164,61 @@ fn run_migration_seed(seed: &str, cfg: &MigrationChaosConfig, json: bool) -> See
     SeedOutcome { text, failed: !deterministic || !clean }
 }
 
+/// Run one attest-family seed twice, diff the replays, render. Critical
+/// sentinel alerts are *expected* here (injected attacks must be
+/// detected — a missed detection is reported as a divergence by the
+/// family itself), so clean means divergence-free, nothing more.
+fn run_attest_seed(seed: &str, cfg: &AttestChaosConfig, json: bool) -> SeedOutcome {
+    let first = match run_attest_chaos(seed.as_bytes(), cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("seed {seed}: harness error: {e}\n"), failed: true }
+        }
+    };
+    let replay = match run_attest_chaos(seed.as_bytes(), cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("seed {seed}: replay error: {e}\n"), failed: true }
+        }
+    };
+    let deterministic = first == replay;
+    let clean = first.divergences.is_empty();
+    if json {
+        return SeedOutcome {
+            text: json_line(&first.to_json(), deterministic, !deterministic || !clean),
+            failed: !deterministic || !clean,
+        };
+    }
+    let mut text = format!(
+        "seed {seed} [attest]: transcript {} submissions {} accepted {} replays {}/{} \
+         stale {}/{} storm {}{} signing-passes {} cache-absorbed {} pcr-extends {} \
+         audit-chain {} divergences {} sentinel-critical {}{}\n",
+        first.transcript.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
+        first.submissions,
+        first.accepted,
+        first.replays_refused,
+        first.injected_replays,
+        first.stale_refused,
+        first.injected_stale,
+        first.storm_submissions,
+        if first.storm_throttled { " (throttled)" } else { "" },
+        first.signing_passes,
+        first.cache_absorbed,
+        first.pcr_extends,
+        if first.audit_chain_ok { "ok" } else { "BROKEN" },
+        first.divergences.len(),
+        first.sentinel_critical,
+        if deterministic { "" } else { "  REPLAY MISMATCH" },
+    );
+    for d in &first.divergences {
+        text.push_str(&format!("    {d}\n"));
+    }
+    for a in &first.sentinel_alerts {
+        text.push_str(&format!("    {a}\n"));
+    }
+    SeedOutcome { text, failed: !deterministic || !clean }
+}
+
 /// Run the exhaustive crash matrix twice on one seed, diff, render.
 fn run_matrix_seed(seed: &str, json: bool) -> SeedOutcome {
     let first = match run_crash_matrix(seed.as_bytes(), true) {
@@ -240,7 +302,7 @@ fn main() -> ExitCode {
     let mut cfg = ChaosConfig::default();
     let mut base = String::from("chaos");
     let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let (mut mirror_family, mut migration_family) = (true, false);
+    let (mut mirror_family, mut migration_family, mut attest_family) = (true, false, false);
     let mut matrix = false;
     let mut json = false;
 
@@ -287,11 +349,23 @@ fn main() -> ExitCode {
                 }
             },
             "--family" => match take("--family").map(String::as_str) {
-                Some("mirror") => (mirror_family, migration_family) = (true, false),
-                Some("migration") => (mirror_family, migration_family) = (false, true),
-                Some("both") => (mirror_family, migration_family) = (true, true),
+                Some("mirror") => {
+                    (mirror_family, migration_family, attest_family) = (true, false, false)
+                }
+                Some("migration") => {
+                    (mirror_family, migration_family, attest_family) = (false, true, false)
+                }
+                Some("attest") => {
+                    (mirror_family, migration_family, attest_family) = (false, false, true)
+                }
+                Some("both") => {
+                    (mirror_family, migration_family, attest_family) = (true, true, false)
+                }
+                Some("all") => {
+                    (mirror_family, migration_family, attest_family) = (true, true, true)
+                }
                 _ => {
-                    eprintln!("--family is mirror|migration|both");
+                    eprintln!("--family is mirror|migration|attest|both|all");
                     return ExitCode::from(2);
                 }
             },
@@ -321,6 +395,13 @@ fn main() -> ExitCode {
         };
         failures += run_family(seeds, jobs, |s| {
             run_migration_seed(&format!("{base}-mig-{s}"), &mig_cfg, json)
+        });
+        ran += seeds;
+    }
+    if attest_family {
+        let att_cfg = AttestChaosConfig::default();
+        failures += run_family(seeds, jobs, |s| {
+            run_attest_seed(&format!("{base}-att-{s}"), &att_cfg, json)
         });
         ran += seeds;
     }

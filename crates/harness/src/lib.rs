@@ -27,14 +27,16 @@
 //! the same seed twice must produce byte-identical [`ChaosReport`]s,
 //! which is what `tests/chaos.rs` and `scripts/chaos.sh` check.
 
+pub mod attest_chaos;
 pub mod migration_chaos;
 pub mod sentinel_feed;
 
+pub use attest_chaos::{run_attest_chaos, AttestChaosConfig, AttestChaosReport};
 pub use migration_chaos::{
     run_crash_matrix, run_migration_chaos, CrashMatrixReport, MatrixCell, MigrationChaosConfig,
     MigrationChaosReport,
 };
-pub use sentinel_feed::{audit_event, dump_event};
+pub use sentinel_feed::{apply_verifier_alerts, attest_event, audit_event, dump_event};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -8,7 +8,8 @@
 
 use vtpm::VtpmManager;
 use vtpm_ac::{AuditEntry, AuditOutcome};
-use vtpm_sentinel::{Alert, AuditKind, AuditView, DumpView, StreamEvent};
+use vtpm_attest::{AttestEvent, VerifierPool};
+use vtpm_sentinel::{Alert, AttestView, AuditKind, AuditView, DumpView, StreamEvent};
 use xen_sim::DumpEvent;
 
 /// Flatten one audit-chain entry for the sentinel stream.
@@ -40,6 +41,17 @@ pub fn dump_event(host: u32, d: &DumpEvent) -> StreamEvent {
     })
 }
 
+/// Flatten one verifier-plane verdict for the sentinel stream.
+pub fn attest_event(host: u32, e: &AttestEvent) -> StreamEvent {
+    StreamEvent::Attest(AttestView {
+        host,
+        at_ns: e.at_ns,
+        verifier: e.verifier,
+        instance: e.instance,
+        verdict: e.verdict,
+    })
+}
+
 /// Close the detection loop: latch the manager's admission throttle for
 /// every domain a deny-rate alert implicates. Returns how many domains
 /// were throttled. Idempotent — the admission controller's `throttle`
@@ -53,6 +65,25 @@ pub fn apply_admission_alerts(mgr: &VtpmManager, alerts: &[Alert]) -> usize {
         }
         if let Some(domain) = alert.domain {
             if mgr.admission().throttle(domain) {
+                applied += 1;
+            }
+        }
+    }
+    applied
+}
+
+/// Close the detection loop on the verifier plane: latch the pool's
+/// admission throttle for every verifier a quote-storm alert
+/// implicates. Returns how many verifiers were newly throttled; same
+/// idempotence as [`apply_admission_alerts`].
+pub fn apply_verifier_alerts(pool: &VerifierPool, alerts: &[Alert]) -> usize {
+    let mut applied = 0;
+    for alert in alerts {
+        if alert.detector != "quote-storm" {
+            continue;
+        }
+        if let Some(verifier) = alert.domain {
+            if pool.throttle_verifier(verifier) {
                 applied += 1;
             }
         }
@@ -118,5 +149,37 @@ mod tests {
         assert!(!mgr.admission().is_throttled(1), "uninvolved domains stay admitted");
         assert_eq!(apply_admission_alerts(&mgr, &alerts), 0, "re-applying is a no-op");
         assert_eq!(mgr.admission().throttle_events(), 1);
+    }
+
+    #[test]
+    fn quote_storm_alert_throttles_the_implicated_verifier() {
+        use vtpm_attest::VerifierConfig;
+
+        // A scripted verifier hammering the plane trips the sentinel's
+        // quote-storm detector...
+        let mut sentinel = Sentinel::new(SentinelConfig::default());
+        for i in 0..70u64 {
+            sentinel.observe(StreamEvent::Attest(vtpm_sentinel::AttestView {
+                host: 0,
+                at_ns: 1_000 + i * 100,
+                verifier: 42,
+                instance: 3,
+                verdict: 0,
+            }));
+        }
+        let alerts: Vec<Alert> = sentinel.alerts().to_vec();
+        assert!(alerts.iter().any(|a| a.detector == "quote-storm" && a.domain == Some(42)));
+
+        // ...and the bridge latches the pool's admission throttle for
+        // exactly that verifier.
+        let pool = VerifierPool::new(VerifierConfig {
+            admission: AdmissionConfig { enabled: true, ..Default::default() },
+            ..Default::default()
+        });
+        assert!(!pool.is_throttled(42));
+        assert_eq!(apply_verifier_alerts(&pool, &alerts), 1);
+        assert!(pool.is_throttled(42));
+        assert!(!pool.is_throttled(7), "uninvolved verifiers stay admitted");
+        assert_eq!(apply_verifier_alerts(&pool, &alerts), 0, "re-applying is a no-op");
     }
 }

@@ -9,7 +9,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use vtpm_telemetry::{MigrationOutcome, Outcome, DENY_REJECTED_STALE};
+use vtpm_telemetry::{
+    MigrationOutcome, Outcome, DENY_QUOTE_REPLAY, DENY_REJECTED_STALE, DENY_STALE_QUOTE,
+};
 
 use crate::{Alert, AuditKind, SentinelConfig, Severity, StreamEvent};
 
@@ -38,6 +40,8 @@ pub fn default_detectors(cfg: &SentinelConfig) -> Vec<Box<dyn Detector>> {
         Box::new(ReplayWatch::new(cfg.replay_window_ns, cfg.replay_burst)),
         Box::new(NonceHygiene::new()),
         Box::new(ScrubEscalation::new(cfg.scrub_budget)),
+        Box::new(QuoteStorm::new(cfg.quote_storm_window_ns, cfg.quote_storm_burst)),
+        Box::new(StaleQuoteWatch::new(cfg.stale_quote_window_ns, cfg.stale_quote_burst)),
     ]
 }
 
@@ -322,6 +326,142 @@ impl Detector for ScrubEscalation {
     }
 }
 
+/// `vtpm_attest::Verdict::Stale.code()` — kept as a constant to avoid a
+/// dependency on the attestation crate.
+pub const VERDICT_STALE: u8 = 1;
+/// `vtpm_attest::Verdict::Replayed.code()`.
+pub const VERDICT_REPLAYED: u8 = 2;
+
+/// Per-(host, verifier) burst detector over attestation submissions.
+///
+/// An honest verifier polls the plane at the nonce-window cadence —
+/// seconds of virtual time between submissions. A scripted quote storm
+/// shows up as a dense run of submissions (whatever their verdicts)
+/// from one verifier identity inside a window no honest cadence can
+/// reach. The alert carries the verifier in `domain`, so the harness
+/// bridge can feed it straight into the verifier pool's admission
+/// throttle — the same closed loop the deny-rate detector drives for
+/// ring ingress.
+pub struct QuoteStorm {
+    window_ns: u64,
+    burst: usize,
+    /// Recent submission timestamps per (host, verifier).
+    hits: BTreeMap<(u32, u32), VecDeque<u64>>,
+    fired: BTreeSet<(u32, u32)>,
+}
+
+impl QuoteStorm {
+    /// New detector firing at `burst` submissions within `window_ns`.
+    pub fn new(window_ns: u64, burst: usize) -> Self {
+        QuoteStorm { window_ns, burst, hits: BTreeMap::new(), fired: BTreeSet::new() }
+    }
+}
+
+impl Detector for QuoteStorm {
+    fn name(&self) -> &'static str {
+        "quote-storm"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        let StreamEvent::Attest(a) = ev else { return None };
+        let key = (a.host, a.verifier);
+        let q = self.hits.entry(key).or_default();
+        q.push_back(a.at_ns);
+        while q.front().is_some_and(|&t| t + self.window_ns < a.at_ns) {
+            q.pop_front();
+        }
+        if q.len() >= self.burst && self.fired.insert(key) {
+            return Some(Alert {
+                detector: "quote-storm",
+                host: a.host,
+                at_ns: a.at_ns,
+                severity: Severity::Critical,
+                trace_id: None,
+                domain: Some(a.verifier),
+                detail: format!(
+                    "verifier {} sent {} attestation requests within {}us — quote storm",
+                    a.verifier,
+                    q.len(),
+                    self.window_ns / 1_000
+                ),
+            });
+        }
+        None
+    }
+}
+
+/// Watches for bursts of stale or replayed deep-quote presentations.
+///
+/// Sources: verifier-plane verdicts (stale / replayed) on the attest
+/// stream, and audit records carrying the matching per-reason deny
+/// codes — so the watch works whether the pool's audit chain or its
+/// event stream (or both) is wired in. One refusal is routine — an
+/// honest verifier can age out of the freshness window across a roll —
+/// but a burst means someone is hoarding evidence and re-presenting it.
+pub struct StaleQuoteWatch {
+    window_ns: u64,
+    burst: usize,
+    /// Recent refusal timestamps per host.
+    hits: BTreeMap<u32, VecDeque<u64>>,
+    fired: BTreeSet<u32>,
+}
+
+impl StaleQuoteWatch {
+    /// New watch over `window_ns` of virtual time.
+    pub fn new(window_ns: u64, burst: usize) -> Self {
+        StaleQuoteWatch { window_ns, burst, hits: BTreeMap::new(), fired: BTreeSet::new() }
+    }
+
+    fn note(&mut self, host: u32, at_ns: u64, trace: Option<u64>) -> Option<Alert> {
+        let q = self.hits.entry(host).or_default();
+        q.push_back(at_ns);
+        while q.front().is_some_and(|&t| t + self.window_ns < at_ns) {
+            q.pop_front();
+        }
+        if q.len() >= self.burst && self.fired.insert(host) {
+            return Some(Alert {
+                detector: "stale-quote",
+                host,
+                at_ns,
+                severity: Severity::Critical,
+                trace_id: trace,
+                domain: None,
+                detail: format!(
+                    "{} stale/replayed quote presentations within {}ms — quote replay attack",
+                    q.len(),
+                    self.window_ns / 1_000_000
+                ),
+            });
+        }
+        None
+    }
+}
+
+impl Detector for StaleQuoteWatch {
+    fn name(&self) -> &'static str {
+        "stale-quote"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        match ev {
+            StreamEvent::Attest(a)
+                if matches!(a.verdict, VERDICT_STALE | VERDICT_REPLAYED) =>
+            {
+                self.note(a.host, a.at_ns, None)
+            }
+            StreamEvent::Audit(a)
+                if matches!(
+                    a.kind,
+                    AuditKind::Denied(DENY_STALE_QUOTE) | AuditKind::Denied(DENY_QUOTE_REPLAY)
+                ) =>
+            {
+                self.note(a.host, a.at_ns, Some(a.request_id))
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +550,91 @@ mod tests {
         // Two more right away close the burst inside one window.
         assert!(w.observe(&audit(4_100)).is_none());
         assert!(w.observe(&audit(4_200)).is_some());
+    }
+
+    #[test]
+    fn quote_storm_keys_on_verifier_and_carries_it() {
+        let mut d = QuoteStorm::new(1_000, 4);
+        let attest = |verifier, at_ns| {
+            StreamEvent::Attest(crate::AttestView {
+                host: 0,
+                at_ns,
+                verifier,
+                instance: 3,
+                verdict: 0,
+            })
+        };
+        // Two verifiers interleaved: neither alone reaches the burst
+        // until verifier 7's fourth submission inside the window.
+        assert!(d.observe(&attest(7, 100)).is_none());
+        assert!(d.observe(&attest(8, 110)).is_none());
+        assert!(d.observe(&attest(7, 200)).is_none());
+        assert!(d.observe(&attest(7, 300)).is_none());
+        let a = d.observe(&attest(7, 400)).expect("storm");
+        assert_eq!(a.domain, Some(7), "alert must implicate the verifier");
+        assert_eq!(a.severity, Severity::Critical);
+        // Latched per (host, verifier); the other verifier still can fire.
+        assert!(d.observe(&attest(7, 500)).is_none());
+        assert!(d.observe(&attest(8, 510)).is_none());
+        assert!(d.observe(&attest(8, 520)).is_none());
+        assert!(d.observe(&attest(8, 530)).is_some());
+    }
+
+    #[test]
+    fn quote_storm_ignores_honest_cadence() {
+        let mut d = QuoteStorm::new(1_000, 4);
+        for i in 0..100u64 {
+            // One submission per 10 windows of virtual time.
+            let ev = StreamEvent::Attest(crate::AttestView {
+                host: 0,
+                at_ns: i * 10_000,
+                verifier: 1,
+                instance: 3,
+                verdict: 0,
+            });
+            assert!(d.observe(&ev).is_none(), "honest cadence must stay silent");
+        }
+    }
+
+    #[test]
+    fn stale_quote_watch_mixes_attest_and_audit_sources() {
+        let mut d = StaleQuoteWatch::new(10_000, 4);
+        let stale = |at_ns| {
+            StreamEvent::Attest(crate::AttestView {
+                host: 0,
+                at_ns,
+                verifier: 5,
+                instance: 3,
+                verdict: VERDICT_STALE,
+            })
+        };
+        let replay_audit = |at_ns| {
+            StreamEvent::Audit(crate::AuditView {
+                host: 0,
+                at_ns,
+                request_id: 0xABCD,
+                domain: 5,
+                instance: 3,
+                ordinal: 0x16,
+                kind: AuditKind::Denied(DENY_QUOTE_REPLAY),
+            })
+        };
+        assert!(d.observe(&stale(100)).is_none());
+        assert!(d.observe(&replay_audit(200)).is_none());
+        assert!(d.observe(&stale(300)).is_none());
+        assert!(d.observe(&replay_audit(400)).is_some(), "mixed burst fires");
+        // Accepted verdicts never count.
+        let mut clean = StaleQuoteWatch::new(10_000, 2);
+        for i in 0..50u64 {
+            let ev = StreamEvent::Attest(crate::AttestView {
+                host: 0,
+                at_ns: i,
+                verifier: 1,
+                instance: 3,
+                verdict: 0,
+            });
+            assert!(clean.observe(&ev).is_none());
+        }
     }
 
     #[test]

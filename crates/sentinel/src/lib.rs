@@ -16,7 +16,14 @@
 //! * **nonce hygiene** — any observed nonce reuse
 //!   ([`detectors::NonceHygiene`]);
 //! * **scrub escalation** — cumulative mirror scrub failures past a
-//!   budget ([`detectors::ScrubEscalation`]).
+//!   budget ([`detectors::ScrubEscalation`]);
+//! * **quote-storm** — per-verifier attestation-submission bursts
+//!   against the verifier plane ([`detectors::QuoteStorm`]); its alerts
+//!   carry the offending verifier in `domain` so the harness can close
+//!   the loop into the pool's admission throttle, mirroring the
+//!   deny-rate → ring-admission path;
+//! * **stale-quote watch** — bursts of stale or replayed deep-quote
+//!   presentations ([`detectors::StaleQuoteWatch`]).
 //!
 //! Everything is driven by caller-supplied virtual-time stamps and the
 //! stream order — no wall clock, no randomness — so a chaos replay of
@@ -38,8 +45,8 @@ pub mod detectors;
 pub mod flight;
 
 pub use detectors::{
-    default_detectors, DenyRateEwma, Detector, DumpSignature, NonceHygiene, ReplayWatch,
-    ScrubEscalation,
+    default_detectors, DenyRateEwma, Detector, DumpSignature, NonceHygiene, QuoteStorm,
+    ReplayWatch, ScrubEscalation, StaleQuoteWatch,
 };
 pub use flight::{FlightDump, FlightRecorder};
 
@@ -96,6 +103,25 @@ pub struct DumpView {
     pub foreign_frames: u64,
 }
 
+/// One attestation-verification outcome, flattened from the verifier
+/// plane's event stream (`vtpm_attest::AttestEvent`) — plain fields so
+/// this crate needs no dependency on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestView {
+    /// Host whose verifier pool judged the submission.
+    pub host: u32,
+    /// Virtual timestamp (ns).
+    pub at_ns: u64,
+    /// Submitting verifier's identity.
+    pub verifier: u32,
+    /// Instance the evidence claimed (0 when it never decoded).
+    pub instance: u32,
+    /// Verdict code (`vtpm_attest::Verdict::code`): 0 accepted,
+    /// 1 stale, 2 replayed, 3 bad-chain, 4 untrusted-hw-aik,
+    /// 5 measurement-mismatch, 6 malformed, 7 throttled.
+    pub verdict: u8,
+}
+
 /// One event on the sentinel's input stream, in virtual-time order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamEvent {
@@ -112,6 +138,8 @@ pub enum StreamEvent {
     Audit(AuditView),
     /// A memory-dump trail entry.
     Dump(DumpView),
+    /// A verifier-plane verdict on one attestation submission.
+    Attest(AttestView),
     /// A named gauge observation (e.g. `nonce_reuses`,
     /// `mirror_scrub_failures`), sampled from a metrics snapshot.
     Gauge {
@@ -141,6 +169,7 @@ impl StreamEvent {
             StreamEvent::MigrationSpan(m) => m.start_ns.saturating_add(m.total_ns),
             StreamEvent::Audit(a) => a.at_ns,
             StreamEvent::Dump(d) => d.at_ns,
+            StreamEvent::Attest(a) => a.at_ns,
             StreamEvent::Gauge { at_ns, .. } | StreamEvent::CrashRecovery { at_ns, .. } => *at_ns,
         }
     }
@@ -154,6 +183,7 @@ impl StreamEvent {
             StreamEvent::MigrationSpan(m) => m.src_host,
             StreamEvent::Audit(a) => a.host,
             StreamEvent::Dump(d) => d.host,
+            StreamEvent::Attest(a) => a.host,
         }
     }
 
@@ -183,6 +213,10 @@ impl StreamEvent {
             StreamEvent::Dump(d) => format!(
                 "dump host={} caller=dom{} frames={} foreign={}",
                 d.host, d.caller_domain, d.frames, d.foreign_frames
+            ),
+            StreamEvent::Attest(a) => format!(
+                "attest host={} verifier={} instance={} verdict={}",
+                a.host, a.verifier, a.instance, a.verdict
             ),
             StreamEvent::Gauge { host, name, value, .. } => {
                 format!("gauge host={host} {name}={value}")
@@ -277,6 +311,16 @@ pub struct SentinelConfig {
     /// crash-recovery on the same host is the manager's own recovery
     /// scan, not an attack, and is not flagged.
     pub recovery_dump_grace_ns: u64,
+    /// Sliding window for the quote-storm detector (virtual ns).
+    pub quote_storm_window_ns: u64,
+    /// Attestation submissions from one verifier within the window that
+    /// qualify as a storm.
+    pub quote_storm_burst: usize,
+    /// Sliding window for the stale-quote watch (virtual ns).
+    pub stale_quote_window_ns: u64,
+    /// Stale/replayed presentations within the window that trip the
+    /// watch.
+    pub stale_quote_burst: usize,
 }
 
 impl Default for SentinelConfig {
@@ -300,6 +344,16 @@ impl Default for SentinelConfig {
             // stamped by the same virtual clock with no workload in
             // between, so 1ms of grace is already generous.
             recovery_dump_grace_ns: 1_000_000,
+            // A verifier with a legitimate cadence polls once per
+            // nonce-window (seconds of virtual time); 64 submissions
+            // inside one millisecond is mechanical hammering.
+            quote_storm_window_ns: 1_000_000,
+            quote_storm_burst: 64,
+            stale_quote_window_ns: 10_000_000,
+            // The freshness window is issuer-published, so an honest
+            // verifier ages out of it at most once per window roll; a
+            // burst of four refusals means replayed/hoarded evidence.
+            stale_quote_burst: 4,
         }
     }
 }

@@ -1,0 +1,259 @@
+//! Attestation-plane observability: quote-issue stage spans and
+//! verification latency histograms.
+//!
+//! The attestation plane (crate `vtpm-attest`) has two hot paths worth
+//! watching: *issuance* — where a signing pass pays two RSA private
+//! ops (the instance vTPM quote plus the hardware countersign) unless
+//! the issued-quote cache absorbs the request — and *verification* —
+//! where a `VerifierPool` grinds through batches of submitted quote
+//! chains. Each signing pass is summarized into a [`QuoteSpanRecord`]
+//! with per-stage durations; cache hits and coalesced waiters only
+//! bump counters (that is the whole point of the cache). Verification
+//! records one latency sample per submission plus the batch-size
+//! distribution, so the R-A1 experiment can report a meaningful p99.
+//!
+//! Durations here are caller-supplied nanoseconds. The issuer and pool
+//! measure wall time (they do real RSA work, unlike the virtual-cost
+//! request path); nothing from this module feeds a chaos transcript,
+//! so replay determinism is unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{Histogram, HistogramSnapshot};
+
+/// Issue-stage labels, in signing-pass order. Indexes into
+/// [`QuoteSpanRecord::stage_ns`] and [`AttestSnapshot::stages`].
+pub const QUOTE_STAGE_LABELS: [&str; 3] = ["vtpm-quote", "hw-countersign", "assemble"];
+
+/// One deep-quote signing pass, summarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuoteSpanRecord {
+    /// Instance the quote covers.
+    pub instance: u32,
+    /// Nonce-window the quote was issued against.
+    pub window: u64,
+    /// Permanent-state generation of the instance at quote time (the
+    /// cache key component that invalidates on PCR extends).
+    pub generation: u64,
+    /// Per-stage durations (ns), indexed per [`QUOTE_STAGE_LABELS`].
+    pub stage_ns: [u64; 3],
+    /// Whole signing pass (ns).
+    pub total_ns: u64,
+}
+
+/// Plane-wide attestation metrics: issuance counters + stage
+/// histograms, verification latency, batch sizes, and the retained
+/// signing-pass spans. Shared by the issuer and the verifier pool.
+pub struct AttestTelemetry {
+    requested: AtomicU64,
+    signing_passes: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    verified: AtomicU64,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    stages: [Histogram; 3],
+    issue_total: Histogram,
+    verify_latency: Histogram,
+    batch_size: Histogram,
+    spans: Mutex<Vec<QuoteSpanRecord>>,
+}
+
+impl Default for AttestTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttestTelemetry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        AttestTelemetry {
+            requested: AtomicU64::new(0),
+            signing_passes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            issue_total: Histogram::new(),
+            verify_latency: Histogram::new(),
+            batch_size: Histogram::new(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Note one quote request arriving at the issuer (hit or miss).
+    pub fn note_requested(&self) {
+        self.requested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note a request served straight from the issued-quote cache.
+    pub fn note_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note a request that blocked behind a concurrent signing pass for
+    /// the same instance and was then served from the cache it filled.
+    pub fn note_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one signing pass into the stage histograms and retain it.
+    pub fn record_issue(&self, span: QuoteSpanRecord) {
+        self.signing_passes.fetch_add(1, Ordering::Relaxed);
+        for (hist, ns) in self.stages.iter().zip(span.stage_ns) {
+            if ns > 0 {
+                hist.record(ns);
+            }
+        }
+        self.issue_total.record(span.total_ns);
+        self.spans.lock().expect("span store poisoned").push(span);
+    }
+
+    /// Record one verified submission and its wall latency.
+    pub fn note_verify(&self, accepted: bool, latency_ns: u64) {
+        self.verified.fetch_add(1, Ordering::Relaxed);
+        if accepted {
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.refused.fetch_add(1, Ordering::Relaxed);
+        }
+        self.verify_latency.record(latency_ns);
+    }
+
+    /// Record the size of one verification batch.
+    pub fn note_batch(&self, size: u64) {
+        self.batch_size.record(size);
+    }
+
+    /// Retained signing-pass spans, oldest first.
+    pub fn spans(&self) -> Vec<QuoteSpanRecord> {
+        self.spans.lock().expect("span store poisoned").clone()
+    }
+
+    /// Coherent-at-quiescence snapshot.
+    pub fn snapshot(&self) -> AttestSnapshot {
+        AttestSnapshot {
+            requested: self.requested.load(Ordering::Relaxed),
+            signing_passes: self.signing_passes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            stages: QUOTE_STAGE_LABELS
+                .iter()
+                .zip(&self.stages)
+                .map(|(&label, h)| (label, h.snapshot()))
+                .collect(),
+            issue_total: self.issue_total.snapshot(),
+            verify_latency: self.verify_latency.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+        }
+    }
+}
+
+/// One read of [`AttestTelemetry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttestSnapshot {
+    /// Quote requests that reached the issuer.
+    pub requested: u64,
+    /// Requests that paid a full signing pass (two RSA private ops).
+    pub signing_passes: u64,
+    /// Requests served from the issued-quote cache.
+    pub cache_hits: u64,
+    /// Requests coalesced behind a concurrent signing pass.
+    pub coalesced: u64,
+    /// Submissions the verifier pool processed.
+    pub verified: u64,
+    /// Submissions accepted.
+    pub accepted: u64,
+    /// Submissions refused (any reason).
+    pub refused: u64,
+    /// Per-stage signing-pass histograms, labelled per
+    /// [`QUOTE_STAGE_LABELS`].
+    pub stages: Vec<(&'static str, HistogramSnapshot)>,
+    /// Whole-signing-pass duration.
+    pub issue_total: HistogramSnapshot,
+    /// Per-submission verification latency.
+    pub verify_latency: HistogramSnapshot,
+    /// Verification batch sizes.
+    pub batch_size: HistogramSnapshot,
+}
+
+impl AttestSnapshot {
+    /// Cache hit rate over all issuer requests (hits + coalesced count
+    /// as absorbed; 0.0 when nothing was requested).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.coalesced) as f64 / self.requested as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(instance: u32) -> QuoteSpanRecord {
+        QuoteSpanRecord {
+            instance,
+            window: 7,
+            generation: 3,
+            stage_ns: [40_000, 60_000, 1_000],
+            total_ns: 101_000,
+        }
+    }
+
+    #[test]
+    fn issuance_counters_and_stages_accumulate() {
+        let t = AttestTelemetry::new();
+        for _ in 0..10 {
+            t.note_requested();
+        }
+        t.record_issue(span(1));
+        t.record_issue(span(2));
+        for _ in 0..6 {
+            t.note_cache_hit();
+        }
+        t.note_coalesced();
+        t.note_coalesced();
+        let s = t.snapshot();
+        assert_eq!((s.requested, s.signing_passes, s.cache_hits, s.coalesced), (10, 2, 6, 2));
+        assert!((s.cache_hit_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(s.stages.len(), QUOTE_STAGE_LABELS.len());
+        assert_eq!(s.stages[0].0, "vtpm-quote");
+        assert_eq!(s.stages[0].1.count, 2);
+        assert_eq!(s.issue_total.count, 2);
+        assert_eq!(t.spans().len(), 2);
+    }
+
+    #[test]
+    fn verification_splits_accepts_and_refusals() {
+        let t = AttestTelemetry::new();
+        t.note_batch(3);
+        t.note_verify(true, 5_000);
+        t.note_verify(true, 6_000);
+        t.note_verify(false, 700);
+        let s = t.snapshot();
+        assert_eq!((s.verified, s.accepted, s.refused), (3, 2, 1));
+        assert_eq!(s.verify_latency.count, 3);
+        assert_eq!(s.batch_size.max, 3);
+    }
+
+    #[test]
+    fn unreached_stages_stay_out_of_histograms() {
+        let t = AttestTelemetry::new();
+        let mut sp = span(1);
+        sp.stage_ns[2] = 0;
+        t.record_issue(sp);
+        let s = t.snapshot();
+        assert_eq!(s.stages[1].1.count, 1);
+        assert_eq!(s.stages[2].1.count, 0);
+    }
+}

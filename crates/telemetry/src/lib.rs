@@ -28,11 +28,13 @@
 //! allocates; everything heavier (drain, snapshot, export) happens on
 //! the observer's thread.
 
+mod attest;
 mod export;
 mod histogram;
 mod migration;
 mod ring;
 
+pub use attest::{AttestSnapshot, AttestTelemetry, QuoteSpanRecord, QUOTE_STAGE_LABELS};
 pub use export::{chrome_trace, cluster_chrome_trace};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use migration::{
@@ -94,10 +96,13 @@ impl Outcome {
 /// is reserved for migration-protocol stale/replay refusals recorded
 /// via [`Telemetry::note_protocol_deny`]; code 8 ([`DENY_ADMISSION`])
 /// for refusals by per-domain admission control at ring ingress;
+/// codes 9 ([`DENY_STALE_QUOTE`]) and 10 ([`DENY_QUOTE_REPLAY`]) for
+/// the attestation verifier plane's freshness-window and replay-ledger
+/// refusals (also `DenyReason::StaleQuote` / `DenyReason::QuoteReplay`);
 /// unknown codes map to the final `"other"` slot. Kept here as a table
 /// (rather than importing the enum) because `vtpm` depends on this
 /// crate, not the reverse.
-pub const DENY_LABELS: [&str; 10] = [
+pub const DENY_LABELS: [&str; 12] = [
     "no-credential",
     "bad-tag",
     "replay",
@@ -107,6 +112,8 @@ pub const DENY_LABELS: [&str; 10] = [
     "locality-denied",
     "rejected-stale",
     "admission",
+    "stale-quote",
+    "quote-replay",
     "other",
 ];
 
@@ -118,6 +125,15 @@ pub const DENY_REJECTED_STALE: u8 = 7;
 /// Deny-reason code for a request refused at ring ingress by the
 /// manager's per-domain admission control (throttled source domain).
 pub const DENY_ADMISSION: u8 = 8;
+
+/// Deny-reason code for a deep quote refused by the verifier plane's
+/// freshness-window policy (issued in a nonce-window older than the
+/// configured lag).
+pub const DENY_STALE_QUOTE: u8 = 9;
+
+/// Deny-reason code for a deep quote re-presented by the same verifier
+/// after already being consumed (verifier-plane replay ledger hit).
+pub const DENY_QUOTE_REPLAY: u8 = 10;
 
 /// Fixed-size record of one request's journey. All timestamps are
 /// caller-supplied monotonic nanoseconds (virtual or wall clock); a
@@ -574,7 +590,7 @@ mod tests {
         assert_eq!(s.allowed + s.denied + s.malformed, s.finished);
         // Per-reason split: code 2 = "replay", unknown → "other".
         assert_eq!(s.deny_reasons[2], ("replay", 4));
-        assert_eq!(s.deny_reasons[9], ("other", 1));
+        assert_eq!(s.deny_reasons[DENY_LABELS.len() - 1], ("other", 1));
         // Histogram population rules.
         assert_eq!(s.total.count, 19);
         assert_eq!(s.stage_ingress.count, 18); // all but malformed
@@ -684,8 +700,12 @@ mod tests {
         run_one(&t, Outcome::Ok, 0);
         t.note_protocol_deny(DENY_REJECTED_STALE);
         t.note_protocol_deny(DENY_REJECTED_STALE);
+        t.note_protocol_deny(DENY_STALE_QUOTE);
+        t.note_protocol_deny(DENY_QUOTE_REPLAY);
         let s = t.snapshot();
         assert_eq!(s.deny_reasons[DENY_REJECTED_STALE as usize], ("rejected-stale", 2));
+        assert_eq!(s.deny_reasons[DENY_STALE_QUOTE as usize], ("stale-quote", 1));
+        assert_eq!(s.deny_reasons[DENY_QUOTE_REPLAY as usize], ("quote-replay", 1));
         // No span finished for the protocol refusals: request-level
         // conservation still holds exactly.
         assert_eq!(s.allowed + s.denied + s.malformed, s.finished);

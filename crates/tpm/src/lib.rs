@@ -44,5 +44,5 @@ pub use nv::{NvArea, NvAttributes, NvError, NvStore};
 pub use pcr::{PcrBank, PcrSelection};
 pub use state::StateError;
 pub use timing::{command_cost_ns, ordinal_of};
-pub use tpm::{parse_response, quote_info_digest, SealedBlob, Tpm, TpmConfig};
+pub use tpm::{parse_response, pcr_composite_digest, quote_info_digest, SealedBlob, Tpm, TpmConfig};
 pub use types::{handle, ordinal, rc, tag, KeyUsage, DIGEST_LEN, NUM_PCRS};

@@ -1279,6 +1279,25 @@ pub fn quote_info_digest(
     sha1(&buf)
 }
 
+/// Verifier-side TPM_PCR_COMPOSITE digest over externally supplied PCR
+/// values: SHA1(selection || u32 value-bytes || values). Computes the
+/// same digest `PcrBank::composite_hash` produces inside the TPM for
+/// the same selection, so a remote verifier can reconstruct the
+/// composite a quote signed from the values shipped alongside it.
+pub fn pcr_composite_digest(
+    selection: &PcrSelection,
+    values: &[[u8; DIGEST_LEN]],
+) -> [u8; DIGEST_LEN] {
+    let encoded = selection.encode();
+    let mut buf = Vec::with_capacity(encoded.len() + 4 + values.len() * DIGEST_LEN);
+    buf.extend_from_slice(&encoded);
+    buf.extend_from_slice(&((values.len() * DIGEST_LEN) as u32).to_be_bytes());
+    for v in values {
+        buf.extend_from_slice(v);
+    }
+    sha1(&buf)
+}
+
 /// Response with no auth sessions.
 fn simple_response(code: u32, out_params: &[u8]) -> Vec<u8> {
     let mut w = Writer::with_capacity(10 + out_params.len());

@@ -23,7 +23,7 @@
 use tpm_crypto::rsa::RsaPublicKey;
 use tpm_crypto::{sha1, BigUint};
 
-use tpm::{quote_info_digest, PcrSelection, DIGEST_LEN};
+use tpm::{pcr_composite_digest, quote_info_digest, PcrSelection, DIGEST_LEN};
 
 /// The hardware PCR dedicated to vTPM registrations.
 pub const BINDING_PCR: usize = 14;
@@ -113,13 +113,7 @@ pub fn replay_log(log: &[[u8; DIGEST_LEN]]) -> [u8; DIGEST_LEN] {
 pub fn verify(bundle: &DeepQuote, nonce: &[u8; DIGEST_LEN]) -> Result<(), DeepQuoteError> {
     // 1. The vTPM quote.
     let sel = PcrSelection::of(&bundle.vtpm_selection);
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&sel.encode());
-    buf.extend_from_slice(&((bundle.vtpm_pcr_values.len() * DIGEST_LEN) as u32).to_be_bytes());
-    for v in &bundle.vtpm_pcr_values {
-        buf.extend_from_slice(v);
-    }
-    let vtpm_composite = sha1(&buf);
+    let vtpm_composite = pcr_composite_digest(&sel, &bundle.vtpm_pcr_values);
     let vtpm_digest = quote_info_digest(&vtpm_composite, nonce);
     let vtpm_aik = RsaPublicKey {
         n: BigUint::from_bytes_be(&bundle.vtpm_aik_modulus),
@@ -142,11 +136,7 @@ pub fn verify(bundle: &DeepQuote, nonce: &[u8; DIGEST_LEN]) -> Result<(), DeepQu
     // 3. The hardware quote over the binding PCR, chained to the vTPM
     //    quote via its external data.
     let hw_sel = PcrSelection::of(&[BINDING_PCR]);
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&hw_sel.encode());
-    buf.extend_from_slice(&(DIGEST_LEN as u32).to_be_bytes());
-    buf.extend_from_slice(&bundle.hw_binding_pcr);
-    let hw_composite = sha1(&buf);
+    let hw_composite = pcr_composite_digest(&hw_sel, &[bundle.hw_binding_pcr]);
     let hw_external = chain_digest(nonce, &bundle.vtpm_signature);
     let hw_digest = quote_info_digest(&hw_composite, &hw_external);
     let hw_aik = RsaPublicKey {

@@ -55,6 +55,12 @@ pub enum DenyReason {
     SourceMismatch,
     /// The claimed locality exceeds what the domain is allowed.
     LocalityDenied,
+    /// A presented deep quote fell outside the verifier plane's
+    /// freshness window (issued in a nonce-window too far in the past).
+    StaleQuote,
+    /// A deep quote was re-presented by the same verifier after already
+    /// being consumed (replay-ledger hit in the verifier plane).
+    QuoteReplay,
 }
 
 impl DenyReason {
@@ -70,6 +76,10 @@ impl DenyReason {
             DenyReason::OrdinalDenied => 4,
             DenyReason::SourceMismatch => 5,
             DenyReason::LocalityDenied => 6,
+            // 7 and 8 are taken by the migration-protocol and admission
+            // refusals recorded directly against the telemetry table.
+            DenyReason::StaleQuote => 9,
+            DenyReason::QuoteReplay => 10,
         }
     }
 }
@@ -84,6 +94,8 @@ impl std::fmt::Display for DenyReason {
             DenyReason::OrdinalDenied => "ordinal denied by policy",
             DenyReason::SourceMismatch => "source domain mismatch",
             DenyReason::LocalityDenied => "locality denied",
+            DenyReason::StaleQuote => "stale quote (freshness window)",
+            DenyReason::QuoteReplay => "quote replay",
         };
         f.write_str(s)
     }

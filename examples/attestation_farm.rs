@@ -1,135 +1,127 @@
 //! A consolidated web farm using vTPM-based remote attestation — the
 //! scenario the paper's introduction motivates (many VMs on one host,
-//! each needing its own TPM).
+//! each needing its own TPM) — served through the attestation plane.
 //!
-//! Eight guests boot, measure a (simulated) software stack into their
-//! vTPM PCRs, and answer attestation challenges concurrently; a verifier
-//! checks every quote signature and catches one guest whose measurement
-//! was tampered with.
+//! Eight guests boot and measure a (simulated) software stack into
+//! their vTPM PCRs; the platform's [`QuoteIssuer`] enrolls each one and
+//! answers the whole farm's challenges out of its nonce-window cache
+//! (one signing pass per guest, no matter how many verifiers ask). A
+//! [`VerifierPool`] pinned to the golden measurements batch-verifies
+//! every quote chain and catches the one guest whose measurement was
+//! tampered with.
 //!
 //! ```text
 //! cargo run --release --example attestation_farm
 //! ```
 
-use vtpm_xen::crypto::{sha1, BigUint, RsaPublicKey};
+use vtpm_xen::crypto::sha1;
 use vtpm_xen::prelude::*;
-use vtpm_xen::tpm12::{quote_info_digest, KeyUsage};
 
 const FARM_SIZE: usize = 8;
 
-struct AttestationReport {
-    name: String,
-    pcr_values: Vec<[u8; 20]>,
-    signature: Vec<u8>,
-    public_modulus: Vec<u8>,
-    nonce: [u8; 20],
-}
-
-fn run_guest(mut guest: Guest, name: String, tamper: bool) -> AttestationReport {
-    let mut tpm = guest.client(name.as_bytes());
+/// "Boot" a guest: measure kernel + app into PCRs 0 and 1. Every farm
+/// member runs the same stack, so honest guests produce identical PCRs.
+fn boot_and_measure(guest: &mut Guest, tamper: bool) {
+    let mut tpm = guest.client(b"boot");
     tpm.startup_clear().expect("startup");
     let owner = [1u8; 20];
     let srk = [2u8; 20];
     tpm.take_ownership(&owner, &srk).expect("ownership");
-
-    // "Boot": measure kernel + app into PCRs 0 and 1. Every farm member
-    // runs the same stack, so honest guests produce identical PCRs.
     tpm.extend(0, &sha1(b"kernel-5.0-golden")).expect("measure kernel");
     let app = if tamper { b"app-1.0-BACKDOORED".as_slice() } else { b"app-1.0-golden".as_slice() };
     tpm.extend(1, &sha1(app)).expect("measure app");
-
-    // Create an attestation key and answer the challenge.
-    let key_auth = [3u8; 20];
-    let blob = tpm
-        .create_wrap_key(handle::SRK, &srk, KeyUsage::Signing, 512, &key_auth, None)
-        .expect("aik");
-    let key = tpm.load_key2(handle::SRK, &srk, &blob).expect("load");
-    let mut nonce = [0u8; 20];
-    nonce[..name.len().min(20)].copy_from_slice(&name.as_bytes()[..name.len().min(20)]);
-    let (pcr_values, signature) = tpm
-        .quote(key, &key_auth, &nonce, &PcrSelection::of(&[0, 1]))
-        .expect("quote");
-
-    AttestationReport { name, pcr_values, signature, public_modulus: blob.n, nonce }
 }
 
-fn verify(report: &AttestationReport, golden: &[[u8; 20]; 2]) -> Result<(), String> {
-    // 1. Signature check.
-    let sel = PcrSelection::of(&[0, 1]);
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&sel.encode());
-    buf.extend_from_slice(&40u32.to_be_bytes());
-    for v in &report.pcr_values {
-        buf.extend_from_slice(v);
-    }
-    let composite = sha1(&buf);
-    let digest = quote_info_digest(&composite, &report.nonce);
-    let pk = RsaPublicKey {
-        n: BigUint::from_bytes_be(&report.public_modulus),
-        e: BigUint::from_u64(vtpm_xen::crypto::rsa::E),
-    };
-    pk.verify_pkcs1_sha1(&digest, &report.signature)
-        .map_err(|_| "signature invalid".to_string())?;
-    // 2. Measurement check against the golden values.
-    if report.pcr_values.as_slice() != golden {
-        return Err("measurements differ from golden stack".to_string());
-    }
-    Ok(())
+/// What the honest stack's PCRs 0 and 1 extend to.
+fn golden_pcrs() -> Vec<[u8; 20]> {
+    [b"kernel-5.0-golden".as_slice(), b"app-1.0-golden".as_slice()]
+        .iter()
+        .map(|m| {
+            let mut buf = [0u8; 40];
+            buf[20..].copy_from_slice(&sha1(m));
+            sha1(&buf)
+        })
+        .collect()
 }
 
 fn main() {
     let platform = SecurePlatform::full(b"attestation-farm").expect("platform");
     println!("farm host up; launching {FARM_SIZE} guests...");
 
-    // Launch and attest concurrently — each guest on its own thread,
+    // Launch and measure concurrently — each guest on its own thread,
     // exactly how a consolidation host behaves.
     let handles: Vec<_> = (0..FARM_SIZE)
         .map(|i| {
-            let name = format!("web{i}");
             let tampered = i == 5; // one compromised guest
-            let guest = platform.launch_guest(&name).expect("guest");
-            std::thread::spawn(move || run_guest(guest, name, tampered))
+            let mut guest = platform.launch_guest(&format!("web{i}")).expect("guest");
+            std::thread::spawn(move || {
+                boot_and_measure(&mut guest, tampered);
+                guest
+            })
         })
         .collect();
-    let reports: Vec<AttestationReport> =
-        handles.into_iter().map(|h| h.join().expect("guest thread")).collect();
+    let guests: Vec<Guest> = handles.into_iter().map(|h| h.join().expect("guest thread")).collect();
 
-    // Golden measurements: what the honest stack extends to.
-    let golden = {
-        let mut pcr0 = [0u8; 20];
-        let mut buf = [0u8; 40];
-        buf[20..].copy_from_slice(&sha1(b"kernel-5.0-golden"));
-        pcr0.copy_from_slice(&sha1(&buf));
-        let mut pcr1 = [0u8; 20];
-        let mut buf = [0u8; 40];
-        buf[20..].copy_from_slice(&sha1(b"app-1.0-golden"));
-        pcr1.copy_from_slice(&sha1(&buf));
-        [pcr0, pcr1]
-    };
+    // Enroll every guest with the platform's attestation agent. The
+    // guests took ownership themselves, so enrollment reuses their SRK.
+    let issuer = QuoteIssuer::new(IssuerConfig::default());
+    for g in &guests {
+        issuer
+            .enroll_with_auths(&platform.platform, g.instance, &[2u8; 20], &[3u8; 20])
+            .expect("enroll");
+    }
 
-    let mut passed = 0;
+    // The relying party pins the golden measurements; everything else —
+    // chain verification down to the hardware EK, freshness, replay —
+    // is the pool's standing policy.
+    let pool = VerifierPool::new(VerifierConfig {
+        golden_pcrs: Some(golden_pcrs()),
+        ..Default::default()
+    });
+
+    // Four independent verifiers each challenge the whole farm in the
+    // same nonce-window: one signing pass per guest serves all of them,
+    // the rest comes straight from the issued-quote cache.
+    const VERIFIERS: u32 = 4;
+    let now = platform.platform.hv.clock.now_ns();
+    let batch: Vec<Submission> = (0..VERIFIERS)
+        .flat_map(|v| {
+            guests.iter().map(move |g| (v, g.instance)).collect::<Vec<_>>()
+        })
+        .map(|(v, instance)| {
+            let evidence = issuer.issue(&platform.platform, instance, now).expect("issue");
+            Submission::from_evidence(v, &evidence)
+        })
+        .collect();
+    let verdicts = pool.verify_batch(&batch, now);
+
     let mut failed = 0;
-    for report in &reports {
-        match verify(report, &golden) {
-            Ok(()) => {
-                println!("  {:<6} ATTESTED  (PCR1 {})", report.name, hex(&report.pcr_values[1][..6]));
-                passed += 1;
-            }
-            Err(why) => {
-                println!("  {:<6} REJECTED  ({why})", report.name);
-                failed += 1;
-            }
+    for (i, g) in guests.iter().enumerate() {
+        let verdict = &verdicts[i]; // verifier 0's round, one row per guest
+        if verdict.accepted() {
+            println!("  web{} (instance {:<2}) ATTESTED", i, g.instance);
+        } else {
+            println!("  web{} (instance {:<2}) REJECTED  ({verdict})", i, g.instance);
         }
     }
-    println!("\n{passed} guests attested, {failed} rejected");
-    assert_eq!(failed, 1, "exactly the tampered guest fails");
+    failed += verdicts.iter().filter(|v| !v.accepted()).count();
     println!(
-        "manager handled {} requests, 0 cross-guest leaks possible (audit denials: {})",
-        platform.platform.manager.stats.snapshot().0,
+        "\n{} of {} challenges attested, {failed} rejected",
+        verdicts.len() - failed,
+        verdicts.len()
+    );
+    assert_eq!(
+        failed,
+        VERIFIERS as usize,
+        "exactly the tampered guest fails, for every verifier"
+    );
+
+    let snap = issuer.telemetry().snapshot();
+    println!(
+        "issuer: {} requests, {} signing passes, {} served from cache (audit denials: {})",
+        snap.requested,
+        snap.signing_passes,
+        snap.cache_hits + snap.coalesced,
         platform.hook.audit.denials()
     );
-}
-
-fn hex(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02x}")).collect()
 }

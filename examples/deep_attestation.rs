@@ -1,43 +1,28 @@
-//! Deep attestation: prove to a remote verifier that (a) a guest's
-//! software stack measures correctly in its vTPM, AND (b) that vTPM is a
-//! registered instance running on this physical platform — by chaining
-//! the guest's vTPM quote into a hardware-TPM quote over the binding PCR.
+//! Deep attestation through the attestation plane: prove to a remote
+//! verifier that (a) a guest's software stack measures correctly in its
+//! vTPM, AND (b) that vTPM is a registered instance running on this
+//! physical platform — by chaining the guest's vTPM quote into a
+//! hardware-TPM quote over the binding PCR.
 //!
-//! A spoofed vTPM (same software, same measurements, but never registered
-//! with the platform's manager) is rejected even though its own quote
-//! signature verifies.
+//! The [`QuoteIssuer`] assembles the whole chain as wire-format
+//! [`Evidence`]; the [`VerifierPool`] judges it. Three submissions show
+//! the three outcomes that matter:
+//!
+//! 1. the registered guest's evidence is **accepted**;
+//! 2. the same evidence re-presented by the same verifier is refused as
+//!    a **replay** (the pool's ledger burned it);
+//! 3. a spoofed vTPM (same software, same measurements, a valid
+//!    self-quote, even a genuine hardware countersignature) is refused
+//!    because its EK was never registered with the platform's manager.
 //!
 //! ```text
 //! cargo run --release --example deep_attestation
 //! ```
 
+use vtpm_xen::attest::window_nonce;
 use vtpm_xen::prelude::*;
-use vtpm_xen::tpm12::KeyUsage;
-use vtpm_xen::vtpm_stack::deep_quote::{self, DeepQuote};
-
-struct GuestQuote {
-    pcr_values: Vec<[u8; 20]>,
-    signature: Vec<u8>,
-    aik_modulus: Vec<u8>,
-}
-
-fn guest_quote(guest: &mut Guest, nonce: &[u8; 20]) -> GuestQuote {
-    let mut tpm = guest.client(b"app");
-    tpm.startup_clear().expect("startup");
-    let owner = [1u8; 20];
-    let srk = [2u8; 20];
-    let key_auth = [3u8; 20];
-    tpm.take_ownership(&owner, &srk).expect("ownership");
-    tpm.extend(0, &vtpm_xen::crypto::sha1(b"trusted-stack-v1")).expect("measure");
-    let blob = tpm
-        .create_wrap_key(handle::SRK, &srk, KeyUsage::Signing, 512, &key_auth, None)
-        .expect("aik");
-    let aik = tpm.load_key2(handle::SRK, &srk, &blob).expect("load");
-    let (pcr_values, signature) = tpm
-        .quote(aik, &key_auth, nonce, &PcrSelection::of(&[0]))
-        .expect("quote");
-    GuestQuote { pcr_values, signature, aik_modulus: blob.n }
-}
+use vtpm_xen::tpm12::{DirectTransport, KeyUsage};
+use vtpm_xen::vtpm_stack::deep_quote::DeepQuote;
 
 fn main() {
     let platform = SecurePlatform::full(b"deep-attest-host").expect("platform");
@@ -48,39 +33,44 @@ fn main() {
         platform.platform.registration_log().len()
     );
 
-    // The verifier issues a fresh nonce.
-    let nonce = [0x5Au8; 20];
-
-    // The guest quotes; the platform countersigns with the hardware TPM.
-    let gq = guest_quote(&mut guest, &nonce);
-    let (hw_pcr, hw_sig, hw_aik) =
-        platform.platform.hw_countersign(&nonce, &gq.signature).expect("countersign");
-
-    let bundle = DeepQuote {
-        vtpm_pcr_values: gq.pcr_values.clone(),
-        vtpm_selection: vec![0],
-        vtpm_signature: gq.signature.clone(),
-        vtpm_aik_modulus: gq.aik_modulus.clone(),
-        vtpm_ek_modulus: platform.platform.instance_ek_modulus(guest.instance).expect("ek"),
-        hw_binding_pcr: hw_pcr,
-        hw_signature: hw_sig.clone(),
-        hw_aik_modulus: hw_aik.clone(),
-        registration_log: platform.platform.registration_log(),
-    };
-    match deep_quote::verify(&bundle, &nonce) {
-        Ok(()) => println!("verifier: registered guest ACCEPTED (vTPM quote + platform binding)"),
-        Err(e) => unreachable!("must verify: {e}"),
+    // The guest measures its stack into PCR 0.
+    {
+        let mut tpm = guest.client(b"app");
+        tpm.startup_clear().expect("startup");
+        tpm.extend(0, &vtpm_xen::crypto::sha1(b"trusted-stack-v1")).expect("measure");
     }
 
-    // --- the spoof -----------------------------------------------------------
-    // An attacker stands up their own software TPM (identical code!) with
-    // identical measurements and a valid self-quote, claiming it runs on
-    // this platform. Its EK was never registered with the manager, so the
-    // hardware-attested log refuses it.
+    // The platform's attestation agent enrolls the instance and issues
+    // the deep quote for the current nonce-window.
+    let issuer = QuoteIssuer::new(IssuerConfig { selection: vec![0], ..Default::default() });
+    issuer.provision(&platform.platform, guest.instance).expect("enroll");
+    let now = platform.platform.hv.clock.now_ns();
+    let evidence = issuer.issue(&platform.platform, guest.instance, now).expect("issue");
+
+    let pool = VerifierPool::new(VerifierConfig::default());
+    const VERIFIER: u32 = 1;
+
+    // 1. The registered guest verifies end to end.
+    let verdict = pool.verify_one(&Submission::from_evidence(VERIFIER, &evidence), now);
+    println!("verifier: registered guest {verdict} (vTPM quote + platform binding)");
+    assert!(verdict.accepted(), "registered guest must verify");
+
+    // 2. The same evidence again, same verifier: the ledger refuses it.
+    let verdict = pool.verify_one(&Submission::from_evidence(VERIFIER, &evidence), now);
+    println!("verifier: re-presented evidence {verdict}");
+    assert!(matches!(verdict, Verdict::Replayed), "second presentation must be refused");
+
+    // --- the spoof --------------------------------------------------------
+    // An attacker stands up their own software TPM (identical code!)
+    // with identical measurements and a valid self-quote, claims this
+    // platform, and even obtains a genuine hardware countersignature.
+    // Its EK was never registered with the manager, so the hardware-
+    // attested registration log refuses the chain.
+    let nonce = window_nonce(evidence.window);
     let mut rogue_tpm = vtpm_xen::tpm12::Tpm::new(b"rogue-vtpm");
-    let rogue = {
+    let (rogue_values, rogue_sig, rogue_aik) = {
         let mut c = vtpm_xen::tpm12::TpmClient::new(
-            vtpm_xen::tpm12::DirectTransport { tpm: &mut rogue_tpm, locality: 0 },
+            DirectTransport { tpm: &mut rogue_tpm, locality: 0 },
             b"rogue",
         );
         c.startup_clear().expect("startup");
@@ -93,21 +83,24 @@ fn main() {
         let (values, sig) = c.quote(aik, &[3; 20], &nonce, &PcrSelection::of(&[0])).expect("quote");
         (values, sig, blob.n)
     };
-    let (hw_pcr2, hw_sig2, hw_aik2) =
-        platform.platform.hw_countersign(&nonce, &rogue.1).expect("countersign");
-    let spoofed = DeepQuote {
-        vtpm_pcr_values: rogue.0,
-        vtpm_selection: vec![0],
-        vtpm_signature: rogue.1,
-        vtpm_aik_modulus: rogue.2,
-        vtpm_ek_modulus: rogue_tpm.ek_public().n.to_bytes_be(),
-        hw_binding_pcr: hw_pcr2,
-        hw_signature: hw_sig2,
-        hw_aik_modulus: hw_aik2,
-        registration_log: platform.platform.registration_log(),
+    let (hw_pcr, hw_sig, hw_aik) =
+        platform.platform.hw_countersign(&nonce, &rogue_sig).expect("countersign");
+    let spoofed = Evidence {
+        instance: guest.instance,
+        window: evidence.window,
+        quote: DeepQuote {
+            vtpm_pcr_values: rogue_values,
+            vtpm_selection: vec![0],
+            vtpm_signature: rogue_sig,
+            vtpm_aik_modulus: rogue_aik,
+            vtpm_ek_modulus: rogue_tpm.ek_public().n.to_bytes_be(),
+            hw_binding_pcr: hw_pcr,
+            hw_signature: hw_sig,
+            hw_aik_modulus: hw_aik,
+            registration_log: platform.platform.registration_log(),
+        },
     };
-    match deep_quote::verify(&spoofed, &nonce) {
-        Err(e) => println!("verifier: rogue vTPM REJECTED ({e})"),
-        Ok(()) => unreachable!("spoof must fail"),
-    }
+    let verdict = pool.verify_one(&Submission::from_evidence(2, &spoofed), now);
+    println!("verifier: rogue vTPM {verdict}");
+    assert!(!verdict.accepted(), "spoof must fail");
 }

@@ -24,6 +24,12 @@
 #   speedup drops below 4x, the private op exceeds its absolute
 #   ceiling, or pipelined CTR falls below its MB/s floor.
 #
+#   BENCH_attest.json — attestation-plane numbers: the R-A1 measurement
+#   set (per-request vs batched+cached issuance qps and the speedup,
+#   farm-scale verification throughput with p50/p99 latency, and the
+#   seeded defense scenarios' refusal/throttle/alert counts). The
+#   binary exits nonzero if the R-A1 gate fails.
+#
 # Usage:
 #   scripts/bench.sh             # full sizes
 #   scripts/bench.sh --quick     # CI-sized
@@ -49,3 +55,7 @@ cargo run --release -p vtpm-bench --bin manager_bench -- \
 echo "== crypto bench -> ${out_dir}/BENCH_crypto.json =="
 cargo run --release -p vtpm-bench --bin crypto_bench -- \
     "${quick[@]}" --out "${out_dir}/BENCH_crypto.json"
+
+echo "== attest bench -> ${out_dir}/BENCH_attest.json =="
+cargo run --release -p vtpm-bench --bin attest_bench -- \
+    "${quick[@]}" --out "${out_dir}/BENCH_attest.json"

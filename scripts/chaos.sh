@@ -8,9 +8,10 @@
 # either an oracle divergence, a CTR nonce reuse, a telemetry
 # conservation violation, or a nondeterministic replay.
 #
-# Both scenario families run: the single-host mirror pipeline and the
-# multi-host migration scenarios, plus the exhaustive crash-at-every-
-# step migration matrix on one extra seed.
+# Every scenario family runs: the single-host mirror pipeline, the
+# multi-host migration scenarios (plus the exhaustive crash-at-every-
+# step migration matrix on one extra seed), and the attestation-plane
+# quote-storm/replay scenarios.
 #
 # Usage:
 #   scripts/chaos.sh                 # 32 seeds/family, encrypted mirror
@@ -19,6 +20,7 @@
 #   CHAOS_BASE=nightly scripts/chaos.sh   # distinct seed namespace
 #   CHAOS_JOBS=4 scripts/chaos.sh    # cap worker threads
 #   CHAOS_FAMILY=mirror scripts/chaos.sh  # one family only
+#   CHAOS_FAMILY=attest scripts/chaos.sh  # attestation plane only
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,13 +29,15 @@ seeds="${1:-32}"
 mode="${2:-encrypted}"
 base="${CHAOS_BASE:-chaos}"
 jobs="${CHAOS_JOBS:-$(nproc 2>/dev/null || echo 1)}"
-family="${CHAOS_FAMILY:-both}"
+family="${CHAOS_FAMILY:-all}"
 
 # The crash matrix only makes sense when migration scenarios run.
 matrix=()
-if [ "$family" != "mirror" ]; then
+case "$family" in
+migration | both | all)
     matrix=(--matrix)
-fi
+    ;;
+esac
 
 exec cargo run --release -p vtpm-harness --bin chaos -- \
     --seeds "$seeds" --mode "$mode" --base "$base" --jobs "$jobs" \

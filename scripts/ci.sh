@@ -26,7 +26,14 @@
 #      RSA-1024 private op (CRT + Montgomery + fixed window) against the
 #      retained schoolbook reference and the pipelined AES-CTR keystream,
 #      and exits nonzero if the RSA speedup drops below 4x, the private
-#      op exceeds 2 ms, or CTR throughput falls below 40 MB/s.
+#      op exceeds 2 ms, or CTR throughput falls below 40 MB/s;
+#   9. attest chaos smoke + R-A1: 8 seeded quote-storm/replay-injection
+#      scenarios replayed twice each, then `repro a1 --quick` — exits
+#      nonzero if the batched+cached issuer falls below 3x the
+#      per-request qps at unchanged PCR state, an honest submission is
+#      refused, any injected replay/stale quote slips through or goes
+#      undetected, the storm-throttle loop fails to close, or an
+#      attack-free seed raises a critical alert.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -62,5 +69,12 @@ cargo run --release -p vtpm-bench --bin repro -- p1 --quick
 
 echo "== R-C1: crypto floor (RSA speedup >= 4x, CTR >= 40 MB/s) =="
 cargo run --release -p vtpm-bench --bin repro -- c1 --quick
+
+echo "== attest chaos smoke: 8 seeds, replayed twice each =="
+cargo run --release -p vtpm-harness --bin chaos -- \
+    --seeds 8 --base ci-att --family attest
+
+echo "== R-A1: attestation plane (cached qps >= 3x, clean defense sweep) =="
+cargo run --release -p vtpm-bench --bin repro -- a1 --quick
 
 echo "CI gate passed."

@@ -22,10 +22,14 @@
 //! * [`cluster`] — multi-host fabric and the live-migration protocol:
 //!   exactly-once hand-off, epoch anti-rollback, placement/rebalance
 //!   ([`vtpm_cluster`]);
-//! * [`sentinel`] — the streaming security-detection plane: five
-//!   detectors over the span/audit/gauge/dump-trail stream, a bounded
+//! * [`sentinel`] — the streaming security-detection plane: detectors
+//!   over the span/audit/gauge/dump-trail/attest stream, a bounded
 //!   flight recorder, and a Prometheus-style exporter
-//!   ([`vtpm_sentinel`]).
+//!   ([`vtpm_sentinel`]);
+//! * [`attest`] — the cloud-scale attestation plane: nonce-window
+//!   batched deep-quote issuance with a generation-keyed cache, and a
+//!   batch-verifying pool with freshness policy, replay ledger, and
+//!   audited refusals ([`vtpm_attest`]).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@
 
 pub use attacks as attack;
 pub use tpm as tpm12;
+pub use vtpm_attest as attest;
 pub use tpm_crypto as crypto;
 pub use vtpm_cluster as cluster;
 pub use vtpm_sentinel as sentinel;
@@ -59,6 +64,9 @@ pub mod prelude {
     pub use tpm::{handle, ordinal, rc, PcrSelection, Tpm, TpmClient, TpmConfig};
     pub use vtpm::{Guest, ManagerConfig, MirrorMode, Platform, VtpmManager};
     pub use vtpm_ac::{AcConfig, PolicyEngine, SecurePlatform};
+    pub use vtpm_attest::{
+        Evidence, IssuerConfig, QuoteIssuer, Submission, Verdict, VerifierConfig, VerifierPool,
+    };
     pub use vtpm_cluster::{Cluster, ClusterConfig, MigrateOutcome};
     pub use vtpm_sentinel::{Sentinel, SentinelConfig, StreamEvent};
     pub use workload::{run_concurrent, CommandMix, GuestSession, Op};
