@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1|a1  # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|m2|d1|p1|c1|a1  # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
@@ -17,7 +17,10 @@
 //! measures the cached attestation plane below its speedup floor,
 //! refuses an honest submission, or lets any defense scenario diverge
 //! (unrefused replay/stale evidence, undetected storm, clean-sweep
-//! false positive) — the CI gate in `scripts/ci.sh` relies on all six.
+//! false positive), or if R-M2's fleet churn sweep loses, duplicates,
+//! or orphans a vTPM, lets an injected conflict commit two winners,
+//! fails to replay a seed byte-identically, or blows its p99 blackout
+//! budget — the CI gate in `scripts/ci.sh` relies on all seven.
 
 use vtpm_bench::exp;
 
@@ -44,6 +47,10 @@ struct Sizes {
     o1_per_batch: usize,
     m1_kib: Vec<usize>,
     m1_reps: usize,
+    m2_hosts: usize,
+    m2_vms: usize,
+    m2_rounds: usize,
+    m2_seeds: usize,
     d1_mirror_seeds: usize,
     d1_migration_seeds: usize,
     d1_events: usize,
@@ -89,6 +96,12 @@ impl Sizes {
             o1_per_batch: 500,
             m1_kib: vec![0, 16, 64, 256, 512],
             m1_reps: 2,
+            // The fleet-scale claim: 100 hosts / 1000 VMs under
+            // continuous churn, every seed replayed twice.
+            m2_hosts: 100,
+            m2_vms: 1_000,
+            m2_rounds: 8,
+            m2_seeds: 2,
             // 32 + 32 + the matrix = the 65-scenario sweep the chaos CI
             // stage replays byte-for-byte.
             d1_mirror_seeds: 32,
@@ -140,6 +153,12 @@ impl Sizes {
             // so --quick keeps it and drops the middle of the sweep.
             m1_kib: vec![0, 512],
             m1_reps: 1,
+            // The gates (accounting, single-winner, replay) are
+            // scale-free; --quick keeps the churn and drops the scale.
+            m2_hosts: 8,
+            m2_vms: 24,
+            m2_rounds: 6,
+            m2_seeds: 2,
             d1_mirror_seeds: 4,
             d1_migration_seeds: 4,
             d1_events: 30,
@@ -175,8 +194,8 @@ fn main() {
     let mut over_budget = false;
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
-            "t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "d1",
-            "p1", "c1", "a1",
+            "t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "m2",
+            "d1", "p1", "c1", "a1",
         ]
     } else {
         which
@@ -213,6 +232,14 @@ fn main() {
                     over_budget = true;
                 }
                 exp::m1::render(&points)
+            }
+            "m2" => {
+                let report =
+                    exp::m2::run(sizes.m2_hosts, sizes.m2_vms, sizes.m2_rounds, sizes.m2_seeds);
+                if exp::m2::gate_failed(&report) {
+                    over_budget = true;
+                }
+                exp::m2::render(&report)
             }
             "d1" => {
                 let report = exp::d1::run(
@@ -261,7 +288,7 @@ fn main() {
                 exp::a1::render(&report)
             }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|d1|p1|c1|a1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|m2|d1|p1|c1|a1|all)");
                 std::process::exit(2);
             }
         };
@@ -274,13 +301,16 @@ fn main() {
              R-D1 zero false positives + full injection detection, \
              R-P1 <= {:.1}x read-path scaling ratio, \
              R-C1 >= {:.0}x RSA speedup / >= {:.0} MB/s AES-CTR, \
-             R-A1 >= {:.0}x cached-attestation speedup + clean defense sweep)",
+             R-A1 >= {:.0}x cached-attestation speedup + clean defense sweep, \
+             R-M2 exactly-once fleet accounting + single-winner conflicts + \
+             byte-identical replays + p99 blackout <= {:.0}ms)",
             exp::o1::BUDGET_PCT,
             exp::m1::BUDGET_PREMIUM_US / 1e3,
             exp::p1::BUDGET_RATIO,
             exp::c1::MIN_RSA_SPEEDUP,
             exp::c1::MIN_AES_CTR_MBPS,
-            exp::a1::MIN_CACHE_SPEEDUP
+            exp::a1::MIN_CACHE_SPEEDUP,
+            exp::m2::BUDGET_P99_NS as f64 / 1e6,
         );
         std::process::exit(1);
     }

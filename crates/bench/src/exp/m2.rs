@@ -1,0 +1,245 @@
+//! R-M2: fleet-scale churn sweep — cluster-wide migration downtime and
+//! exactly-once accounting under continuous host failure.
+//!
+//! Where R-M1 measures one hand-off in isolation, R-M2 puts the whole
+//! fleet control plane in the loop: the phi-accrual failure detector
+//! fed by fabric heartbeats, the bounded pool of concurrent migration
+//! drivers with per-VM epoch arbitration, and the suspicion-driven
+//! rebalancer — then crashes, revives, and joins hosts underneath it
+//! for the whole run. The workload is the fleet chaos family
+//! ([`vtpm_harness::run_fleet_chaos`]) at survey scale, not the
+//! smoke-test scale the CI chaos stage replays.
+//!
+//! Three things are the result:
+//!
+//! 1. **Accounting.** After the final sweep (revive everything, drain
+//!    the pool, resolve every journal) every vTPM must exist exactly
+//!    once: zero lost, zero duplicated, zero orphaned instances, zero
+//!    journals in doubt — and every injected double-drive must resolve
+//!    to at most one committed winner. Any violation fails the gate.
+//! 2. **Downtime.** The p99 of the quiesce→commit blackout across
+//!    every committed drive of the sweep, in virtual time, gated by
+//!    [`BUDGET_P99_NS`].
+//! 3. **Replay.** Every seed is run twice and the two reports must be
+//!    byte-identical (transcript hash included) — the property that
+//!    makes every number in this table reproducible from its seed.
+//!
+//! One full-scale finding the table reports but does not gate: the
+//! harness's phased rounds open long heartbeat-free gaps (a
+//! 1000-VM traffic burst between controller ticks), and the
+//! phi-accrual estimator correctly reads that fleet-wide silence as
+//! suspicious — so at survey scale most suspicions are *false* and
+//! the rebalancer rides out waves of spurious evacuation on top of
+//! the injected crashes. That churn is the point of the experiment:
+//! the accounting gate holds through it, which is precisely the
+//! "churn-surviving" claim. The `suspects(false)` column keeps the
+//! effect visible.
+
+use vtpm_fleet::FleetConfig;
+use vtpm_harness::{run_fleet_chaos, FleetChaosConfig, FleetChaosReport};
+use vtpm_sentinel::SentinelConfig;
+
+/// Cluster-wide p99 quiesce→commit blackout budget (virtual ns). At
+/// CI scale (8 hosts) the blackout is one sealed transfer, ~14ms. At
+/// survey scale (100 hosts / 1000 VMs) it measures ~147ms: the driver
+/// pool steps up to 32 concurrent runs one stage per tick, so a run's
+/// quiesce→commit window spans several ticks, each carrying the other
+/// runs' sealed-transfer crypto — blackout grows with drive
+/// *concurrency*, not fleet size per se. Budget is ~2x the worst seed
+/// measured at full scale.
+pub const BUDGET_P99_NS: u64 = 300_000_000;
+
+/// One seed of the sweep (the two replays compared equal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct M2Row {
+    /// Seed label.
+    pub seed: String,
+    /// Drives that committed.
+    pub committed: u64,
+    /// Aborted + abandoned + stale-rejected drives.
+    pub failed: u64,
+    /// Submissions that raced another in-flight drive of the same VM.
+    pub conflicts: u64,
+    /// Deliberate double-drives injected.
+    pub conflict_pairs: u64,
+    /// Injected conflicts with more than one committed winner (must be 0).
+    pub multi_winner: u64,
+    /// Host crashes / revivals / joins injected.
+    pub crashes: u64,
+    /// Suspicions raised by the detector.
+    pub suspects: u64,
+    /// Suspicions against live hosts.
+    pub false_suspects: u64,
+    /// Churn-storm pause latches applied.
+    pub storm_pauses: u64,
+    /// p99 quiesce→commit blackout (virtual ns).
+    pub downtime_p99_ns: u64,
+    /// Max of the same histogram.
+    pub downtime_max_ns: u64,
+    /// lost + duplicated + orphaned + unsettled (must be 0).
+    pub accounting_violations: u64,
+    /// Oracle/invariant divergences (must be empty).
+    pub divergences: Vec<String>,
+    /// Replayed byte-identically.
+    pub replay_ok: bool,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct M2Report {
+    /// Hosts at boot / cap after joins.
+    pub hosts: usize,
+    /// VMs under management.
+    pub vms: usize,
+    /// Rounds per seed.
+    pub rounds: usize,
+    /// One row per seed.
+    pub rows: Vec<M2Row>,
+}
+
+/// Worst per-seed p99 blackout across the sweep.
+pub fn worst_p99_ns(r: &M2Report) -> u64 {
+    r.rows.iter().map(|x| x.downtime_p99_ns).max().unwrap_or(0)
+}
+
+/// The CI gate: exactly-once accounting, single-winner conflicts, no
+/// divergences, byte-identical replays, and the blackout budget.
+pub fn gate_failed(r: &M2Report) -> bool {
+    r.rows.iter().any(|x| {
+        x.accounting_violations > 0
+            || x.multi_winner > 0
+            || !x.divergences.is_empty()
+            || !x.replay_ok
+    }) || worst_p99_ns(r) > BUDGET_P99_NS
+}
+
+/// The scenario config for one sweep seed at (`hosts`, `vms`) scale.
+fn scale_config(hosts: usize, vms: usize, rounds: usize) -> FleetChaosConfig {
+    let fleet = FleetConfig {
+        // More churn needs more concurrent repair: scale the pool and
+        // the planner's per-tick submissions with the fleet.
+        max_in_flight: (hosts / 4).clamp(8, 32),
+        max_plan_per_tick: (hosts / 8).clamp(4, 16),
+        ..FleetConfig::default()
+    };
+    FleetChaosConfig {
+        hosts,
+        max_hosts: hosts + hosts / 10,
+        vms,
+        rounds,
+        // Per-round oracle diffs are O(vms * rounds); at survey scale
+        // the final sweep's full diff is the correctness check and the
+        // per-round diff stays for the CI-sized smoke family.
+        oracle_checks: vms <= 64,
+        events_per_round: 2,
+        frames_per_host: 4096,
+        sentinel: SentinelConfig {
+            replay_burst: 2 * fleet.max_in_flight,
+            ..SentinelConfig::default()
+        },
+        fleet,
+        ..FleetChaosConfig::default()
+    }
+}
+
+fn row(seed: String, a: &FleetChaosReport, replay_ok: bool) -> M2Row {
+    M2Row {
+        seed,
+        committed: a.committed,
+        failed: a.aborted + a.abandoned + a.rejected_stale,
+        conflicts: a.conflicts,
+        conflict_pairs: a.conflict_pairs,
+        multi_winner: a.multi_winner_conflicts,
+        crashes: a.crashes,
+        suspects: a.suspects_raised,
+        false_suspects: a.false_suspects,
+        storm_pauses: a.storm_pauses,
+        downtime_p99_ns: a.downtime_p99_ns,
+        downtime_max_ns: a.downtime_max_ns,
+        accounting_violations: a.lost + a.duplicated + a.orphaned + a.unsettled,
+        divergences: a.divergences.clone(),
+        replay_ok,
+    }
+}
+
+/// Run the sweep: `seeds` independent churn scenarios at (`hosts`,
+/// `vms`) scale, `rounds` rounds each, every seed replayed twice.
+pub fn run(hosts: usize, vms: usize, rounds: usize, seeds: usize) -> M2Report {
+    let cfg = scale_config(hosts, vms, rounds);
+    let rows = (0..seeds)
+        .map(|s| {
+            let label = format!("m2-{hosts}x{vms}-{s}");
+            let a = run_fleet_chaos(label.as_bytes(), &cfg).expect("fleet chaos run");
+            let b = run_fleet_chaos(label.as_bytes(), &cfg).expect("fleet chaos replay");
+            let replay_ok = a == b;
+            row(label, &a, replay_ok)
+        })
+        .collect();
+    M2Report { hosts, vms, rounds, rows }
+}
+
+/// Render the table.
+pub fn render(r: &M2Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "R-M2  Fleet churn sweep: {} hosts / {} VMs, {} rounds per seed (virtual time)\n\
+         seed             committed  failed  conflicts(pairs)  multi-win  crashes  suspects(false)  \
+         pauses  p99-down(ms)  max-down(ms)  acct-viol  replay\n",
+        r.hosts, r.vms, r.rounds,
+    ));
+    for x in &r.rows {
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>7} {:>10}({:<4}) {:>9} {:>8} {:>12}({:<4}) {:>6} {:>13.3} {:>13.3} \
+             {:>10} {:>7}\n",
+            x.seed,
+            x.committed,
+            x.failed,
+            x.conflicts,
+            x.conflict_pairs,
+            x.multi_winner,
+            x.crashes,
+            x.suspects,
+            x.false_suspects,
+            x.storm_pauses,
+            x.downtime_p99_ns as f64 / 1e6,
+            x.downtime_max_ns as f64 / 1e6,
+            x.accounting_violations,
+            if x.replay_ok { "ok" } else { "MISMATCH" },
+        ));
+        for d in &x.divergences {
+            out.push_str(&format!("    divergence: {d}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "gate: every vTPM exactly once, every conflict <= 1 winner, byte-identical replays, \
+         p99 blackout <= {:.0}ms; worst measured {:.3}ms\n",
+        BUDGET_P99_NS as f64 / 1e6,
+        worst_p99_ns(r) as f64 / 1e6,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_accounts_exactly_once_and_replays() {
+        let r = run(6, 12, 6, 2);
+        assert_eq!(r.rows.len(), 2);
+        for x in &r.rows {
+            assert!(x.replay_ok, "{}: replay diverged", x.seed);
+            assert_eq!(x.accounting_violations, 0, "{}: {:?}", x.seed, x.divergences);
+            assert_eq!(x.multi_winner, 0);
+            assert!(x.divergences.is_empty(), "{}: {:?}", x.seed, x.divergences);
+            // Churn must actually have happened for the row to mean
+            // anything.
+            assert!(x.committed > 0);
+        }
+        assert!(!gate_failed(&r));
+        let table = render(&r);
+        assert!(table.contains("R-M2") && table.contains("gate:"));
+        // The sweep itself replays.
+        assert_eq!(run(6, 12, 6, 2), r);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`exp::r1`] | R-R1: chaos + crash/recovery of the mirror pipeline |
 //! | [`exp::o1`] | R-O1: telemetry self-overhead on the request path |
 //! | [`exp::m1`] | R-M1: live-migration downtime vs state size (cluster) |
+//! | [`exp::m2`] | R-M2: fleet churn sweep — p99 downtime + exactly-once accounting |
 //! | [`exp::d1`] | R-D1: sentinel detection quality (FP sweep + injections) |
 //! | [`exp::p1`] | R-P1: manager hot path vs resident instance count |
 //! | [`exp::c1`] | R-C1: crypto floor (RSA/AES/SHA) with regression gates |
@@ -37,6 +38,7 @@ pub mod exp {
     pub mod f5;
     pub mod f6;
     pub mod m1;
+    pub mod m2;
     pub mod o1;
     pub mod p1;
     pub mod r1;

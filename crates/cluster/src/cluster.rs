@@ -24,7 +24,7 @@
 //! Crash recovery ([`Cluster::recover_host`]) rebuilds a host's manager
 //! from its mirror frames, then replays the journal over it: re-freeze
 //! VMs with an open outgoing quiesce (the flag itself is volatile —
-//! skipping this is the classic двух-hosts bug: a recovered source would
+//! skipping this is the classic two-hosts bug: a recovered source would
 //! silently serve a VM whose state is mid-flight), and scrub orphan
 //! instances the journal does not map (an adopt that crashed before its
 //! commit record). [`Cluster::resolve`] then settles any in-doubt
@@ -50,7 +50,7 @@ use xen_sim::{DomainId, Result as XenResult, VirtualClock};
 
 use crate::fabric::Fabric;
 use crate::journal::{JournalRecord, MigrationJournal};
-use crate::protocol::{decode_payload, encode_payload, MigMessage};
+use crate::protocol::{decode_payload, encode_payload, HeartbeatFrame, MigMessage};
 
 /// Modelled cost of OAEP-encrypting the session key to the destination
 /// EK (public-key op, done in Dom0 software).
@@ -146,6 +146,25 @@ pub enum MigrateOutcome {
     RejectedStale,
 }
 
+/// Typed failures of cluster-level placement operations. Fleet-scale
+/// callers (the rebalancer in particular) hit these programmatically —
+/// a zero-host fleet is an input, not a bug — so they must not panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The operation needs at least one joined host.
+    NoHosts,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoHosts => write!(f, "cluster has no hosts"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 /// Source-side protocol phase of a [`MigrationRun`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -193,6 +212,13 @@ impl MigrationRun {
         self.step
     }
 
+    /// Virtual-clock instant the guest froze, if the run got that far.
+    /// Concurrent drivers use it together with
+    /// [`Cluster::commit_time`] to attribute per-attempt downtime.
+    pub fn quiesced_at_ns(&self) -> Option<u64> {
+        self.quiesce_at_ns
+    }
+
     /// Total protocol steps.
     pub const STEPS: usize = 8;
 }
@@ -220,23 +246,7 @@ impl Cluster {
         let clock = Arc::new(VirtualClock::new());
         let mut hosts = Vec::with_capacity(cfg.hosts);
         for h in 0..cfg.hosts {
-            let host_seed = [seed, b"/host/", &(h as u32).to_be_bytes()].concat();
-            let platform = Platform::with_config(
-                &host_seed,
-                cfg.frames_per_host,
-                ManagerConfig {
-                    mirror_mode: cfg.mirror_mode,
-                    vtpm_config: tpm::TpmConfig { nv_budget: cfg.nv_budget, ..Default::default() },
-                    ..Default::default()
-                },
-                true,
-            )?;
-            hosts.push(ClusterHost {
-                platform,
-                journal: MigrationJournal::new(),
-                audit: AuditLog::new(),
-                inbound: HashMap::new(),
-            });
+            hosts.push(Self::boot_host(seed, &cfg, h)?);
         }
         Ok(Cluster {
             fabric: Fabric::new(cfg.hosts, Arc::clone(&clock)),
@@ -249,6 +259,41 @@ impl Cluster {
             seqs: HashMap::new(),
             commit_ns: HashMap::new(),
         })
+    }
+
+    fn boot_host(seed: &[u8], cfg: &ClusterConfig, h: usize) -> XenResult<ClusterHost> {
+        let host_seed = [seed, b"/host/", &(h as u32).to_be_bytes()].concat();
+        let platform = Platform::with_config(
+            &host_seed,
+            cfg.frames_per_host,
+            ManagerConfig {
+                mirror_mode: cfg.mirror_mode,
+                vtpm_config: tpm::TpmConfig { nv_budget: cfg.nv_budget, ..Default::default() },
+                ..Default::default()
+            },
+            true,
+        )?;
+        Ok(ClusterHost {
+            platform,
+            journal: MigrationJournal::new(),
+            audit: AuditLog::new(),
+            inbound: HashMap::new(),
+        })
+    }
+
+    /// Join a freshly-booted host to the running cluster (host-join
+    /// churn). The platform seed is derived exactly as in
+    /// [`Cluster::new`], so a cluster grown to N hosts is
+    /// byte-identical to one born with N. Returns the new host index.
+    pub fn add_host(&mut self) -> XenResult<usize> {
+        let h = self.hosts.len();
+        // Wire frames carry the sender index in one byte.
+        assert!(h < 256, "fabric framing caps the fleet at 256 hosts");
+        let host = Self::boot_host(&self.seed, &self.cfg, h)?;
+        self.hosts.push(host);
+        let joined = self.fabric.add_host();
+        debug_assert_eq!(joined, h);
+        Ok(h)
     }
 
     /// Cluster-wide migration metrics.
@@ -304,9 +349,16 @@ impl Cluster {
         (0..self.hosts.len()).find(|&h| self.hosts[h].journal.local_of(vm).is_some())
     }
 
-    /// Run `f` against `vm`'s live instance, wherever it is.
+    /// Run `f` against `vm`'s live instance, wherever it is. Prefers the
+    /// runnable copy: while a migration is in doubt (destination committed,
+    /// source quiesced but not yet released) two hosts map the VM, and the
+    /// copy that serves guest traffic is the runnable one — reading the
+    /// frozen source there would observe stale state.
     pub fn with_vm<R>(&self, vm: u32, f: impl FnOnce(&mut VtpmInstance) -> R) -> Option<R> {
-        let h = self.home_of(vm)?;
+        let h = match self.runnable_hosts(vm).first() {
+            Some(&h) => h,
+            None => self.home_of(vm)?,
+        };
         let local = self.hosts[h].journal.local_of(vm)?;
         self.hosts[h].platform.manager.with_instance(local, f)
     }
@@ -390,9 +442,55 @@ impl Cluster {
         }
     }
 
+    /// Emit `host`'s periodic liveness beacon onto the fabric's control
+    /// inbox (same wire model and fault hooks as protocol traffic).
+    /// The failure detector feeds on the arrival gaps of these frames.
+    pub fn send_heartbeat(&mut self, host: usize, seq: u64) {
+        let hb =
+            HeartbeatFrame { host: host as u32, seq, at_ns: self.clock.now_ns() };
+        let mut f = vec![host as u8];
+        f.extend_from_slice(&hb.encode());
+        self.fabric.send_control(f);
+    }
+
+    /// Drain the control inbox into decoded heartbeats, in arrival
+    /// order. Garbage frames are dropped (hardened decode, no panic).
+    pub fn recv_heartbeats(&mut self) -> Vec<HeartbeatFrame> {
+        let mut out = Vec::new();
+        while let Some(bytes) = self.fabric.recv_control() {
+            let Some((_, rest)) = bytes.split_first() else { continue };
+            if let Some(hb) = HeartbeatFrame::decode(rest) {
+                out.push(hb);
+            }
+        }
+        out
+    }
+
+    /// When the destination journalled `DstCommitted` for this attempt
+    /// (virtual clock), if it did — the downtime endpoint concurrent
+    /// drivers pair with [`MigrationRun::quiesced_at_ns`].
+    pub fn commit_time(&self, vm: u32, epoch: u64) -> Option<u64> {
+        self.commit_ns.get(&(vm, epoch)).copied()
+    }
+
     /// Begin migrating `vm` to `dst`. `None` if the VM has no live home
     /// or is already on `dst`.
     pub fn begin_migration(&mut self, vm: u32, dst: usize) -> Option<MigrationRun> {
+        self.begin_migration_from(vm, dst, 0)
+    }
+
+    /// [`Cluster::begin_migration`] with an epoch floor: the attempt's
+    /// epoch is at least `epoch_floor`. Concurrent drivers pass the
+    /// highest epoch they already have in flight for this VM plus one,
+    /// so a double-drive never mints the same epoch twice — the
+    /// journals only learn an epoch once it quiesces or prepares, which
+    /// is too late to keep two *simultaneous* proposals apart.
+    pub fn begin_migration_from(
+        &mut self,
+        vm: u32,
+        dst: usize,
+        epoch_floor: u64,
+    ) -> Option<MigrationRun> {
         let src = self.home_of(vm)?;
         if src == dst {
             return None;
@@ -401,7 +499,7 @@ impl Cluster {
         if !self.hosts[src].platform.manager.instance_ids().contains(&local) {
             return None;
         }
-        let epoch = self.hosts[src].journal.next_epoch(vm);
+        let epoch = self.hosts[src].journal.next_epoch(vm).max(epoch_floor);
         self.telemetry.note_started();
         Some(MigrationRun {
             vm,
@@ -698,6 +796,19 @@ impl Cluster {
             return;
         }
         if run.dst_ek.is_some() && run.phase == Phase::Proposed {
+            // Concurrent-driver arbitration. Quiescing is the source's
+            // commit point: whichever attempt journals `SrcQuiesced`
+            // first owns the handoff. A later attempt that finds the
+            // freeze already held (open quiesce at another epoch), or
+            // finds the VM moved away while it was proposing, has lost
+            // the race — refuse it down the stale path instead of
+            // double-freezing (which would let two transfers export and
+            // commit the same VM on two destinations).
+            let j = &self.hosts[run.src].journal;
+            if j.open_quiesce(run.vm).is_some() || j.local_of(run.vm) != Some(run.local) {
+                self.reject_run(run);
+                return;
+            }
             // Write-ahead: journal the freeze, then flip the flag.
             self.hosts[run.src]
                 .journal
@@ -821,6 +932,33 @@ impl Cluster {
         self.audit_stage(src, dst, vm, epoch, trace, MigrationStage::Released);
     }
 
+    /// Refuse a losing concurrent attempt through the stale path: burn
+    /// its epoch on the source (the retry proposes strictly higher),
+    /// chain a `RejectedStale` audit stage, bump the per-reason deny
+    /// counter, and close the destination's dangling prepare.
+    fn reject_run(&mut self, run: &mut MigrationRun) {
+        self.hosts[run.src]
+            .journal
+            .append(JournalRecord::SrcAborted { vm: run.vm, epoch: run.epoch });
+        self.audit_stage(
+            run.src,
+            run.dst,
+            run.vm,
+            run.epoch,
+            run.trace,
+            MigrationStage::RejectedStale,
+        );
+        self.note_stale_deny(run.src);
+        self.fabric.send(
+            run.dst,
+            Self::frame(
+                run.src,
+                &MigMessage::Abort { vm: run.vm, epoch: run.epoch, trace: run.trace },
+            ),
+        );
+        run.phase = Phase::Rejected;
+    }
+
     fn abort_run(&mut self, run: &mut MigrationRun) {
         self.hosts[run.src]
             .journal
@@ -840,22 +978,35 @@ impl Cluster {
     }
 
     /// Drain the source inbox, mapping messages that belong to `run`
-    /// through `f`; frames for other runs or the wrong category are
-    /// discarded (they can only be stale leftovers — one run is in
-    /// flight at a time).
+    /// through `f`. Frames keyed to *other* (vm, epoch) attempts are
+    /// put back in arrival order — concurrent drivers share a source's
+    /// inbox, so another run's acks may be interleaved with ours and
+    /// must survive the pass. Only frames that fail to decode are
+    /// discarded. (Epochs are never reused, so a frame matching this
+    /// run's key can only belong to this attempt.)
     fn drain_src<R>(
         &mut self,
         run: &MigrationRun,
         mut f: impl FnMut(MigMessage, usize) -> Option<R>,
     ) -> Vec<R> {
         let mut out = Vec::new();
-        while let Some(bytes) = self.fabric.recv(run.src) {
-            let Some((from, msg)) = Self::unframe(&bytes) else { continue };
-            if msg.key() == (run.vm, run.epoch) {
-                if let Some(r) = f(msg, from) {
-                    out.push(r);
+        let mut keep: Vec<Vec<u8>> = Vec::new();
+        // Bound the pass by what is queued now: requeued frames must
+        // not be re-examined within the same drain.
+        for _ in 0..self.fabric.pending(run.src) {
+            let Some(bytes) = self.fabric.recv(run.src) else { break };
+            match Self::unframe(&bytes) {
+                Some((from, msg)) if msg.key() == (run.vm, run.epoch) => {
+                    if let Some(r) = f(msg, from) {
+                        out.push(r);
+                    }
                 }
+                Some(_) => keep.push(bytes),
+                None => {}
             }
+        }
+        for bytes in keep {
+            self.requeue(run.src, bytes);
         }
         out
     }
@@ -989,17 +1140,27 @@ impl Cluster {
     }
 
     /// One rebalance pass: move VMs from the most- to the least-loaded
-    /// host until the spread is ≤ 1. Returns the committed moves.
-    pub fn rebalance(&mut self) -> usize {
+    /// host until the spread is ≤ 1. Returns the committed moves, or
+    /// [`ClusterError::NoHosts`] on an empty fleet — a reachable input
+    /// once hosts join and leave at runtime, so it must not panic.
+    pub fn rebalance(&mut self) -> Result<usize, ClusterError> {
+        if self.hosts.is_empty() {
+            return Err(ClusterError::NoHosts);
+        }
         let mut moves = 0;
         for _ in 0..self.next_vm {
             let counts: Vec<usize> = (0..self.hosts.len())
                 .map(|h| self.hosts[h].journal.mapped_vms().len())
                 .collect();
-            let (max_h, &max) =
-                counts.iter().enumerate().max_by_key(|&(h, &c)| (c, usize::MAX - h)).unwrap();
-            let (min_h, &min) =
-                counts.iter().enumerate().min_by_key(|&(h, &c)| (c, h)).unwrap();
+            let Some((max_h, &max)) =
+                counts.iter().enumerate().max_by_key(|&(h, &c)| (c, usize::MAX - h))
+            else {
+                return Err(ClusterError::NoHosts);
+            };
+            let Some((min_h, &min)) = counts.iter().enumerate().min_by_key(|&(h, &c)| (c, h))
+            else {
+                return Err(ClusterError::NoHosts);
+            };
             if max - min <= 1 {
                 break;
             }
@@ -1010,6 +1171,6 @@ impl Cluster {
                 break;
             }
         }
-        moves
+        Ok(moves)
     }
 }

@@ -11,6 +11,15 @@
 //!
 //! A host crash wipes its inbox: queued-but-unprocessed messages model
 //! kernel socket buffers, not durable state.
+//!
+//! Besides the per-host inboxes there is one **control inbox**: the
+//! fleet controller's receive queue for periodic host heartbeats. It
+//! rides the same wire model (latency, wiretap, one-shot faults against
+//! the same global send counter) but no host crash wipes it — the
+//! control plane's own box is assumed to stay up, exactly like the
+//! journals it reads during `resolve()`. What *does* make heartbeats
+//! stop is the sender dying, which is the signal the failure detector
+//! feeds on.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -54,6 +63,7 @@ pub struct FabricStats {
 /// The simulated network joining the hosts.
 pub struct Fabric {
     inboxes: Vec<VecDeque<Vec<u8>>>,
+    control: VecDeque<Vec<u8>>,
     faults: Vec<(u64, FabricFault)>,
     wiretap: Vec<Vec<u8>>,
     clock: Arc<VirtualClock>,
@@ -65,11 +75,24 @@ impl Fabric {
     pub fn new(hosts: usize, clock: Arc<VirtualClock>) -> Self {
         Fabric {
             inboxes: (0..hosts).map(|_| VecDeque::new()).collect(),
+            control: VecDeque::new(),
             faults: Vec::new(),
             wiretap: Vec::new(),
             clock,
             stats: FabricStats::default(),
         }
+    }
+
+    /// Join one more host (host-join churn): a fresh, empty inbox.
+    /// Returns the new host's index.
+    pub fn add_host(&mut self) -> usize {
+        self.inboxes.push(VecDeque::new());
+        self.inboxes.len() - 1
+    }
+
+    /// Hosts currently joined to the fabric.
+    pub fn hosts(&self) -> usize {
+        self.inboxes.len()
     }
 
     /// Arm a one-shot `fault` against send number `at_send` (0-based
@@ -108,6 +131,53 @@ impl Fabric {
             }
             None => self.inboxes[to].push_back(bytes),
         }
+    }
+
+    /// Ship `bytes` to the control inbox (heartbeats). Same wire model
+    /// as [`Fabric::send`]: latency charged, wiretapped before fault
+    /// handling, and the one-shot faults armed against the global send
+    /// counter apply — a seeded plan can drop or duplicate exactly the
+    /// k-th frame whether it is protocol or heartbeat traffic.
+    pub fn send_control(&mut self, bytes: Vec<u8>) {
+        let n = self.stats.sent;
+        self.stats.sent += 1;
+        self.clock
+            .advance_ns(FABRIC_MSG_NS + bytes.len() as u64 * FABRIC_BYTE_NS);
+        self.wiretap.push(bytes.clone());
+        let fault = self
+            .faults
+            .iter()
+            .position(|&(at, _)| at == n)
+            .map(|i| self.faults.swap_remove(i).1);
+        match fault {
+            Some(FabricFault::Drop) => {
+                self.stats.dropped += 1;
+            }
+            Some(FabricFault::Duplicate) => {
+                self.stats.duplicated += 1;
+                self.control.push_back(bytes.clone());
+                self.control.push_back(bytes);
+            }
+            Some(FabricFault::Reorder) => {
+                self.stats.reordered += 1;
+                self.control.push_front(bytes);
+            }
+            None => self.control.push_back(bytes),
+        }
+    }
+
+    /// Pull the next control-inbox frame, if any.
+    pub fn recv_control(&mut self) -> Option<Vec<u8>> {
+        let m = self.control.pop_front();
+        if m.is_some() {
+            self.stats.delivered += 1;
+        }
+        m
+    }
+
+    /// Frames waiting in the control inbox.
+    pub fn control_pending(&self) -> usize {
+        self.control.len()
     }
 
     /// Pull the next message waiting at `host`, if any.
@@ -196,6 +266,37 @@ mod tests {
         f.send(1, vec![1]); // cuts in line
         assert_eq!(f.recv(1).unwrap(), vec![1]);
         assert_eq!(f.recv(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn control_inbox_rides_the_same_wire() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut f = Fabric::new(2, Arc::clone(&clock));
+        f.inject_fault(1, FabricFault::Drop);
+        f.send_control(vec![1; 10]);
+        f.send_control(vec![2; 10]); // dropped
+        f.send_control(vec![3; 10]);
+        assert_eq!(clock.now_ns(), 3 * (FABRIC_MSG_NS + 10 * FABRIC_BYTE_NS));
+        assert_eq!(f.control_pending(), 2);
+        assert_eq!(f.recv_control().unwrap()[0], 1);
+        assert_eq!(f.recv_control().unwrap()[0], 3);
+        assert!(f.recv_control().is_none());
+        // A host crash never touches the control inbox.
+        f.send_control(vec![4]);
+        f.crash_host(0);
+        f.crash_host(1);
+        assert_eq!(f.control_pending(), 1);
+        // Everything hit the wiretap, dropped frame included.
+        assert_eq!(f.wiretap().len(), 4);
+    }
+
+    #[test]
+    fn joined_host_gets_a_working_inbox() {
+        let mut f = fabric(2);
+        assert_eq!(f.add_host(), 2);
+        assert_eq!(f.hosts(), 3);
+        f.send(2, vec![5]);
+        assert_eq!(f.recv(2).unwrap(), vec![5]);
     }
 
     #[test]

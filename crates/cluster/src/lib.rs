@@ -29,12 +29,12 @@ pub mod journal;
 pub mod protocol;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterHost, MigrateOutcome, MigrationRun, QUIESCE_NS, RSA_OPEN_NS,
-    RSA_SEAL_NS, SYM_BYTE_NS, VM_DOMAIN_BASE,
+    Cluster, ClusterConfig, ClusterError, ClusterHost, MigrateOutcome, MigrationRun, QUIESCE_NS,
+    RSA_OPEN_NS, RSA_SEAL_NS, SYM_BYTE_NS, VM_DOMAIN_BASE,
 };
 pub use fabric::{Fabric, FabricFault, FabricStats, FABRIC_BYTE_NS, FABRIC_MSG_NS};
 pub use journal::{JournalRecord, MigrationJournal};
-pub use protocol::{decode_payload, encode_payload, MigMessage};
+pub use protocol::{decode_payload, encode_payload, HeartbeatFrame, MigMessage};
 
 #[cfg(test)]
 mod tests {
@@ -188,7 +188,7 @@ mod tests {
                 assert_eq!(cluster.migrate(vm, 0), MigrateOutcome::Committed);
             }
         }
-        let moves = cluster.rebalance();
+        let moves = cluster.rebalance().expect("populated cluster");
         assert!(moves >= 2, "expected at least two moves, got {moves}");
         let counts: Vec<usize> =
             (0..3).map(|h| cluster.hosts[h].journal.mapped_vms().len()).collect();

@@ -179,6 +179,57 @@ impl MigMessage {
     }
 }
 
+/// Wire tag for [`HeartbeatFrame`] — outside the [`MigMessage`] tag
+/// space (1–8), so a heartbeat can never be mistaken for a protocol
+/// message and vice versa.
+const TAG_HEARTBEAT: u8 = 9;
+
+/// A periodic liveness beacon on the fabric's control inbox.
+///
+/// Each live host emits one per fleet round; the failure detector feeds
+/// on the *inter-arrival gaps*, so the only payload that matters is who
+/// sent it and when (virtual clock at send time). `seq` makes rounds
+/// distinguishable on the wiretap and lets a consumer spot gaps
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatFrame {
+    /// The sending host.
+    pub host: u32,
+    /// The fleet round that triggered this beacon.
+    pub seq: u64,
+    /// Virtual-clock timestamp at send time.
+    pub at_ns: u64,
+}
+
+impl HeartbeatFrame {
+    /// Serialize for the fabric.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(TAG_HEARTBEAT);
+        w.u32(self.host);
+        put_u64(&mut w, self.seq);
+        put_u64(&mut w, self.at_ns);
+        w.into_vec()
+    }
+
+    /// Parse untrusted fabric bytes. `None` on anything malformed,
+    /// including trailing bytes — same hardening as
+    /// [`MigMessage::decode`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        if r.u8().ok()? != TAG_HEARTBEAT {
+            return None;
+        }
+        let host = r.u32().ok()?;
+        let seq = get_u64(&mut r)?;
+        let at_ns = get_u64(&mut r)?;
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(HeartbeatFrame { host, seq, at_ns })
+    }
+}
+
 /// Bind (`vm`, `epoch`) inside the migration payload: the package's
 /// integrity digest covers this header, so the pair cannot be swapped
 /// without breaking verification — a replayed old ciphertext cannot be
@@ -252,6 +303,24 @@ mod tests {
         }
         assert_eq!(MigMessage::decode(&[]), None);
         assert_eq!(MigMessage::decode(&[99, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2]), None);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip_and_hardening() {
+        let hb = HeartbeatFrame { host: 97, seq: u64::MAX - 3, at_ns: 1 << 50 };
+        let bytes = hb.encode();
+        assert_eq!(HeartbeatFrame::decode(&bytes), Some(hb));
+        // Heartbeats and protocol messages live in disjoint tag spaces.
+        assert_eq!(MigMessage::decode(&bytes), None);
+        for m in all_messages() {
+            assert_eq!(HeartbeatFrame::decode(&m.encode()), None);
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(HeartbeatFrame::decode(&trailing), None);
+        for cut in 0..bytes.len() {
+            assert_eq!(HeartbeatFrame::decode(&bytes[..cut]), None);
+        }
     }
 
     #[test]

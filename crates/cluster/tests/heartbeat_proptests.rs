@@ -1,0 +1,43 @@
+//! Property tests for the heartbeat wire format: encode∘decode must be
+//! the identity, and the decoder must never panic (and must reject
+//! truncations and trailing garbage) on hostile bytes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::proptest;
+use vtpm_cluster::HeartbeatFrame;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode == identity for every (host, seq, at_ns).
+    #[test]
+    fn roundtrip(host in any::<u32>(), seq in any::<u64>(), at_ns in any::<u64>()) {
+        let hb = HeartbeatFrame { host, seq, at_ns };
+        prop_assert_eq!(HeartbeatFrame::decode(&hb.encode()), Some(hb));
+    }
+
+    /// Every strict prefix of a valid frame is rejected, as is the
+    /// frame with any trailing byte.
+    #[test]
+    fn truncation_and_trailing_rejected(
+        host in any::<u32>(),
+        seq in any::<u64>(),
+        at_ns in any::<u64>(),
+        tail in any::<u8>(),
+    ) {
+        let bytes = HeartbeatFrame { host, seq, at_ns }.encode();
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(HeartbeatFrame::decode(&bytes[..cut]), None);
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(tail);
+        prop_assert_eq!(HeartbeatFrame::decode(&trailing), None);
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decode_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = HeartbeatFrame::decode(&bytes);
+    }
+}

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! chaos [--seeds N] [--events N] [--faults N] [--mode encrypted|cleartext]
-//!       [--base LABEL] [--jobs N] [--family mirror|migration|attest|both|all]
-//!       [--matrix] [--json]
+//!       [--base LABEL] [--jobs N]
+//!       [--family mirror|migration|attest|fleet|both|all] [--matrix] [--json]
 //! ```
 //!
 //! Seeds run in parallel across `--jobs` worker threads (default: all
@@ -16,12 +16,16 @@
 //! `--family` picks the scenario family: `mirror` (default) is the
 //! single-host mirror pipeline, `migration` the multi-host cluster
 //! scenarios, `attest` the attestation-plane quote-storm/replay
-//! scenarios, `both` runs mirror + migration back to back on the same
-//! seed list, `all` runs every family. Attest seeds *expect* critical
-//! sentinel alerts (the injected attacks must be detected), so their
-//! clean criterion is divergence-freedom alone — missed detections and
-//! false positives are folded into the divergence list by the family
-//! itself. `--matrix` additionally runs the exhaustive
+//! scenarios, `fleet` the control-plane churn scenarios (failure
+//! detection, concurrent drivers, rebalancing under crash storms),
+//! `both` runs mirror + migration back to back on the same seed list,
+//! `all` runs every family. Attest seeds *expect* critical sentinel
+//! alerts (the injected attacks must be detected), so their clean
+//! criterion is divergence-freedom alone — missed detections and false
+//! positives are folded into the divergence list by the family itself.
+//! Fleet seeds additionally require zero lost / duplicated / orphaned
+//! vTPMs and that every injected drive conflict resolved to at most one
+//! winner. `--matrix` additionally runs the exhaustive
 //! crash-at-every-step migration matrix (both roles x every protocol
 //! step) on one seed.
 //!
@@ -38,8 +42,8 @@ use std::sync::mpsc;
 
 use vtpm::MirrorMode;
 use vtpm_harness::{
-    run_attest_chaos, run_chaos, run_crash_matrix, run_migration_chaos, AttestChaosConfig,
-    ChaosConfig, MigrationChaosConfig,
+    run_attest_chaos, run_chaos, run_crash_matrix, run_fleet_chaos, run_migration_chaos,
+    AttestChaosConfig, ChaosConfig, FleetChaosConfig, MigrationChaosConfig,
 };
 
 /// Everything one seed produced: its report text (divergence detail
@@ -219,6 +223,77 @@ fn run_attest_seed(seed: &str, cfg: &AttestChaosConfig, json: bool) -> SeedOutco
     SeedOutcome { text, failed: !deterministic || !clean }
 }
 
+/// Run one fleet-family seed twice, diff the replays, render. Clean
+/// means: no divergences, every VM accounted for exactly once (zero
+/// lost / duplicated / orphaned, journals settled), every injected
+/// conflict resolved to at most one winner, and no critical sentinel
+/// alerts (churn-storm alerts are Warning-class and expected).
+fn run_fleet_seed(seed: &str, cfg: &FleetChaosConfig, json: bool) -> SeedOutcome {
+    let first = match run_fleet_chaos(seed.as_bytes(), cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("seed {seed}: harness error: {e}\n"), failed: true }
+        }
+    };
+    let replay = match run_fleet_chaos(seed.as_bytes(), cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            return SeedOutcome { text: format!("seed {seed}: replay error: {e}\n"), failed: true }
+        }
+    };
+    let deterministic = first == replay;
+    let clean = first.divergences.is_empty()
+        && first.lost == 0
+        && first.duplicated == 0
+        && first.orphaned == 0
+        && first.unsettled == 0
+        && first.multi_winner_conflicts == 0
+        && first.sentinel_critical == 0;
+    if json {
+        return SeedOutcome {
+            text: json_line(&first.to_json(), deterministic, !deterministic || !clean),
+            failed: !deterministic || !clean,
+        };
+    }
+    let mut text = format!(
+        "seed {seed} [fleet]: transcript {} ticks {} committed {} aborted {} rejected-stale {} \
+         abandoned {} refused {} conflicts {}/{}pairs crashes {} revivals {} joins {} \
+         suspects {} (false {}) pauses {}/{} p99-downtime {}ns lost {} dup {} orphaned {} \
+         unsettled {} divergences {} sentinel-critical {}{}\n",
+        first.transcript.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
+        first.ticks,
+        first.committed,
+        first.aborted,
+        first.rejected_stale,
+        first.abandoned,
+        first.refused,
+        first.conflicts,
+        first.conflict_pairs,
+        first.crashes,
+        first.revivals,
+        first.joins,
+        first.suspects_raised,
+        first.false_suspects,
+        first.storm_pauses,
+        first.storm_resumes,
+        first.downtime_p99_ns,
+        first.lost,
+        first.duplicated,
+        first.orphaned,
+        first.unsettled,
+        first.divergences.len(),
+        first.sentinel_critical,
+        if deterministic { "" } else { "  REPLAY MISMATCH" },
+    );
+    for d in &first.divergences {
+        text.push_str(&format!("    {d}\n"));
+    }
+    for a in &first.sentinel_alerts {
+        text.push_str(&format!("    {a}\n"));
+    }
+    SeedOutcome { text, failed: !deterministic || !clean }
+}
+
 /// Run the exhaustive crash matrix twice on one seed, diff, render.
 fn run_matrix_seed(seed: &str, json: bool) -> SeedOutcome {
     let first = match run_crash_matrix(seed.as_bytes(), true) {
@@ -302,7 +377,8 @@ fn main() -> ExitCode {
     let mut cfg = ChaosConfig::default();
     let mut base = String::from("chaos");
     let mut jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let (mut mirror_family, mut migration_family, mut attest_family) = (true, false, false);
+    let (mut mirror_family, mut migration_family, mut attest_family, mut fleet_family) =
+        (true, false, false, false);
     let mut matrix = false;
     let mut json = false;
 
@@ -350,22 +426,31 @@ fn main() -> ExitCode {
             },
             "--family" => match take("--family").map(String::as_str) {
                 Some("mirror") => {
-                    (mirror_family, migration_family, attest_family) = (true, false, false)
+                    (mirror_family, migration_family, attest_family, fleet_family) =
+                        (true, false, false, false)
                 }
                 Some("migration") => {
-                    (mirror_family, migration_family, attest_family) = (false, true, false)
+                    (mirror_family, migration_family, attest_family, fleet_family) =
+                        (false, true, false, false)
                 }
                 Some("attest") => {
-                    (mirror_family, migration_family, attest_family) = (false, false, true)
+                    (mirror_family, migration_family, attest_family, fleet_family) =
+                        (false, false, true, false)
+                }
+                Some("fleet") => {
+                    (mirror_family, migration_family, attest_family, fleet_family) =
+                        (false, false, false, true)
                 }
                 Some("both") => {
-                    (mirror_family, migration_family, attest_family) = (true, true, false)
+                    (mirror_family, migration_family, attest_family, fleet_family) =
+                        (true, true, false, false)
                 }
                 Some("all") => {
-                    (mirror_family, migration_family, attest_family) = (true, true, true)
+                    (mirror_family, migration_family, attest_family, fleet_family) =
+                        (true, true, true, true)
                 }
                 _ => {
-                    eprintln!("--family is mirror|migration|attest|both|all");
+                    eprintln!("--family is mirror|migration|attest|fleet|both|all");
                     return ExitCode::from(2);
                 }
             },
@@ -402,6 +487,13 @@ fn main() -> ExitCode {
         let att_cfg = AttestChaosConfig::default();
         failures += run_family(seeds, jobs, |s| {
             run_attest_seed(&format!("{base}-att-{s}"), &att_cfg, json)
+        });
+        ran += seeds;
+    }
+    if fleet_family {
+        let fleet_cfg = FleetChaosConfig::default();
+        failures += run_family(seeds, jobs, |s| {
+            run_fleet_seed(&format!("{base}-fleet-{s}"), &fleet_cfg, json)
         });
         ran += seeds;
     }

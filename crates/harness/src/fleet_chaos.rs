@@ -1,0 +1,671 @@
+//! Fleet chaos: churn-storm scenarios over the fleet control plane.
+//!
+//! [`run_fleet_chaos`] runs one seeded scenario with a [`Fleet`]
+//! controller in the loop: heartbeat-fed failure detection, a bounded
+//! pool of concurrent migration drivers, and the suspicion-driven
+//! rebalancer — under continuous host churn. Each round applies guest
+//! traffic, takes one seeded action (a manual drive, a deliberate
+//! *double-drive* of the same VM, a fabric fault, a host crash that
+//! stays down for a seeded number of rounds, or a host join), then
+//! runs the controller for a few ticks so in-flight migrations
+//! genuinely interleave.
+//!
+//! The run-end sweep is the point: every down host is revived, the
+//! pool drained, every VM resolved — and then the harness requires
+//! **zero lost, duplicated, or orphaned vTPMs**, every journal
+//! settled, every injected conflict resolved to at most one winner,
+//! and every at-rest VM byte-equal to its differential oracle. Running
+//! the same seed twice must produce byte-identical reports.
+//!
+//! The sentinel watches the whole run through the same exhaust as the
+//! migration family, plus crash-recovery markers; its churn-storm
+//! detector is wired back into the controller's rebalance-pause latch
+//! via [`crate::sentinel_feed::apply_fleet_alerts`] — the closed loop
+//! under test, not a bolt-on.
+
+use std::collections::BTreeMap;
+
+use tpm_crypto::drbg::Drbg;
+use tpm_crypto::sha256;
+use vtpm_cluster::{Cluster, ClusterConfig, FabricFault, FabricStats};
+use vtpm_fleet::{DriveDecision, DriveOutcome, Fleet, FleetConfig, Submitted};
+use vtpm_sentinel::{Sentinel, SentinelConfig, Severity, StreamEvent};
+use workload::{generate_trace, TpmOracle};
+use xen_sim::Result as XenResult;
+
+use crate::sentinel_feed::{apply_fleet_alerts, audit_event};
+use crate::{json_str, json_str_array};
+
+/// Tunables for one fleet-chaos scenario.
+#[derive(Debug, Clone)]
+pub struct FleetChaosConfig {
+    /// Hosts booted up front.
+    pub hosts: usize,
+    /// Cap on joins (the fleet may grow to this many hosts).
+    pub max_hosts: usize,
+    /// VMs created up front.
+    pub vms: usize,
+    /// Rounds of traffic + one action + controller ticks.
+    pub rounds: usize,
+    /// Controller ticks per round.
+    pub ticks_per_round: usize,
+    /// Trace events per at-rest VM per round.
+    pub events_per_round: usize,
+    /// Ship sealed packages.
+    pub sealed: bool,
+    /// Dom0 frame budget per host.
+    pub frames_per_host: usize,
+    /// Diff every at-rest VM against its oracle each round (always done
+    /// in the final sweep; disable per-round for large sweeps).
+    pub oracle_checks: bool,
+    /// Controller tuning.
+    pub fleet: FleetConfig,
+    /// Sentinel tuning. The default raises `replay_burst` above the
+    /// driver pool's concurrency: a control plane running
+    /// `max_in_flight` racing drives *legitimately* loses epoch races
+    /// in bursts, and the serial-migration threshold (4) would read
+    /// every double-drive flurry as a replay storm. An actual replayer
+    /// produces dozens of rejections, so detection keeps its teeth.
+    pub sentinel: SentinelConfig,
+}
+
+impl Default for FleetChaosConfig {
+    fn default() -> Self {
+        FleetChaosConfig {
+            hosts: 3,
+            max_hosts: 5,
+            vms: 4,
+            rounds: 10,
+            ticks_per_round: 3,
+            events_per_round: 4,
+            sealed: true,
+            frames_per_host: 1024,
+            oracle_checks: true,
+            fleet: FleetConfig::default(),
+            sentinel: SentinelConfig {
+                replay_burst: 2 * FleetConfig::default().max_in_flight,
+                ..SentinelConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything observable about one fleet-chaos run; two runs of the
+/// same seed and config must compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetChaosReport {
+    /// Hex of the seed.
+    pub seed: String,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Controller ticks run.
+    pub ticks: u64,
+    /// Drives that committed.
+    pub committed: u64,
+    /// Drives that aborted.
+    pub aborted: u64,
+    /// Drives refused stale (lost an epoch race).
+    pub rejected_stale: u64,
+    /// Drives abandoned to host crashes.
+    pub abandoned: u64,
+    /// Submissions refused before entering the pool.
+    pub refused: u64,
+    /// Submissions that raced another in-flight drive of the same VM.
+    pub conflicts: u64,
+    /// Deliberate double-drives injected (both sides admitted).
+    pub conflict_pairs: u64,
+    /// Injected conflicts that ended with more than one committed
+    /// winner — must be zero, always.
+    pub multi_winner_conflicts: u64,
+    /// Host crashes injected.
+    pub crashes: u64,
+    /// Host revivals (every crash is revived by run end).
+    pub revivals: u64,
+    /// Hosts joined mid-run.
+    pub joins: u64,
+    /// Suspicions the detector raised.
+    pub suspects_raised: u64,
+    /// Suspicions against hosts that were actually alive.
+    pub false_suspects: u64,
+    /// Rebalance-pause latches applied by the churn-storm bridge.
+    pub storm_pauses: u64,
+    /// Latch releases applied by the bridge.
+    pub storm_resumes: u64,
+    /// VMs runnable nowhere after the final sweep (must be 0).
+    pub lost: u64,
+    /// VMs runnable on more than one host at any check (must be 0).
+    pub duplicated: u64,
+    /// Manager instances without a journal mapping after the final
+    /// sweep (must be 0).
+    pub orphaned: u64,
+    /// Journal runs still in doubt (open quiesce/prepare) after the
+    /// final sweep (must be 0).
+    pub unsettled: u64,
+    /// p99 of quiesce→commit downtime over committed drives.
+    pub downtime_p99_ns: u64,
+    /// Max of the same histogram.
+    pub downtime_max_ns: u64,
+    /// Every driver decision, in submission order — per-attempt trace
+    /// ids, winner/loser outcomes, refusal reasons.
+    pub drives: Vec<DriveDecision>,
+    /// Fabric counters at run end.
+    pub fabric: FabricStats,
+    /// Invariant violations and oracle divergences (empty when correct).
+    pub divergences: Vec<String>,
+    /// Sentinel alert lines over the whole run.
+    pub sentinel_alerts: Vec<String>,
+    /// Critical (attack-class) alerts — must be zero on clean seeds
+    /// (churn-storm alerts are Warning by design).
+    pub sentinel_critical: u64,
+    /// SHA-256 over the run transcript.
+    pub transcript: [u8; 32],
+}
+
+impl FleetChaosReport {
+    /// One machine-readable JSON object (single line, stable field
+    /// order) — the `--json` chaos CLI output format.
+    pub fn to_json(&self) -> String {
+        let drives: Vec<String> = self
+            .drives
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"vm\":{},\"src\":{},\"dst\":{},\"epoch\":{},\"trace\":{},\
+                     \"reason\":{},\"conflict\":{},\"outcome\":{},\"downtime_ns\":{},\"why\":{}}}",
+                    d.vm,
+                    d.src,
+                    d.dst,
+                    d.epoch,
+                    d.trace,
+                    json_str(d.reason.label()),
+                    d.conflict,
+                    json_str(d.outcome.label()),
+                    d.downtime_ns,
+                    json_str(d.why),
+                )
+            })
+            .collect();
+        let f = self.fabric;
+        format!(
+            "{{\"family\":\"fleet\",\"seed\":{},\"rounds\":{},\"ticks\":{},\"committed\":{},\
+             \"aborted\":{},\"rejected_stale\":{},\"abandoned\":{},\"refused\":{},\
+             \"conflicts\":{},\"conflict_pairs\":{},\"multi_winner_conflicts\":{},\
+             \"crashes\":{},\"revivals\":{},\"joins\":{},\"suspects_raised\":{},\
+             \"false_suspects\":{},\"storm_pauses\":{},\"storm_resumes\":{},\"lost\":{},\
+             \"duplicated\":{},\"orphaned\":{},\"unsettled\":{},\"downtime_p99_ns\":{},\
+             \"downtime_max_ns\":{},\"drives\":[{}],\"fabric\":{{\"sent\":{},\"delivered\":{},\
+             \"dropped\":{},\"duplicated\":{},\"reordered\":{},\"crash_lost\":{}}},\
+             \"divergences\":{},\"sentinel_alerts\":{},\"sentinel_critical\":{},\"transcript\":{}}}",
+            json_str(&self.seed),
+            self.rounds,
+            self.ticks,
+            self.committed,
+            self.aborted,
+            self.rejected_stale,
+            self.abandoned,
+            self.refused,
+            self.conflicts,
+            self.conflict_pairs,
+            self.multi_winner_conflicts,
+            self.crashes,
+            self.revivals,
+            self.joins,
+            self.suspects_raised,
+            self.false_suspects,
+            self.storm_pauses,
+            self.storm_resumes,
+            self.lost,
+            self.duplicated,
+            self.orphaned,
+            self.unsettled,
+            self.downtime_p99_ns,
+            self.downtime_max_ns,
+            drives.join(","),
+            f.sent,
+            f.delivered,
+            f.dropped,
+            f.duplicated,
+            f.reordered,
+            f.crash_lost,
+            json_str_array(&self.divergences),
+            json_str_array(&self.sentinel_alerts),
+            self.sentinel_critical,
+            json_str(&hex(&self.transcript)),
+        )
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Run one seeded fleet-chaos scenario. Deterministic in `seed` and
+/// `cfg`.
+pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetChaosReport> {
+    let mut rng = Drbg::new(&[seed, b"/fleet-chaos"].concat());
+    let mut cluster = Cluster::new(
+        &[seed, b"/cluster"].concat(),
+        ClusterConfig {
+            hosts: cfg.hosts,
+            sealed: cfg.sealed,
+            frames_per_host: cfg.frames_per_host,
+            ..Default::default()
+        },
+    )?;
+    let mut fleet = Fleet::new(cfg.fleet, &cluster);
+    let mut sentinel = Sentinel::new(cfg.sentinel);
+
+    let mut report = FleetChaosReport {
+        seed: hex(seed),
+        rounds: cfg.rounds,
+        ticks: 0,
+        committed: 0,
+        aborted: 0,
+        rejected_stale: 0,
+        abandoned: 0,
+        refused: 0,
+        conflicts: 0,
+        conflict_pairs: 0,
+        multi_winner_conflicts: 0,
+        crashes: 0,
+        revivals: 0,
+        joins: 0,
+        suspects_raised: 0,
+        false_suspects: 0,
+        storm_pauses: 0,
+        storm_resumes: 0,
+        lost: 0,
+        duplicated: 0,
+        orphaned: 0,
+        unsettled: 0,
+        downtime_p99_ns: 0,
+        downtime_max_ns: 0,
+        drives: Vec::new(),
+        fabric: FabricStats::default(),
+        divergences: Vec::new(),
+        sentinel_alerts: Vec::new(),
+        sentinel_critical: 0,
+        transcript: [0; 32],
+    };
+    let mut transcript: Vec<u8> = Vec::new();
+
+    let mut oracles: Vec<TpmOracle> = Vec::new();
+    for _ in 0..cfg.vms {
+        let vm = cluster.create_vm()?;
+        oracles.push(cluster.with_vm(vm, |i| TpmOracle::capture(&i.tpm)).expect("fresh vm"));
+    }
+
+    // Down hosts and the round each revives in (harness fiat: a down
+    // host is not stepped, pumped, or heartbeated until revival).
+    let mut down: BTreeMap<usize, usize> = BTreeMap::new();
+    // Injected double-drives, as decision-index pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    // Stream cursors so the sentinel sees each record exactly once.
+    let mut audit_fed = vec![0usize; cfg.hosts];
+    let mut spans_fed = 0usize;
+    let mut alerts_fed = 0usize;
+
+    let revive =
+        |cluster: &mut Cluster, fleet: &mut Fleet, sentinel: &mut Sentinel, h: usize| -> XenResult<()> {
+            cluster.recover_host(h)?;
+            fleet.host_up(cluster, h);
+            sentinel.observe(StreamEvent::CrashRecovery {
+                host: h as u32,
+                at_ns: cluster.hosts[h].platform.hv.clock.now_ns(),
+            });
+            Ok(())
+        };
+
+    for round in 0..cfg.rounds {
+        transcript.extend_from_slice(&(round as u32).to_be_bytes());
+
+        // Revivals due this round.
+        let due: Vec<usize> =
+            down.iter().filter(|&(_, &at)| at <= round).map(|(&h, _)| h).collect();
+        let mut revived: Vec<usize> = Vec::new();
+        for h in due {
+            revive(&mut cluster, &mut fleet, &mut sentinel, h)?;
+            down.remove(&h);
+            revived.push(h);
+            report.revivals += 1;
+            transcript.extend_from_slice(&[b'U', h as u8]);
+        }
+
+        // Traffic against every at-rest VM on a live host.
+        for vm in 0..cfg.vms as u32 {
+            let runnable = cluster.runnable_hosts(vm);
+            let [home] = runnable[..] else { continue };
+            if down.contains_key(&home) || fleet.pool().has_vm(vm) {
+                continue;
+            }
+            let trace_seed =
+                [seed, b"/traffic/", &(round as u32).to_be_bytes(), &vm.to_be_bytes()].concat();
+            for ev in generate_trace(&trace_seed, cfg.events_per_round) {
+                if cluster.apply_event(vm, &ev) {
+                    oracles[vm as usize].apply(&ev);
+                } else {
+                    report
+                        .divergences
+                        .push(format!("round {round}: vm {vm} refused traffic at rest"));
+                }
+            }
+        }
+
+        let homes: Vec<Option<usize>> =
+            (0..cfg.vms as u32).map(|v| cluster.home_of(v)).collect();
+
+        // One seeded action. Drives only touch VMs homed on live hosts
+        // and live destinations — a dead toolstack daemon submits
+        // nothing; everything else is fair game.
+        let up: Vec<usize> =
+            (0..cluster.hosts.len()).filter(|h| !down.contains_key(h)).collect();
+        let drivable: Vec<u32> = (0..cfg.vms as u32)
+            .filter(|&vm| {
+                cluster.home_of(vm).is_some_and(|h| !down.contains_key(&h))
+                    && !fleet.pool().has_vm(vm)
+            })
+            .collect();
+        match rng.below(6) {
+            // Single drive.
+            0 | 1 if !drivable.is_empty() && up.len() >= 2 => {
+                let vm = drivable[rng.below(drivable.len() as u64) as usize];
+                let home = cluster.home_of(vm).expect("drivable");
+                let others: Vec<usize> = up.iter().copied().filter(|&h| h != home).collect();
+                let dst = others[rng.below(others.len() as u64) as usize];
+                fleet.drive(&mut cluster, vm, dst);
+                transcript.extend_from_slice(&[b'D', vm as u8, dst as u8]);
+            }
+            // Double-drive: the same VM toward two destinations in the
+            // same breath — the epoch-arbitration race on purpose.
+            2 if !drivable.is_empty() && up.len() >= 3 => {
+                let vm = drivable[rng.below(drivable.len() as u64) as usize];
+                let home = cluster.home_of(vm).expect("drivable");
+                let others: Vec<usize> = up.iter().copied().filter(|&h| h != home).collect();
+                let d1 = others[rng.below(others.len() as u64) as usize];
+                let mut d2 = others[rng.below(others.len() as u64) as usize];
+                if d2 == d1 {
+                    d2 = others[(others.iter().position(|&h| h == d1).unwrap() + 1)
+                        % others.len()];
+                }
+                let a = fleet.drive(&mut cluster, vm, d1);
+                let b = fleet.drive(&mut cluster, vm, d2);
+                if let (Submitted::Admitted { idx: ia, .. }, Submitted::Admitted { idx: ib, .. }) =
+                    (a, b)
+                {
+                    pairs.push((ia, ib));
+                    report.conflict_pairs += 1;
+                }
+                transcript.extend_from_slice(&[b'W', vm as u8, d1 as u8, d2 as u8]);
+            }
+            // Fabric fault armed on an upcoming send (control-plane
+            // heartbeats ride the same counter, so drops here are how
+            // false suspects happen).
+            3 => {
+                let kind = match rng.below(3) {
+                    0 => FabricFault::Drop,
+                    1 => FabricFault::Duplicate,
+                    _ => FabricFault::Reorder,
+                };
+                let at = cluster.fabric.stats().sent + rng.below(8);
+                cluster.fabric.inject_fault(at, kind);
+                transcript.push(b'F');
+            }
+            // Crash a host; it stays down for a seeded number of
+            // rounds. Never the last live host.
+            4 if up.len() > 1 => {
+                let h = up[rng.below(up.len() as u64) as usize];
+                cluster.fabric.crash_host(h);
+                fleet.host_down(&mut cluster, h);
+                down.insert(h, round + 1 + rng.below(3) as usize);
+                report.crashes += 1;
+                transcript.extend_from_slice(&[b'X', h as u8]);
+            }
+            // Join a host (until the cap).
+            5 if cluster.hosts.len() < cfg.max_hosts => {
+                let h = cluster.add_host()?;
+                fleet.host_joined(&cluster, h);
+                audit_fed.push(0);
+                report.joins += 1;
+                transcript.extend_from_slice(&[b'J', h as u8]);
+            }
+            _ => transcript.push(b'Q'),
+        }
+
+        // Run the controller.
+        for _ in 0..cfg.ticks_per_round {
+            fleet.tick(&mut cluster);
+        }
+        // Adoption is a restore (fresh TPM boot over preserved state),
+        // and so is recovery: sync the oracles' active-counter latches.
+        for vm in 0..cfg.vms as u32 {
+            let now = cluster.home_of(vm);
+            let moved = now != homes[vm as usize];
+            let revived_home = now.is_some_and(|h| revived.contains(&h));
+            if moved || revived_home {
+                oracles[vm as usize].note_reboot();
+            }
+        }
+
+        // Per-round invariants: no VM may ever be runnable twice; VMs
+        // at rest on live hosts must match their oracles.
+        for vm in 0..cfg.vms as u32 {
+            let runnable = cluster.runnable_hosts(vm);
+            if runnable.len() > 1 {
+                report.duplicated += 1;
+                report
+                    .divergences
+                    .push(format!("round {round}: vm {vm} runnable on {runnable:?}"));
+            }
+            transcript.push(cluster.home_of(vm).map_or(0xFF, |h| h as u8));
+            if cfg.oracle_checks {
+                let [home] = runnable[..] else { continue };
+                if down.contains_key(&home) || fleet.pool().has_vm(vm) {
+                    continue;
+                }
+                match cluster.with_vm(vm, |i| oracles[vm as usize].diff(&i.tpm)) {
+                    Some(d) if d.is_empty() => {}
+                    Some(d) => report
+                        .divergences
+                        .push(format!("round {round}: vm {vm} diverged: {}", d.join("; "))),
+                    None => report
+                        .divergences
+                        .push(format!("round {round}: vm {vm} has no live instance")),
+                }
+            }
+        }
+
+        // Feed the round's exhaust to the sentinel, then close the
+        // loop: churn-storm alerts drive the rebalance-pause latch.
+        for (h, fed) in audit_fed.iter_mut().enumerate() {
+            let entries = cluster.hosts[h].audit.entries();
+            for e in &entries[*fed..] {
+                sentinel.observe(audit_event(h as u32, e));
+            }
+            *fed = entries.len();
+        }
+        let spans = cluster.telemetry().spans();
+        for m in &spans[spans_fed..] {
+            sentinel.observe(StreamEvent::MigrationSpan(m.clone()));
+        }
+        spans_fed = spans.len();
+        let alerts = sentinel.alerts();
+        let (p, r) = apply_fleet_alerts(&mut fleet, &alerts[alerts_fed..]);
+        alerts_fed = alerts.len();
+        report.storm_pauses += p as u64;
+        report.storm_resumes += r as u64;
+    }
+
+    // Final sweep: revive everything, drain the pool, settle every VM,
+    // then account for each one exactly once.
+    let still_down: Vec<usize> = down.keys().copied().collect();
+    for h in still_down {
+        revive(&mut cluster, &mut fleet, &mut sentinel, h)?;
+        down.remove(&h);
+        report.revivals += 1;
+    }
+    let drained_homes: Vec<Option<usize>> =
+        (0..cfg.vms as u32).map(|v| cluster.home_of(v)).collect();
+    fleet.drain(&mut cluster);
+    for vm in 0..cfg.vms as u32 {
+        cluster.resolve(vm);
+        if cluster.home_of(vm) != drained_homes[vm as usize] {
+            oracles[vm as usize].note_reboot();
+        }
+    }
+    for vm in 0..cfg.vms as u32 {
+        let runnable = cluster.runnable_hosts(vm);
+        match runnable.len() {
+            0 => {
+                report.lost += 1;
+                report.divergences.push(format!("final: vm {vm} runnable nowhere"));
+            }
+            1 => match cluster.with_vm(vm, |i| oracles[vm as usize].diff(&i.tpm)) {
+                Some(d) if d.is_empty() => {}
+                Some(d) => report
+                    .divergences
+                    .push(format!("final: vm {vm} diverged: {}", d.join("; "))),
+                None => report.divergences.push(format!("final: vm {vm} has no live instance")),
+            },
+            _ => {
+                report.duplicated += 1;
+                report.divergences.push(format!("final: vm {vm} runnable on {runnable:?}"));
+            }
+        }
+    }
+    // Orphans (instances without a journal mapping), in-doubt journal
+    // runs, audit chain integrity — per host.
+    for h in 0..cluster.hosts.len() {
+        let mapped: Vec<_> =
+            cluster.hosts[h].journal.mapped_vms().iter().map(|&(_, l)| l).collect();
+        for id in cluster.hosts[h].platform.manager.instance_ids() {
+            if !mapped.contains(&id) {
+                report.orphaned += 1;
+                report.divergences.push(format!("final: host {h} orphaned instance {id:?}"));
+            }
+        }
+        for vm in 0..cfg.vms as u32 {
+            if cluster.hosts[h].journal.open_quiesce(vm).is_some()
+                || cluster.hosts[h].journal.open_prepare(vm).is_some()
+            {
+                report.unsettled += 1;
+                report
+                    .divergences
+                    .push(format!("final: host {h} journal still in doubt for vm {vm}"));
+            }
+        }
+        let entries = cluster.hosts[h].audit.entries();
+        if !vtpm_ac::AuditLog::verify(&entries) {
+            report.divergences.push(format!("final: host {h} audit chain broken"));
+        }
+        transcript.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+        transcript
+            .extend_from_slice(&(cluster.hosts[h].journal.records().len() as u32).to_be_bytes());
+    }
+    // Every injected conflict: at most one winner, ever.
+    for &(ia, ib) in &pairs {
+        let d = fleet.pool().decisions();
+        let winners = [d[ia], d[ib]]
+            .iter()
+            .filter(|d| d.outcome == DriveOutcome::Committed)
+            .count();
+        if winners > 1 {
+            report.multi_winner_conflicts += 1;
+            report.divergences.push(format!(
+                "final: conflict over vm {} produced {winners} winners",
+                d[ia].vm
+            ));
+        }
+    }
+
+    // Fold the controller's own accounting into the report.
+    let snap = fleet.snapshot();
+    report.ticks = snap.ticks;
+    report.committed = snap.drives_committed;
+    report.aborted = snap.drives_aborted;
+    report.rejected_stale = snap.drives_rejected_stale;
+    report.abandoned = snap.drives_abandoned;
+    report.refused = snap.drives_refused;
+    report.conflicts = snap.conflicts;
+    report.suspects_raised = snap.suspects_raised;
+    report.false_suspects = snap.false_suspects;
+    report.downtime_p99_ns = snap.downtime.p99;
+    report.downtime_max_ns = snap.downtime.max;
+    report.drives = fleet.pool().decisions().to_vec();
+    report.fabric = cluster.fabric.stats();
+
+    for d in &report.drives {
+        transcript.extend_from_slice(&d.vm.to_be_bytes());
+        transcript.extend_from_slice(&d.epoch.to_be_bytes());
+        transcript.extend_from_slice(&d.trace.to_be_bytes());
+        transcript.extend_from_slice(d.outcome.label().as_bytes());
+    }
+    for n in [
+        report.fabric.sent,
+        report.fabric.delivered,
+        report.fabric.dropped,
+        report.fabric.duplicated,
+        report.fabric.reordered,
+        report.fabric.crash_lost,
+        snap.heartbeats_seen,
+    ] {
+        transcript.extend_from_slice(&n.to_be_bytes());
+    }
+    report.sentinel_alerts = sentinel.alerts().iter().map(|a| a.line()).collect();
+    report.sentinel_critical =
+        sentinel.alerts().iter().filter(|a| a.severity == Severity::Critical).count() as u64;
+    for line in &report.sentinel_alerts {
+        transcript.extend_from_slice(line.as_bytes());
+    }
+    report.transcript = sha256(&transcript);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_chaos_is_deterministic_and_accounts_for_every_vm() {
+        let cfg = FleetChaosConfig { rounds: 8, ..Default::default() };
+        let a = run_fleet_chaos(b"fleet-chaos-unit", &cfg).unwrap();
+        let b = run_fleet_chaos(b"fleet-chaos-unit", &cfg).unwrap();
+        assert_eq!(a, b, "replay must be byte-identical");
+        assert!(a.divergences.is_empty(), "divergences: {:?}", a.divergences);
+        assert_eq!((a.lost, a.duplicated, a.orphaned, a.unsettled), (0, 0, 0, 0));
+        assert_eq!(a.multi_winner_conflicts, 0);
+        assert!(a.ticks > 0 && a.committed + a.aborted + a.rejected_stale + a.crashes > 0);
+        let c = run_fleet_chaos(b"fleet-chaos-unit-2", &cfg).unwrap();
+        assert_ne!(a.transcript, c.transcript, "different seeds, different transcripts");
+    }
+
+    #[test]
+    fn double_drives_surface_in_the_decision_log() {
+        // Sweep seeds until one injects a double-drive, then check the
+        // decision log tells the winner/loser story end to end.
+        for s in 0..16u8 {
+            let cfg = FleetChaosConfig { rounds: 12, ..Default::default() };
+            let r = run_fleet_chaos(&[&b"fleet-pair-"[..], &[s]].concat(), &cfg).unwrap();
+            assert!(r.divergences.is_empty(), "seed {s}: {:?}", r.divergences);
+            if r.conflict_pairs == 0 {
+                continue;
+            }
+            assert!(r.conflicts >= r.conflict_pairs);
+            let conflicted: Vec<_> = r.drives.iter().filter(|d| d.conflict).collect();
+            assert!(conflicted.len() >= 2);
+            assert!(conflicted.iter().all(|d| d.trace != 0), "admitted drives carry trace ids");
+            return;
+        }
+        panic!("no seed injected a double-drive in 16 tries");
+    }
+
+    #[test]
+    fn report_json_is_one_line_and_tagged() {
+        let cfg = FleetChaosConfig { rounds: 3, vms: 2, ..Default::default() };
+        let r = run_fleet_chaos(b"fleet-json-unit", &cfg).unwrap();
+        let json = r.to_json();
+        assert!(json.starts_with("{\"family\":\"fleet\","));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"drives\":["));
+        assert!(json.contains("\"downtime_p99_ns\":"));
+    }
+}

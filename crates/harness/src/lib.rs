@@ -28,15 +28,19 @@
 //! which is what `tests/chaos.rs` and `scripts/chaos.sh` check.
 
 pub mod attest_chaos;
+pub mod fleet_chaos;
 pub mod migration_chaos;
 pub mod sentinel_feed;
 
 pub use attest_chaos::{run_attest_chaos, AttestChaosConfig, AttestChaosReport};
+pub use fleet_chaos::{run_fleet_chaos, FleetChaosConfig, FleetChaosReport};
 pub use migration_chaos::{
     run_crash_matrix, run_migration_chaos, CrashMatrixReport, MatrixCell, MigrationChaosConfig,
     MigrationChaosReport,
 };
-pub use sentinel_feed::{apply_verifier_alerts, attest_event, audit_event, dump_event};
+pub use sentinel_feed::{
+    apply_fleet_alerts, apply_verifier_alerts, attest_event, audit_event, dump_event,
+};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

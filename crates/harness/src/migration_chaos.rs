@@ -292,7 +292,7 @@ pub fn run_migration_chaos(
             }
             // Rebalance pass.
             _ => {
-                let moves = cluster.rebalance();
+                let moves = cluster.rebalance().expect("chaos cluster has hosts");
                 report.rebalance_moves += moves as u64;
                 transcript.extend_from_slice(&[b'B', moves as u8]);
             }

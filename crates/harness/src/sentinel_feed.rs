@@ -9,6 +9,7 @@
 use vtpm::VtpmManager;
 use vtpm_ac::{AuditEntry, AuditOutcome};
 use vtpm_attest::{AttestEvent, VerifierPool};
+use vtpm_fleet::Fleet;
 use vtpm_sentinel::{Alert, AttestView, AuditKind, AuditView, DumpView, StreamEvent};
 use xen_sim::DumpEvent;
 
@@ -89,6 +90,34 @@ pub fn apply_verifier_alerts(pool: &VerifierPool, alerts: &[Alert]) -> usize {
         }
     }
     applied
+}
+
+/// Close the detection loop on the fleet plane: the sentinel's
+/// churn-storm detector pauses the rebalancer while a crash storm is
+/// raging (rebalancing *into* churn multiplies in-doubt handoffs) and
+/// releases it when the storm clears. Raise alerts carry a plain
+/// detail; the matching clear's detail starts with `"cleared"` — this
+/// bridge keys on that prefix. Per-host flap alerts share the detector
+/// name but are informational here. Returns `(paused, resumed)` —
+/// latch transitions actually applied; re-feeding the same alerts is a
+/// no-op because the latch is level-sensitive.
+pub fn apply_fleet_alerts(fleet: &mut Fleet, alerts: &[Alert]) -> (usize, usize) {
+    let (mut paused, mut resumed) = (0, 0);
+    for alert in alerts {
+        if alert.detector != "churn-storm" {
+            continue;
+        }
+        if alert.detail.starts_with("cleared") {
+            if fleet.paused() {
+                fleet.resume_rebalance();
+                resumed += 1;
+            }
+        } else if alert.detail.starts_with("churn storm") && !fleet.paused() {
+            fleet.pause_rebalance();
+            paused += 1;
+        }
+    }
+    (paused, resumed)
 }
 
 #[cfg(test)]

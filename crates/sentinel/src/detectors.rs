@@ -42,6 +42,12 @@ pub fn default_detectors(cfg: &SentinelConfig) -> Vec<Box<dyn Detector>> {
         Box::new(ScrubEscalation::new(cfg.scrub_budget)),
         Box::new(QuoteStorm::new(cfg.quote_storm_window_ns, cfg.quote_storm_burst)),
         Box::new(StaleQuoteWatch::new(cfg.stale_quote_window_ns, cfg.stale_quote_burst)),
+        Box::new(ChurnStorm::new(
+            cfg.churn_window_ns,
+            cfg.churn_storm_crashes,
+            cfg.churn_clear_crashes,
+            cfg.host_flap_crashes,
+        )),
     ]
 }
 
@@ -462,10 +468,167 @@ impl Detector for StaleQuoteWatch {
     }
 }
 
+/// Watches host crash-recovery markers for fleet churn: a **storm**
+/// (too many recoveries across the fleet inside the window) and
+/// per-host **flapping** (one host recovering repeatedly).
+///
+/// Storm alerts are *stateful*, not latched: the raise carries a plain
+/// detail, and when the sliding window drains back to `clear` or fewer
+/// recoveries the detector emits a second alert whose detail starts
+/// with `"cleared"` — the fleet's rebalance-pause bridge keys on that
+/// prefix, so the closed loop both opens and closes. Every stream event
+/// slides the window (all events carry virtual time), so a quiet fleet
+/// clears on the next heartbeat-driven span or audit record rather than
+/// waiting for another crash. Flap alerts latch per host, like the
+/// other security detectors.
+///
+/// Severity is `Warning` throughout: churn is an operational condition
+/// (the rebalancer must *pause*, not page), and clean chaos seeds
+/// legitimately produce it — a `Critical` here would turn every
+/// churn-heavy seed into a false positive.
+pub struct ChurnStorm {
+    window_ns: u64,
+    storm: usize,
+    clear: usize,
+    flap: usize,
+    /// Recent recovery timestamps, fleet-wide.
+    recent: VecDeque<u64>,
+    /// Recent recovery timestamps per host.
+    per_host: BTreeMap<u32, VecDeque<u64>>,
+    storm_active: bool,
+    flapped: BTreeSet<u32>,
+}
+
+impl ChurnStorm {
+    /// New watch over `window_ns` of virtual time.
+    pub fn new(window_ns: u64, storm: usize, clear: usize, flap: usize) -> Self {
+        ChurnStorm {
+            window_ns,
+            storm,
+            clear,
+            flap,
+            recent: VecDeque::new(),
+            per_host: BTreeMap::new(),
+            storm_active: false,
+            flapped: BTreeSet::new(),
+        }
+    }
+
+    fn slide(&mut self, at_ns: u64) {
+        while self.recent.front().is_some_and(|&t| t + self.window_ns < at_ns) {
+            self.recent.pop_front();
+        }
+    }
+
+    fn alert(&self, host: u32, at_ns: u64, detail: String) -> Alert {
+        Alert {
+            detector: "churn-storm",
+            host,
+            at_ns,
+            severity: Severity::Warning,
+            trace_id: None,
+            domain: Some(host),
+            detail,
+        }
+    }
+}
+
+impl Detector for ChurnStorm {
+    fn name(&self) -> &'static str {
+        "churn-storm"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        let at_ns = ev.at_ns();
+        self.slide(at_ns);
+        if let StreamEvent::CrashRecovery { host, at_ns } = *ev {
+            self.recent.push_back(at_ns);
+            let q = self.per_host.entry(host).or_default();
+            q.push_back(at_ns);
+            while q.front().is_some_and(|&t| t + self.window_ns < at_ns) {
+                q.pop_front();
+            }
+            let flapping = q.len();
+            if !self.storm_active && self.recent.len() >= self.storm {
+                self.storm_active = true;
+                return Some(self.alert(
+                    host,
+                    at_ns,
+                    format!(
+                        "churn storm: {} host recoveries within {}ms — rebalancing should pause",
+                        self.recent.len(),
+                        self.window_ns / 1_000_000
+                    ),
+                ));
+            }
+            if flapping >= self.flap && self.flapped.insert(host) {
+                return Some(self.alert(
+                    host,
+                    at_ns,
+                    format!(
+                        "host {host} flapping: {flapping} recoveries within {}ms",
+                        self.window_ns / 1_000_000
+                    ),
+                ));
+            }
+        } else if self.storm_active && self.recent.len() <= self.clear {
+            self.storm_active = false;
+            return Some(self.alert(
+                ev.host(),
+                at_ns,
+                format!(
+                    "cleared: churn subsided to {} recoveries within {}ms",
+                    self.recent.len(),
+                    self.window_ns / 1_000_000
+                ),
+            ));
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::DumpView;
+
+    #[test]
+    fn churn_storm_raises_then_clears_then_rearms() {
+        let mut d = ChurnStorm::new(1_000, 3, 1, 10);
+        let crash = |h, t| StreamEvent::CrashRecovery { host: h, at_ns: t };
+        assert!(d.observe(&crash(0, 100)).is_none());
+        assert!(d.observe(&crash(1, 200)).is_none());
+        let storm = d.observe(&crash(2, 300)).expect("third recovery in window is a storm");
+        assert_eq!(storm.detector, "churn-storm");
+        assert_eq!(storm.severity, Severity::Warning);
+        assert!(!storm.detail.starts_with("cleared"));
+        // More churn while active stays quiet (stateful, not spammy).
+        assert!(d.observe(&crash(3, 400)).is_none());
+        // Any later event slides the window; once it drains, the clear
+        // fires exactly once.
+        let quiet = StreamEvent::Gauge { host: 0, at_ns: 5_000, name: "x", value: 0 };
+        let cleared = d.observe(&quiet).expect("drained window clears the storm");
+        assert!(cleared.detail.starts_with("cleared"), "{}", cleared.detail);
+        assert!(d.observe(&quiet).is_none());
+        // A fresh burst re-raises.
+        assert!(d.observe(&crash(0, 6_000)).is_none());
+        assert!(d.observe(&crash(1, 6_100)).is_none());
+        assert!(d.observe(&crash(2, 6_200)).is_some());
+    }
+
+    #[test]
+    fn host_flap_latches_per_host() {
+        let mut d = ChurnStorm::new(1_000, 100, 1, 2);
+        let crash = |h, t| StreamEvent::CrashRecovery { host: h, at_ns: t };
+        assert!(d.observe(&crash(7, 100)).is_none());
+        let flap = d.observe(&crash(7, 200)).expect("second recovery of host 7 flaps");
+        assert!(flap.detail.contains("flapping"), "{}", flap.detail);
+        assert_eq!(flap.domain, Some(7));
+        // Latched: a third recovery stays quiet; another host is fresh.
+        assert!(d.observe(&crash(7, 300)).is_none());
+        assert!(d.observe(&crash(8, 300)).is_none());
+        assert!(d.observe(&crash(8, 400)).is_some());
+    }
 
     #[test]
     fn dump_signature_excuses_recovery_scans() {

@@ -45,8 +45,8 @@ pub mod detectors;
 pub mod flight;
 
 pub use detectors::{
-    default_detectors, DenyRateEwma, Detector, DumpSignature, NonceHygiene, QuoteStorm,
-    ReplayWatch, ScrubEscalation, StaleQuoteWatch,
+    default_detectors, ChurnStorm, DenyRateEwma, Detector, DumpSignature, NonceHygiene,
+    QuoteStorm, ReplayWatch, ScrubEscalation, StaleQuoteWatch,
 };
 pub use flight::{FlightDump, FlightRecorder};
 
@@ -321,6 +321,18 @@ pub struct SentinelConfig {
     /// Stale/replayed presentations within the window that trip the
     /// watch.
     pub stale_quote_burst: usize,
+    /// Sliding window for the churn-storm / host-flap watch (virtual
+    /// ns).
+    pub churn_window_ns: u64,
+    /// Crash-recoveries (any host) within the window that qualify as a
+    /// churn storm.
+    pub churn_storm_crashes: usize,
+    /// Once a storm is raised, it clears when the window drains to at
+    /// most this many crash-recoveries.
+    pub churn_clear_crashes: usize,
+    /// Crash-recoveries of a *single* host within the window that flag
+    /// that host as flapping.
+    pub host_flap_crashes: usize,
 }
 
 impl Default for SentinelConfig {
@@ -354,6 +366,14 @@ impl Default for SentinelConfig {
             // verifier ages out of it at most once per window roll; a
             // burst of four refusals means replayed/hoarded evidence.
             stale_quote_burst: 4,
+            // Migration-chaos rounds advance virtual time by whole
+            // milliseconds each (fabric frames + RSA opens), so
+            // organic crashes land several ms apart; four recoveries
+            // crammed into 5 ms is a storm by construction.
+            churn_window_ns: 5_000_000,
+            churn_storm_crashes: 4,
+            churn_clear_crashes: 1,
+            host_flap_crashes: 3,
         }
     }
 }

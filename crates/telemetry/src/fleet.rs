@@ -1,0 +1,193 @@
+//! Fleet control-plane observability: per-tick stage histograms and
+//! cluster-wide drive outcome counters.
+//!
+//! The fleet controller runs a fixed loop each round — observe
+//! heartbeats, evaluate suspicion, plan rebalance moves, drive the
+//! in-flight migration pool — and charges virtual time in every phase
+//! (fabric latency for heartbeats, protocol steps for drives). Each
+//! phase's virtual-clock cost is folded into a per-stage histogram
+//! here, alongside counters for every way a drive can end and a
+//! cluster-wide downtime histogram over *committed* drives (the
+//! concurrent-fleet counterpart of R-M1's single-migration downtime:
+//! contention between interleaved drives shows up directly in the tail,
+//! which is why R-M2 reports this histogram's p99).
+//!
+//! Everything takes caller-supplied virtual-clock durations, so chaos
+//! replays stay byte-deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Histogram, HistogramSnapshot};
+
+/// Fleet tick phase labels, in loop order. Indexes into
+/// [`FleetSnapshot::stages`].
+pub const FLEET_STAGE_LABELS: [&str; 4] = ["observe", "suspect", "plan", "drive"];
+
+/// Counters + histograms for one fleet controller.
+#[derive(Default)]
+pub struct FleetTelemetry {
+    ticks: AtomicU64,
+    heartbeats_seen: AtomicU64,
+    suspects_raised: AtomicU64,
+    false_suspects: AtomicU64,
+    drives_submitted: AtomicU64,
+    drives_committed: AtomicU64,
+    drives_rejected_stale: AtomicU64,
+    drives_aborted: AtomicU64,
+    drives_abandoned: AtomicU64,
+    drives_refused: AtomicU64,
+    conflicts: AtomicU64,
+    stages: [Histogram; 4],
+    downtime: Histogram,
+}
+
+impl FleetTelemetry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One controller tick completed.
+    pub fn note_tick(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` heartbeats consumed from the control inbox.
+    pub fn note_heartbeats(&self, n: u64) {
+        self.heartbeats_seen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A host newly crossed the suspicion threshold. `false_positive`
+    /// marks a host the simulation knows is actually alive.
+    pub fn note_suspect(&self, false_positive: bool) {
+        self.suspects_raised.fetch_add(1, Ordering::Relaxed);
+        if false_positive {
+            self.false_suspects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A drive entered the pool.
+    pub fn note_submitted(&self, conflict: bool) {
+        self.drives_submitted.fetch_add(1, Ordering::Relaxed);
+        if conflict {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A drive committed; `downtime_ns` is its quiesce→commit window.
+    pub fn note_committed(&self, downtime_ns: u64) {
+        self.drives_committed.fetch_add(1, Ordering::Relaxed);
+        self.downtime.record(downtime_ns);
+    }
+
+    /// A drive lost an epoch race and was refused stale.
+    pub fn note_rejected_stale(&self) {
+        self.drives_rejected_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A drive aborted (fault, lost ack, verification failure).
+    pub fn note_aborted(&self) {
+        self.drives_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A drive was abandoned because a host it touched crashed.
+    pub fn note_abandoned(&self) {
+        self.drives_abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was refused before entering the pool (pool full,
+    /// or the VM had no live home).
+    pub fn note_refused(&self) {
+        self.drives_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold `ns` of virtual time into tick phase `stage`
+    /// (index into [`FLEET_STAGE_LABELS`]).
+    pub fn record_stage(&self, stage: usize, ns: u64) {
+        self.stages[stage].record(ns);
+    }
+
+    /// Freeze everything into a summary.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            heartbeats_seen: self.heartbeats_seen.load(Ordering::Relaxed),
+            suspects_raised: self.suspects_raised.load(Ordering::Relaxed),
+            false_suspects: self.false_suspects.load(Ordering::Relaxed),
+            drives_submitted: self.drives_submitted.load(Ordering::Relaxed),
+            drives_committed: self.drives_committed.load(Ordering::Relaxed),
+            drives_rejected_stale: self.drives_rejected_stale.load(Ordering::Relaxed),
+            drives_aborted: self.drives_aborted.load(Ordering::Relaxed),
+            drives_abandoned: self.drives_abandoned.load(Ordering::Relaxed),
+            drives_refused: self.drives_refused.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            stages: [
+                self.stages[0].snapshot(),
+                self.stages[1].snapshot(),
+                self.stages[2].snapshot(),
+                self.stages[3].snapshot(),
+            ],
+            downtime: self.downtime.snapshot(),
+        }
+    }
+}
+
+/// A frozen view of a [`FleetTelemetry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSnapshot {
+    /// Controller ticks run.
+    pub ticks: u64,
+    /// Heartbeats consumed from the control inbox.
+    pub heartbeats_seen: u64,
+    /// Hosts that newly crossed the suspicion threshold.
+    pub suspects_raised: u64,
+    /// Suspicions raised against hosts that were actually alive.
+    pub false_suspects: u64,
+    /// Drives admitted to the pool.
+    pub drives_submitted: u64,
+    /// Drives that committed.
+    pub drives_committed: u64,
+    /// Drives refused stale (lost an epoch race).
+    pub drives_rejected_stale: u64,
+    /// Drives aborted.
+    pub drives_aborted: u64,
+    /// Drives abandoned to a host crash.
+    pub drives_abandoned: u64,
+    /// Submissions refused before entering the pool.
+    pub drives_refused: u64,
+    /// Submissions that raced another in-flight drive of the same VM.
+    pub conflicts: u64,
+    /// Virtual time per tick phase ([`FLEET_STAGE_LABELS`]).
+    pub stages: [HistogramSnapshot; 4],
+    /// Quiesce→commit downtime over committed drives, cluster-wide.
+    pub downtime: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_fold_into_the_snapshot() {
+        let t = FleetTelemetry::new();
+        t.note_tick();
+        t.note_heartbeats(5);
+        t.note_suspect(false);
+        t.note_suspect(true);
+        t.note_submitted(false);
+        t.note_submitted(true);
+        t.note_committed(1_000_000);
+        t.note_rejected_stale();
+        t.record_stage(3, 42);
+        let s = t.snapshot();
+        assert_eq!(s.ticks, 1);
+        assert_eq!(s.heartbeats_seen, 5);
+        assert_eq!((s.suspects_raised, s.false_suspects), (2, 1));
+        assert_eq!((s.drives_submitted, s.conflicts), (2, 1));
+        assert_eq!((s.drives_committed, s.drives_rejected_stale), (1, 1));
+        assert_eq!(s.downtime.count, 1);
+        assert!(s.downtime.p99 > 0);
+        assert_eq!(s.stages[3].count, 1);
+        assert_eq!(s.stages[0].count, 0);
+    }
+}

@@ -30,12 +30,14 @@
 
 mod attest;
 mod export;
+mod fleet;
 mod histogram;
 mod migration;
 mod ring;
 
 pub use attest::{AttestSnapshot, AttestTelemetry, QuoteSpanRecord, QUOTE_STAGE_LABELS};
 pub use export::{chrome_trace, cluster_chrome_trace};
+pub use fleet::{FleetSnapshot, FleetTelemetry, FLEET_STAGE_LABELS};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use migration::{
     migration_trace_id, MigrationOutcome, MigrationSnapshot, MigrationSpanRecord,

@@ -30,6 +30,14 @@
 #   seeded defense scenarios' refusal/throttle/alert counts). The
 #   binary exits nonzero if the R-A1 gate fails.
 #
+#   BENCH_fleet.json — fleet control-plane numbers: the R-M2 churn
+#   sweep (per-seed committed/conflict/suspect counts, cluster-wide
+#   p99 quiesce->commit blackout in virtual time, exactly-once
+#   accounting, byte-identical replays), wall ns per heartbeat through
+#   the phi-accrual estimator at fleet width, and wall ns per
+#   controller tick at bench scale. The binary exits nonzero if the
+#   R-M2 gate fails.
+#
 # Usage:
 #   scripts/bench.sh             # full sizes
 #   scripts/bench.sh --quick     # CI-sized
@@ -59,3 +67,7 @@ cargo run --release -p vtpm-bench --bin crypto_bench -- \
 echo "== attest bench -> ${out_dir}/BENCH_attest.json =="
 cargo run --release -p vtpm-bench --bin attest_bench -- \
     "${quick[@]}" --out "${out_dir}/BENCH_attest.json"
+
+echo "== fleet bench -> ${out_dir}/BENCH_fleet.json =="
+cargo run --release -p vtpm-bench --bin fleet_bench -- \
+    "${quick[@]}" --out "${out_dir}/BENCH_fleet.json"

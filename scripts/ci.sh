@@ -33,7 +33,14 @@
 #      per-request qps at unchanged PCR state, an honest submission is
 #      refused, any injected replay/stale quote slips through or goes
 #      undetected, the storm-throttle loop fails to close, or an
-#      attack-free seed raises a critical alert.
+#      attack-free seed raises a critical alert;
+#  10. fleet chaos smoke + R-M2: 8 seeded churn-storm scenarios through
+#      the fleet control plane (phi-accrual detection, concurrent
+#      drivers, rebalancer) replayed twice each, then `repro m2 --quick`
+#      — exits nonzero if any vTPM ends lost/duplicated/orphaned, any
+#      journal stays in doubt, any injected double-drive commits two
+#      winners, any seed fails byte-identical replay, or the p99
+#      quiesce->commit blackout blows its budget.
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -76,5 +83,12 @@ cargo run --release -p vtpm-harness --bin chaos -- \
 
 echo "== R-A1: attestation plane (cached qps >= 3x, clean defense sweep) =="
 cargo run --release -p vtpm-bench --bin repro -- a1 --quick
+
+echo "== fleet chaos smoke: 8 seeds, replayed twice each =="
+cargo run --release -p vtpm-harness --bin chaos -- \
+    --seeds 8 --base ci-fleet --family fleet
+
+echo "== R-M2: fleet churn sweep (exactly-once accounting, single-winner conflicts) =="
+cargo run --release -p vtpm-bench --bin repro -- m2 --quick
 
 echo "CI gate passed."
