@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|m2|d1|p1|c1|a1  # one experiment
+//! repro t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|m2|o2|d1|p1|c1|a1  # one experiment
 //! repro all                          # everything
 //! repro all --quick                  # reduced repetitions (CI-sized)
 //! ```
@@ -19,8 +19,13 @@
 //! (unrefused replay/stale evidence, undetected storm, clean-sweep
 //! false positive), or if R-M2's fleet churn sweep loses, duplicates,
 //! or orphans a vTPM, lets an injected conflict commit two winners,
-//! fails to replay a seed byte-identically, or blows its p99 blackout
-//! budget — the CI gate in `scripts/ci.sh` relies on all seven.
+//! fails to replay a seed byte-identically, blows its p99 blackout
+//! budget, or exceeds its false-suspicion budget, or if R-O2's fleet
+//! observatory burns an SLO on an attack-free seed, misses an injected
+//! blackout regression anywhere along the burn→pause→clear→resume
+//! loop, drifts past the merged-p99 fidelity bound, or blows its
+//! scrape self-overhead budget — the CI gate in `scripts/ci.sh`
+//! relies on all of them.
 
 use vtpm_bench::exp;
 
@@ -51,6 +56,10 @@ struct Sizes {
     m2_vms: usize,
     m2_rounds: usize,
     m2_seeds: usize,
+    o2_hosts: usize,
+    o2_vms: usize,
+    o2_rounds: usize,
+    o2_seeds: usize,
     d1_mirror_seeds: usize,
     d1_migration_seeds: usize,
     d1_events: usize,
@@ -102,6 +111,13 @@ impl Sizes {
             m2_vms: 1_000,
             m2_rounds: 8,
             m2_seeds: 2,
+            // The observatory rides the same chaos family; its gates
+            // (no attack-free burn, fidelity, loop, overhead) are
+            // scale-free, so the sweep stays lighter than R-M2's.
+            o2_hosts: 32,
+            o2_vms: 160,
+            o2_rounds: 8,
+            o2_seeds: 2,
             // 32 + 32 + the matrix = the 65-scenario sweep the chaos CI
             // stage replays byte-for-byte.
             d1_mirror_seeds: 32,
@@ -159,6 +175,10 @@ impl Sizes {
             m2_vms: 24,
             m2_rounds: 6,
             m2_seeds: 2,
+            o2_hosts: 8,
+            o2_vms: 24,
+            o2_rounds: 5,
+            o2_seeds: 1,
             d1_mirror_seeds: 4,
             d1_migration_seeds: 4,
             d1_events: 30,
@@ -195,7 +215,7 @@ fn main() {
     let which: Vec<&str> = if which.is_empty() || which.contains(&"all") {
         vec![
             "t1", "f1", "t2", "f2", "t3", "f3", "f4", "t4", "f5", "f6", "r1", "o1", "m1", "m2",
-            "d1", "p1", "c1", "a1",
+            "o2", "d1", "p1", "c1", "a1",
         ]
     } else {
         which
@@ -240,6 +260,14 @@ fn main() {
                     over_budget = true;
                 }
                 exp::m2::render(&report)
+            }
+            "o2" => {
+                let report =
+                    exp::o2::run(sizes.o2_hosts, sizes.o2_vms, sizes.o2_rounds, sizes.o2_seeds);
+                if exp::o2::gate_failed(&report) {
+                    over_budget = true;
+                }
+                exp::o2::render(&report)
             }
             "d1" => {
                 let report = exp::d1::run(
@@ -288,7 +316,7 @@ fn main() {
                 exp::a1::render(&report)
             }
             other => {
-                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|m2|d1|p1|c1|a1|all)");
+                eprintln!("unknown experiment `{other}` (expected t1|f1|t2|f2|t3|f3|f4|t4|f5|f6|r1|o1|m1|m2|o2|d1|p1|c1|a1|all)");
                 std::process::exit(2);
             }
         };
@@ -303,7 +331,10 @@ fn main() {
              R-C1 >= {:.0}x RSA speedup / >= {:.0} MB/s AES-CTR, \
              R-A1 >= {:.0}x cached-attestation speedup + clean defense sweep, \
              R-M2 exactly-once fleet accounting + single-winner conflicts + \
-             byte-identical replays + p99 blackout <= {:.0}ms)",
+             byte-identical replays + p99 blackout <= {:.0}ms + \
+             <= {} false suspicions per seed, \
+             R-O2 zero attack-free SLO burns + merged-p99 fidelity <= 1/16 + \
+             full burn closed loop + <= {}% scrape overhead)",
             exp::o1::BUDGET_PCT,
             exp::m1::BUDGET_PREMIUM_US / 1e3,
             exp::p1::BUDGET_RATIO,
@@ -311,6 +342,8 @@ fn main() {
             exp::c1::MIN_AES_CTR_MBPS,
             exp::a1::MIN_CACHE_SPEEDUP,
             exp::m2::BUDGET_P99_NS as f64 / 1e6,
+            exp::m2::BUDGET_FALSE_SUSPECTS,
+            exp::o2::BUDGET_PCT,
         );
         std::process::exit(1);
     }

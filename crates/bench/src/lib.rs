@@ -19,6 +19,7 @@
 //! | [`exp::f5`] | R-F5: dump-scan at scale |
 //! | [`exp::r1`] | R-R1: chaos + crash/recovery of the mirror pipeline |
 //! | [`exp::o1`] | R-O1: telemetry self-overhead on the request path |
+//! | [`exp::o2`] | R-O2: fleet observatory — aggregation fidelity, SLO burn loop, self-overhead |
 //! | [`exp::m1`] | R-M1: live-migration downtime vs state size (cluster) |
 //! | [`exp::m2`] | R-M2: fleet churn sweep — p99 downtime + exactly-once accounting |
 //! | [`exp::d1`] | R-D1: sentinel detection quality (FP sweep + injections) |
@@ -40,6 +41,7 @@ pub mod exp {
     pub mod m1;
     pub mod m2;
     pub mod o1;
+    pub mod o2;
     pub mod p1;
     pub mod r1;
     pub mod t1;

@@ -50,7 +50,18 @@ use xen_sim::{DomainId, Result as XenResult, VirtualClock};
 
 use crate::fabric::Fabric;
 use crate::journal::{JournalRecord, MigrationJournal};
-use crate::protocol::{decode_payload, encode_payload, HeartbeatFrame, MigMessage};
+use crate::protocol::{decode_payload, encode_payload, HeartbeatFrame, MetricsFrame, MigMessage};
+
+/// One decoded frame off the fabric's control inbox — the union the
+/// fleet controller drains so heartbeats and telemetry scrapes share
+/// one ordered channel without eating each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlFrame {
+    /// A liveness beacon for the failure detector.
+    Heartbeat(HeartbeatFrame),
+    /// A telemetry scrape for the observatory.
+    Metrics(MetricsFrame),
+}
 
 /// Modelled cost of OAEP-encrypting the session key to the destination
 /// EK (public-key op, done in Dom0 software).
@@ -455,15 +466,60 @@ impl Cluster {
 
     /// Drain the control inbox into decoded heartbeats, in arrival
     /// order. Garbage frames are dropped (hardened decode, no panic).
+    ///
+    /// Heartbeat-only view of [`Cluster::recv_control_frames`]: any
+    /// metrics frames in the inbox are *discarded*. Callers running the
+    /// observatory must use `recv_control_frames` so scrapes are not
+    /// eaten.
     pub fn recv_heartbeats(&mut self) -> Vec<HeartbeatFrame> {
+        self.recv_control_frames()
+            .into_iter()
+            .filter_map(|f| match f {
+                ControlFrame::Heartbeat(hb) => Some(hb),
+                ControlFrame::Metrics(_) => None,
+            })
+            .collect()
+    }
+
+    /// Drain the control inbox into decoded control-plane frames
+    /// (heartbeats and telemetry scrapes), in arrival order. Garbage
+    /// frames are dropped (hardened decode, no panic).
+    pub fn recv_control_frames(&mut self) -> Vec<ControlFrame> {
         let mut out = Vec::new();
         while let Some(bytes) = self.fabric.recv_control() {
             let Some((_, rest)) = bytes.split_first() else { continue };
             if let Some(hb) = HeartbeatFrame::decode(rest) {
-                out.push(hb);
+                out.push(ControlFrame::Heartbeat(hb));
+            } else if let Some(mf) = MetricsFrame::decode(rest) {
+                out.push(ControlFrame::Metrics(mf));
             }
         }
         out
+    }
+
+    /// Snapshot `host`'s telemetry registry into a [`MetricsFrame`]:
+    /// every histogram series as its sparse wire encoding plus the
+    /// monotone counters, stamped with the virtual clock. Series are
+    /// cumulative; the observatory diffs consecutive frames. Returns
+    /// `None` if the host's manager runs without a registry.
+    pub fn metrics_frame(&self, host: usize) -> Option<MetricsFrame> {
+        let t = self.hosts[host].platform.manager.telemetry()?;
+        let mut series = Vec::new();
+        t.visit_histograms(|name, h| series.push((name.to_string(), h.encode())));
+        let mut counters = Vec::new();
+        t.visit_counters(|name, v| counters.push((name.to_string(), v)));
+        Some(MetricsFrame { host: host as u32, at_ns: self.clock.now_ns(), series, counters })
+    }
+
+    /// Emit `host`'s telemetry scrape onto the fabric's control inbox
+    /// (same wire model, virtual-time charges, and fault hooks as all
+    /// other control traffic). No-op for hosts without a registry.
+    pub fn send_metrics(&mut self, host: usize) {
+        if let Some(mf) = self.metrics_frame(host) {
+            let mut f = vec![host as u8];
+            f.extend_from_slice(&mf.encode());
+            self.fabric.send_control(f);
+        }
     }
 
     /// When the destination journalled `DstCommitted` for this attempt

@@ -29,12 +29,12 @@ pub mod journal;
 pub mod protocol;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterError, ClusterHost, MigrateOutcome, MigrationRun, QUIESCE_NS,
-    RSA_OPEN_NS, RSA_SEAL_NS, SYM_BYTE_NS, VM_DOMAIN_BASE,
+    Cluster, ClusterConfig, ClusterError, ClusterHost, ControlFrame, MigrateOutcome, MigrationRun,
+    QUIESCE_NS, RSA_OPEN_NS, RSA_SEAL_NS, SYM_BYTE_NS, VM_DOMAIN_BASE,
 };
 pub use fabric::{Fabric, FabricFault, FabricStats, FABRIC_BYTE_NS, FABRIC_MSG_NS};
 pub use journal::{JournalRecord, MigrationJournal};
-pub use protocol::{decode_payload, encode_payload, HeartbeatFrame, MigMessage};
+pub use protocol::{decode_payload, encode_payload, HeartbeatFrame, MetricsFrame, MigMessage};
 
 #[cfg(test)]
 mod tests {

@@ -230,6 +230,90 @@ impl HeartbeatFrame {
     }
 }
 
+/// Wire tag for [`MetricsFrame`] — outside both the [`MigMessage`]
+/// space (1–8) and [`HeartbeatFrame`]'s tag (9).
+const TAG_METRICS: u8 = 10;
+
+/// One host's telemetry scrape on the fabric's control inbox.
+///
+/// Carries the host's registry as named sparse histogram encodings
+/// (`vtpm_telemetry::Histogram::encode`) plus monotone counters. The
+/// series are *cumulative* — the observatory diffs consecutive scrapes
+/// into per-window deltas — so a dropped frame loses resolution, never
+/// samples. Series bytes are opaque here: the frame hardens its own
+/// framing (names, lengths, trailing bytes) and the observatory
+/// hardens the histogram payloads on ingest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsFrame {
+    /// The scraped host.
+    pub host: u32,
+    /// Virtual-clock timestamp at scrape time.
+    pub at_ns: u64,
+    /// `(series name, sparse histogram bytes)` pairs.
+    pub series: Vec<(String, Vec<u8>)>,
+    /// `(counter name, cumulative value)` pairs.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsFrame {
+    /// Serialize for the fabric.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(TAG_METRICS);
+        w.u32(self.host);
+        put_u64(&mut w, self.at_ns);
+        w.u32(self.series.len() as u32);
+        for (name, bytes) in &self.series {
+            w.sized_u32(name.as_bytes());
+            w.sized_u32(bytes);
+        }
+        w.u32(self.counters.len() as u32);
+        for (name, value) in &self.counters {
+            w.sized_u32(name.as_bytes());
+            put_u64(&mut w, *value);
+        }
+        w.into_vec()
+    }
+
+    /// Parse untrusted fabric bytes. `None` on anything malformed,
+    /// including non-UTF-8 names and trailing bytes — same hardening
+    /// as [`MigMessage::decode`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        if r.u8().ok()? != TAG_METRICS {
+            return None;
+        }
+        let host = r.u32().ok()?;
+        let at_ns = get_u64(&mut r)?;
+        let n_series = r.u32().ok()? as usize;
+        // Each series costs ≥ 8 framing bytes; a length claiming more
+        // entries than the buffer could hold is rejected up front.
+        if n_series > bytes.len() / 8 {
+            return None;
+        }
+        let mut series = Vec::with_capacity(n_series);
+        for _ in 0..n_series {
+            let name = String::from_utf8(r.sized_u32().ok()?.to_vec()).ok()?;
+            let payload = r.sized_u32().ok()?.to_vec();
+            series.push((name, payload));
+        }
+        let n_counters = r.u32().ok()? as usize;
+        if n_counters > bytes.len() / 8 {
+            return None;
+        }
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let name = String::from_utf8(r.sized_u32().ok()?.to_vec()).ok()?;
+            let value = get_u64(&mut r)?;
+            counters.push((name, value));
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(MetricsFrame { host, at_ns, series, counters })
+    }
+}
+
 /// Bind (`vm`, `epoch`) inside the migration payload: the package's
 /// integrity digest covers this header, so the pair cannot be swapped
 /// without breaking verification — a replayed old ciphertext cannot be
@@ -321,6 +405,45 @@ mod tests {
         for cut in 0..bytes.len() {
             assert_eq!(HeartbeatFrame::decode(&bytes[..cut]), None);
         }
+    }
+
+    #[test]
+    fn metrics_frame_roundtrip_and_hardening() {
+        let mf = MetricsFrame {
+            host: 42,
+            at_ns: 1 << 51,
+            series: vec![
+                ("total".into(), vec![0u8; 28]),
+                ("stage_exec".into(), vec![7u8; 40]),
+            ],
+            counters: vec![("allowed".into(), u64::MAX - 9), ("denied".into(), 0)],
+        };
+        let bytes = mf.encode();
+        assert_eq!(MetricsFrame::decode(&bytes), Some(mf.clone()));
+        // Disjoint from both other control-plane tag spaces.
+        assert_eq!(MigMessage::decode(&bytes), None);
+        assert_eq!(HeartbeatFrame::decode(&bytes), None);
+        assert_eq!(MetricsFrame::decode(&HeartbeatFrame { host: 1, seq: 2, at_ns: 3 }.encode()), None);
+        for m in all_messages() {
+            assert_eq!(MetricsFrame::decode(&m.encode()), None);
+        }
+        // Trailing and truncated bytes rejected at every length.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(MetricsFrame::decode(&trailing), None);
+        for cut in 0..bytes.len() {
+            assert_eq!(MetricsFrame::decode(&bytes[..cut]), None, "cut {cut}");
+        }
+        // Non-UTF-8 series names rejected: corrupt the first name byte
+        // ("total" starts right after its u32 length field).
+        let name_at = 1 + 4 + 8 + 4 + 4;
+        let mut bad = bytes.clone();
+        bad[name_at] = 0xFF;
+        assert_eq!(MetricsFrame::decode(&bad), None);
+        // An absurd series count cannot allocate.
+        let mut huge = MetricsFrame { host: 1, at_ns: 2, series: vec![], counters: vec![] }.encode();
+        huge[13..17].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(MetricsFrame::decode(&huge), None);
     }
 
     #[test]

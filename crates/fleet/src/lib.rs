@@ -43,7 +43,8 @@ pub mod driver;
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use vtpm_cluster::Cluster;
+use vtpm_cluster::{Cluster, ControlFrame, MetricsFrame, FABRIC_MSG_NS};
+use vtpm_observatory::Observatory;
 use vtpm_telemetry::{FleetSnapshot, FleetTelemetry};
 
 pub use detector::{FailureDetectorConfig, PhiAccrualDetector};
@@ -61,6 +62,13 @@ pub struct FleetConfig {
     /// Rebalance when the VM-count spread between the most- and
     /// least-loaded eligible hosts exceeds this.
     pub skew_threshold: usize,
+    /// Minimum virtual-time gap between heartbeat rounds emitted by
+    /// [`Fleet::pump_heartbeats`]. The embedding calls `pump` from its
+    /// traffic loops; this floor keeps a 100-host fleet from spamming
+    /// the control plane (each round costs `hosts × FABRIC_MSG_NS` of
+    /// shared virtual time) while still bounding heartbeat silence —
+    /// the phased-gap silence that used to manufacture false suspects.
+    pub heartbeat_interval_ns: u64,
 }
 
 impl Default for FleetConfig {
@@ -70,9 +78,15 @@ impl Default for FleetConfig {
             max_in_flight: 8,
             max_plan_per_tick: 4,
             skew_threshold: 1,
+            heartbeat_interval_ns: 25_000_000,
         }
     }
 }
+
+/// Synthetic host id under which the controller's own registries
+/// (cluster-wide migration telemetry, the fleet stage histograms) are
+/// ingested into the observatory — far above any real host index.
+pub const CONTROLLER_HOST: u32 = u32::MAX;
 
 /// Index of a tick phase in the fleet stage histograms
 /// ([`vtpm_telemetry::FLEET_STAGE_LABELS`]).
@@ -98,12 +112,31 @@ pub struct Fleet {
     suspected: BTreeSet<usize>,
     /// Rebalance-pause latch (sentinel churn-storm closed loop).
     paused: bool,
+    /// Virtual time of the last heartbeat round (tick or pump).
+    last_pump_ns: u64,
+    /// Metrics frames drained off the control inbox, awaiting the next
+    /// [`Fleet::scrape`] hand-off to the observatory. (The control
+    /// inbox is shared: a tick's observe phase may drain scrapes that
+    /// were still in flight — they are stashed here, never eaten.)
+    pending_metrics: Vec<MetricsFrame>,
 }
 
 impl Fleet {
     /// A controller over `cluster`'s current hosts, all presumed live.
+    ///
+    /// The detector's bootstrap interval is floored at
+    /// `4 × hosts × FABRIC_MSG_NS`: one fleet-wide heartbeat round
+    /// serializes on the shared virtual clock, so by the time the
+    /// controller evaluates suspicion the *first* host's beacon is
+    /// already `hosts × FABRIC_MSG_NS` old — a cold 1 ms bootstrap at
+    /// 100 hosts would indict live hosts on pure send-order skew
+    /// (the R-M2 false-suspect finding).
     pub fn new(cfg: FleetConfig, cluster: &Cluster) -> Self {
-        let mut detector = PhiAccrualDetector::new(cfg.detector);
+        let mut det_cfg = cfg.detector;
+        det_cfg.bootstrap_interval_ns = det_cfg
+            .bootstrap_interval_ns
+            .max(4 * cluster.hosts.len() as u64 * FABRIC_MSG_NS);
+        let mut detector = PhiAccrualDetector::new(det_cfg);
         let now = cluster.clock.now_ns();
         for h in 0..cluster.hosts.len() {
             detector.register(h, now);
@@ -117,6 +150,8 @@ impl Fleet {
             down: BTreeSet::new(),
             suspected: BTreeSet::new(),
             paused: false,
+            last_pump_ns: now,
+            pending_metrics: Vec::new(),
         }
     }
 
@@ -217,18 +252,7 @@ impl Fleet {
         // Observe: live hosts heartbeat over the control plane, then
         // the controller drains arrivals into the detector.
         let t0 = cluster.clock.now_ns();
-        for h in 0..cluster.hosts.len() {
-            if !self.down.contains(&h) {
-                self.seqs[h] += 1;
-                let seq = self.seqs[h];
-                cluster.send_heartbeat(h, seq);
-            }
-        }
-        let beats = cluster.recv_heartbeats();
-        self.telemetry.note_heartbeats(beats.len() as u64);
-        for hb in &beats {
-            self.detector.heartbeat(hb.host as usize, hb.at_ns);
-        }
+        self.observe(cluster);
         let t1 = cluster.clock.now_ns();
         self.telemetry.record_stage(STAGE_OBSERVE, t1 - t0);
 
@@ -268,6 +292,87 @@ impl Fleet {
         let t4 = cluster.clock.now_ns();
         self.telemetry.record_stage(STAGE_DRIVE, t4 - t3);
         settled
+    }
+
+    /// One heartbeat round: every live host beacons over the control
+    /// plane, then the controller drains arrivals. Returns the number
+    /// of heartbeats observed.
+    fn observe(&mut self, cluster: &mut Cluster) -> u64 {
+        for h in 0..cluster.hosts.len() {
+            if !self.down.contains(&h) {
+                self.seqs[h] += 1;
+                let seq = self.seqs[h];
+                cluster.send_heartbeat(h, seq);
+            }
+        }
+        self.drain_control(cluster)
+    }
+
+    /// Drain the fabric's control inbox: heartbeats feed the failure
+    /// detector; metrics frames (observatory scrapes sharing the same
+    /// inbox) are stashed for the next [`Fleet::scrape`].
+    fn drain_control(&mut self, cluster: &mut Cluster) -> u64 {
+        let mut beats = 0u64;
+        for frame in cluster.recv_control_frames() {
+            match frame {
+                ControlFrame::Heartbeat(hb) => {
+                    self.detector.heartbeat(hb.host as usize, hb.at_ns);
+                    beats += 1;
+                }
+                ControlFrame::Metrics(mf) => self.pending_metrics.push(mf),
+            }
+        }
+        self.telemetry.note_heartbeats(beats);
+        self.last_pump_ns = cluster.clock.now_ns();
+        beats
+    }
+
+    /// Emit a heartbeat round *between* ticks if at least
+    /// [`FleetConfig::heartbeat_interval_ns`] of virtual time has
+    /// passed since the last round. Embeddings call this from their
+    /// traffic loops so long drive/traffic stages no longer starve the
+    /// detector into false suspicion (the R-M2 finding); the interval
+    /// floor keeps the control plane from being spammed. Returns the
+    /// heartbeats observed (0 when the round was skipped).
+    pub fn pump_heartbeats(&mut self, cluster: &mut Cluster) -> u64 {
+        let now = cluster.clock.now_ns();
+        if now.saturating_sub(self.last_pump_ns) < self.cfg.heartbeat_interval_ns {
+            return 0;
+        }
+        self.observe(cluster)
+    }
+
+    /// One observatory scrape pass: every live host ships its
+    /// telemetry registry over the fabric as a [`MetricsFrame`]
+    /// (charged the same wire costs and fault odds as data frames),
+    /// the frames are drained and ingested, and the controller's own
+    /// registries — cluster-wide migration telemetry and the fleet
+    /// stage histograms, which include `fleet_downtime`, the blackout
+    /// SLO series — are folded in under [`CONTROLLER_HOST`]. The
+    /// current suspect set is handed over for burn-event correlation.
+    pub fn scrape(&mut self, cluster: &mut Cluster, obs: &mut Observatory) {
+        for h in 0..cluster.hosts.len() {
+            if !self.down.contains(&h) {
+                cluster.send_metrics(h);
+            }
+        }
+        self.drain_control(cluster);
+        let suspects: Vec<u32> = self.suspected.iter().map(|&h| h as u32).collect();
+        obs.note_suspects(&suspects);
+        for mf in std::mem::take(&mut self.pending_metrics) {
+            obs.ingest_scrape(mf.host, mf.at_ns, &mf.series, &mf.counters);
+        }
+        let now = cluster.clock.now_ns();
+        cluster
+            .telemetry()
+            .visit_histograms(|name, h| obs.ingest_local(CONTROLLER_HOST, now, name, h));
+        cluster
+            .telemetry()
+            .visit_counters(|name, v| obs.ingest_counter(CONTROLLER_HOST, now, name, v));
+        self.telemetry
+            .visit_histograms(|name, h| obs.ingest_local(CONTROLLER_HOST, now, name, h));
+        self.telemetry
+            .visit_counters(|name, v| obs.ingest_counter(CONTROLLER_HOST, now, name, v));
     }
 
     /// Hosts the planner may *target*: alive by the controller's own
@@ -504,6 +609,62 @@ mod tests {
             assert_eq!(cluster.runnable_hosts(vm).len(), 1);
         }
         assert!(fleet.snapshot().drives_committed >= 2);
+    }
+
+    #[test]
+    fn pump_respects_the_interval_floor_and_feeds_the_detector() {
+        let (mut cluster, _) = seeded(b"fleet-t5", 1);
+        let mut fleet = Fleet::new(FleetConfig::default(), &cluster);
+        // A fresh controller just stamped last_pump_ns: pumping
+        // immediately is a no-op, no matter how often it is called.
+        assert_eq!(fleet.pump_heartbeats(&mut cluster), 0);
+        assert_eq!(fleet.pump_heartbeats(&mut cluster), 0);
+        // Past the interval, one round fires (all 4 hosts beacon)...
+        cluster.clock.advance_ns(fleet.cfg.heartbeat_interval_ns);
+        assert_eq!(fleet.pump_heartbeats(&mut cluster), cluster.hosts.len() as u64);
+        // ...and re-arms the floor.
+        assert_eq!(fleet.pump_heartbeats(&mut cluster), 0);
+        // Pumped rounds keep a long traffic stage from manufacturing
+        // suspicion: interleave advance+pump well past where silence
+        // alone would have indicted everyone.
+        for _ in 0..40 {
+            cluster.clock.advance_ns(fleet.cfg.heartbeat_interval_ns);
+            fleet.pump_heartbeats(&mut cluster);
+        }
+        let now = cluster.clock.now_ns();
+        for h in fleet.detector.tracked() {
+            assert!(!fleet.detector.is_suspect(h, now), "host {h} falsely suspected");
+        }
+        assert_eq!(fleet.snapshot().false_suspects, 0);
+    }
+
+    #[test]
+    fn scrape_populates_an_observatory_with_host_and_controller_series() {
+        let (mut cluster, vms) = seeded(b"fleet-t6", 2);
+        let mut fleet = Fleet::new(FleetConfig::default(), &cluster);
+        fleet.drive(&mut cluster, vms[0], 1);
+        for _ in 0..12 {
+            fleet.tick(&mut cluster);
+        }
+        let mut obs = Observatory::new(Default::default());
+        fleet.scrape(&mut cluster, &mut obs);
+        // Every live host shipped a frame; the controller's own
+        // registries landed under the synthetic id.
+        let (scrapes, rejects, resets) = obs.stats();
+        assert_eq!(scrapes, cluster.hosts.len() as u64);
+        assert_eq!((rejects, resets), (0, 0));
+        assert!(obs.host_count() >= cluster.hosts.len() + 1);
+        // The guest traffic seeded per-host `total` latencies; the
+        // committed drive seeded the blackout SLO series fleet-wide.
+        assert!(obs.fleet_total("total").map_or(0, |h| h.count()) > 0, "host request series missing");
+        assert!(
+            obs.host_total(CONTROLLER_HOST, "fleet_downtime").map_or(0, |h| h.count()) > 0,
+            "controller blackout series missing"
+        );
+        // A second scrape diffs into deltas instead of double-counting.
+        let before = obs.fleet_total("total").map_or(0, |h| h.count());
+        fleet.scrape(&mut cluster, &mut obs);
+        assert_eq!(obs.fleet_total("total").map_or(0, |h| h.count()), before);
     }
 
     #[test]

@@ -28,12 +28,13 @@ use std::collections::BTreeMap;
 use tpm_crypto::drbg::Drbg;
 use tpm_crypto::sha256;
 use vtpm_cluster::{Cluster, ClusterConfig, FabricFault, FabricStats};
-use vtpm_fleet::{DriveDecision, DriveOutcome, Fleet, FleetConfig, Submitted};
+use vtpm_fleet::{DriveDecision, DriveOutcome, Fleet, FleetConfig, Submitted, CONTROLLER_HOST};
+use vtpm_observatory::Observatory;
 use vtpm_sentinel::{Sentinel, SentinelConfig, Severity, StreamEvent};
 use workload::{generate_trace, TpmOracle};
 use xen_sim::Result as XenResult;
 
-use crate::sentinel_feed::{apply_fleet_alerts, audit_event};
+use crate::sentinel_feed::{apply_fleet_alerts, apply_slo_alerts, audit_event};
 use crate::{json_str, json_str_array};
 
 /// Tunables for one fleet-chaos scenario.
@@ -58,6 +59,11 @@ pub struct FleetChaosConfig {
     /// Diff every at-rest VM against its oracle each round (always done
     /// in the final sweep; disable per-round for large sweeps).
     pub oracle_checks: bool,
+    /// Run the fleet observatory in the loop: per-round metric scrapes
+    /// over the fabric, SLO burn-rate evaluation, and the burn →
+    /// sentinel → rebalance-pause bridge. On by default; the replay
+    /// determinism gate covers it either way.
+    pub observatory: bool,
     /// Controller tuning.
     pub fleet: FleetConfig,
     /// Sentinel tuning. The default raises `replay_burst` above the
@@ -81,6 +87,7 @@ impl Default for FleetChaosConfig {
             sealed: true,
             frames_per_host: 1024,
             oracle_checks: true,
+            observatory: true,
             fleet: FleetConfig::default(),
             sentinel: SentinelConfig {
                 replay_burst: 2 * FleetConfig::default().max_in_flight,
@@ -131,6 +138,19 @@ pub struct FleetChaosReport {
     pub storm_pauses: u64,
     /// Latch releases applied by the bridge.
     pub storm_resumes: u64,
+    /// Observatory metric scrape passes completed.
+    pub scrapes: u64,
+    /// SLO burn raises the observatory evaluated over the run — zero on
+    /// an attack-free run with healthy objectives.
+    pub slo_burns: u64,
+    /// Matching burn clears.
+    pub slo_clears: u64,
+    /// Rebalance pauses applied by the SLO-burn bridge
+    /// (migration-blackout burns pause the planner like churn storms
+    /// do).
+    pub slo_pauses: u64,
+    /// Latch releases applied by the SLO-burn bridge.
+    pub slo_resumes: u64,
     /// VMs runnable nowhere after the final sweep (must be 0).
     pub lost: u64,
     /// VMs runnable on more than one host at any check (must be 0).
@@ -191,7 +211,8 @@ impl FleetChaosReport {
              \"aborted\":{},\"rejected_stale\":{},\"abandoned\":{},\"refused\":{},\
              \"conflicts\":{},\"conflict_pairs\":{},\"multi_winner_conflicts\":{},\
              \"crashes\":{},\"revivals\":{},\"joins\":{},\"suspects_raised\":{},\
-             \"false_suspects\":{},\"storm_pauses\":{},\"storm_resumes\":{},\"lost\":{},\
+             \"false_suspects\":{},\"storm_pauses\":{},\"storm_resumes\":{},\"scrapes\":{},\
+             \"slo_burns\":{},\"slo_clears\":{},\"slo_pauses\":{},\"slo_resumes\":{},\"lost\":{},\
              \"duplicated\":{},\"orphaned\":{},\"unsettled\":{},\"downtime_p99_ns\":{},\
              \"downtime_max_ns\":{},\"drives\":[{}],\"fabric\":{{\"sent\":{},\"delivered\":{},\
              \"dropped\":{},\"duplicated\":{},\"reordered\":{},\"crash_lost\":{}}},\
@@ -214,6 +235,11 @@ impl FleetChaosReport {
             self.false_suspects,
             self.storm_pauses,
             self.storm_resumes,
+            self.scrapes,
+            self.slo_burns,
+            self.slo_clears,
+            self.slo_pauses,
+            self.slo_resumes,
             self.lost,
             self.duplicated,
             self.orphaned,
@@ -254,6 +280,7 @@ pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetCh
     )?;
     let mut fleet = Fleet::new(cfg.fleet, &cluster);
     let mut sentinel = Sentinel::new(cfg.sentinel);
+    let mut observatory = cfg.observatory.then(|| Observatory::new(Default::default()));
 
     let mut report = FleetChaosReport {
         seed: hex(seed),
@@ -274,6 +301,11 @@ pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetCh
         false_suspects: 0,
         storm_pauses: 0,
         storm_resumes: 0,
+        scrapes: 0,
+        slo_burns: 0,
+        slo_clears: 0,
+        slo_pauses: 0,
+        slo_resumes: 0,
         lost: 0,
         duplicated: 0,
         orphaned: 0,
@@ -349,6 +381,11 @@ pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetCh
                         .push(format!("round {round}: vm {vm} refused traffic at rest"));
                 }
             }
+            // Traffic advances virtual time; keep heartbeats flowing
+            // through long stages so silence stays an evidence of
+            // failure, not of a busy harness (the R-M2 false-suspect
+            // fix). The call is interval-gated, so this is cheap.
+            fleet.pump_heartbeats(&mut cluster);
         }
 
         let homes: Vec<Option<usize>> =
@@ -474,8 +511,33 @@ pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetCh
             }
         }
 
+        // Observatory pass: scrape every host's registry over the
+        // fabric, evaluate the SLO burn rules on the merged fleet
+        // series, and publish burn transitions to the sentinel as
+        // `slo_burn:<rule>` gauges (worst-window ratio in percent;
+        // zero on a clear).
+        if let Some(obs) = observatory.as_mut() {
+            fleet.scrape(&mut cluster, obs);
+            report.scrapes += 1;
+            for ev in obs.evaluate(cluster.clock.now_ns()) {
+                if ev.burning {
+                    report.slo_burns += 1;
+                } else {
+                    report.slo_clears += 1;
+                }
+                sentinel.observe(StreamEvent::Gauge {
+                    host: CONTROLLER_HOST,
+                    at_ns: ev.at_ns,
+                    name: ev.gauge,
+                    value: (ev.burn_ratio * 100.0) as u64,
+                });
+            }
+        }
+
         // Feed the round's exhaust to the sentinel, then close the
-        // loop: churn-storm alerts drive the rebalance-pause latch.
+        // loop: churn-storm alerts drive the rebalance-pause latch,
+        // and migration-blackout SLO burns drive the same latch
+        // through their own bridge.
         for (h, fed) in audit_fed.iter_mut().enumerate() {
             let entries = cluster.hosts[h].audit.entries();
             for e in &entries[*fed..] {
@@ -489,10 +551,14 @@ pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetCh
         }
         spans_fed = spans.len();
         let alerts = sentinel.alerts();
-        let (p, r) = apply_fleet_alerts(&mut fleet, &alerts[alerts_fed..]);
+        let fresh = &alerts[alerts_fed..];
+        let (p, r) = apply_fleet_alerts(&mut fleet, fresh);
+        let (sp, sr) = apply_slo_alerts(&mut fleet, fresh);
         alerts_fed = alerts.len();
         report.storm_pauses += p as u64;
         report.storm_resumes += r as u64;
+        report.slo_pauses += sp as u64;
+        report.slo_resumes += sr as u64;
     }
 
     // Final sweep: revive everything, drain the pool, settle every VM,
@@ -609,6 +675,12 @@ pub fn run_fleet_chaos(seed: &[u8], cfg: &FleetChaosConfig) -> XenResult<FleetCh
         snap.heartbeats_seen,
     ] {
         transcript.extend_from_slice(&n.to_be_bytes());
+    }
+    if let Some(obs) = &observatory {
+        let (scraped, rejects, resets) = obs.stats();
+        for n in [scraped, rejects, resets, report.slo_burns, report.slo_clears] {
+            transcript.extend_from_slice(&n.to_be_bytes());
+        }
     }
     report.sentinel_alerts = sentinel.alerts().iter().map(|a| a.line()).collect();
     report.sentinel_critical =

@@ -39,7 +39,8 @@ pub use migration_chaos::{
     MigrationChaosReport,
 };
 pub use sentinel_feed::{
-    apply_fleet_alerts, apply_verifier_alerts, attest_event, audit_event, dump_event,
+    apply_fleet_alerts, apply_slo_alerts, apply_verifier_alerts, attest_event, audit_event,
+    dump_event,
 };
 
 use std::collections::BTreeMap;

@@ -120,6 +120,35 @@ pub fn apply_fleet_alerts(fleet: &mut Fleet, alerts: &[Alert]) -> (usize, usize)
     (paused, resumed)
 }
 
+/// Close the observability loop on the fleet plane: a
+/// **migration-blackout** SLO burn means guest-visible downtime is
+/// eating its error budget *right now*, and the one lever the
+/// controller owns that adds downtime is the rebalancer — so a burn
+/// pauses it and the matching clear (detail prefixed `"cleared"`, same
+/// convention as the churn bridge) releases it. Other rules' burns
+/// (verify latency, scrub budget) are surfaced but not acted on here:
+/// their levers live on other planes. Returns `(paused, resumed)`
+/// latch transitions actually applied; level-sensitive and idempotent
+/// like [`apply_fleet_alerts`].
+pub fn apply_slo_alerts(fleet: &mut Fleet, alerts: &[Alert]) -> (usize, usize) {
+    let (mut paused, mut resumed) = (0, 0);
+    for alert in alerts {
+        if alert.detector != "slo-burn" || !alert.detail.contains("migration-blackout") {
+            continue;
+        }
+        if alert.detail.starts_with("cleared") {
+            if fleet.paused() {
+                fleet.resume_rebalance();
+                resumed += 1;
+            }
+        } else if !fleet.paused() {
+            fleet.pause_rebalance();
+            paused += 1;
+        }
+    }
+    (paused, resumed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +207,42 @@ mod tests {
         assert!(!mgr.admission().is_throttled(1), "uninvolved domains stay admitted");
         assert_eq!(apply_admission_alerts(&mgr, &alerts), 0, "re-applying is a no-op");
         assert_eq!(mgr.admission().throttle_events(), 1);
+    }
+
+    #[test]
+    fn slo_burn_alert_pauses_and_resumes_the_rebalancer() {
+        use vtpm_cluster::{Cluster, ClusterConfig};
+        use vtpm_fleet::{Fleet, FleetConfig};
+
+        let cluster = Cluster::new(b"slo-bridge", ClusterConfig::default()).unwrap();
+        let mut fleet = Fleet::new(FleetConfig::default(), &cluster);
+
+        // An observatory blackout burn arrives as a gauge, trips the
+        // sentinel's slo-burn relay...
+        let mut sentinel = Sentinel::new(SentinelConfig::default());
+        let gauge = |name, value, at_ns| StreamEvent::Gauge { host: 99, at_ns, name, value };
+        sentinel.observe(gauge("slo_burn:migration-blackout", 250, 1_000));
+        let alerts: Vec<Alert> = sentinel.alerts().to_vec();
+        assert!(alerts.iter().any(|a| a.detector == "slo-burn"));
+
+        // ...and the bridge pauses the rebalancer, idempotently.
+        assert!(!fleet.paused());
+        assert_eq!(apply_slo_alerts(&mut fleet, &alerts), (1, 0));
+        assert!(fleet.paused());
+        assert_eq!(apply_slo_alerts(&mut fleet, &alerts), (0, 0), "re-applying is a no-op");
+
+        // A verify-latency burn is not this bridge's lever.
+        sentinel.observe(gauge("slo_burn:verify-latency", 130, 2_000));
+        let fresh: Vec<Alert> = sentinel.alerts()[1..].to_vec();
+        let mut other = Fleet::new(FleetConfig::default(), &cluster);
+        assert_eq!(apply_slo_alerts(&mut other, &fresh), (0, 0));
+        assert!(!other.paused());
+
+        // The clear releases the latch.
+        sentinel.observe(gauge("slo_burn:migration-blackout", 0, 3_000));
+        let fresh: Vec<Alert> = sentinel.alerts()[2..].to_vec();
+        assert_eq!(apply_slo_alerts(&mut fleet, &fresh), (0, 1));
+        assert!(!fleet.paused());
     }
 
     #[test]

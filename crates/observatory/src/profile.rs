@@ -1,0 +1,71 @@
+//! Virtual-time profiling attribution.
+//!
+//! "Where did the microsecond go?" — answered by attributing every
+//! scraped latency series to one of five subsystems and comparing the
+//! virtual time each absorbed. The shares come straight from the
+//! histogram `sum` fields (total virtual nanoseconds recorded), so
+//! they conserve under merge exactly like everything else: a host's
+//! shares and the fleet's shares are the same computation over
+//! different merges.
+
+/// The subsystems attribution buckets series into, display order.
+pub const PROFILE_SUBSYSTEMS: [&str; 5] = ["ring", "crypto", "mirror", "migration", "verify"];
+
+/// Map a scraped series name to its subsystem, `None` for series that
+/// are not time-denominated (byte sizes, counters, whole-request
+/// totals that would double-count their stages).
+pub fn subsystem_for(series: &str) -> Option<&'static str> {
+    match series {
+        // Ring ingress + access-control hook: the transport floor.
+        "stage_ingress" | "stage_ac" => Some("ring"),
+        // TPM execute is dominated by the crypto engine.
+        "stage_exec" => Some("crypto"),
+        "stage_mirror" => Some("mirror"),
+        // Whole-attempt migration time (its stages would double-count).
+        "migration_total" => Some("migration"),
+        "verify_ns" => Some("verify"),
+        _ => None,
+    }
+}
+
+/// Per-subsystem virtual-nanosecond totals → fractional shares.
+/// Returns `(subsystem, ns, share)` in [`PROFILE_SUBSYSTEMS`] order;
+/// shares are zero when nothing was attributed.
+pub fn shares(ns_by_subsystem: &[u64; 5]) -> Vec<(&'static str, u64, f64)> {
+    let total: u64 = ns_by_subsystem.iter().sum();
+    PROFILE_SUBSYSTEMS
+        .iter()
+        .zip(ns_by_subsystem)
+        .map(|(&name, &ns)| {
+            let share = if total == 0 { 0.0 } else { ns as f64 / total as f64 };
+            (name, ns, share)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_series_map_and_sizes_do_not() {
+        assert_eq!(subsystem_for("stage_exec"), Some("crypto"));
+        assert_eq!(subsystem_for("stage_ingress"), Some("ring"));
+        assert_eq!(subsystem_for("stage_ac"), Some("ring"));
+        assert_eq!(subsystem_for("stage_mirror"), Some("mirror"));
+        assert_eq!(subsystem_for("migration_total"), Some("migration"));
+        assert_eq!(subsystem_for("verify_ns"), Some("verify"));
+        assert_eq!(subsystem_for("mirror_bytes"), None);
+        assert_eq!(subsystem_for("total"), None, "would double-count stages");
+        assert_eq!(subsystem_for("migration_transfer"), None);
+    }
+
+    #[test]
+    fn shares_sum_to_one_when_populated() {
+        let s = shares(&[10, 20, 30, 40, 0]);
+        let total: f64 = s.iter().map(|(_, _, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(s[3], ("migration", 40, 0.4));
+        assert_eq!(shares(&[0; 5])[0].2, 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Multi-window SLO burn-rate rules.
+//!
+//! A rule watches one fleet-wide series and burns when the error rate
+//! exceeds the budget in *every* configured window simultaneously —
+//! the standard multi-window burn-rate construction: the short window
+//! proves the problem is happening *now* (so a long-ago blip cannot
+//! page forever), the long window proves it is sustained (so a single
+//! slow sample cannot page at all). Multipliers express how many times
+//! the budget a window must burn at before it counts.
+//!
+//! Two rule kinds cover the fleet's objectives:
+//!
+//! * [`SloKind::LatencyOver`] — a quantile-style objective ("p99 ≤
+//!   300 ms" becomes budget 0.01 over threshold 300 ms), evaluated
+//!   with [`vtpm_telemetry::Histogram::fraction_over`] on the merged
+//!   window, so the fleet-wide answer inherits the histogram's ≤ 1/16
+//!   relative-error bound.
+//! * [`SloKind::CounterBudget`] — an incident budget ("≤ 64 mirror
+//!   scrub failures per window"), evaluated on the windowed sum of
+//!   counter increments.
+//!
+//! Burn state latches: one raise event when a rule starts burning, one
+//! clear event when it stops, nothing in between — the same discipline
+//! the sentinel's detectors use, so the events can feed them directly.
+
+/// How a rule judges its series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// Fraction of samples above `threshold_ns` must stay under
+    /// `budget` (e.g. 0.01 for a p99 objective).
+    LatencyOver {
+        /// Objective threshold, virtual nanoseconds.
+        threshold_ns: u64,
+        /// Allowed fraction of samples over the threshold.
+        budget: f64,
+    },
+    /// Windowed counter increase must stay under `budget` events.
+    CounterBudget {
+        /// Allowed events per window.
+        budget: u64,
+    },
+}
+
+/// One SLO burn-rate rule over a fleet-wide series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRule {
+    /// Short rule name ("migration-blackout").
+    pub name: &'static str,
+    /// The gauge name burn events carry into the sentinel stream —
+    /// always `slo_burn:<name>`, kept static so `StreamEvent::Gauge`
+    /// (which holds `&'static str`) can carry it.
+    pub gauge: &'static str,
+    /// The scraped series the rule watches.
+    pub series: &'static str,
+    /// How to judge the series.
+    pub kind: SloKind,
+    /// `(window_ns, multiplier)` pairs; the rule burns only when every
+    /// window exceeds `multiplier ×` budget.
+    pub windows: &'static [(u64, f64)],
+}
+
+/// Gauge names for the default rules (see [`SloRule::gauge`]).
+pub const GAUGE_MIGRATION_BLACKOUT: &str = "slo_burn:migration-blackout";
+/// Gauge name for the verify-latency rule.
+pub const GAUGE_VERIFY_LATENCY: &str = "slo_burn:verify-latency";
+/// Gauge name for the mirror-scrub incident-budget rule.
+pub const GAUGE_MIRROR_SCRUB: &str = "slo_burn:mirror-scrub";
+
+/// The fleet's stock objectives:
+///
+/// * **migration-blackout** — p99 of guest-visible quiesce→commit
+///   downtime (`fleet_downtime`, the R-M2 headline series) ≤ 300 ms.
+/// * **verify-latency** — p99 of attestation verify latency
+///   (`verify_ns`) ≤ 25 µs, the R-A1 floor.
+/// * **mirror-scrub** — ≤ 64 mirror scrub failures
+///   (`mirror_scrub_failures`) per minute of virtual time, matching
+///   the sentinel's scrub budget.
+pub fn default_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "migration-blackout",
+            gauge: GAUGE_MIGRATION_BLACKOUT,
+            series: "fleet_downtime",
+            kind: SloKind::LatencyOver { threshold_ns: 300_000_000, budget: 0.01 },
+            windows: &[(10_000_000_000, 2.0), (60_000_000_000, 1.0)],
+        },
+        SloRule {
+            name: "verify-latency",
+            gauge: GAUGE_VERIFY_LATENCY,
+            series: "verify_ns",
+            kind: SloKind::LatencyOver { threshold_ns: 25_000, budget: 0.01 },
+            windows: &[(10_000_000_000, 2.0), (60_000_000_000, 1.0)],
+        },
+        SloRule {
+            name: "mirror-scrub",
+            gauge: GAUGE_MIRROR_SCRUB,
+            series: "mirror_scrub_failures",
+            kind: SloKind::CounterBudget { budget: 64 },
+            windows: &[(60_000_000_000, 1.0)],
+        },
+    ]
+}
+
+/// One burn-state transition, emitted by `Observatory::evaluate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnEvent {
+    /// The rule that transitioned.
+    pub rule: &'static str,
+    /// The sentinel gauge name to publish under.
+    pub gauge: &'static str,
+    /// `true` = started burning, `false` = recovered.
+    pub burning: bool,
+    /// Worst-window burn ratio at evaluation time (1.0 = exactly at
+    /// budget × multiplier); 0.0 on a clear.
+    pub burn_ratio: f64,
+    /// Virtual evaluation time.
+    pub at_ns: u64,
+    /// Hosts the failure detector suspected when the transition
+    /// happened — the suspect-vs-SLO correlation: a burn with live
+    /// suspects usually *is* the suspect's blast radius.
+    pub suspects: Vec<u32>,
+}
+
+/// Latched burn state for one rule.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct BurnState {
+    pub raised: bool,
+    pub raises: u64,
+    pub clears: u64,
+}

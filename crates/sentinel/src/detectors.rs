@@ -48,6 +48,7 @@ pub fn default_detectors(cfg: &SentinelConfig) -> Vec<Box<dyn Detector>> {
             cfg.churn_clear_crashes,
             cfg.host_flap_crashes,
         )),
+        Box::new(SloBurn::new()),
     ]
 }
 
@@ -587,6 +588,69 @@ impl Detector for ChurnStorm {
     }
 }
 
+/// Relays observatory SLO burn transitions into the alert plane.
+///
+/// The observatory publishes its burn-rate verdicts as gauges named
+/// `slo_burn:<rule>`: a nonzero value is the worst-window burn ratio in
+/// percent at raise time, zero is a clear. This detector is the bridge
+/// that turns those samples into sentinel alerts — stateful per rule
+/// like [`ChurnStorm`], not latched-forever: the raise carries the rule
+/// name and ratio, the clear's detail starts with `"cleared"`, and the
+/// harness's SLO bridge keys its fleet pause/resume loop on exactly
+/// those shapes. Repeats of the same state stay quiet, so a long burn
+/// produces two alerts total, not one per evaluation pass.
+///
+/// Severity is `Warning`: an error budget burning is an operational
+/// page, not a security verdict — the attack-detection gates of R-D1
+/// count only criticals and must not see these.
+pub struct SloBurn {
+    /// Burning state per rule name (the gauge suffix).
+    raised: BTreeMap<&'static str, bool>,
+}
+
+impl SloBurn {
+    /// New relay with no rules raised.
+    pub fn new() -> Self {
+        SloBurn { raised: BTreeMap::new() }
+    }
+}
+
+impl Default for SloBurn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for SloBurn {
+    fn name(&self) -> &'static str {
+        "slo-burn"
+    }
+
+    fn observe(&mut self, ev: &StreamEvent) -> Option<Alert> {
+        let StreamEvent::Gauge { host, at_ns, name, value } = ev else { return None };
+        let rule = name.strip_prefix("slo_burn:")?;
+        let burning = *value > 0;
+        let was = self.raised.insert(rule, burning).unwrap_or(false);
+        if burning == was {
+            return None;
+        }
+        let detail = if burning {
+            format!("slo burn: {rule} at {value}% of error budget — multi-window burn rate")
+        } else {
+            format!("cleared: {rule} burn subsided")
+        };
+        Some(Alert {
+            detector: "slo-burn",
+            host: *host,
+            at_ns: *at_ns,
+            severity: Severity::Warning,
+            trace_id: None,
+            domain: None,
+            detail,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,6 +862,30 @@ mod tests {
             });
             assert!(clean.observe(&ev).is_none());
         }
+    }
+
+    #[test]
+    fn slo_burn_relays_raise_and_clear_per_rule() {
+        let mut d = SloBurn::new();
+        let gauge = |name, value, at_ns| StreamEvent::Gauge { host: 9, at_ns, name, value };
+        // Raise carries the rule and ratio; repeats stay quiet.
+        let raise = d
+            .observe(&gauge("slo_burn:migration-blackout", 240, 1_000))
+            .expect("first burning sample raises");
+        assert_eq!((raise.detector, raise.severity), ("slo-burn", Severity::Warning));
+        assert!(raise.detail.contains("migration-blackout"), "{}", raise.detail);
+        assert!(!raise.detail.starts_with("cleared"));
+        assert!(d.observe(&gauge("slo_burn:migration-blackout", 300, 2_000)).is_none());
+        // An unrelated rule tracks independently; plain gauges are not ours.
+        assert!(d.observe(&gauge("slo_burn:verify-latency", 0, 2_500)).is_none());
+        assert!(d.observe(&gauge("mirror_scrub_failures", 500, 2_600)).is_none());
+        // Clear fires once with the bridge's expected prefix, then re-arms.
+        let clear = d
+            .observe(&gauge("slo_burn:migration-blackout", 0, 3_000))
+            .expect("zero sample clears");
+        assert!(clear.detail.starts_with("cleared"), "{}", clear.detail);
+        assert!(d.observe(&gauge("slo_burn:migration-blackout", 0, 3_500)).is_none());
+        assert!(d.observe(&gauge("slo_burn:migration-blackout", 110, 4_000)).is_some());
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   the loop into the pool's admission throttle, mirroring the
 //!   deny-rate → ring-admission path;
 //! * **stale-quote watch** — bursts of stale or replayed deep-quote
-//!   presentations ([`detectors::StaleQuoteWatch`]).
+//!   presentations ([`detectors::StaleQuoteWatch`]);
+//! * **SLO burn relay** — observatory burn-rate transitions arriving as
+//!   `slo_burn:<rule>` gauges ([`detectors::SloBurn`]); raises and
+//!   clears feed the harness's fleet pause/resume bridge the same way
+//!   churn-storm alerts do.
 //!
 //! Everything is driven by caller-supplied virtual-time stamps and the
 //! stream order — no wall clock, no randomness — so a chaos replay of
@@ -46,7 +50,7 @@ pub mod flight;
 
 pub use detectors::{
     default_detectors, ChurnStorm, DenyRateEwma, Detector, DumpSignature, NonceHygiene,
-    QuoteStorm, ReplayWatch, ScrubEscalation, StaleQuoteWatch,
+    QuoteStorm, ReplayWatch, ScrubEscalation, SloBurn, StaleQuoteWatch,
 };
 pub use flight::{FlightDump, FlightRecorder};
 

@@ -120,7 +120,13 @@ impl MetricsSnapshot {
     }
 }
 
-fn prom_summary(out: &mut String, metric: &str, labels: &str, h: &HistogramSnapshot) {
+/// Append one histogram as a Prometheus summary (`quantile` samples
+/// plus `_sum`/`_count`) under `metric{labels}`. This is the single
+/// shared encoder behind [`MetricsSnapshot::prometheus`], the
+/// observatory's fleet-wide text endpoint, and the quickstart example —
+/// anything rendering a histogram to exposition text goes through here
+/// so the formats cannot drift apart.
+pub fn prom_summary(out: &mut String, metric: &str, labels: &str, h: &HistogramSnapshot) {
     let sep = if labels.is_empty() { "" } else { "," };
     for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99), ("0.999", h.p999)] {
         let _ = writeln!(out, "{metric}{{{labels}{sep}quantile=\"{q}\"}} {v}");
@@ -130,7 +136,11 @@ fn prom_summary(out: &mut String, metric: &str, labels: &str, h: &HistogramSnaps
     let _ = writeln!(out, "{metric}_count{braces} {}", h.count);
 }
 
-fn hist_json(h: &HistogramSnapshot) -> String {
+/// Render one histogram as the canonical JSON object
+/// `{count, sum, mean, p50, p90, p99, p999, max}` — the single shared
+/// encoder behind [`MetricsSnapshot::to_json`] and the observatory's
+/// JSON endpoint (same drift-proofing as [`prom_summary`]).
+pub fn hist_json(h: &HistogramSnapshot) -> String {
     format!(
         "{{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
         h.count, h.sum, h.mean, h.p50, h.p90, h.p99, h.p999, h.max

@@ -107,6 +107,33 @@ impl FleetTelemetry {
         self.stages[stage].record(ns);
     }
 
+    /// Walk every histogram series under its stable scrape name
+    /// (`fleet_<phase>` per [`FLEET_STAGE_LABELS`], plus
+    /// `fleet_downtime`, the blackout series the SLO engine watches) —
+    /// the observatory's wire contract, mirroring
+    /// [`crate::Telemetry::visit_histograms`].
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (&label, hist) in FLEET_STAGE_LABELS.iter().zip(&self.stages) {
+            let mut name = String::with_capacity(6 + label.len());
+            name.push_str("fleet_");
+            name.push_str(label);
+            f(&name, hist);
+        }
+        f("fleet_downtime", &self.downtime);
+    }
+
+    /// Walk every monotone counter under its stable scrape name
+    /// (companion to [`FleetTelemetry::visit_histograms`]).
+    pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        f("fleet_ticks", self.ticks.load(Ordering::Relaxed));
+        f("fleet_heartbeats_seen", self.heartbeats_seen.load(Ordering::Relaxed));
+        f("fleet_suspects_raised", self.suspects_raised.load(Ordering::Relaxed));
+        f("fleet_false_suspects", self.false_suspects.load(Ordering::Relaxed));
+        f("fleet_drives_committed", self.drives_committed.load(Ordering::Relaxed));
+        f("fleet_drives_aborted", self.drives_aborted.load(Ordering::Relaxed));
+        f("fleet_conflicts", self.conflicts.load(Ordering::Relaxed));
+    }
+
     /// Freeze everything into a summary.
     pub fn snapshot(&self) -> FleetSnapshot {
         FleetSnapshot {

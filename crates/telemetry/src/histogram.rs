@@ -116,6 +116,126 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Recorded values *strictly above* `threshold`, counted at bucket
+    /// granularity: every bucket whose entire range lies above the
+    /// threshold's own bucket. Values sharing the threshold's bucket
+    /// are not counted — the answer under-reports by at most the one
+    /// ambiguous bucket, i.e. the same ≤ 1/16 relative blur every
+    /// quantile here carries. This is the burn-rate primitive: the SLO
+    /// engine divides it by [`Histogram::count`] to get the fraction of
+    /// samples that blew a latency objective.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        self.buckets[bucket_index(threshold) + 1..]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// [`Histogram::count_over`] as a fraction of everything recorded;
+    /// 0.0 when empty.
+    pub fn fraction_over(&self, threshold: u64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.count_over(threshold) as f64 / count as f64
+    }
+
+    /// Serialize for the fabric: a sparse big-endian layout —
+    /// `count, sum, max, n, then n × (bucket index u16, bucket count
+    /// u64)` in strictly ascending index order. Registries are mostly
+    /// empty (a latency series touches a handful of octaves), so the
+    /// wire cost is tens of bytes, not the 976-slot table.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.count().to_be_bytes());
+        out.extend_from_slice(&self.sum().to_be_bytes());
+        out.extend_from_slice(&self.max.load(Ordering::Relaxed).to_be_bytes());
+        let nonzero: Vec<(u16, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u16, n))
+            })
+            .collect();
+        out.extend_from_slice(&(nonzero.len() as u32).to_be_bytes());
+        for (idx, n) in nonzero {
+            out.extend_from_slice(&idx.to_be_bytes());
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse untrusted fabric bytes back into a histogram. `None` on
+    /// anything malformed — truncation, trailing bytes, an index out of
+    /// the fixed table, indices out of ascending order, a zero bucket
+    /// count, or a `count` header that disagrees with the bucket sum —
+    /// the same hardening discipline as the migration wire messages.
+    pub fn decode(bytes: &[u8]) -> Option<Histogram> {
+        fn take_u64(b: &[u8], at: &mut usize) -> Option<u64> {
+            let v = u64::from_be_bytes(b.get(*at..*at + 8)?.try_into().ok()?);
+            *at += 8;
+            Some(v)
+        }
+        let mut at = 0usize;
+        let count = take_u64(bytes, &mut at)?;
+        let sum = take_u64(bytes, &mut at)?;
+        let max = take_u64(bytes, &mut at)?;
+        let n = u32::from_be_bytes(bytes.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        if n > NUM_BUCKETS {
+            return None;
+        }
+        let h = Histogram::new();
+        let mut total = 0u64;
+        let mut prev: Option<u16> = None;
+        for _ in 0..n {
+            let idx = u16::from_be_bytes(bytes.get(at..at + 2)?.try_into().ok()?);
+            at += 2;
+            let cnt = take_u64(bytes, &mut at)?;
+            if idx as usize >= NUM_BUCKETS || cnt == 0 || prev.is_some_and(|p| idx <= p) {
+                return None;
+            }
+            prev = Some(idx);
+            h.buckets[idx as usize].store(cnt, Ordering::Relaxed);
+            total = total.checked_add(cnt)?;
+        }
+        if at != bytes.len() || total != count {
+            return None;
+        }
+        h.count.store(count, Ordering::Relaxed);
+        h.sum.store(sum, Ordering::Relaxed);
+        h.max.store(max, Ordering::Relaxed);
+        Some(h)
+    }
+
+    /// The bucket-wise difference `self − prev`, for turning cumulative
+    /// scrapes into per-window deltas. `None` if any bucket (or the
+    /// count/sum) went backwards — a registry is monotone, so that
+    /// means the host restarted and the caller should treat the fresh
+    /// scrape as a full delta. The delta's `max` is inherited from
+    /// `self` (the epoch max): a histogram cannot say which window its
+    /// maximum landed in, only that it happened by now.
+    pub fn delta_since(&self, prev: &Histogram) -> Option<Histogram> {
+        let out = Histogram::new();
+        for (i, (mine, theirs)) in self.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            let (a, b) = (mine.load(Ordering::Relaxed), theirs.load(Ordering::Relaxed));
+            out.buckets[i].store(a.checked_sub(b)?, Ordering::Relaxed);
+        }
+        out.count
+            .store(self.count().checked_sub(prev.count())?, Ordering::Relaxed);
+        out.sum.store(self.sum().checked_sub(prev.sum())?, Ordering::Relaxed);
+        out.max.store(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        Some(out)
+    }
+
     /// Freeze the histogram into a summary. Quantiles are bucket
     /// midpoints (relative error ≤ 1/16 above the linear range).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -287,6 +407,106 @@ mod tests {
     fn empty_snapshot_is_zero() {
         let s = Histogram::new().snapshot();
         assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bit_identical() {
+        let h = Histogram::new();
+        for i in 0..5_000u64 {
+            h.record((i * 2_654_435_761) % 3_000_000);
+        }
+        let bytes = h.encode();
+        // Sparse: a few dozen populated buckets, not the whole table.
+        assert!(bytes.len() < NUM_BUCKETS * 2, "encoding must be sparse");
+        let back = Histogram::decode(&bytes).expect("own encoding decodes");
+        assert_eq!(back.snapshot(), h.snapshot());
+        assert_eq!(back.encode(), bytes, "re-encoding is stable");
+        // Empty histogram round-trips too.
+        let empty = Histogram::decode(&Histogram::new().encode()).unwrap();
+        assert_eq!(empty.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_wire_bytes() {
+        let h = Histogram::new();
+        for v in [1, 40, 40, 9_000, 1 << 40] {
+            h.record(v);
+        }
+        let good = h.encode();
+        assert!(Histogram::decode(&good).is_some());
+        // Truncated at every length.
+        for cut in 0..good.len() {
+            assert!(Histogram::decode(&good[..cut]).is_none(), "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Histogram::decode(&trailing).is_none());
+        // Count header disagreeing with the bucket sum.
+        let mut lying = good.clone();
+        lying[7] ^= 1;
+        assert!(Histogram::decode(&lying).is_none());
+        // Bucket index out of the fixed table: forge a single-entry
+        // body with idx = NUM_BUCKETS.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&1u64.to_be_bytes());
+        forged.extend_from_slice(&5u64.to_be_bytes());
+        forged.extend_from_slice(&5u64.to_be_bytes());
+        forged.extend_from_slice(&1u32.to_be_bytes());
+        forged.extend_from_slice(&(NUM_BUCKETS as u16).to_be_bytes());
+        forged.extend_from_slice(&1u64.to_be_bytes());
+        assert!(Histogram::decode(&forged).is_none());
+        // Out-of-order (duplicate) indices.
+        let mut dup = Vec::new();
+        dup.extend_from_slice(&2u64.to_be_bytes());
+        dup.extend_from_slice(&10u64.to_be_bytes());
+        dup.extend_from_slice(&5u64.to_be_bytes());
+        dup.extend_from_slice(&2u32.to_be_bytes());
+        for _ in 0..2 {
+            dup.extend_from_slice(&3u16.to_be_bytes());
+            dup.extend_from_slice(&1u64.to_be_bytes());
+        }
+        assert!(Histogram::decode(&dup).is_none());
+    }
+
+    #[test]
+    fn delta_since_recovers_the_increment() {
+        let prev = Histogram::new();
+        for v in [5, 900, 70_000] {
+            prev.record(v);
+        }
+        let now = Histogram::decode(&prev.encode()).unwrap();
+        let fresh = Histogram::new();
+        for v in [6, 901, 2_000_000] {
+            now.record(v);
+            fresh.record(v);
+        }
+        let delta = now.delta_since(&prev).expect("monotone registries diff");
+        assert_eq!(delta.count(), 3);
+        assert_eq!(delta.sum(), fresh.sum());
+        // The delta's max is the epoch max — documented approximation.
+        assert_eq!(delta.max(), 2_000_000);
+        // Quantile structure matches the true increment bucket-for-bucket.
+        assert_eq!(delta.snapshot().p99, fresh.snapshot().p99);
+        // A shrunken "current" (host restart) refuses to diff.
+        assert!(prev.delta_since(&now).is_none());
+    }
+
+    #[test]
+    fn count_over_supports_burn_fractions() {
+        let h = Histogram::new();
+        for _ in 0..990 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(50_000_000);
+        }
+        // Everything above threshold sits far above its bucket, so the
+        // bucket-granular count is exact here.
+        assert_eq!(h.count_over(1_000_000), 10);
+        let f = h.fraction_over(1_000_000);
+        assert!((f - 0.01).abs() < 1e-9, "burn fraction {f}");
+        assert_eq!(Histogram::new().fraction_over(5).to_bits(), 0f64.to_bits());
     }
 
     #[test]

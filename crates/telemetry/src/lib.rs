@@ -34,9 +34,10 @@ mod fleet;
 mod histogram;
 mod migration;
 mod ring;
+mod rollup;
 
 pub use attest::{AttestSnapshot, AttestTelemetry, QuoteSpanRecord, QUOTE_STAGE_LABELS};
-pub use export::{chrome_trace, cluster_chrome_trace};
+pub use export::{chrome_trace, cluster_chrome_trace, hist_json, prom_summary};
 pub use fleet::{FleetSnapshot, FleetTelemetry, FLEET_STAGE_LABELS};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use migration::{
@@ -44,6 +45,7 @@ pub use migration::{
     MigrationTelemetry, MIGRATION_STAGE_LABELS,
 };
 pub use ring::{SpanRing, DEFAULT_SPAN_CAPACITY, SPAN_SHARDS};
+pub use rollup::{RollupSeries, DEFAULT_ROLLUP_TIERS};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -463,6 +465,46 @@ impl Telemetry {
             snap = self.collect(aux);
         }
         snap
+    }
+
+    /// Walk every histogram series in the registry under its stable
+    /// scrape name. This is the observatory's wire contract: the scrape
+    /// path encodes exactly these series (sparse, via
+    /// [`Histogram::encode`]) and the fleet controller merges them
+    /// cross-host under the same names.
+    pub fn visit_histograms(&self, mut f: impl FnMut(&'static str, &Histogram)) {
+        f("stage_ingress", &self.stage_ingress);
+        f("stage_ac", &self.stage_ac);
+        f("stage_exec", &self.stage_exec);
+        f("stage_mirror", &self.stage_mirror);
+        f("total", &self.total);
+        f("mirror_bytes", &self.mirror_bytes);
+    }
+
+    /// Walk every monotone counter under its stable scrape name
+    /// (companion to [`Telemetry::visit_histograms`]). Per-reason deny
+    /// counters export as `deny:<label>`.
+    pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        let c = &self.counters;
+        f("begun", c.begun.load(Ordering::Relaxed));
+        f("finished", c.finished.load(Ordering::Relaxed));
+        f("allowed", c.allowed.load(Ordering::Relaxed));
+        f("denied", c.denied.load(Ordering::Relaxed));
+        f("no_instance", c.no_instance.load(Ordering::Relaxed));
+        f("malformed", c.malformed.load(Ordering::Relaxed));
+        f("ring_exchanges", c.ring_exchanges.load(Ordering::Relaxed));
+        f("ring_rx_bytes", c.ring_rx_bytes.load(Ordering::Relaxed));
+        f("ring_tx_bytes", c.ring_tx_bytes.load(Ordering::Relaxed));
+        f("dropped_events", self.spans.dropped());
+        for (i, &label) in DENY_LABELS.iter().enumerate() {
+            let n = c.deny_reasons[i].load(Ordering::Relaxed);
+            if n > 0 {
+                let mut name = String::with_capacity(5 + label.len());
+                name.push_str("deny:");
+                name.push_str(label);
+                f(&name, n);
+            }
+        }
     }
 
     fn collect(&self, aux: &[(&'static str, u64)]) -> MetricsSnapshot {

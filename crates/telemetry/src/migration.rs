@@ -170,6 +170,34 @@ impl MigrationTelemetry {
         self.spans.lock().expect("span store poisoned").push(span);
     }
 
+    /// Walk every histogram series under its stable scrape name
+    /// (`migration_<stage>`, `migration_downtime`, `migration_total`,
+    /// `migration_package_bytes`) — the observatory's wire contract,
+    /// mirroring [`crate::Telemetry::visit_histograms`].
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (&label, hist) in MIGRATION_STAGE_LABELS.iter().zip(&self.stages) {
+            let mut name = String::with_capacity(10 + label.len());
+            name.push_str("migration_");
+            name.push_str(label);
+            f(&name, hist);
+        }
+        f("migration_downtime", &self.downtime);
+        f("migration_total", &self.total);
+        f("migration_package_bytes", &self.package_bytes);
+    }
+
+    /// Walk every monotone counter under its stable scrape name
+    /// (companion to [`MigrationTelemetry::visit_histograms`]).
+    pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        f("migration_started", self.started.load(Ordering::Relaxed));
+        f("migration_committed", self.committed.load(Ordering::Relaxed));
+        f("migration_aborted", self.aborted.load(Ordering::Relaxed));
+        f(
+            "migration_rejected_stale",
+            self.rejected_stale.load(Ordering::Relaxed),
+        );
+    }
+
     /// Retained span records, oldest first.
     pub fn spans(&self) -> Vec<MigrationSpanRecord> {
         self.spans.lock().expect("span store poisoned").clone()

@@ -1,0 +1,317 @@
+//! Downsampling ring buffers over virtual time.
+//!
+//! A [`RollupSeries`] keeps one latency (or size) series at several
+//! resolutions at once: a ring of fine windows for the recent past,
+//! coarser rings behind it, and a single `retired` histogram absorbing
+//! everything that ages out of the coarsest ring. The tiers are
+//! *conservative by construction*: a sample lives in exactly one
+//! histogram at any moment — it enters the finest ring that still
+//! covers its timestamp and only moves when its window is evicted, at
+//! which point the whole window histogram is merged (bucket-wise, and
+//! the log-linear merge is exact) into the next coarser tier.
+//! Consequently [`RollupSeries::total`] is *bit-identical* to a
+//! histogram that recorded every sample directly, no matter how many
+//! rollup boundaries were crossed — count, sum, max, and every quantile
+//! conserve. That identity is the anchor the conservation proptests
+//! pin down.
+//!
+//! Timestamps are caller-supplied virtual nanoseconds, like everything
+//! else in this crate, so the observatory stays byte-deterministic
+//! under chaos replay.
+
+use std::collections::VecDeque;
+
+use crate::Histogram;
+
+/// Default tier layout: raw 1 s windows, 10 s rollups, 1 min rollups
+/// (virtual time), matching the observatory's scrape cadence story.
+pub const DEFAULT_ROLLUP_TIERS: [(u64, usize); 3] = [
+    (1_000_000_000, 16),  // raw: 1 s windows, ~16 s retained
+    (10_000_000_000, 18), // 10 s rollups, ~3 min retained
+    (60_000_000_000, 32), // 1 min rollups, ~32 min retained
+];
+
+struct Window {
+    start_ns: u64,
+    hist: Histogram,
+}
+
+struct Tier {
+    period_ns: u64,
+    cap: usize,
+    /// Kept in strictly ascending `start_ns` order.
+    windows: VecDeque<Window>,
+}
+
+impl Tier {
+    fn aligned(&self, at_ns: u64) -> u64 {
+        at_ns - at_ns % self.period_ns
+    }
+}
+
+/// One metric series stored raw → 10 s → 1 m (configurable), with
+/// count/sum/max conservation across every rollup boundary.
+pub struct RollupSeries {
+    tiers: Vec<Tier>,
+    retired: Histogram,
+}
+
+impl Default for RollupSeries {
+    fn default() -> Self {
+        Self::new(&DEFAULT_ROLLUP_TIERS)
+    }
+}
+
+impl RollupSeries {
+    /// Build from `(period_ns, window_cap)` pairs, finest first. Each
+    /// period must be a positive multiple of the one before it so
+    /// evicted fine windows land wholly inside one coarse window.
+    pub fn new(tiers: &[(u64, usize)]) -> Self {
+        assert!(!tiers.is_empty(), "need at least one tier");
+        let mut prev = 0u64;
+        for &(period, cap) in tiers {
+            assert!(period > 0 && cap > 0, "degenerate tier");
+            assert!(
+                prev == 0 || (period > prev && period % prev == 0),
+                "tier periods must be ascending multiples"
+            );
+            prev = period;
+        }
+        RollupSeries {
+            tiers: tiers
+                .iter()
+                .map(|&(period_ns, cap)| Tier {
+                    period_ns,
+                    cap,
+                    windows: VecDeque::new(),
+                })
+                .collect(),
+            retired: Histogram::new(),
+        }
+    }
+
+    /// Fold a delta histogram (e.g. one scrape interval's worth of
+    /// samples) into the window covering `at_ns`. Timestamps older
+    /// than the finest ring's retention fall through to whichever
+    /// coarser tier still covers them, and past the coarsest ring into
+    /// `retired` — never dropped.
+    pub fn observe(&mut self, at_ns: u64, delta: &Histogram) {
+        if delta.count() == 0 && delta.sum() == 0 && delta.max() == 0 {
+            return;
+        }
+        self.fold(0, at_ns, delta);
+    }
+
+    /// Record one value at `at_ns`. Convenience over
+    /// [`RollupSeries::observe`] for controller-side series that are
+    /// not scraped as deltas.
+    pub fn record(&mut self, at_ns: u64, value: u64) {
+        let h = Histogram::new();
+        h.record(value);
+        self.fold(0, at_ns, &h);
+    }
+
+    fn fold(&mut self, tier_idx: usize, at_ns: u64, delta: &Histogram) {
+        if tier_idx >= self.tiers.len() {
+            self.retired.merge(delta);
+            return;
+        }
+        let aligned = self.tiers[tier_idx].aligned(at_ns);
+        // Older than this ring retains → try the next coarser tier.
+        if let Some(front) = self.tiers[tier_idx].windows.front() {
+            if aligned < front.start_ns {
+                self.fold(tier_idx + 1, at_ns, delta);
+                return;
+            }
+        }
+        let tier = &mut self.tiers[tier_idx];
+        // Find (or create, keeping ascending order) the target window.
+        let pos = tier.windows.partition_point(|w| w.start_ns < aligned);
+        match tier.windows.get(pos) {
+            Some(w) if w.start_ns == aligned => tier.windows[pos].hist.merge(delta),
+            _ => {
+                let hist = Histogram::new();
+                hist.merge(delta);
+                tier.windows.insert(pos, Window { start_ns: aligned, hist });
+            }
+        }
+        // Evict oldest windows over capacity into the next tier.
+        while self.tiers[tier_idx].windows.len() > self.tiers[tier_idx].cap {
+            let w = self.tiers[tier_idx].windows.pop_front().expect("non-empty");
+            self.fold(tier_idx + 1, w.start_ns, &w.hist);
+        }
+    }
+
+    /// Everything this series ever absorbed, merged into one histogram.
+    /// Bit-identical to recording every sample directly into a single
+    /// histogram, regardless of how rollups interleaved — the
+    /// conservation guarantee.
+    pub fn total(&self) -> Histogram {
+        let out = Histogram::new();
+        out.merge(&self.retired);
+        for tier in &self.tiers {
+            for w in &tier.windows {
+                out.merge(&w.hist);
+            }
+        }
+        out
+    }
+
+    /// Merge of every *live* window whose span intersects
+    /// `[now_ns − lookback_ns, now_ns]`. Resolution is window
+    /// granularity: a coarse window partially inside the range is
+    /// included whole, so the answer may over-include by up to one
+    /// period of the coarsest tier it touched (`retired` is never
+    /// included). This is the burn-rate read: "the last N seconds of
+    /// virtual time" for an SLO window.
+    pub fn merged_window(&self, now_ns: u64, lookback_ns: u64) -> Histogram {
+        let from = now_ns.saturating_sub(lookback_ns);
+        let out = Histogram::new();
+        for tier in &self.tiers {
+            for w in &tier.windows {
+                if w.start_ns + tier.period_ns > from && w.start_ns <= now_ns {
+                    out.merge(&w.hist);
+                }
+            }
+        }
+        out
+    }
+
+    /// Live windows per tier, finest first — exporter fodder.
+    pub fn tier_depths(&self) -> Vec<usize> {
+        self.tiers.iter().map(|t| t.windows.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift — the proptest driver (no external deps).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn tiny_tiers() -> [(u64, usize); 3] {
+        // Small caps so a few hundred samples cross every rollup
+        // boundary many times.
+        [(100, 3), (500, 2), (2_000, 2)]
+    }
+
+    #[test]
+    fn conservation_against_direct_recording() {
+        // Property: total() is bit-identical to a histogram fed the
+        // same stream directly — across random timestamps (including
+        // out-of-order and far-past ones) and random values.
+        for seed in 1..=20u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut series = RollupSeries::new(&tiny_tiers());
+            let direct = Histogram::new();
+            let mut now = 0u64;
+            for _ in 0..400 {
+                now += rng.below(300);
+                // Occasionally observe in the past to exercise the
+                // fall-through-to-coarser path.
+                let at = if rng.below(5) == 0 { now / 2 } else { now };
+                let shift = rng.below(30);
+                let v = rng.below(1 << shift);
+                series.record(at, v);
+                direct.record(v);
+            }
+            let total = series.total();
+            assert_eq!(total.snapshot(), direct.snapshot(), "seed {seed}");
+            assert_eq!(total.count(), 400);
+        }
+    }
+
+    #[test]
+    fn merged_then_rolled_equals_rolled_then_merged() {
+        // Property: rolling two hosts' streams through separate series
+        // and merging the totals equals rolling the interleaved stream
+        // through one series — bit-identical, because histogram merge
+        // is exact and rollups only ever merge.
+        for seed in 1..=10u64 {
+            let mut rng = Rng(seed.wrapping_mul(0xD134_2543_DE82_EF95) | 1);
+            let mut a = RollupSeries::new(&tiny_tiers());
+            let mut b = RollupSeries::new(&tiny_tiers());
+            let mut both = RollupSeries::new(&tiny_tiers());
+            let mut now = 0u64;
+            for _ in 0..300 {
+                now += rng.below(200);
+                let v = rng.below(1 << 20) + 1;
+                if rng.below(2) == 0 {
+                    a.record(now, v);
+                } else {
+                    b.record(now, v);
+                }
+                both.record(now, v);
+            }
+            let merged = a.total();
+            merged.merge(&b.total());
+            assert_eq!(merged.snapshot(), both.total().snapshot(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn observe_folds_delta_histograms() {
+        let mut series = RollupSeries::new(&tiny_tiers());
+        let delta = Histogram::new();
+        for v in [10, 20, 30, 1_000_000] {
+            delta.record(v);
+        }
+        series.observe(50, &delta);
+        series.observe(5_000, &delta);
+        let t = series.total();
+        assert_eq!(t.count(), 8);
+        assert_eq!(t.sum(), 2 * (10 + 20 + 30 + 1_000_000));
+        assert_eq!(t.max(), 1_000_000);
+    }
+
+    #[test]
+    fn eviction_cascades_to_retired_without_loss() {
+        let mut series = RollupSeries::new(&[(10, 2), (20, 2)]);
+        for i in 0..1_000u64 {
+            series.record(i * 7, i);
+        }
+        let t = series.total();
+        assert_eq!(t.count(), 1_000);
+        assert_eq!(t.sum(), (0..1_000).sum::<u64>());
+        assert_eq!(t.max(), 999);
+        // Rings hold only their caps; the bulk must be in retired.
+        let depths = series.tier_depths();
+        assert!(depths[0] <= 2 && depths[1] <= 2, "caps hold: {depths:?}");
+    }
+
+    #[test]
+    fn merged_window_sees_recent_not_ancient() {
+        let mut series = RollupSeries::new(&[(100, 4), (1_000, 4)]);
+        series.record(50, 1); // ancient
+        for at in [10_000, 10_050, 10_120] {
+            series.record(at, 7);
+        }
+        let recent = series.merged_window(10_150, 300);
+        assert_eq!(recent.count(), 3, "the three recent samples");
+        // Lookback spanning everything still finds all live samples.
+        let all = series.merged_window(10_150, 10_150);
+        assert_eq!(all.count(), 4);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let mut series = RollupSeries::default();
+        series.observe(123, &Histogram::new());
+        assert_eq!(series.total().count(), 0);
+        assert_eq!(series.tier_depths(), vec![0, 0, 0]);
+    }
+}

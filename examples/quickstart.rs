@@ -99,6 +99,30 @@ fn main() {
          trace ({} spans) -> target/quickstart-trace.json",
         snapshot.finished, snapshot.allowed, snapshot.denied, spans.len(),
     );
+
+    // Fleet-wide view: the same registry, scraped into the observatory.
+    // On a real fleet the controller decodes every host's encoded
+    // frames off the fabric; a single host feeds the identical
+    // merge/rollup/SLO path through the local ingest hooks. Both the
+    // per-host snapshot above and the fleet endpoint below render
+    // through the shared telemetry encoders, so the two formats cannot
+    // drift apart.
+    let telemetry = manager.telemetry().expect("telemetry enabled by default");
+    let mut observatory = Observatory::default();
+    let scrape_ns = 1_000_000u64;
+    telemetry.visit_histograms(|name, h| observatory.ingest_local(0, scrape_ns, name, h));
+    telemetry.visit_counters(|name, v| observatory.ingest_counter(0, scrape_ns, name, v));
+    let burns = observatory.evaluate(scrape_ns);
+    let p99 = observatory.fleet_total("total").map(|h| h.snapshot().p99).unwrap_or(0);
+    std::fs::write("target/quickstart-fleet.prom", observatory.render_text(scrape_ns))
+        .expect("write fleet exposition");
+    std::fs::write("target/quickstart-fleet.json", observatory.render_json(scrape_ns))
+        .expect("write fleet json");
+    println!(
+        "observatory: fleet p99 total latency {p99} ns, {} SLO transitions, \
+         endpoints -> target/quickstart-fleet.prom + .json",
+        burns.len(),
+    );
 }
 
 fn hex(bytes: &[u8]) -> String {

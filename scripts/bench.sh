@@ -38,6 +38,14 @@
 #   controller tick at bench scale. The binary exits nonzero if the
 #   R-M2 gate fails.
 #
+#   BENCH_observatory.json — fleet observatory numbers: the R-O2 set
+#   (attack-free chaos seeds with scrape/burn/false-suspect counts and
+#   replay verdicts, merged cross-host p99 vs exact per-span ground
+#   truth with the 1/16 bound, the injected blackout regression's
+#   burn->pause->clear->resume loop verdicts, and wall ns per
+#   scrape+evaluate pass against the controller's heartbeat period).
+#   The binary exits nonzero if the R-O2 gate fails.
+#
 # Usage:
 #   scripts/bench.sh             # full sizes
 #   scripts/bench.sh --quick     # CI-sized
@@ -71,3 +79,7 @@ cargo run --release -p vtpm-bench --bin attest_bench -- \
 echo "== fleet bench -> ${out_dir}/BENCH_fleet.json =="
 cargo run --release -p vtpm-bench --bin fleet_bench -- \
     "${quick[@]}" --out "${out_dir}/BENCH_fleet.json"
+
+echo "== observatory bench -> ${out_dir}/BENCH_observatory.json =="
+cargo run --release -p vtpm-bench --bin observatory_bench -- \
+    "${quick[@]}" --out "${out_dir}/BENCH_observatory.json"

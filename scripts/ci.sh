@@ -39,8 +39,20 @@
 #      drivers, rebalancer) replayed twice each, then `repro m2 --quick`
 #      — exits nonzero if any vTPM ends lost/duplicated/orphaned, any
 #      journal stays in doubt, any injected double-drive commits two
-#      winners, any seed fails byte-identical replay, or the p99
-#      quiesce->commit blackout blows its budget.
+#      winners, any seed fails byte-identical replay, the p99
+#      quiesce->commit blackout blows its budget, or the failure
+#      detector suspects more than 2 live hosts on any seed;
+#  11. R-O2: the fleet observatory. `repro o2 --quick` runs attack-free
+#      churn seeds with the observatory scraping every host and exits
+#      nonzero if any SLO burns on a clean seed (zero false burns), a
+#      seed fails byte-identical replay with the observatory enabled,
+#      the merged cross-host p99 drifts past the histogram's 1/16
+#      relative-error bound against exact per-span ground truth, an
+#      injected migration-blackout regression fails to walk the full
+#      burn -> sentinel alert -> rebalancer pause -> clear -> resume
+#      loop, or one scrape+evaluate pass costs more than 3% of the
+#      controller's heartbeat period (the R-O1 self-overhead budget,
+#      lifted to the fleet plane).
 #
 # Usage:
 #   scripts/ci.sh            # full gate
@@ -50,7 +62,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: release build =="
-cargo build --release
+# --workspace, not bare `cargo build --release`: the bare form builds
+# only the root package and would let workspace-member crates (bench
+# bins, harness, observatory) rot uncompiled.
+cargo build --release --workspace
 
 echo "== tier-1: tests =="
 cargo test -q
@@ -90,5 +105,8 @@ cargo run --release -p vtpm-harness --bin chaos -- \
 
 echo "== R-M2: fleet churn sweep (exactly-once accounting, single-winner conflicts) =="
 cargo run --release -p vtpm-bench --bin repro -- m2 --quick
+
+echo "== R-O2: fleet observatory (zero false burns, SLO closed loop, <= 3% overhead) =="
+cargo run --release -p vtpm-bench --bin repro -- o2 --quick
 
 echo "CI gate passed."

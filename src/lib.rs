@@ -29,7 +29,16 @@
 //! * [`attest`] — the cloud-scale attestation plane: nonce-window
 //!   batched deep-quote issuance with a generation-keyed cache, and a
 //!   batch-verifying pool with freshness policy, replay ledger, and
-//!   audited refusals ([`vtpm_attest`]).
+//!   audited refusals ([`vtpm_attest`]);
+//! * [`fleet`] — the fleet control plane: phi-accrual failure
+//!   detection over fabric heartbeats, a bounded pool of concurrent
+//!   migration drivers with epoch arbitration, and the
+//!   suspicion-driven rebalancer ([`vtpm_fleet`]);
+//! * [`observatory`] — the fleet-wide metrics plane: cross-host
+//!   histogram aggregation over scraped fabric frames, downsampling
+//!   rollups in virtual time, the multi-window SLO burn-rate engine
+//!   feeding the sentinel's closed loops, and per-subsystem profiling
+//!   attribution from one text/JSON endpoint ([`vtpm_observatory`]).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +60,8 @@ pub use tpm as tpm12;
 pub use vtpm_attest as attest;
 pub use tpm_crypto as crypto;
 pub use vtpm_cluster as cluster;
+pub use vtpm_fleet as fleet;
+pub use vtpm_observatory as observatory;
 pub use vtpm_sentinel as sentinel;
 pub use vtpm as vtpm_stack;
 pub use vtpm_ac as access_control;
@@ -68,6 +79,8 @@ pub mod prelude {
         Evidence, IssuerConfig, QuoteIssuer, Submission, Verdict, VerifierConfig, VerifierPool,
     };
     pub use vtpm_cluster::{Cluster, ClusterConfig, MigrateOutcome};
+    pub use vtpm_fleet::{Fleet, FleetConfig};
+    pub use vtpm_observatory::{Observatory, ObservatoryConfig, SloRule};
     pub use vtpm_sentinel::{Sentinel, SentinelConfig, StreamEvent};
     pub use workload::{run_concurrent, CommandMix, GuestSession, Op};
     pub use xen_sim::{DomainConfig, DomainId, Hypervisor};
